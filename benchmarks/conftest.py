@@ -1,0 +1,93 @@
+"""Shared benchmark fixtures: one calibrated world + trained system.
+
+Every table/figure benchmark runs against the same session-scoped world
+(so cross-table numbers are consistent, like the paper's), and registers
+its rendered output with ``report`` so the reproduced tables are printed
+in the terminal summary (pytest captures ordinary stdout).
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig, build_asdb
+from repro.evaluation import (
+    build_gold_standard,
+    build_test_set,
+    build_uniform_gold_standard,
+)
+from repro.world import WorldConfig, generate_world
+
+#: World size for the benchmark universe.  Big enough that the Uniform
+#: Gold Standard finds ASes in every layer 1 category.
+BENCH_WORLD_ORGS = 1400
+BENCH_SEED = 20211102
+
+_RESULTS = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return generate_world(
+        WorldConfig(n_orgs=BENCH_WORLD_ORGS, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def gold_standard(bench_world):
+    return build_gold_standard(bench_world, size=150, seed=0)
+
+
+@pytest.fixture(scope="session")
+def test_set(bench_world, gold_standard):
+    return build_test_set(
+        bench_world, size=150, seed=1, exclude=gold_standard.asns()
+    )
+
+
+@pytest.fixture(scope="session")
+def uniform_gold_standard(bench_world):
+    return build_uniform_gold_standard(bench_world, per_category=20, seed=2)
+
+
+@pytest.fixture(scope="session")
+def built_system(bench_world, gold_standard, test_set):
+    """The deployed ASdb system, with evaluation sets held out of ML
+    training."""
+    held_out = tuple(gold_standard.asns()) + tuple(test_set.asns())
+    return build_asdb(
+        bench_world,
+        SystemConfig(seed=7, exclude_asns_from_training=held_out),
+    )
+
+
+@pytest.fixture(scope="session")
+def asdb_dataset(built_system):
+    """The fully classified dataset (one pass over every AS)."""
+    return built_system.asdb.classify_all()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Register a rendered table for the end-of-run summary and persist
+    it under benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        _RESULTS.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name, text in _RESULTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

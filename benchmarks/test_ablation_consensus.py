@@ -1,0 +1,77 @@
+"""Ablation: consensus strategies (the Section 5.1 design choice).
+
+Compares ASdb's union-on-overlap + accuracy-ranked fallback against two
+alternatives: always trusting the single best-ranked source, and a
+majority vote over layer 2 categories.
+"""
+
+import pytest
+
+from repro import SystemConfig, build_asdb
+from repro.core import majority_vote, resolve_consensus, single_best_source
+from repro.evaluation import evaluate_stages
+from repro.reporting import render_table
+
+STRATEGIES = {
+    "paper (union-on-overlap)": resolve_consensus,
+    "single best source": single_best_source,
+    "majority vote": majority_vote,
+}
+
+
+def test_ablation_consensus(
+    benchmark, bench_world, gold_standard, test_set, report
+):
+    held_out = tuple(gold_standard.asns()) + tuple(test_set.asns())
+
+    def _run():
+        results = {}
+        for name, strategy in STRATEGIES.items():
+            built = build_asdb(
+                bench_world,
+                SystemConfig(
+                    seed=7, exclude_asns_from_training=held_out
+                ),
+            )
+            built.asdb._consensus = strategy
+            for asn in gold_standard.asns():
+                built.asdb.classify(asn)
+            results[name] = evaluate_stages(
+                built.asdb.dataset, gold_standard
+            )
+        return results
+
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            str(breakdown.overall_l1_coverage),
+            str(breakdown.overall_l1_accuracy),
+            str(breakdown.overall_l2_accuracy),
+        ]
+        for name, breakdown in results.items()
+    ]
+    table = render_table(
+        ["Strategy", "L1 coverage", "L1 accuracy", "L2 accuracy"],
+        rows,
+        title="Ablation: consensus strategy (Gold Standard)",
+    )
+    report("ablation_consensus", table)
+
+    paper = results["paper (union-on-overlap)"]
+    for name, breakdown in results.items():
+        # The paper's rule is competitive with every alternative on both
+        # layers (alternatives can edge it on one layer while losing the
+        # other - e.g. majority vote trades layer 2 for layer 1).
+        assert (
+            paper.overall_l1_accuracy.value
+            >= breakdown.overall_l1_accuracy.value - 0.05
+        ), name
+        assert (
+            paper.overall_l2_accuracy.value
+            >= breakdown.overall_l2_accuracy.value - 0.05
+        ), name
+        assert (
+            paper.overall_l1_coverage.value
+            >= breakdown.overall_l1_coverage.value - 0.02
+        ), name

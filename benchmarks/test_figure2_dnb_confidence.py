@@ -1,0 +1,40 @@
+"""Figure 2: D&B confidence codes vs automated match accuracy.
+
+Paper: D&B accurately matches fewer than 50% of ASes when returning a
+confidence level below 6, but at least 80% at or above 6.
+"""
+
+from repro.evaluation import figure2_dnb_confidence
+from repro.reporting import render_bars
+
+
+def test_figure2_dnb_confidence(
+    benchmark, bench_world, gold_standard, built_system, report
+):
+    buckets = benchmark.pedantic(
+        lambda: figure2_dnb_confidence(
+            built_system.dnb, bench_world, gold_standard
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    labels = [f"code {b.code} (n={b.accuracy.total})" for b in buckets]
+    values = [b.accuracy.value for b in buckets]
+    chart = render_bars(
+        labels,
+        values,
+        title="Figure 2: D&B matching accuracy by confidence code "
+        "(paper: <50% below 6, >=80% at 6+)",
+    )
+    report("figure2_dnb_confidence", chart)
+
+    low = [b for b in buckets if b.code < 6 and b.accuracy.total >= 5]
+    high = [b for b in buckets if b.code >= 6 and b.accuracy.total >= 5]
+    assert high, "no populated high-confidence buckets"
+    low_hits = sum(b.accuracy.hits for b in low)
+    low_total = sum(b.accuracy.total for b in low)
+    high_hits = sum(b.accuracy.hits for b in high)
+    high_total = sum(b.accuracy.total for b in high)
+    if low_total >= 10:
+        assert low_hits / low_total < 0.60
+    assert high_hits / high_total >= 0.75

@@ -1,0 +1,102 @@
+"""Performance: ML training and classification throughput (Section 4.1).
+
+Paper: "Our model uses 6 CPU cores and 5 seconds to train, and it
+requires about 1 second to classify 150 domains."  These benches time
+the from-scratch stack (single core) against the same workload shape.
+"""
+
+import random
+
+from repro.ml import WebClassificationPipeline, build_training_examples
+from repro.reporting import render_table
+from repro.web import Scraper
+
+
+def test_perf_ml_training(benchmark, bench_world, built_system, report):
+    rng = random.Random(71)
+    examples = build_training_examples(bench_world, built_system.dnb, rng)
+
+    def _train():
+        return WebClassificationPipeline(
+            Scraper(bench_world.web), seed=1
+        ).fit(examples)
+
+    pipeline = benchmark.pedantic(_train, rounds=3, iterations=1)
+    assert pipeline.fitted
+    stats = benchmark.stats.stats
+    report(
+        "perf_ml_training",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["training set size", len(examples)],
+                ["mean wall time", f"{stats.mean:.2f}s"],
+                ["paper reference", "5s on 6 cores"],
+            ],
+            title="Performance: ML pipeline training",
+        ),
+    )
+    # Generous sanity band; the point is "seconds, not minutes".
+    assert stats.mean < 60.0
+
+
+def test_perf_classify_150_domains(
+    benchmark, bench_world, built_system, report
+):
+    pipeline = built_system.ml_pipeline
+    domains = [
+        org.domain
+        for org in bench_world.iter_organizations()
+        if org.domain is not None
+    ][:150]
+    assert len(domains) == 150
+
+    def _classify():
+        return [pipeline.classify_domain(domain) for domain in domains]
+
+    verdicts = benchmark.pedantic(_classify, rounds=3, iterations=1)
+    assert len(verdicts) == 150
+    stats = benchmark.stats.stats
+    report(
+        "perf_classification",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["domains classified", 150],
+                ["mean wall time", f"{stats.mean:.2f}s"],
+                ["paper reference", "~1s for 150 domains"],
+            ],
+            title="Performance: classifying 150 domains",
+        ),
+    )
+    assert stats.mean < 30.0
+
+
+def test_perf_full_pipeline_throughput(
+    benchmark, bench_world, built_system, report
+):
+    """End-to-end per-AS classification rate (cache disabled by using
+    fresh ASdb state each round via reclassify)."""
+    sample = bench_world.asns()[:200]
+
+    def _classify_all():
+        for asn in sample:
+            built_system.asdb.reclassify(asn)
+        return len(sample)
+
+    count = benchmark.pedantic(_classify_all, rounds=2, iterations=1)
+    stats = benchmark.stats.stats
+    rate = count / stats.mean
+    report(
+        "perf_full_pipeline",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["ASes per round", count],
+                ["mean wall time", f"{stats.mean:.2f}s"],
+                ["throughput", f"{rate:.0f} ASes/s"],
+            ],
+            title="Performance: full Figure-4 pipeline throughput",
+        ),
+    )
+    assert rate > 5  # sanity: the pipeline is not pathologically slow

@@ -1,0 +1,61 @@
+"""Section 2: prior-work baselines - decayed CAIDA dataset and
+Baumann & Fabian keyword analysis.
+
+Paper: the December 2020 CAIDA snapshot achieved 72% coverage with
+58% / 75% / 0% per-class accuracy (transit-access / enterprise /
+content); Baumann & Fabian's keyword analysis reached 57% coverage over
+10 categories.
+"""
+
+from repro.datasources import CaidaASClassification
+from repro.evaluation import BaumannFabianClassifier, evaluate_caida
+from repro.reporting import render_table
+
+
+def test_section2_caida_baseline(
+    benchmark, bench_world, gold_standard, report
+):
+    def _run():
+        caida = CaidaASClassification(bench_world)
+        evaluation = evaluate_caida(caida, bench_world, gold_standard)
+        bf = BaumannFabianClassifier(bench_world)
+        bf_coverage = bf.coverage(gold_standard.asns())
+        return evaluation, bf_coverage, bf.sec_index_size
+
+    evaluation, bf_coverage, sec_size = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    rows = [
+        ["CAIDA coverage", f"{evaluation.coverage:.0%}", "(paper 72%)"],
+        [
+            "CAIDA transit/access acc",
+            f"{evaluation.per_class_accuracy['transit/access']:.0%}",
+            "(paper 58%)",
+        ],
+        [
+            "CAIDA enterprise acc",
+            f"{evaluation.per_class_accuracy['enterprise']:.0%}",
+            "(paper 75%)",
+        ],
+        [
+            "CAIDA content acc",
+            f"{evaluation.per_class_accuracy['content']:.0%}",
+            "(paper 0%)",
+        ],
+        ["B&F keyword coverage", f"{bf_coverage:.0%}", "(paper 57%)"],
+        ["B&F SEC index size", sec_size, "(paper: 469 ASes reached)"],
+    ]
+    table = render_table(
+        ["Metric", "Measured", "Reference"],
+        rows,
+        title="Section 2: prior-work baselines on the Gold Standard",
+    )
+    report("section2_baselines", table)
+
+    assert 0.60 <= evaluation.coverage <= 0.85
+    assert evaluation.per_class_accuracy["content"] <= 0.10
+    assert (
+        evaluation.per_class_accuracy["enterprise"]
+        > evaluation.per_class_accuracy["transit/access"]
+    )
+    assert 0.10 <= bf_coverage <= 0.75

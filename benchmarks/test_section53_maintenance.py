@@ -1,0 +1,58 @@
+"""Section 5.3: maintaining ASdb.
+
+Paper: an average 21 ASes registered per day (19 new organizations/day)
+and 4% metadata churn imply ~140 ASes needing updates per week; ASdb's
+maintenance sweep plus the organization cache keep that workload cheap.
+"""
+
+from repro import SystemConfig, build_asdb
+from repro.core import MaintenanceDaemon
+from repro.reporting import render_table
+from repro.world import WorldConfig, generate_world, simulate_churn
+from repro.world.churn import NEW_AS_RATE_PER_DAY
+
+
+def test_section53_maintenance(benchmark, report):
+    def _run():
+        # A private world: churn mutates the registry.
+        world = generate_world(WorldConfig(n_orgs=700, seed=53))
+        built = build_asdb(world, SystemConfig(seed=1, train_ml=False))
+        daemon = MaintenanceDaemon(built.asdb)
+        daemon.sweep(current_day=0)  # initial full classification
+
+        stats = simulate_churn(world, days=120, seed=3, start_day=1)
+        sweep = daemon.sweep(current_day=121)
+        return world, stats, sweep, built
+
+    world, stats, sweep, built = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    n_base = len(world.asns()) - len(stats.new_asns)
+    scale = 100_000 / n_base
+    rows = [
+        ["new ASes/day (scaled to 100K ASes)",
+         f"{stats.ases_per_day * scale:.1f}", "(paper 21)"],
+        ["new orgs/day (scaled)",
+         f"{stats.orgs_per_day * scale:.1f}", "(paper 19)"],
+        ["metadata churn over window",
+         f"{len(stats.updated_asns) / n_base:.1%}", "(paper 4%)"],
+        ["registrations+updates/week (scaled)",
+         f"{sweep.updates_per_week * scale:.0f}",
+         "(paper: ~147 new + ~140 updated)"],
+        ["sweep reclassified", sweep.reclassified, ""],
+        ["cache hit rate", f"{built.asdb.cache.hit_rate:.0%}", ""],
+    ]
+    table = render_table(
+        ["Metric", "Measured", "Reference"],
+        rows,
+        title="Section 5.3: maintenance churn and sweep workload",
+    )
+    report("section53_maintenance", table)
+
+    # The sweep picked up exactly the churned ASes.
+    assert set(sweep.new_asns) == set(stats.new_asns)
+    assert set(sweep.updated_asns) == set(stats.updated_asns)
+    # Scaled rates sit near the paper's measurements.
+    assert 10 <= stats.ases_per_day * scale <= 35          # 21
+    assert 0.02 <= len(stats.updated_asns) / n_base <= 0.06  # 4%
+    assert 100 <= sweep.updates_per_week * scale <= 450

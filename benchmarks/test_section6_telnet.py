@@ -1,0 +1,55 @@
+"""Section 6: joining ASdb with an LZR-style Telnet scan.
+
+Paper: critical-infrastructure organizations (electric utilities,
+government, financial institutions) are more likely to host Telnet than
+technology companies.
+"""
+
+from repro.reporting import render_table
+from repro.scan import TelnetScan
+from repro.taxonomy import naicslite
+
+
+def test_section6_telnet(benchmark, bench_world, asdb_dataset, report):
+    def _run():
+        scan = TelnetScan(bench_world, seed=6)
+        return scan.telnet_rate_by_layer1(
+            lambda asn: (
+                asdb_dataset.get(asn).labels.layer1_slugs()
+                if asdb_dataset.get(asn)
+                else set()
+            )
+        )
+
+    rates = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = []
+    for slug, (hits, total) in sorted(
+        rates.items(), key=lambda item: -(item[1][0] / max(item[1][1], 1))
+    ):
+        rows.append(
+            [
+                naicslite.layer1_by_slug(slug).name[:42],
+                total,
+                hits,
+                f"{hits / total:.0%}" if total else "-",
+            ]
+        )
+    table = render_table(
+        ["ASdb layer 1 category", "ASes", "w/ Telnet", "Rate"],
+        rows,
+        title="Section 6: Telnet exposure by industry (ASdb x synthetic "
+        "LZR scan; paper: critical infrastructure > technology)",
+    )
+    report("section6_telnet", table)
+
+    tech_hits, tech_total = rates["computer_and_it"]
+    tech_rate = tech_hits / tech_total
+    critical = [
+        slug for slug in ("utilities", "government", "finance")
+        if rates.get(slug, (0, 0))[1] >= 5
+    ]
+    assert critical, "no critical-infrastructure categories classified"
+    for slug in critical:
+        hits, total = rates[slug]
+        assert hits / total > tech_rate, slug

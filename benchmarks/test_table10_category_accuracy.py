@@ -1,0 +1,104 @@
+"""Table 10: per-layer-1-category accuracy/coverage with matching (UGS).
+
+Paper: ASdb consistently achieves coverage near the best source per
+category while matching or beating its accuracy in about half of the
+categories.
+"""
+
+from repro.datasources import Query
+from repro.evaluation import category_accuracy_rows
+from repro.reporting import render_table
+from repro.taxonomy import LabelSet, naicslite
+
+
+def test_table10_category_accuracy(
+    benchmark,
+    bench_world,
+    asdb_dataset,
+    uniform_gold_standard,
+    built_system,
+    report,
+):
+    world = bench_world
+
+    def _asdb(asn):
+        record = asdb_dataset.get(asn)
+        return record.labels if record else LabelSet()
+
+    def _source(source):
+        def classify(asn):
+            org = world.org_of_asn(asn)
+            match = source.lookup_by_org(org.org_id)
+            return match.labels if match else LabelSet()
+
+        return classify
+
+    def _run():
+        return {
+            "asdb": category_accuracy_rows(
+                world, uniform_gold_standard, _asdb
+            ),
+            "dnb": category_accuracy_rows(
+                world, uniform_gold_standard, _source(built_system.dnb)
+            ),
+            "zvelo": category_accuracy_rows(
+                world, uniform_gold_standard, _source(built_system.zvelo)
+            ),
+            "crunchbase": category_accuracy_rows(
+                world,
+                uniform_gold_standard,
+                _source(built_system.crunchbase),
+            ),
+        }
+
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    slugs = sorted(
+        {slug for rows in results.values() for slug in rows},
+        key=lambda slug: naicslite.layer1_by_slug(slug).code,
+    )
+    rows = []
+    for slug in slugs:
+        rows.append(
+            [naicslite.layer1_by_slug(slug).name[:38]]
+            + [
+                str(results[name].get(slug, "-"))
+                for name in ("dnb", "zvelo", "crunchbase", "asdb")
+            ]
+        )
+    table = render_table(
+        ["Layer 1 category", "D&B", "Zvelo", "Crunchbase", "ASdb"],
+        rows,
+        title="Table 10: Per-category accuracy & coverage with matching "
+        "(Uniform Gold Standard)",
+    )
+    report("table10_category_accuracy", table)
+
+    # ASdb's per-category coverage tracks the best single source.
+    better_or_equal = 0
+    comparable = 0
+    for slug in slugs:
+        asdb_fraction = results["asdb"].get(slug)
+        if asdb_fraction is None or asdb_fraction.total < 5:
+            continue
+        best_source_cov = max(
+            (results[name][slug].total
+             for name in ("dnb", "zvelo", "crunchbase")
+             if slug in results[name]),
+            default=0,
+        )
+        assert asdb_fraction.total >= 0.6 * best_source_cov, slug
+        comparable += 1
+        best_acc = max(
+            (results[name][slug].value
+             for name in ("dnb", "zvelo", "crunchbase")
+             if slug in results[name] and results[name][slug].total >= 5),
+            default=0.0,
+        )
+        if asdb_fraction.value >= best_acc - 0.10:
+            better_or_equal += 1
+    assert comparable >= 8
+    # Competitive accuracy in a meaningful share of categories (paper:
+    # equivalent or better in 9/16; the gap cases trace to Crunchbase's
+    # high precision on tiny coverage, as in the paper).
+    assert better_or_equal >= comparable * 0.3

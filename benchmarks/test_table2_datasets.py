@@ -1,0 +1,55 @@
+"""Table 2: the four labeled ground-truth datasets."""
+
+import random
+
+from repro.datasources import DunBradstreet
+from repro.ml import build_training_examples
+from repro.reporting import render_table
+
+
+def test_table2_datasets(
+    benchmark, bench_world, gold_standard, test_set, uniform_gold_standard,
+    built_system, report,
+):
+    def _build():
+        rng = random.Random(11)
+        training = build_training_examples(
+            bench_world,
+            built_system.dnb,
+            rng,
+            exclude_asns=tuple(gold_standard.asns())
+            + tuple(test_set.asns()),
+        )
+        return training
+
+    training = benchmark.pedantic(_build, rounds=1, iterations=1)
+    rows = [
+        ["Gold Standard", len(gold_standard), "Random",
+         "data-source + ASdb evaluation"],
+        ["Uniform Gold Standard", len(uniform_gold_standard),
+         "Uniform over 16 layer 1 categories", "long-tail evaluation"],
+        ["ML training set", len(training),
+         "150 random + 75 D&B-labeled hosting", "classifier training"],
+        ["New test set", len(test_set), "Random (fresh)",
+         "deployment-fairness evaluation"],
+    ]
+    table = render_table(
+        ["Dataset", "ASes", "Sampling", "Use"],
+        rows,
+        title="Table 2: Labeled ground truth "
+        "(paper: 150 / 320 / 225 / 150)",
+    )
+    report("table2_datasets", table)
+
+    assert len(gold_standard) == 150
+    assert len(test_set) == 150
+    assert 250 <= len(uniform_gold_standard) <= 320
+    assert 150 <= len(training) <= 225
+    # Hosting is oversampled relative to the world (Table 2's purpose).
+    train_rate = sum(e.is_hosting for e in training) / len(training)
+    world_rate = sum(
+        1
+        for org in bench_world.iter_organizations()
+        if "hosting" in org.truth.layer2_slugs()
+    ) / len(bench_world.organizations)
+    assert train_rate > world_rate

@@ -1,0 +1,80 @@
+"""Table 3: external data source coverage on the Gold Standard.
+
+Paper: D&B 82%, Crunchbase 37%, ZoomInfo 68%, Clearbit 61%, Zvelo 93%,
+PeeringDB 15%, IPinfo 30%; non-tech coverage beats tech for the business
+sources while the networking sources skew tech.
+"""
+
+import pytest
+
+from repro.datasources import Clearbit, ZoomInfo
+from repro.evaluation import evaluate_source
+from repro.reporting import render_table
+
+PAPER_COVERAGE = {
+    "dnb": 0.82,
+    "crunchbase": 0.37,
+    "zoominfo": 0.68,
+    "clearbit": 0.61,
+    "zvelo": 0.93,
+    "peeringdb": 0.15,
+    "ipinfo": 0.30,
+}
+
+
+@pytest.fixture(scope="module")
+def all_sources(bench_world, built_system):
+    return {
+        "dnb": built_system.dnb,
+        "crunchbase": built_system.crunchbase,
+        "zoominfo": ZoomInfo(bench_world),
+        "clearbit": Clearbit(bench_world),
+        "zvelo": built_system.zvelo,
+        "peeringdb": built_system.peeringdb,
+        "ipinfo": built_system.ipinfo,
+    }
+
+
+def test_table3_coverage(
+    benchmark, bench_world, gold_standard, all_sources, report
+):
+    def _evaluate():
+        return {
+            name: evaluate_source(source, bench_world, gold_standard)
+            for name, source in all_sources.items()
+        }
+
+    evaluations = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+
+    rows = []
+    for name, ev in evaluations.items():
+        rows.append(
+            [
+                name,
+                str(ev.coverage),
+                str(ev.coverage_tech),
+                str(ev.coverage_nontech),
+                f"(paper {PAPER_COVERAGE[name]:.0%})",
+            ]
+        )
+    table = render_table(
+        ["Source", "Coverage", "Tech", "Non-Tech", "Reference"],
+        rows,
+        title="Table 3: External data source coverage (Gold Standard)",
+    )
+    report("table3_coverage", table)
+
+    # Shape assertions: ordering and rough bands.
+    cov = {name: ev.coverage.value for name, ev in evaluations.items()}
+    assert cov["zvelo"] >= cov["dnb"] >= cov["zoominfo"]
+    assert cov["peeringdb"] == min(cov.values())
+    for name, expected in PAPER_COVERAGE.items():
+        assert abs(cov[name] - expected) <= 0.15, (name, cov[name])
+    # Business sources cover non-tech better than tech; networking
+    # sources do the opposite.
+    for name in ("dnb", "crunchbase", "zoominfo"):
+        ev = evaluations[name]
+        assert ev.coverage_nontech.value > ev.coverage_tech.value
+    for name in ("peeringdb", "ipinfo"):
+        ev = evaluations[name]
+        assert ev.coverage_tech.value > ev.coverage_nontech.value

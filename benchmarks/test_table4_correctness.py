@@ -1,0 +1,76 @@
+"""Table 4: external data source correctness (layer 1 and layer 2 recall).
+
+Paper headline: all sources except IPinfo do poorly on hosting providers
+(correctness below 63%); layer 1 recall is high for D&B (96%) and low for
+Clearbit (34%); tech layer 2 recall trails non-tech for business sources.
+"""
+
+import pytest
+
+from repro.datasources import Clearbit, ZoomInfo
+from repro.evaluation import evaluate_source
+from repro.reporting import render_table
+
+
+@pytest.fixture(scope="module")
+def evaluations(bench_world, gold_standard, built_system):
+    sources = {
+        "dnb": built_system.dnb,
+        "crunchbase": built_system.crunchbase,
+        "zoominfo": ZoomInfo(bench_world),
+        "clearbit": Clearbit(bench_world),
+        "zvelo": built_system.zvelo,
+        "peeringdb": built_system.peeringdb,
+        "ipinfo": built_system.ipinfo,
+    }
+    return {
+        name: evaluate_source(source, bench_world, gold_standard)
+        for name, source in sources.items()
+    }
+
+
+def test_table4_correctness(benchmark, evaluations, report):
+    def _render():
+        rows = []
+        for name, ev in evaluations.items():
+            rows.append(
+                [
+                    name,
+                    str(ev.l1_recall),
+                    str(ev.l1_recall_tech),
+                    str(ev.l1_recall_nontech),
+                    str(ev.l2_recall),
+                    str(ev.l2_recall_tech),
+                    str(ev.l2_recall_nontech),
+                    str(ev.l2_recall_hosting),
+                    str(ev.l2_recall_isp),
+                ]
+            )
+        return render_table(
+            ["Source", "L1", "L1 tech", "L1 non-tech", "L2", "L2 tech",
+             "L2 non-tech", "Hosting", "ISP"],
+            rows,
+            title="Table 4: External data source correctness "
+            "(paper: D&B L1 96%, hosting 45%, ISP 70%; Clearbit L1 34%; "
+            "PeeringDB hosting 0%)",
+        )
+
+    table = benchmark(_render)
+    report("table4_correctness", table)
+
+    dnb = evaluations["dnb"]
+    assert dnb.l1_recall.value >= 0.88                      # 96%
+    assert dnb.l2_recall_hosting.value <= 0.65              # 45%
+    assert evaluations["clearbit"].l1_recall.value <= 0.50  # 34%
+    assert evaluations["peeringdb"].l2_recall_hosting.value == 0.0
+    # All sources except IPinfo do poorly on hosting (paper: < 63%;
+    # widened for sampling noise on ~15 hosting ASes).
+    for name, ev in evaluations.items():
+        if name == "ipinfo" or ev.l2_recall_hosting.total < 5:
+            continue
+        assert ev.l2_recall_hosting.value <= 0.78, name
+    assert evaluations["ipinfo"].l2_recall_hosting.value >= 0.70
+    # Business sources: tech layer 2 recall trails non-tech.
+    for name in ("dnb", "crunchbase"):
+        ev = evaluations[name]
+        assert ev.l2_recall_tech.value < ev.l2_recall_nontech.value

@@ -1,0 +1,86 @@
+"""Table 7: F1 comparison - ASdb vs IPinfo vs PeeringDB.
+
+Paper: ASdb always wins; hosting is its weakest class (F1 .65-.76) yet
+still 2.5-6x better than the prior systems; ASdb classifies 3x / 7x more
+ASes than IPinfo / PeeringDB.
+"""
+
+from repro.evaluation import table7_coarse_f1
+from repro.reporting import render_table
+
+PAPER_GS = {"business": 0.86, "isp": 0.90, "hosting": 0.76,
+            "education": 0.88}
+
+
+def _run(asdb_dataset, built_system, dataset):
+    return table7_coarse_f1(
+        asdb_dataset, built_system.ipinfo, built_system.peeringdb, dataset
+    )
+
+
+def _render(title, result):
+    rows = [
+        [
+            cls,
+            result[cls]["n"],
+            f"{result[cls]['asdb']:.2f}",
+            f"{result[cls]['ipinfo']:.2f}",
+            f"{result[cls]['peeringdb']:.2f}",
+        ]
+        for cls in ("business", "isp", "hosting", "education")
+    ]
+    return render_table(
+        ["Category", "N", "ASdb", "IPinfo", "PeeringDB"], rows, title=title
+    )
+
+
+def test_table7_f1_gold_standard(
+    benchmark, asdb_dataset, built_system, gold_standard, report
+):
+    result = benchmark.pedantic(
+        lambda: _run(asdb_dataset, built_system, gold_standard),
+        rounds=1, iterations=1,
+    )
+    report(
+        "table7_f1_gold_standard",
+        _render(
+            "Table 7 (Gold Standard): F1 - ASdb vs IPinfo vs PeeringDB "
+            "(paper ASdb: business .86 / isp .90 / hosting .76 / edu .88)",
+            result,
+        ),
+    )
+    for cls, scores in result.items():
+        if scores["n"] < 5:
+            continue
+        # Strict dominance on well-populated classes; a small-sample
+        # margin on classes with only a handful of ASes (hosting has
+        # ~10-17 in a 150-AS sample).
+        margin = 0.0 if scores["n"] >= 12 else 0.08
+        assert scores["asdb"] >= scores["ipinfo"] - margin, cls
+        assert scores["asdb"] >= scores["peeringdb"] - margin, cls
+    assert result["isp"]["asdb"] >= 0.70
+    # Hosting is ASdb's weakest class.
+    others = [result[c]["asdb"] for c in ("business", "isp", "education")]
+    assert result["hosting"]["asdb"] <= max(others)
+
+
+def test_table7_f1_test_set(
+    benchmark, asdb_dataset, built_system, test_set, report
+):
+    result = benchmark.pedantic(
+        lambda: _run(asdb_dataset, built_system, test_set),
+        rounds=1, iterations=1,
+    )
+    report(
+        "table7_f1_test_set",
+        _render(
+            "Table 7 (test set): F1 - ASdb vs IPinfo vs PeeringDB "
+            "(paper ASdb: business .79 / isp .81 / hosting .65 / edu .94)",
+            result,
+        ),
+    )
+    for cls, scores in result.items():
+        if scores["n"] < 5:
+            continue
+        margin = 0.0 if scores["n"] >= 12 else 0.08
+        assert scores["asdb"] >= scores["peeringdb"] - margin, cls

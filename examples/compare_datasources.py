@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare the external data sources against an expert gold standard.
+
+Reproduces the Section-3 evaluation workflow: build a gold standard with
+simulated expert labelers, then measure each candidate source's coverage
+and layer 1/2 correctness - the analysis behind Tables 3 and 4.
+
+Run:
+    python examples/compare_datasources.py
+"""
+
+from repro import SystemConfig, WorldConfig, build_asdb, generate_world
+from repro.datasources import Clearbit, ZoomInfo
+from repro.evaluation import build_gold_standard, evaluate_source
+from repro.reporting import render_table
+
+
+def main() -> None:
+    print("Building the world and the gold standard...")
+    world = generate_world(WorldConfig(n_orgs=800, seed=33))
+    built = build_asdb(world, SystemConfig(seed=1, train_ml=False))
+    gold = build_gold_standard(world, size=150, seed=0)
+    print(f"  {len(gold.labeled_entries())}/{len(gold)} ASes labeled "
+          f"({len(gold.layer2_entries())} with layer 2 categories)")
+
+    sources = {
+        "D&B": built.dnb,
+        "Crunchbase": built.crunchbase,
+        "ZoomInfo": ZoomInfo(world),
+        "Clearbit": Clearbit(world),
+        "Zvelo": built.zvelo,
+        "PeeringDB": built.peeringdb,
+        "IPinfo": built.ipinfo,
+    }
+
+    rows = []
+    for name, source in sources.items():
+        ev = evaluate_source(source, world, gold)
+        rows.append(
+            [
+                name,
+                str(ev.coverage),
+                str(ev.l1_recall),
+                str(ev.l2_recall),
+                str(ev.l2_recall_hosting),
+                str(ev.l2_recall_isp),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Source", "Coverage", "L1 recall", "L2 recall", "Hosting",
+             "ISP"],
+            rows,
+            title="External data sources vs the gold standard",
+        )
+    )
+    print(
+        "\nTakeaways (matching the paper): the business databases cover "
+        "non-tech well but\nconfuse ISPs with hosting providers; the "
+        "networking databases are accurate but\ncover a sliver of ASes. "
+        "No single source suffices - hence ASdb."
+    )
+
+
+if __name__ == "__main__":
+    main()

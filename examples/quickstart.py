@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build a world, run ASdb over it, inspect the dataset.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import SystemConfig, WorldConfig, build_asdb, generate_world
+from repro.taxonomy import naicslite
+
+
+def main() -> None:
+    print("Generating a synthetic world (400 organizations)...")
+    world = generate_world(WorldConfig(n_orgs=400, seed=42))
+    print(f"  {len(world.organizations)} organizations, "
+          f"{len(world.asns())} ASes, {len(world.web)} websites")
+
+    print("\nBuilding ASdb (5 data sources + trained ML pipeline)...")
+    built = build_asdb(world, SystemConfig(seed=1))
+
+    print("Classifying every AS...")
+    dataset = built.asdb.classify_all()
+    print(f"  coverage: {dataset.coverage():.1%} of "
+          f"{len(dataset)} ASes classified")
+
+    print("\nPipeline stage breakdown:")
+    for stage, count in sorted(
+        dataset.stage_counts().items(), key=lambda item: -item[1]
+    ):
+        print(f"  {stage.display:40s} {count:5d}")
+
+    print("\nTop industries by AS count:")
+    histogram = dataset.category_histogram()
+    for slug, count in sorted(histogram.items(), key=lambda i: -i[1])[:8]:
+        name = naicslite.layer1_by_slug(slug).name
+        print(f"  {name[:50]:50s} {count:5d}")
+
+    print("\nSample records:")
+    for record in list(dataset)[:5]:
+        labels = ", ".join(str(label) for label in record.labels) or "-"
+        print(f"  AS{record.asn}: {labels}")
+        print(f"    stage={record.stage.value} domain={record.domain} "
+              f"sources={'|'.join(record.sources) or '-'}")
+
+    print("\nAccuracy against ground truth:")
+    hits = total = 0
+    for record in dataset:
+        if not record.labels:
+            continue
+        total += 1
+        hits += record.labels.overlaps_layer1(world.truth(record.asn))
+    print(f"  layer 1: {hits}/{total} ({hits / total:.1%})")
+
+    csv_text = dataset.to_csv()
+    print(f"\nCSV export: {len(csv_text.splitlines()) - 1} rows; "
+          "first three:")
+    for line in csv_text.splitlines()[:4]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Which industries expose Telnet? (the paper's Section 6 analysis)
+
+Joins the ASdb dataset with a synthetic 1% LZR-style Telnet scan and
+ranks industries by exposure - reproducing the paper's finding that
+critical-infrastructure organizations (utilities, government, finance)
+are more likely to host Telnet than technology companies.
+
+Run:
+    python examples/telnet_exposure.py
+"""
+
+from repro import SystemConfig, WorldConfig, build_asdb, generate_world
+from repro.reporting import render_table
+from repro.scan import TelnetScan
+from repro.taxonomy import naicslite
+
+
+def main() -> None:
+    print("Building the world and classifying ASes...")
+    world = generate_world(WorldConfig(n_orgs=800, seed=6))
+    built = build_asdb(world, SystemConfig(seed=1))
+    dataset = built.asdb.classify_all()
+
+    print("Running the synthetic Telnet scan...")
+    scan = TelnetScan(world, seed=6)
+
+    def classify(asn):
+        record = dataset.get(asn)
+        return record.labels.layer1_slugs() if record else set()
+
+    rates = scan.telnet_rate_by_layer1(classify)
+
+    rows = []
+    for slug, (hits, total) in sorted(
+        rates.items(), key=lambda item: -(item[1][0] / max(item[1][1], 1))
+    ):
+        if total < 5:
+            continue
+        rows.append(
+            [
+                naicslite.layer1_by_slug(slug).name[:45],
+                total,
+                hits,
+                f"{hits / total:.0%}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Industry (ASdb layer 1)", "ASes", "With Telnet", "Rate"],
+            rows,
+            title="Telnet exposure by industry",
+        )
+    )
+
+    tech_hits, tech_total = rates["computer_and_it"]
+    print(
+        f"\nTechnology companies: {tech_hits / tech_total:.0%} - "
+        "critical infrastructure runs the legacy gear, exactly as the "
+        "paper's ASdb x LZR join found."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro: a reproduction of "ASdb: A System for Classifying Owners of
+Autonomous Systems" (IMC 2021).
+
+ASdb classifies the organizations that own Autonomous Systems into 17
+NAICSlite industry categories and 95 sub-categories by combining RIR WHOIS
+data, business databases, a website classifier, networking databases, and
+an in-house web-scraping + TF-IDF + SGD machine-learning pipeline.
+
+Because the original system depends on proprietary data (Dun & Bradstreet,
+Zvelo, the live web, Amazon Mechanical Turk), this reproduction runs the
+real pipeline over a *calibrated synthetic world*: see DESIGN.md for the
+substitution table and repro.world.calibration for the paper-measured
+rates.
+
+Quickstart::
+
+    from repro import system, world
+
+    w = world.generate_world(world.WorldConfig(n_orgs=300, seed=7))
+    built = system.build_asdb(w)
+    dataset = built.asdb.classify_all()
+    print(f"coverage: {dataset.coverage():.0%}")
+
+Package map:
+
+=================  ========================================================
+``repro.taxonomy``     NAICS / NAICSlite category systems and translation
+``repro.whois``        Per-RIR WHOIS rendering, parsing, field extraction
+``repro.world``        Synthetic ground-truth universe + calibration
+``repro.web``          Synthetic websites, languages, translation, scraper
+``repro.datasources``  D&B / Crunchbase / ZoomInfo / Clearbit / Zvelo /
+                       PeeringDB / IPinfo / CAIDA simulators
+``repro.matching``     Domain selection heuristics + entity resolution
+``repro.ml``           CountVectorizer / TF-IDF / SGD / Figure-3 pipeline
+``repro.core``         The ASdb system, consensus, cache, dataset, upkeep
+``repro.crowd``        Amazon Mechanical Turk simulation (Appendix B)
+``repro.evaluation``   Gold standards, metrics, baselines, harness
+``repro.scan``         Synthetic LZR-style scan for the Telnet analysis
+``repro.reporting``    Table / figure renderers for the benchmarks
+=================  ========================================================
+"""
+
+from . import core, datasources, matching, ml, system, taxonomy, web, whois, world
+from .core import ASdb, ASdbDataset, ASdbRecord, Stage
+from .system import BuiltSystem, SystemConfig, build_asdb
+from .taxonomy import Label, LabelSet
+from .world import WorldConfig, generate_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASdb",
+    "ASdbDataset",
+    "ASdbRecord",
+    "Stage",
+    "Label",
+    "LabelSet",
+    "WorldConfig",
+    "generate_world",
+    "SystemConfig",
+    "BuiltSystem",
+    "build_asdb",
+    "taxonomy",
+    "whois",
+    "world",
+    "web",
+    "datasources",
+    "matching",
+    "ml",
+    "core",
+    "system",
+    "__version__",
+]

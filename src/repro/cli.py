@@ -1,0 +1,208 @@
+"""Command-line interface for the ASdb reproduction.
+
+Subcommands::
+
+    python -m repro classify  --n-orgs 400 --seed 42 --out dataset.csv
+    python -m repro lookup    --asn 64512 --n-orgs 300 --seed 9
+    python -m repro evaluate  --n-orgs 800 --seed 33
+    python -m repro taxonomy  [--layer1 finance]
+
+``classify`` builds a world, runs the full pipeline, and writes the
+dataset (CSV or JSON by extension).  ``lookup`` narrates one AS through
+the pipeline.  ``evaluate`` reproduces the gold-standard evaluation.
+``taxonomy`` prints the NAICSlite category system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import SystemConfig, WorldConfig, build_asdb, generate_world
+from .core.persistence import dataset_to_json
+from .evaluation import build_gold_standard, evaluate_stages
+from .reporting import render_table
+from .taxonomy import naicslite
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASdb reproduction: classify owners of Autonomous "
+        "Systems over a calibrated synthetic world.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    classify = sub.add_parser(
+        "classify", help="classify every AS in a fresh world"
+    )
+    classify.add_argument("--n-orgs", type=int, default=400)
+    classify.add_argument("--seed", type=int, default=42)
+    classify.add_argument("--no-ml", action="store_true",
+                          help="skip the ML pipeline stage")
+    classify.add_argument("--out", default=None,
+                          help="write the dataset to a .csv or .json file")
+
+    lookup = sub.add_parser("lookup", help="classify and explain one AS")
+    lookup.add_argument("--asn", type=int, default=None,
+                        help="ASN to look up (default: first with domain)")
+    lookup.add_argument("--n-orgs", type=int, default=300)
+    lookup.add_argument("--seed", type=int, default=9)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="gold-standard evaluation of the full system"
+    )
+    evaluate.add_argument("--n-orgs", type=int, default=800)
+    evaluate.add_argument("--seed", type=int, default=33)
+    evaluate.add_argument("--gold-size", type=int, default=150)
+
+    taxonomy = sub.add_parser("taxonomy", help="print NAICSlite")
+    taxonomy.add_argument("--layer1", default=None,
+                          help="restrict to one layer 1 slug")
+
+    dump = sub.add_parser(
+        "dump",
+        help="export a world's bulk WHOIS, or parse an existing dump",
+    )
+    dump.add_argument("--n-orgs", type=int, default=200)
+    dump.add_argument("--seed", type=int, default=42)
+    dump.add_argument("--out", default=None,
+                      help="write a synthetic bulk WHOIS dump here")
+    dump.add_argument("--parse", default=None, metavar="FILE",
+                      help="parse FILE instead and print field stats")
+    return parser
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    built = build_asdb(
+        world, SystemConfig(seed=args.seed, train_ml=not args.no_ml)
+    )
+    dataset = built.asdb.classify_all()
+    print(f"classified {len(dataset)} ASes "
+          f"(coverage {dataset.coverage():.1%})")
+    for stage, count in sorted(
+        dataset.stage_counts().items(), key=lambda item: -item[1]
+    ):
+        print(f"  {stage.display:40s} {count:5d}")
+    if args.out:
+        if args.out.endswith(".json"):
+            payload = dataset_to_json(dataset)
+        elif args.out.endswith(".csv"):
+            payload = dataset.to_csv()
+        else:
+            print("error: --out must end in .csv or .json",
+                  file=sys.stderr)
+            return 2
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    built = build_asdb(world, SystemConfig(seed=args.seed))
+    asn = args.asn
+    if asn is None:
+        asn = next(
+            a for a in world.asns()
+            if world.org_of_asn(a).domain is not None
+        )
+    if asn not in world.ases:
+        print(f"error: AS{asn} is not registered in this world "
+              f"(try one of {world.asns()[:5]}...)", file=sys.stderr)
+        return 2
+    record = built.asdb.classify(asn)
+    org = world.org_of_asn(asn)
+    print(f"AS{asn}")
+    print(f"  organization (truth): {org.name}")
+    print(f"  classified as: "
+          f"{', '.join(str(label) for label in record.labels) or '-'}")
+    print(f"  stage: {record.stage.display}")
+    print(f"  domain: {record.domain}")
+    print(f"  sources: {'|'.join(record.sources) or '-'}")
+    correct = record.labels.overlaps_layer1(org.truth)
+    print(f"  layer-1 correct: {correct}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    gold = build_gold_standard(world, size=args.gold_size, seed=0)
+    built = build_asdb(
+        world,
+        SystemConfig(
+            seed=args.seed,
+            exclude_asns_from_training=tuple(gold.asns()),
+        ),
+    )
+    dataset = built.asdb.classify_all()
+    breakdown = evaluate_stages(dataset, gold)
+    rows = [
+        [row.stage.display, str(row.coverage), str(row.accuracy)]
+        for row in breakdown.rows
+    ]
+    rows.append(["Overall Layer 1", str(breakdown.overall_l1_coverage),
+                 str(breakdown.overall_l1_accuracy)])
+    rows.append(["Overall Layer 2", str(breakdown.overall_l2_coverage),
+                 str(breakdown.overall_l2_accuracy)])
+    print(render_table(["Stage", "Coverage", "Accuracy"], rows,
+                       title="Gold-standard evaluation"))
+    return 0
+
+
+def _cmd_taxonomy(args: argparse.Namespace) -> int:
+    categories = naicslite.ALL_LAYER1
+    if args.layer1:
+        try:
+            categories = (naicslite.layer1_by_slug(args.layer1),)
+        except KeyError:
+            print(f"error: unknown layer 1 slug {args.layer1!r}; one of "
+                  f"{[c.slug for c in naicslite.ALL_LAYER1]}",
+                  file=sys.stderr)
+            return 2
+    for category in categories:
+        print(f"{category.code:2d}  {category.name}  [{category.slug}]")
+        for sub in category.layer2:
+            print(f"      {sub.code:5s} {sub.name}  [{sub.slug}]")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    from .whois import read_dump, write_dump
+
+    if args.parse:
+        with open(args.parse) as handle:
+            registry = read_dump(handle)
+        print(f"parsed {len(registry)} AS objects from {args.parse}")
+        stats = registry.field_availability()
+        for fieldname, value in sorted(stats.items()):
+            print(f"  {fieldname:8s} {value:.1%}")
+        return 0
+    world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    if not args.out:
+        print("error: provide --out FILE or --parse FILE",
+              file=sys.stderr)
+        return 2
+    with open(args.out, "w") as handle:
+        count = write_dump(world.registry, handle)
+    print(f"wrote {count} AS objects to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "classify": _cmd_classify,
+        "lookup": _cmd_lookup,
+        "evaluate": _cmd_evaluate,
+        "taxonomy": _cmd_taxonomy,
+        "dump": _cmd_dump,
+    }
+    return handlers[args.command](args)

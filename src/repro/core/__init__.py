@@ -1,0 +1,44 @@
+"""ASdb core: the Figure-4 pipeline, consensus, cache, dataset, upkeep."""
+
+from .cache import OrganizationCache, org_cache_key
+from .consensus import (
+    ACCURACY_RANK,
+    ConsensusResult,
+    majority_vote,
+    resolve_consensus,
+    single_best_source,
+)
+from .database import ASdbDataset, ASdbRecord, DatasetDiff
+from .maintenance import (
+    Correction,
+    CorrectionQueue,
+    CorrectionStatus,
+    MaintenanceDaemon,
+    SweepReport,
+)
+from .persistence import dataset_from_csv, dataset_from_json, dataset_to_json
+from .pipeline import ASdb
+from .stages import Stage
+
+__all__ = [
+    "ASdb",
+    "dataset_from_csv",
+    "dataset_to_json",
+    "dataset_from_json",
+    "ASdbDataset",
+    "ASdbRecord",
+    "DatasetDiff",
+    "Stage",
+    "OrganizationCache",
+    "org_cache_key",
+    "ConsensusResult",
+    "resolve_consensus",
+    "single_best_source",
+    "majority_vote",
+    "ACCURACY_RANK",
+    "MaintenanceDaemon",
+    "SweepReport",
+    "Correction",
+    "CorrectionQueue",
+    "CorrectionStatus",
+]

@@ -1,0 +1,76 @@
+"""Organization-level classification cache.
+
+ASdb checks whether the owning organization has previously been classified
+- e.g. because another AS belonging to the same organization was processed
+earlier - and returns the cached data (Figure 4's first diamond).  The
+cache key is derived from the extracted contact: the chosen domain when one
+exists, otherwise the normalized organization-name token set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Optional, Tuple, TypeVar
+
+from ..whois.extraction import ExtractedContact
+from ..world.names import tokenize_name
+
+__all__ = ["org_cache_key", "OrganizationCache"]
+
+T = TypeVar("T")
+
+
+def org_cache_key(
+    contact: ExtractedContact, domain: Optional[str]
+) -> Optional[str]:
+    """Stable key identifying the owning organization.
+
+    Domains identify organizations more reliably than names; the name
+    token set is the fallback.  Returns None when nothing usable exists
+    (such ASes are never cached).
+    """
+    if domain:
+        return f"domain:{domain}"
+    tokens = tokenize_name(contact.name)
+    if tokens:
+        return "name:" + " ".join(sorted(set(tokens)))
+    return None
+
+
+class OrganizationCache(Generic[T]):
+    """Maps organization keys to classification records."""
+
+    def __init__(self) -> None:
+        self._store: Dict[str, T] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Optional[str]) -> Optional[T]:
+        """Cached record for a key (None misses; None key never hits)."""
+        if key is None:
+            self.misses += 1
+            return None
+        record = self._store.get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, key: Optional[str], record: T) -> None:
+        """Store a record (no-op for None keys)."""
+        if key is not None:
+            self._store[key] = record
+
+    def invalidate(self, key: Optional[str]) -> None:
+        """Drop a key (used when ownership metadata churns)."""
+        if key is not None:
+            self._store.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,175 @@
+"""Consensus over data-source matches (Figure 4's final phase).
+
+ASdb's rule (Section 5.1): when more than one source has information about
+the AS and any category overlap exists between sources, both are labeled
+trustworthy and the union of the *overlapping* sources' categories is
+returned.  With multiple sources but no overlap, the category comes from
+the source with the best measured overall accuracy:
+IPinfo (96%) > DnB (96%) > PeeringDB (95%) > Zvelo (88%) > Crunchbase (83%).
+
+Alternative strategies (single-best-source, majority vote) are provided
+for the consensus ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datasources.base import SourceMatch
+from ..taxonomy import Label, LabelSet
+from .stages import Stage
+
+__all__ = [
+    "ACCURACY_RANK",
+    "ConsensusResult",
+    "resolve_consensus",
+    "single_best_source",
+    "majority_vote",
+]
+
+#: Source name -> measured overall accuracy (Section 5.1).  Higher wins.
+ACCURACY_RANK: Dict[str, float] = {
+    "ipinfo": 0.96,
+    "dnb": 0.96,
+    "peeringdb": 0.95,
+    "zvelo": 0.88,
+    "crunchbase": 0.83,
+    # Sources the deployed system dropped, ranked for ablations only.
+    "zoominfo": 0.66,
+    "clearbit": 0.55,
+}
+
+#: Deterministic tie-break order when accuracies are equal (IPinfo is
+#: listed first in the paper's ranking).
+_TIE_ORDER = [
+    "ipinfo", "dnb", "peeringdb", "zvelo", "crunchbase", "zoominfo",
+    "clearbit",
+]
+
+
+@dataclass(frozen=True)
+class ConsensusResult:
+    """Outcome of the consensus phase.
+
+    Attributes:
+        labels: The NAICSlite classification (possibly empty).
+        stage: Which Table-8 stage applied.
+        trusted_sources: The sources whose categories made it into the
+            answer.
+    """
+
+    labels: LabelSet
+    stage: Stage
+    trusted_sources: Tuple[str, ...] = ()
+
+
+def _labels_overlap(a: LabelSet, b: LabelSet) -> bool:
+    """Category overlap between two sources' label sets.
+
+    Layer 2 overlap when both provide layer 2 information; otherwise
+    agreement at layer 1 counts (e.g. Crunchbase's generic layer 1
+    buckets agreeing with a D&B NAICS translation).
+    """
+    if a.has_layer2 and b.has_layer2:
+        return a.overlaps_layer2(b)
+    return a.overlaps_layer1(b)
+
+
+def _rank_key(source_name: str) -> Tuple[float, int]:
+    accuracy = ACCURACY_RANK.get(source_name, 0.0)
+    try:
+        tie = -_TIE_ORDER.index(source_name)
+    except ValueError:
+        tie = -len(_TIE_ORDER)
+    return (accuracy, tie)
+
+
+def resolve_consensus(
+    matches: Dict[str, SourceMatch],
+) -> ConsensusResult:
+    """Apply ASdb's consensus rule to the accepted source matches.
+
+    Matches with empty NAICSlite translations (e.g. IPinfo "business")
+    carry no category information and do not count as sources here.
+    """
+    informative = {
+        name: match for name, match in matches.items() if match.labels
+    }
+    if not informative:
+        return ConsensusResult(LabelSet(), Stage.ZERO_SOURCES)
+    if len(informative) == 1:
+        (name, match), = informative.items()
+        return ConsensusResult(match.labels, Stage.ONE_SOURCE, (name,))
+
+    # Find all pairs that agree; union the categories of every source in
+    # some agreeing pair.
+    names = sorted(informative)
+    agreeing: set = set()
+    for index, first in enumerate(names):
+        for second in names[index + 1:]:
+            if _labels_overlap(
+                informative[first].labels, informative[second].labels
+            ):
+                agreeing.add(first)
+                agreeing.add(second)
+    if agreeing:
+        union = LabelSet()
+        for name in sorted(agreeing):
+            union = union.union(informative[name].labels)
+        return ConsensusResult(
+            union, Stage.MULTI_AGREE, tuple(sorted(agreeing))
+        )
+
+    # No agreement: auto-choose the most accurate source.
+    best = max(names, key=_rank_key)
+    return ConsensusResult(
+        informative[best].labels, Stage.MULTI_DISAGREE, (best,)
+    )
+
+
+def single_best_source(matches: Dict[str, SourceMatch]) -> ConsensusResult:
+    """Ablation strategy: always trust the highest-ranked source."""
+    informative = {
+        name: match for name, match in matches.items() if match.labels
+    }
+    if not informative:
+        return ConsensusResult(LabelSet(), Stage.ZERO_SOURCES)
+    best = max(informative, key=_rank_key)
+    stage = (
+        Stage.ONE_SOURCE
+        if len(informative) == 1
+        else Stage.MULTI_DISAGREE
+    )
+    return ConsensusResult(informative[best].labels, stage, (best,))
+
+
+def majority_vote(matches: Dict[str, SourceMatch]) -> ConsensusResult:
+    """Ablation strategy: keep layer 2 categories applied by the most
+    sources (all tied winners kept)."""
+    informative = {
+        name: match for name, match in matches.items() if match.labels
+    }
+    if not informative:
+        return ConsensusResult(LabelSet(), Stage.ZERO_SOURCES)
+    votes: Counter = Counter()
+    for match in informative.values():
+        for slug in match.labels.layer2_slugs():
+            votes[slug] += 1
+    if not votes:
+        # Layer-1-only information everywhere; fall back to best source.
+        return single_best_source(matches)
+    top = max(votes.values())
+    winners = sorted(slug for slug, count in votes.items() if count == top)
+    labels = LabelSet.from_layer2_slugs(winners)
+    stage = (
+        Stage.MULTI_AGREE
+        if top >= 2
+        else (
+            Stage.ONE_SOURCE
+            if len(informative) == 1
+            else Stage.MULTI_DISAGREE
+        )
+    )
+    return ConsensusResult(labels, stage, tuple(sorted(informative)))

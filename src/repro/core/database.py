@@ -1,0 +1,189 @@
+"""The ASdb dataset store: the artifact the system continuously maintains.
+
+Holds one :class:`ASdbRecord` per classified AS (classification labels,
+pipeline stage, chosen domain, contributing sources) and supports the
+operations the released dataset needs: lookup, per-category listing,
+CSV-style export, and summary statistics.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..taxonomy import LabelSet, naicslite
+from .stages import Stage
+
+__all__ = ["ASdbRecord", "ASdbDataset", "DatasetDiff"]
+
+
+@dataclass(frozen=True)
+class DatasetDiff:
+    """Differences between two dataset snapshots.
+
+    Attributes:
+        added: ASNs present only in the newer snapshot.
+        removed: ASNs present only in the older snapshot.
+        relabeled: ASNs whose label sets changed.
+    """
+
+    added: Tuple[int, ...]
+    removed: Tuple[int, ...]
+    relabeled: Tuple[int, ...]
+
+    @property
+    def empty(self) -> bool:
+        """Whether the snapshots are label-identical."""
+        return not (self.added or self.removed or self.relabeled)
+
+
+@dataclass(frozen=True)
+class ASdbRecord:
+    """One AS's entry in the ASdb dataset.
+
+    Attributes:
+        asn: The AS number.
+        labels: NAICSlite classification (empty = unclassified).
+        stage: Pipeline stage that produced the answer.
+        domain: The chosen organization domain, if any.
+        sources: Data sources whose categories contributed.
+        org_key: Organization cache key (shared by sibling ASes).
+        cache_keys: Every cache key the record was stored under (the
+            name-derived key plus the domain-derived one); reclassification
+            invalidates all of them.
+    """
+
+    asn: int
+    labels: LabelSet
+    stage: Stage
+    domain: Optional[str] = None
+    sources: Tuple[str, ...] = ()
+    org_key: Optional[str] = None
+    cache_keys: Tuple[str, ...] = ()
+
+    @property
+    def classified(self) -> bool:
+        """Whether any category was assigned."""
+        return bool(self.labels)
+
+    @property
+    def confidence(self) -> float:
+        """Expected correctness of this record, from its stage's
+        Table-8 prior (0.0 for unclassified records)."""
+        if not self.classified:
+            return 0.0
+        return self.stage.prior_accuracy
+
+
+class ASdbDataset:
+    """In-memory ASdb dataset with export and summary helpers."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, ASdbRecord] = {}
+
+    def add(self, record: ASdbRecord) -> None:
+        """Insert or replace one AS's record."""
+        self._records[record.asn] = record
+
+    def get(self, asn: int) -> Optional[ASdbRecord]:
+        """The record for an ASN, or None."""
+        return self._records.get(asn)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def __iter__(self) -> Iterator[ASdbRecord]:
+        for asn in sorted(self._records):
+            yield self._records[asn]
+
+    def coverage(self) -> float:
+        """Fraction of stored ASes with at least one category."""
+        if not self._records:
+            return 0.0
+        classified = sum(
+            1 for record in self._records.values() if record.classified
+        )
+        return classified / len(self._records)
+
+    def asns_in_layer1(self, layer1_slug: str) -> List[int]:
+        """ASNs classified under a given layer 1 category."""
+        return sorted(
+            asn
+            for asn, record in self._records.items()
+            if layer1_slug in record.labels.layer1_slugs()
+        )
+
+    def stage_counts(self) -> Dict[Stage, int]:
+        """Number of records per pipeline stage."""
+        counts: Dict[Stage, int] = {}
+        for record in self._records.values():
+            counts[record.stage] = counts.get(record.stage, 0) + 1
+        return counts
+
+    def category_histogram(self) -> Dict[str, int]:
+        """AS count per layer 1 slug (an AS can count in several)."""
+        histogram: Dict[str, int] = {}
+        for record in self._records.values():
+            for slug in record.labels.layer1_slugs():
+                histogram[slug] = histogram.get(slug, 0) + 1
+        return histogram
+
+    def diff(self, other: "ASdbDataset") -> "DatasetDiff":
+        """What changed from ``other`` (older) to ``self`` (newer).
+
+        The maintenance story's missing piece: after a sweep, operators
+        want to see which ASes appeared, disappeared, or changed
+        classification.
+        """
+        added = sorted(
+            asn for asn in self._records if asn not in other._records
+        )
+        removed = sorted(
+            asn for asn in other._records if asn not in self._records
+        )
+        relabeled = sorted(
+            asn
+            for asn, record in self._records.items()
+            if asn in other._records
+            and record.labels != other._records[asn].labels
+        )
+        return DatasetDiff(
+            added=tuple(added),
+            removed=tuple(removed),
+            relabeled=tuple(relabeled),
+        )
+
+    def to_csv(self) -> str:
+        """Export in the released dataset's CSV shape:
+        ``ASN,Layer1,Layer2,Source,Stage``, one row per label."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["ASN", "Layer1", "Layer2", "Sources", "Stage"])
+        for record in self:
+            if not record.labels:
+                writer.writerow(
+                    [f"AS{record.asn}", "", "", "", record.stage.value]
+                )
+                continue
+            for label in record.labels:
+                layer1 = naicslite.layer1_by_slug(label.layer1).name
+                layer2 = (
+                    naicslite.layer2_by_name(label.layer2).name
+                    if label.layer2
+                    else ""
+                )
+                writer.writerow(
+                    [
+                        f"AS{record.asn}",
+                        layer1,
+                        layer2,
+                        "|".join(record.sources),
+                        record.stage.value,
+                    ]
+                )
+        return buffer.getvalue()

@@ -1,0 +1,175 @@
+"""Maintaining ASdb over time (Section 5.3).
+
+Between October 2020 and February 2021 an average 21 ASes were registered
+per day (19 new organizations/day) and 4% of registered ASes changed their
+ownership metadata at least once, implying ~140 updates per week.  This
+module implements the machinery that keeps the dataset fresh:
+
+* :class:`MaintenanceDaemon` - periodically sweeps the WHOIS registry for
+  registrations/updates since the last sweep and (re)classifies them;
+* :class:`CorrectionQueue` - the community-corrections workflow: anyone
+  may submit a correction, a human reviewer verifies it, and only then is
+  it integrated into the dataset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..taxonomy import LabelSet
+from .database import ASdbRecord
+from .pipeline import ASdb
+from .stages import Stage
+
+__all__ = [
+    "SweepReport",
+    "MaintenanceDaemon",
+    "Correction",
+    "CorrectionStatus",
+    "CorrectionQueue",
+]
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Outcome of one maintenance sweep.
+
+    Attributes:
+        since_day: Sweep covered changes strictly after this day.
+        through_day: ... up to and including this day.
+        new_asns: ASNs first registered in the window.
+        updated_asns: Previously known ASNs whose metadata changed.
+        reclassified: Number of ASes re-run through the pipeline.
+    """
+
+    since_day: int
+    through_day: int
+    new_asns: Tuple[int, ...]
+    updated_asns: Tuple[int, ...]
+    reclassified: int
+
+    @property
+    def updates_per_week(self) -> float:
+        """Average (new + updated) ASes per 7-day window."""
+        days = max(1, self.through_day - self.since_day)
+        total = len(self.new_asns) + len(self.updated_asns)
+        return total * 7.0 / days
+
+
+class MaintenanceDaemon:
+    """Sweeps the registry and keeps the ASdb dataset current."""
+
+    def __init__(self, asdb: ASdb) -> None:
+        self._asdb = asdb
+        self._last_day = -1
+
+    @property
+    def last_swept_day(self) -> int:
+        """The day the previous sweep ran (-1 before the first sweep)."""
+        return self._last_day
+
+    def sweep(self, current_day: int) -> SweepReport:
+        """Classify everything registered/updated since the last sweep."""
+        registry = self._asdb._registry
+        changed = registry.changed_since(self._last_day)
+        new_asns: List[int] = []
+        updated_asns: List[int] = []
+        for asn in changed:
+            entry = registry.entry(asn)
+            if entry.registered_day > self._last_day:
+                new_asns.append(asn)
+            else:
+                updated_asns.append(asn)
+        reclassified = 0
+        for asn in changed:
+            self._asdb.reclassify(asn)
+            reclassified += 1
+        report = SweepReport(
+            since_day=self._last_day,
+            through_day=current_day,
+            new_asns=tuple(new_asns),
+            updated_asns=tuple(updated_asns),
+            reclassified=reclassified,
+        )
+        self._last_day = current_day
+        return report
+
+
+class CorrectionStatus(enum.Enum):
+    """Lifecycle of a community-submitted correction."""
+
+    PENDING = "pending"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+
+
+@dataclass
+class Correction:
+    """One community-submitted classification correction.
+
+    Attributes:
+        asn: The AS the correction concerns.
+        proposed: The proposed NAICSlite labels.
+        submitter: Free-form submitter identity.
+        rationale: Why the current classification is wrong.
+        status: Review status (pending until a human verifies).
+    """
+
+    asn: int
+    proposed: LabelSet
+    submitter: str
+    rationale: str = ""
+    status: CorrectionStatus = CorrectionStatus.PENDING
+
+
+class CorrectionQueue:
+    """Submit -> human review -> integrate workflow (Section 5.3).
+
+    Submitted corrections are verified by a human prior to integration;
+    approved corrections overwrite the dataset record with a
+    ``MULTI_AGREE``-equivalent manual stage.
+    """
+
+    def __init__(self, asdb: ASdb) -> None:
+        self._asdb = asdb
+        self._queue: List[Correction] = []
+
+    def submit(self, correction: Correction) -> int:
+        """Queue a correction; returns its review ticket id."""
+        if not correction.proposed:
+            raise ValueError("a correction must propose at least one label")
+        self._queue.append(correction)
+        return len(self._queue) - 1
+
+    def pending(self) -> List[Correction]:
+        """Corrections awaiting human review."""
+        return [
+            correction
+            for correction in self._queue
+            if correction.status is CorrectionStatus.PENDING
+        ]
+
+    def review(self, ticket: int, approve: bool) -> Correction:
+        """Human review: approve integrates the correction."""
+        correction = self._queue[ticket]
+        if correction.status is not CorrectionStatus.PENDING:
+            raise ValueError(f"ticket {ticket} already reviewed")
+        if not approve:
+            correction.status = CorrectionStatus.REJECTED
+            return correction
+        correction.status = CorrectionStatus.APPROVED
+        old = self._asdb.dataset.get(correction.asn)
+        record = ASdbRecord(
+            asn=correction.asn,
+            labels=correction.proposed,
+            stage=old.stage if old else Stage.ONE_SOURCE,
+            domain=old.domain if old else None,
+            sources=("community",),
+            org_key=old.org_key if old else None,
+        )
+        self._asdb.dataset.add(record)
+        if record.org_key is not None:
+            self._asdb.cache.put(record.org_key, record)
+        return correction

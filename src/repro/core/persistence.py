@@ -1,0 +1,129 @@
+"""Dataset persistence: the released-dataset formats.
+
+The real ASdb dataset ships as CSV from asdb.stanford.edu.  This module
+round-trips :class:`~repro.core.database.ASdbDataset` through two formats:
+
+* the CSV shape of :meth:`ASdbDataset.to_csv` (one row per label);
+* a JSON document carrying full per-record structure (stage, sources,
+  domain), which CSV cannot represent losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..taxonomy import Label, LabelSet, naicslite
+from .database import ASdbDataset, ASdbRecord
+from .stages import Stage
+
+__all__ = ["dataset_from_csv", "dataset_to_json", "dataset_from_json"]
+
+_LAYER1_BY_NAME = {
+    category.name: category for category in naicslite.ALL_LAYER1
+}
+_LAYER2_BY_NAME: Dict[Tuple[int, str], str] = {
+    (sub.layer1_code, sub.name): sub.slug for sub in naicslite.ALL_LAYER2
+}
+
+
+def dataset_from_csv(text: str) -> ASdbDataset:
+    """Parse a dataset from the :meth:`ASdbDataset.to_csv` shape.
+
+    Rows for the same ASN merge into one record (multi-label).  Raises
+    ValueError on malformed rows or unknown category names.
+    """
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header is None or header[0] != "ASN":
+        raise ValueError("missing or malformed CSV header")
+    accumulated: Dict[int, Dict[str, object]] = {}
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != 5:
+            raise ValueError(f"expected 5 columns, got {len(row)}: {row!r}")
+        asn_text, layer1_name, layer2_name, sources_text, stage_text = row
+        if not asn_text.startswith("AS"):
+            raise ValueError(f"bad ASN field {asn_text!r}")
+        asn = int(asn_text[2:])
+        slot = accumulated.setdefault(
+            asn,
+            {"labels": set(), "sources": (), "stage": stage_text},
+        )
+        if sources_text:
+            slot["sources"] = tuple(sources_text.split("|"))
+        if layer1_name:
+            layer1 = _LAYER1_BY_NAME.get(layer1_name)
+            if layer1 is None:
+                raise ValueError(f"unknown layer 1 name {layer1_name!r}")
+            if layer2_name:
+                slug = _LAYER2_BY_NAME.get((layer1.code, layer2_name))
+                if slug is None:
+                    raise ValueError(
+                        f"unknown layer 2 name {layer2_name!r} under "
+                        f"{layer1_name!r}"
+                    )
+                slot["labels"].add(Label.from_layer2(slug))
+            else:
+                slot["labels"].add(Label(layer1=layer1.slug))
+    dataset = ASdbDataset()
+    for asn, slot in accumulated.items():
+        dataset.add(
+            ASdbRecord(
+                asn=asn,
+                labels=LabelSet(slot["labels"]),
+                stage=Stage(slot["stage"]),
+                sources=slot["sources"],
+            )
+        )
+    return dataset
+
+
+def dataset_to_json(dataset: ASdbDataset) -> str:
+    """Serialize a dataset to a JSON document (lossless)."""
+    records = []
+    for record in dataset:
+        records.append(
+            {
+                "asn": record.asn,
+                "labels": [
+                    {"layer1": label.layer1, "layer2": label.layer2}
+                    for label in record.labels
+                ],
+                "stage": record.stage.value,
+                "domain": record.domain,
+                "sources": list(record.sources),
+                "org_key": record.org_key,
+            }
+        )
+    return json.dumps({"format": "asdb-repro/1", "records": records},
+                      indent=2)
+
+
+def dataset_from_json(text: str) -> ASdbDataset:
+    """Parse a dataset from :func:`dataset_to_json` output."""
+    document = json.loads(text)
+    if document.get("format") != "asdb-repro/1":
+        raise ValueError(
+            f"unsupported format marker {document.get('format')!r}"
+        )
+    dataset = ASdbDataset()
+    for item in document["records"]:
+        labels = LabelSet(
+            Label(layer1=entry["layer1"], layer2=entry.get("layer2"))
+            for entry in item["labels"]
+        )
+        dataset.add(
+            ASdbRecord(
+                asn=int(item["asn"]),
+                labels=labels,
+                stage=Stage(item["stage"]),
+                domain=item.get("domain"),
+                sources=tuple(item.get("sources", ())),
+                org_key=item.get("org_key"),
+            )
+        )
+    return dataset

@@ -1,0 +1,239 @@
+"""The ASdb system (Figure 4): classify the owner of every AS.
+
+Pipeline per AS, upon receipt of WHOIS data:
+
+1. **Org cache** - if the owning organization was already classified
+   (e.g. via a sibling AS), return the cached classification.
+2. **Match by ASN** - query PeeringDB and IPinfo.  Only a PeeringDB ISP
+   label counts as a high-confidence match; it is translated, stored, and
+   returned immediately.
+3. **Pick most likely domain** - pool WHOIS candidate domains with the
+   ASN-keyed sources' domain hints and run the Figure-4 extraction
+   algorithm (top-10 mail providers removed, common domains filtered,
+   most-similar selection).
+4. **ML classification** - feed the chosen domain to the Section-4.1
+   scrape/translate/TF-IDF/SGD pipeline (ISP and hosting flags).
+5. **Match to data sources** - D&B, Crunchbase, and Zvelo by name,
+   domain, and address; matches contradicting the chosen domain are
+   rejected.
+6. **Consensus** - union of agreeing sources, else the accuracy-ranked
+   auto-choose heuristic; the ML verdict wins unless at least two
+   agreeing sources contradict it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..datasources.base import DataSource, Query, SourceMatch
+from ..matching.resolver import EntityResolver
+from ..ml.pipeline import ClassifierVerdict, WebClassificationPipeline
+from ..taxonomy import Label, LabelSet
+from ..whois.registry import WhoisRegistry
+from .cache import OrganizationCache, org_cache_key
+from .consensus import ConsensusResult, resolve_consensus
+from .database import ASdbDataset, ASdbRecord
+from .stages import Stage
+
+__all__ = ["ASdb"]
+
+ConsensusStrategy = Callable[[Dict[str, SourceMatch]], ConsensusResult]
+
+
+class ASdb:
+    """The deployed classification system over pluggable components.
+
+    Args:
+        registry: Bulk WHOIS registry (raw text; parsing happens inside).
+        resolver: Entity resolver for domain choice + source matching.
+        peeringdb: The PeeringDB source (stage 2's high-confidence check).
+        ipinfo: The IPinfo source (classification + domain hints).
+        ml_pipeline: Trained web classification pipeline, or None to run
+            without the ML stage (ablation).
+        consensus_strategy: Consensus function (ablation knob; defaults to
+            the paper's union-on-overlap + accuracy-ranked fallback).
+        use_cache: Organization-level caching (ablation knob).
+    """
+
+    def __init__(
+        self,
+        registry: WhoisRegistry,
+        resolver: EntityResolver,
+        peeringdb: DataSource,
+        ipinfo: DataSource,
+        ml_pipeline: Optional[WebClassificationPipeline] = None,
+        consensus_strategy: ConsensusStrategy = resolve_consensus,
+        use_cache: bool = True,
+    ) -> None:
+        self._registry = registry
+        self._resolver = resolver
+        self._peeringdb = peeringdb
+        self._ipinfo = ipinfo
+        self._ml = ml_pipeline
+        self._consensus = consensus_strategy
+        self._use_cache = use_cache
+        self.cache: OrganizationCache[ASdbRecord] = OrganizationCache()
+        self.dataset = ASdbDataset()
+
+    # -- public API ---------------------------------------------------------
+
+    def classify(self, asn: int) -> ASdbRecord:
+        """Classify one AS, updating the dataset and cache."""
+        record = self._classify(asn)
+        self.dataset.add(record)
+        return record
+
+    def classify_all(self) -> ASdbDataset:
+        """Classify every AS in the registry (ascending ASN order)."""
+        for asn in self._registry.asns():
+            self.classify(asn)
+        return self.dataset
+
+    def reclassify(self, asn: int) -> ASdbRecord:
+        """Re-run classification for an AS whose metadata changed,
+        invalidating any cached organization entry first."""
+        old = self.dataset.get(asn)
+        if old is not None:
+            for key in old.cache_keys:
+                self.cache.invalidate(key)
+            self.cache.invalidate(old.org_key)
+        return self.classify(asn)
+
+    # -- pipeline -----------------------------------------------------------
+
+    def _classify(self, asn: int) -> ASdbRecord:
+        parsed = self._registry.parsed(asn)
+        contact = self._registry.contact(asn)
+        as_name = parsed.as_name or contact.name
+
+        # Stage 0: organization cache (pre-domain key uses the name).
+        name_key = org_cache_key(contact, domain=None)
+        if self._use_cache:
+            cached = self.cache.get(name_key)
+            if cached is not None:
+                return ASdbRecord(
+                    asn=asn,
+                    labels=cached.labels,
+                    stage=Stage.CACHED,
+                    domain=cached.domain,
+                    sources=cached.sources,
+                    org_key=cached.org_key,
+                    cache_keys=cached.cache_keys,
+                )
+
+        # Stage 1: ASN-keyed lookups.
+        asn_query = Query(asn=asn)
+        pdb_match = self._peeringdb.lookup(asn_query)
+        ipinfo_match = self._ipinfo.lookup(asn_query)
+        if self._is_high_confidence(pdb_match):
+            return self._finish(
+                asn,
+                contact,
+                labels=pdb_match.labels,
+                stage=Stage.MATCHED_BY_ASN,
+                domain=pdb_match.entry.domain,
+                sources=("peeringdb",),
+                name_key=name_key,
+            )
+
+        # Stage 2: domain extraction with ASN-source hints.
+        hints: List[str] = []
+        for match in (pdb_match, ipinfo_match):
+            if match is not None and match.entry.domain:
+                hints.append(match.entry.domain)
+        resolved = self._resolver.resolve(contact, as_name, hints)
+        domain = resolved.chosen_domain
+
+        # Stage 3: ML classification of the chosen domain.
+        verdict: Optional[ClassifierVerdict] = None
+        if self._ml is not None and domain is not None:
+            verdict = self._ml.classify_domain(domain)
+
+        # Stage 4: consensus pool = identifier-keyed matches + ASN-keyed
+        # matches that carry NAICSlite information.
+        pool: Dict[str, SourceMatch] = dict(resolved.matches)
+        for match in (pdb_match, ipinfo_match):
+            if match is not None and match.labels:
+                pool[match.source] = match
+
+        consensus = self._consensus(pool)
+
+        ml_labels = self._ml_labels(verdict)
+        if ml_labels:
+            if consensus.stage is Stage.MULTI_AGREE and not (
+                consensus.labels.overlaps_layer2(ml_labels)
+            ):
+                # At least two agreeing sources contradict the classifier:
+                # the sources win (Section 5.2's hosting post-mortem).
+                return self._finish(
+                    asn, contact, consensus.labels, consensus.stage,
+                    domain, consensus.trusted_sources, name_key,
+                )
+            # The classifier's label, unioned with whatever the agreeing
+            # sources add to it.
+            labels = ml_labels
+            supporters: List[str] = ["classifier"]
+            for name, match in sorted(pool.items()):
+                if match.labels.overlaps_layer2(ml_labels):
+                    labels = labels.union(match.labels)
+                    supporters.append(name)
+            return self._finish(
+                asn, contact, labels, Stage.CLASSIFIER, domain,
+                tuple(supporters), name_key,
+            )
+
+        return self._finish(
+            asn, contact, consensus.labels, consensus.stage, domain,
+            consensus.trusted_sources, name_key,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _is_high_confidence(match: Optional[SourceMatch]) -> bool:
+        """Only a PeeringDB ISP label is a high-confidence ASN match."""
+        return (
+            match is not None
+            and match.source == "peeringdb"
+            and "isp" in match.labels.layer2_slugs()
+        )
+
+    @staticmethod
+    def _ml_labels(verdict: Optional[ClassifierVerdict]) -> LabelSet:
+        if verdict is None or not verdict.scraped:
+            return LabelSet()
+        slugs: List[str] = []
+        if verdict.is_isp:
+            slugs.append("isp")
+        if verdict.is_hosting:
+            slugs.append("hosting")
+        return LabelSet.from_layer2_slugs(slugs)
+
+    def _finish(
+        self,
+        asn: int,
+        contact,
+        labels: LabelSet,
+        stage: Stage,
+        domain: Optional[str],
+        sources: Tuple[str, ...],
+        name_key: Optional[str],
+    ) -> ASdbRecord:
+        domain_key = org_cache_key(contact, domain)
+        keys = tuple(
+            key for key in dict.fromkeys((name_key, domain_key)) if key
+        )
+        record = ASdbRecord(
+            asn=asn,
+            labels=labels,
+            stage=stage,
+            domain=domain,
+            sources=sources,
+            org_key=domain_key or name_key,
+            cache_keys=keys,
+        )
+        if self._use_cache and labels:
+            for key in keys:
+                self.cache.put(key, record)
+        return record

@@ -1,0 +1,30 @@
+"""Crowdwork simulation (Appendix B).
+
+Simulated master MTurk workers, consensus rules, platform economics
+(rewards, wages, costs), and the integration experiment that adds
+crowdwork to ASdb (Table 9).
+"""
+
+from .consensus import ConsensusOutcome, consensus_labels
+from .integration import CROWDWORK_STAGES, CrowdworkOutcome, apply_crowdwork
+from .platform import (
+    BatchResult,
+    MTurkPlatform,
+    TaskResult,
+    estimate_cost_dollars,
+)
+from .worker import MTurkWorker, WorkerResponse
+
+__all__ = [
+    "MTurkWorker",
+    "WorkerResponse",
+    "ConsensusOutcome",
+    "consensus_labels",
+    "MTurkPlatform",
+    "BatchResult",
+    "TaskResult",
+    "estimate_cost_dollars",
+    "apply_crowdwork",
+    "CrowdworkOutcome",
+    "CROWDWORK_STAGES",
+]

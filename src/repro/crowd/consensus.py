@@ -1,0 +1,51 @@
+"""Crowdworker consensus rules (Appendix B).
+
+The appendix varies the consensus requirement (2/3, 3/5, 4/5 workers) and
+measures its effect on coverage and accuracy.  Consensus is per layer 2
+category: a category is consensus-backed when at least ``required`` of the
+assigned workers chose it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..taxonomy import LabelSet
+from .worker import WorkerResponse
+
+__all__ = ["ConsensusOutcome", "consensus_labels"]
+
+
+@dataclass(frozen=True)
+class ConsensusOutcome:
+    """Result of applying a consensus rule to worker responses.
+
+    Attributes:
+        labels: The consensus-backed categories (empty = no consensus).
+        votes: Raw per-category vote counts.
+        reached: Whether any category met the requirement.
+    """
+
+    labels: LabelSet
+    votes: Tuple[Tuple[str, int], ...]
+    reached: bool
+
+
+def consensus_labels(
+    responses: Sequence[WorkerResponse], required: int
+) -> ConsensusOutcome:
+    """Categories chosen by at least ``required`` workers."""
+    votes: Counter = Counter()
+    for response in responses:
+        for slug in response.labels.layer2_slugs():
+            votes[slug] += 1
+    backed = sorted(
+        slug for slug, count in votes.items() if count >= required
+    )
+    return ConsensusOutcome(
+        labels=LabelSet.from_layer2_slugs(backed),
+        votes=tuple(sorted(votes.items())),
+        reached=bool(backed),
+    )

@@ -1,0 +1,150 @@
+"""Applying crowdwork to ASdb (Appendix B's final experiment, Table 9).
+
+Crowdworkers replace the "auto-choose source" heuristic for the pipeline's
+weak stages: ASes where no source matched, only one matched, or multiple
+matched without agreement.  Workers choose among the union of the matched
+sources' categories (10 cents x 3 workers, 2/3 consensus); their
+consensus-backed labels overwrite the pipeline's answer when reached.
+
+The paper's conclusion - reproduced by the Table 9 bench - is that this
+buys at most ~3 points of accuracy for real money, so the deployed system
+omits crowdwork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.database import ASdbDataset, ASdbRecord
+from ..core.stages import Stage
+from ..taxonomy import naicslite
+from ..world.organization import World
+from .platform import BatchResult, MTurkPlatform
+
+__all__ = ["CROWDWORK_STAGES", "apply_crowdwork"]
+
+#: Pipeline stages escalated to crowdworkers.
+CROWDWORK_STAGES: Tuple[Stage, ...] = (
+    Stage.ZERO_SOURCES,
+    Stage.ONE_SOURCE,
+    Stage.MULTI_DISAGREE,
+)
+
+
+@dataclass(frozen=True)
+class CrowdworkOutcome:
+    """The crowdwork pass over an ASdb dataset.
+
+    Attributes:
+        dataset: A new dataset with crowd answers merged in.
+        batch: The underlying MTurk batch (for cost/wage accounting).
+        escalated_asns: ASNs sent to workers.
+        overridden_asns: ASNs whose classification the crowd changed or
+            filled in.
+    """
+
+    dataset: ASdbDataset
+    batch: BatchResult
+    escalated_asns: Tuple[int, ...]
+    overridden_asns: Tuple[int, ...]
+
+
+def _options_for(
+    world: World, record: ASdbRecord
+) -> Optional[List[str]]:
+    """Candidate categories shown to workers.
+
+    Disagreement / single-source cases offer the union of matched source
+    categories (plus "none of the above", modeled as an empty answer);
+    zero-source cases are open-ended.
+    """
+    if record.stage is Stage.ZERO_SOURCES:
+        return None
+    slugs: Set[str] = set(record.labels.layer2_slugs())
+    if not slugs:
+        return None
+    # Broaden with the confusable siblings a disagreeing source would
+    # plausibly have proposed.
+    layer1_slugs = record.labels.layer1_slugs()
+    for layer1 in layer1_slugs:
+        for sub in naicslite.layer1_by_slug(layer1).layer2:
+            slugs.add(sub.slug)
+    return sorted(slugs)
+
+
+def apply_crowdwork(
+    world: World,
+    dataset: ASdbDataset,
+    platform: MTurkPlatform,
+    reward_cents: int = 10,
+    workers_per_task: int = 3,
+    required: int = 2,
+    asns: Optional[Sequence[int]] = None,
+) -> CrowdworkOutcome:
+    """Escalate weak-stage ASes to crowdworkers and merge the answers.
+
+    Args:
+        world: The synthetic world (worker simulation needs the org).
+        dataset: The pipeline's output dataset.
+        platform: The MTurk platform.
+        reward_cents / workers_per_task / required: Batch economics.
+        asns: Restrict escalation to these ASNs (e.g. a labeled
+            evaluation set); defaults to the whole dataset.
+    """
+    candidates: List[ASdbRecord] = []
+    scope = set(asns) if asns is not None else None
+    for record in dataset:
+        if scope is not None and record.asn not in scope:
+            continue
+        if record.stage in CROWDWORK_STAGES:
+            candidates.append(record)
+
+    organizations = [world.org_of_asn(record.asn) for record in candidates]
+    options_map: Dict[str, Sequence[str]] = {}
+    for record, org in zip(candidates, organizations):
+        options = _options_for(world, record)
+        if options is not None:
+            options_map[org.org_id] = options
+    batch = platform.run_batch(
+        organizations,
+        reward_cents=reward_cents,
+        workers_per_task=workers_per_task,
+        required=required,
+        options_for=options_map,
+    )
+
+    merged = ASdbDataset()
+    for record in dataset:
+        merged.add(record)
+    overridden: List[int] = []
+    by_org: Dict[str, ASdbRecord] = {}
+    for record, org in zip(candidates, organizations):
+        by_org.setdefault(org.org_id, record)
+    for task in batch.tasks:
+        if not task.outcome.reached:
+            continue
+        record = by_org.get(task.org_id)
+        if record is None:
+            continue
+        if task.outcome.labels == record.labels:
+            continue
+        merged.add(
+            ASdbRecord(
+                asn=record.asn,
+                labels=task.outcome.labels,
+                stage=record.stage,
+                domain=record.domain,
+                sources=record.sources + ("crowdwork",),
+                org_key=record.org_key,
+                cache_keys=record.cache_keys,
+            )
+        )
+        overridden.append(record.asn)
+
+    return CrowdworkOutcome(
+        dataset=merged,
+        batch=batch,
+        escalated_asns=tuple(record.asn for record in candidates),
+        overridden_asns=tuple(sorted(overridden)),
+    )

@@ -1,0 +1,174 @@
+"""The Amazon Mechanical Turk platform simulator (Appendix B).
+
+Manages a pool of master-qualified workers, assigns batches of
+classification tasks with a fixed reward and consensus requirement, and
+accounts for cost and implied hourly wages - the quantities behind
+Figures 5, 6, and 7 and the appendix's cost estimates ($31,000 for ML
+false-negative review; ~$6,000 for disagreement resolution).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..world.organization import Organization
+from .consensus import ConsensusOutcome, consensus_labels
+from .worker import MTurkWorker, WorkerResponse
+
+__all__ = ["TaskResult", "BatchResult", "MTurkPlatform"]
+
+#: Premium charged for master-qualified workers (5% of the reward).
+MASTER_FEE_RATE = 0.05
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One AS's crowdwork outcome.
+
+    Attributes:
+        org_id: The organization classified.
+        responses: Individual worker responses.
+        outcome: The consensus result.
+    """
+
+    org_id: str
+    responses: Tuple[WorkerResponse, ...]
+    outcome: ConsensusOutcome
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """A batch of crowdwork tasks plus its economics.
+
+    Attributes:
+        reward_cents: Per-task reward paid to each worker.
+        workers_per_task: Number of workers assigned per AS.
+        required: Consensus requirement.
+        tasks: Per-AS results.
+        total_cost_dollars: Total spend including the master premium.
+    """
+
+    reward_cents: int
+    workers_per_task: int
+    required: int
+    tasks: Tuple[TaskResult, ...]
+    total_cost_dollars: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of ASes where consensus was reached (Figure 5a)."""
+        if not self.tasks:
+            return 0.0
+        return sum(task.outcome.reached for task in self.tasks) / len(
+            self.tasks
+        )
+
+    def hourly_wages(self) -> List[float]:
+        """Implied $/hour per worker-task."""
+        wages = []
+        for task in self.tasks:
+            for response in task.responses:
+                hours = response.minutes / 60.0
+                wages.append(self.reward_cents / 100.0 / hours)
+        return wages
+
+    @property
+    def median_hourly_wage(self) -> float:
+        """Median implied wage (Figure 6)."""
+        wages = self.hourly_wages()
+        return statistics.median(wages) if wages else 0.0
+
+    @property
+    def mean_hourly_wage(self) -> float:
+        """Mean implied wage (the appendix reports $19.41/hour overall)."""
+        wages = self.hourly_wages()
+        return statistics.fmean(wages) if wages else 0.0
+
+
+class MTurkPlatform:
+    """A pool of master MTurk workers and the batch-task machinery."""
+
+    def __init__(self, seed: int = 0, pool_size: int = 200) -> None:
+        self._seed = seed
+        rng = random.Random(("mturk-pool", seed).__repr__())
+        self._pool = [
+            MTurkWorker(
+                worker_id=f"mturk-{index:04d}",
+                seed=seed,
+                diligence=min(1.6, max(0.6, rng.gauss(1.0, 0.2))),
+            )
+            for index in range(pool_size)
+        ]
+        self._next_worker = 0
+
+    def _assign_workers(self, count: int) -> List[MTurkWorker]:
+        """Assign the next ``count`` workers (no overlap across calls,
+        mirroring the appendix's "no MTurks overlap between assignments"
+        until the pool wraps)."""
+        workers = []
+        for _ in range(count):
+            workers.append(self._pool[self._next_worker % len(self._pool)])
+            self._next_worker += 1
+        return workers
+
+    def run_batch(
+        self,
+        organizations: Sequence[Organization],
+        reward_cents: int,
+        workers_per_task: int = 3,
+        required: int = 2,
+        options_for: Optional[Dict[str, Sequence[str]]] = None,
+    ) -> BatchResult:
+        """Run one labeled batch.
+
+        Args:
+            organizations: The ASes' organizations to classify.
+            reward_cents: Reward per worker per task.
+            workers_per_task: Workers assigned to each AS.
+            required: Votes needed for a category to be consensus-backed.
+            options_for: Optional per-org candidate layer 2 slugs (the
+                disagreement-resolution task restricts choices to the
+                union of the matched sources' categories).
+        """
+        tasks: List[TaskResult] = []
+        for org in organizations:
+            workers = self._assign_workers(workers_per_task)
+            options = (
+                options_for.get(org.org_id) if options_for else None
+            )
+            responses = tuple(
+                worker.classify(org, reward_cents, options=options)
+                for worker in workers
+            )
+            tasks.append(
+                TaskResult(
+                    org_id=org.org_id,
+                    responses=responses,
+                    outcome=consensus_labels(responses, required),
+                )
+            )
+        per_task_cost = (
+            reward_cents / 100.0 * (1.0 + MASTER_FEE_RATE)
+        ) * workers_per_task
+        return BatchResult(
+            reward_cents=reward_cents,
+            workers_per_task=workers_per_task,
+            required=required,
+            tasks=tuple(tasks),
+            total_cost_dollars=per_task_cost * len(tasks),
+        )
+
+
+def estimate_cost_dollars(
+    n_tasks: int, reward_cents: int, workers_per_task: int
+) -> float:
+    """Projected spend for a crowdwork campaign (appendix estimates)."""
+    return (
+        n_tasks
+        * workers_per_task
+        * (reward_cents / 100.0)
+        * (1.0 + MASTER_FEE_RATE)
+    )

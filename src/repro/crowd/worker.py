@@ -1,0 +1,154 @@
+"""Simulated Amazon Mechanical Turk workers (Appendix B).
+
+Master-qualified MTurk workers classify ASes given a website and a list of
+candidate NAICSlite categories.  The model captures the appendix's
+empirical findings:
+
+* workers are consistently better at finance than technology categories,
+  with or without in-task category definitions;
+* higher rewards mainly buy *consistency* (consensus coverage rises with
+  reward, Figure 5a) rather than per-answer accuracy (Figure 5b);
+* time-per-task varies widely and is not proportional to reward, so the
+  implied hourly wage is wildly dispersed (Figure 6: $6.60-55/hour).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..taxonomy import LabelSet, naicslite
+# confusion structure lives in repro.world.calibration; workers scatter instead
+from ..world.organization import Organization
+
+__all__ = ["WorkerResponse", "MTurkWorker"]
+
+
+@dataclass(frozen=True)
+class WorkerResponse:
+    """One worker's answer to one classification task.
+
+    Attributes:
+        worker_id: The answering worker.
+        labels: Chosen NAICSlite labels (empty = "none of the above").
+        minutes: Time the worker spent on the task.
+    """
+
+    worker_id: str
+    labels: LabelSet
+    minutes: float
+
+
+def _category_base_accuracy(org: Organization) -> float:
+    """Per-answer accuracy by category family (finance > other > tech)."""
+    layer1 = sorted(org.truth.layer1_slugs())[0]
+    if layer1 == "finance":
+        return 0.95
+    if layer1 == "computer_and_it":
+        return 0.84
+    return 0.85
+
+
+class MTurkWorker:
+    """One master-qualified crowdworker.
+
+    Args:
+        worker_id: Stable identity (drives per-task determinism).
+        seed: Experiment seed.
+        diligence: Worker-specific multiplier on care taken (sampled by
+            the platform; masters cluster near 1.0).
+    """
+
+    def __init__(
+        self, worker_id: str, seed: int = 0, diligence: float = 1.0
+    ) -> None:
+        self.worker_id = worker_id
+        self._seed = seed
+        self.diligence = diligence
+
+    def _rng(self, org: Organization, reward_cents: int) -> random.Random:
+        return random.Random(
+            (self.worker_id, self._seed, org.org_id, reward_cents).__repr__()
+        )
+
+    def classify(
+        self,
+        org: Organization,
+        reward_cents: int,
+        options: Optional[Sequence[str]] = None,
+    ) -> WorkerResponse:
+        """Answer one classification task.
+
+        Args:
+            org: The organization under review (the worker browses its
+                website; ground truth drives the simulation).
+            reward_cents: Task reward; buys carefulness, not skill.
+            options: Candidate layer 2 slugs to choose from (the
+                data-source-disagreement task), or None for a free pick
+                over all technology/finance categories.
+        """
+        rng = self._rng(org, reward_cents)
+        minutes = self._task_minutes(rng, reward_cents)
+
+        # Carelessness falls with reward; careless answers scatter.
+        carelessness = max(
+            0.04, (0.30 - 0.004 * reward_cents) / self.diligence
+        )
+        careful = rng.random() >= carelessness
+
+        truth_slugs = sorted(org.truth.layer2_slugs())
+        accuracy = _category_base_accuracy(org)
+        chosen: List[str] = []
+        if truth_slugs and careful and rng.random() < accuracy:
+            chosen = [rng.choice(truth_slugs)]
+        elif truth_slugs:
+            # Wrong answers *scatter*: each worker's misreading lands on a
+            # different plausible sibling, so wrong consensus is rare and
+            # carelessness mostly costs coverage, not accuracy (Figure 5).
+            primary = truth_slugs[0]
+            layer1 = naicslite.layer2_by_name(primary).layer1
+            if rng.random() < 0.75:
+                siblings = [
+                    sub.slug
+                    for sub in layer1.layer2
+                    if sub.slug not in truth_slugs
+                ]
+                chosen = [rng.choice(siblings)] if siblings else []
+            else:
+                other = rng.choice(naicslite.ALL_LAYER2)
+                chosen = [other.slug]
+
+        if options is not None:
+            allowed = set(options)
+            chosen = [slug for slug in chosen if slug in allowed]
+            if not chosen and careful:
+                # Pick the option closest to the worker's perception: any
+                # option sharing the truth's layer 1, else none-of-the-above.
+                truth_l1 = org.truth.layer1_slugs()
+                fitting = sorted(
+                    slug
+                    for slug in allowed
+                    if naicslite.layer2_by_name(slug).layer1.slug
+                    in truth_l1
+                )
+                if fitting:
+                    chosen = [rng.choice(fitting)]
+            elif not chosen:
+                chosen = [rng.choice(sorted(allowed))] if allowed else []
+
+        return WorkerResponse(
+            worker_id=self.worker_id,
+            labels=LabelSet.from_layer2_slugs(chosen),
+            minutes=minutes,
+        )
+
+    def _task_minutes(self, rng: random.Random, reward_cents: int) -> float:
+        """Task time: heavy-tailed and *rising with reward* (better-paid
+        tasks are taken more seriously), so the implied hourly wage is not
+        directly correlated with the reward (Figure 6)."""
+        effort = 0.5 + (reward_cents / 25.0) ** 0.9
+        return max(
+            0.2,
+            rng.lognormvariate(0.0, 0.8) * effort * self.diligence,
+        )

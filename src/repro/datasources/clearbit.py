@@ -1,0 +1,86 @@
+"""Clearbit simulator.
+
+Clearbit enriches a *domain* into firmographics and provides only 2-digit
+NAICS sector prefixes plus its own custom tags (Table 1).  The coarse
+prefixes are the reason for its terrible technology recall (Table 4: 3/49
+at layer 1): everything "Information" lands in sector 51, but Clearbit's
+own tagging frequently files tech firms under business-services-like
+sectors.  Dropped from the final system (Section 3.5); kept here for the
+data-source evaluation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..taxonomy import translation
+from ..world.calibration import CLEARBIT
+from ..world.organization import World
+from . import emission
+from .base import DataSource, Query, SourceEntry, SourceMatch
+
+__all__ = ["Clearbit"]
+
+#: Representative 6-digit code per layer 2 slug -> we keep only its 2-digit
+#: sector, as Clearbit does.
+def _sector_for_slug(slug: str, rng: random.Random) -> str:
+    candidates = translation.naics_candidates_for_layer2(slug)
+    if candidates:
+        return rng.choice(candidates)[:2]
+    return "81"
+
+
+class Clearbit(DataSource):
+    """The Clearbit enrichment API over a synthetic world."""
+
+    name = "clearbit"
+
+    def __init__(self, world: World, seed: int = 0) -> None:
+        self._world = world
+        self._entries: Dict[str, SourceEntry] = {}
+        self._domain_index: Dict[str, str] = {}
+        self._build(random.Random(("clearbit", seed).__repr__()))
+
+    def _build(self, rng: random.Random) -> None:
+        for org in self._world.iter_organizations():
+            if org.domain is None:
+                continue  # Clearbit is domain-keyed only (Table 1).
+            slugs = emission.emit_layer2_slugs(rng, org.truth, CLEARBIT)
+            if slugs is None:
+                continue
+            sectors = tuple(
+                dict.fromkeys(_sector_for_slug(slug, rng) for slug in slugs)
+            )
+            labels = translation.translate_naics_codes(
+                [f"{sector}0000" for sector in sectors]
+            ).restrict_to_layer1()
+            entry = SourceEntry(
+                entity_id=f"clbt-{org.org_id}",
+                org_id=org.org_id,
+                name=org.name,
+                domain=org.domain,
+                native_categories=sectors,
+                labels=labels,
+            )
+            self._entries[org.org_id] = entry
+            self._domain_index.setdefault(org.domain, org.org_id)
+
+    def coverage_count(self) -> int:
+        return len(self._entries)
+
+    def lookup_by_org(self, org_id: str) -> Optional[SourceMatch]:
+        entry = self._entries.get(org_id)
+        if entry is None:
+            return None
+        return SourceMatch(source=self.name, entry=entry, via="manual")
+
+    def lookup(self, query: Query) -> Optional[SourceMatch]:
+        if not query.domain:
+            return None
+        hit = self._domain_index.get(query.domain)
+        if hit is None:
+            return None
+        return SourceMatch(
+            source=self.name, entry=self._entries[hit], via="domain"
+        )

@@ -1,0 +1,227 @@
+"""Dun & Bradstreet simulator.
+
+D&B is the highest-coverage business database the paper evaluates (82% of
+Gold Standard ASes, Table 3).  Its API is searched by name, address, phone
+and domain, and returns a *single* company (DUNS number) plus a 1-10 match
+confidence code; with bulk access there is no control over which company is
+chosen when several share identifiers (Section 3.5).
+
+Simulated behaviors, all calibrated to the paper:
+
+* directory coverage and NAICS-code correctness per
+  :data:`repro.world.calibration.DNB`, including the documented
+  ISP-vs-hosting code ambiguity (517911/541512/519190);
+* automated matching per :data:`repro.world.calibration.DNB_CONFIDENCE`:
+  confidence codes distribute as in Figure 2, accuracy rises with the code,
+  and wrong matches return a *different real company* (entity
+  disagreement);
+* lookups are deterministic per query, so caching and repeated evaluation
+  are stable.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..taxonomy import translation
+from ..world.calibration import CONFUSION_L2, DNB, DNB_CONFIDENCE
+from ..world.organization import World
+from . import emission
+from .base import DataSource, Query, SourceEntry, SourceMatch
+
+__all__ = ["DunBradstreet"]
+
+
+#: Categories a *correct* code should avoid dragging in alongside the
+#: emitted slug (on top of the slug's confusion partners): the big three
+#: technology categories must not leak into each other through ambiguous
+#: NAICS codes when the analyst got the classification right.
+_CODE_AVOID_EXTRA = frozenset({"isp", "hosting", "phone_provider"})
+
+
+def _avoid_for(slug: str, truth_slugs) -> Tuple[str, ...]:
+    """NAICSlite slugs a chosen code should not additionally reach.
+
+    When the emitted slug is *correct*, prefer a code that doesn't also
+    reach a confusable sibling outside the truth set (80% of matches carry
+    a single category, Section 3.3).  When it is *wrong*, prefer a code
+    that doesn't accidentally reach the truth.
+    """
+    if slug in truth_slugs:
+        avoid = set(CONFUSION_L2.get(slug, ()))
+        avoid |= _CODE_AVOID_EXTRA - {slug}
+        return tuple(sorted(avoid - set(truth_slugs)))
+    return tuple(truth_slugs)
+
+
+def _naics_code_for(
+    rng: random.Random, slug: str, avoid: Tuple[str, ...]
+) -> str:
+    """A NAICS code translating to ``slug``; avoid codes that also reach
+    any slug in ``avoid`` when possible (keeps wrong labels wrong)."""
+    candidates = translation.naics_candidates_for_layer2(slug)
+    if not candidates:
+        return "999999"
+    if avoid:
+        clean = [
+            code
+            for code in candidates
+            if not (
+                translation.translate_naics(code).layer2_slugs()
+                & set(avoid)
+            )
+        ]
+        if clean:
+            candidates = clean
+    return rng.choice(candidates)
+
+
+class DunBradstreet(DataSource):
+    """The D&B business database over a synthetic world."""
+
+    name = "dnb"
+
+    def __init__(self, world: World, seed: int = 0) -> None:
+        self._world = world
+        self._seed = seed
+        self._entries: Dict[str, SourceEntry] = {}
+        self._classified: set = set()
+        self._domain_index: Dict[str, str] = {}
+        self._name_index: Dict[str, str] = {}
+        self._build(random.Random(("dnb", seed).__repr__()))
+
+    def _build(self, rng: random.Random) -> None:
+        # D&B has an *entity* record (DUNS number) for essentially every
+        # real company; only a subset carries usable NAICS classification
+        # metadata.  Table 3's coverage counts classified entries; Table
+        # 5's matching accuracy is about DUNS correctness regardless.
+        duns = 100000000
+        for org in self._world.iter_organizations():
+            slugs = emission.emit_layer2_slugs(rng, org.truth, DNB)
+            codes: List[str] = []
+            if slugs is not None:
+                truth_slugs = org.truth.layer2_slugs()
+                for slug in slugs:
+                    codes.append(
+                        _naics_code_for(
+                            rng, slug, _avoid_for(slug, truth_slugs)
+                        )
+                    )
+            labels = translation.translate_naics_codes(codes)
+            duns += rng.randint(1, 5000)
+            entry = SourceEntry(
+                entity_id=f"DUNS-{duns}",
+                org_id=org.org_id,
+                name=org.name,
+                domain=org.domain,
+                native_categories=tuple(codes),
+                labels=labels,
+            )
+            self._entries[org.org_id] = entry
+            if slugs is not None:
+                self._classified.add(org.org_id)
+            if org.domain and org.domain not in self._domain_index:
+                self._domain_index[org.domain] = org.org_id
+            key = org.name.lower()
+            if key not in self._name_index:
+                self._name_index[key] = org.org_id
+
+    # -- DataSource interface ------------------------------------------------
+
+    def coverage_count(self) -> int:
+        return len(self._classified)
+
+    def lookup_by_org(self, org_id: str) -> Optional[SourceMatch]:
+        """Manual mode: the classified entry, or None when D&B holds no
+        classification metadata for the organization."""
+        if org_id not in self._classified:
+            return None
+        return SourceMatch(
+            source=self.name,
+            entry=self._entries[org_id],
+            confidence=10,
+            via="manual",
+        )
+
+    def lookup(self, query: Query) -> Optional[SourceMatch]:
+        """Automated bulk lookup: one candidate + confidence code.
+
+        The returned candidate may be the wrong company; callers can filter
+        on ``confidence`` (Table 5's ``Conf >= 6`` row).
+        """
+        rng = self._query_rng(query)
+        if rng.random() >= DNB_CONFIDENCE.response_rate:
+            return None
+
+        intended = self._intended_org(query)
+        code = self._sample_confidence(rng, query)
+        entry: Optional[SourceEntry] = None
+        if intended is not None and intended in self._entries:
+            correct_probability = DNB_CONFIDENCE.accuracy_by_code.get(
+                code, 0.5
+            )
+            if rng.random() < correct_probability:
+                entry = self._entries[intended]
+        else:
+            # No identifiable intended company: D&B still returns its
+            # closest guess, but the poor match earns a low code.
+            code = min(code, rng.randint(4, 5))
+        if entry is None:
+            entry = self._wrong_entry(rng, exclude=intended)
+        if entry is None:
+            return None
+        return SourceMatch(source=self.name, entry=entry, confidence=code,
+                           via="identifiers")
+
+    # -- internals --------------------------------------------------------------
+
+    def _query_rng(self, query: Query) -> random.Random:
+        material = f"{self._seed}|{query.name}|{query.domain}|{query.address}"
+        return random.Random(zlib.crc32(material.encode()))
+
+    def _intended_org(self, query: Query) -> Optional[str]:
+        if query.domain and query.domain in self._domain_index:
+            return self._domain_index[query.domain]
+        if query.name:
+            hit = self._name_index.get(query.name.lower())
+            if hit is not None:
+                return hit
+        # Fall back to ground truth via the world's org registry so that a
+        # correct-entity match is *possible* even with noisy identifiers.
+        if query.name:
+            for org in self._world.iter_organizations():
+                if org.name.lower() == query.name.lower():
+                    return org.org_id
+        return None
+
+    def _sample_confidence(
+        self, rng: random.Random, query: Query
+    ) -> int:
+        # Richer queries earn higher confidence: shift mass upward when a
+        # domain and address are both present.
+        weights = dict(DNB_CONFIDENCE.code_weights)
+        if query.domain and query.address:
+            weights = {
+                code: weight * (1.6 if code >= 8 else 0.7)
+                for code, weight in weights.items()
+            }
+        total = sum(weights.values())
+        roll = rng.random() * total
+        acc = 0.0
+        for code in sorted(weights):
+            acc += weights[code]
+            if roll <= acc:
+                return code
+        return 10
+
+    def _wrong_entry(
+        self, rng: random.Random, exclude: Optional[str]
+    ) -> Optional[SourceEntry]:
+        keys = sorted(self._entries)
+        if exclude in self._entries and len(keys) > 1:
+            keys.remove(exclude)
+        if not keys:
+            return None
+        return self._entries[rng.choice(keys)]

@@ -1,0 +1,104 @@
+"""Calibrated label emission for business-database simulators.
+
+A business database (D&B, Crunchbase, ZoomInfo, Clearbit) does not read an
+organization's website; its entry reflects how its analysts classified the
+firm.  The simulators therefore decide, per organization and per source, a
+*structured* outcome driven by :mod:`repro.world.calibration`:
+
+1. **covered?** - per tech/non-tech coverage (Table 3);
+2. if covered, **which NAICSlite category does the entry express?**
+   - correct layer 2 with the source's layer 2 recall (Table 4, with
+     hosting/ISP overrides),
+   - else a *confusable sibling* within the right layer 1 (e.g. hosting
+     labeled ISP) with probability up to the layer 1 recall,
+   - else a confusable wrong layer 1 (e.g. an education org filed under
+     media);
+3. optionally a **second adjacent category** (20% of matches carry more
+   than one label, Section 3.3).
+
+Encoding the chosen category into the source's native vocabulary (a NAICS
+code, a Crunchbase tag, ...) is the per-source simulator's job.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..taxonomy import LabelSet, naicslite
+from ..world.calibration import (
+    CONFUSION_L1,
+    CONFUSION_L2,
+    BusinessSourceCalibration,
+)
+
+__all__ = ["emit_layer2_slugs", "confused_sibling", "confused_layer1_slug"]
+
+
+def confused_sibling(rng: random.Random, truth_slug: str) -> str:
+    """A plausible wrong layer 2 slug within the same layer 1 category."""
+    partners = CONFUSION_L2.get(truth_slug)
+    if partners:
+        return rng.choice(partners)
+    layer1 = naicslite.layer2_by_name(truth_slug).layer1
+    siblings = [
+        sub.slug for sub in layer1.layer2 if sub.slug != truth_slug
+    ]
+    if not siblings:
+        return truth_slug
+    return rng.choice(siblings)
+
+
+def confused_layer1_slug(rng: random.Random, truth_slug: str) -> str:
+    """A plausible layer 2 slug in a *wrong* layer 1 category."""
+    layer1 = naicslite.layer2_by_name(truth_slug).layer1
+    wrong_l1_slug = rng.choice(
+        CONFUSION_L1.get(layer1.slug, ("service",))
+    )
+    wrong_l1 = naicslite.layer1_by_slug(wrong_l1_slug)
+    return rng.choice([sub.slug for sub in wrong_l1.layer2])
+
+
+def emit_layer2_slugs(
+    rng: random.Random,
+    truth: LabelSet,
+    cal: BusinessSourceCalibration,
+) -> Optional[List[str]]:
+    """Decide a source's emitted layer 2 slugs for one organization.
+
+    Returns None when the source has no classified entry for the
+    organization (not covered), otherwise a non-empty list of layer 2
+    slugs to be encoded in the source's native vocabulary.
+    """
+    tech = truth.is_tech
+    if rng.random() >= cal.coverage(tech):
+        return None
+
+    truth_slugs = sorted(truth.layer2_slugs())
+    primary = truth_slugs[0] if truth_slugs else None
+    if primary is None:
+        # Layer-1-only ground truth: emit something in the right layer 1.
+        layer1 = sorted(truth.layer1_slugs())[0]
+        category = naicslite.layer1_by_slug(layer1)
+        return [rng.choice([sub.slug for sub in category.layer2])]
+
+    l1_recall = cal.l1_recall(tech)
+    l2_recall = min(cal.l2_recall(tech, primary), l1_recall)
+    roll = rng.random()
+    if roll < l2_recall:
+        emitted = primary
+    elif roll < l1_recall:
+        emitted = confused_sibling(rng, primary)
+    else:
+        emitted = confused_layer1_slug(rng, primary)
+
+    slugs = [emitted]
+    if rng.random() < cal.multi_label_rate:
+        extra = confused_sibling(rng, emitted)
+        # A second label must not accidentally repair a wrong first one -
+        # the calibrated recall already accounts for multi-label matches.
+        if emitted not in truth_slugs and extra in truth_slugs:
+            extra = confused_layer1_slug(rng, primary)
+        if extra not in slugs:
+            slugs.append(extra)
+    return slugs

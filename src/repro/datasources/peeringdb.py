@@ -1,0 +1,87 @@
+"""PeeringDB simulator.
+
+PeeringDB is a crowd-sourced database where operators *voluntarily*
+register their AS under one of six categories (Section 2).  Coverage is
+low (15% of Gold Standard ASes) and heavily tech-skewed (22% of tech vs 2%
+of non-tech entities, Table 3), but registered ISPs self-identify with a
+100% true-positive rate (Section 3.3).  Hosting providers have no category
+of their own and register as Content or NSP, giving PeeringDB a hosting
+recall of zero (Table 4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..world import calibration
+from ..world.organization import World
+from . import schemes
+from .base import DataSource, Query, SourceEntry, SourceMatch
+
+__all__ = ["PeeringDB"]
+
+
+class PeeringDB(DataSource):
+    """The PeeringDB registry over a synthetic world (ASN-keyed)."""
+
+    name = "peeringdb"
+
+    def __init__(self, world: World, seed: int = 0) -> None:
+        self._world = world
+        self._entries: Dict[int, SourceEntry] = {}
+        self._build(random.Random(("peeringdb", seed).__repr__()))
+
+    def _build(self, rng: random.Random) -> None:
+        for asn in self._world.asns():
+            org = self._world.org_of_asn(asn)
+            coverage = (
+                calibration.PEERINGDB_COVERAGE_TECH
+                if org.is_tech
+                else calibration.PEERINGDB_COVERAGE_NONTECH
+            )
+            # IXPs exist to peer and essentially always register.
+            if "ixp" in org.truth.layer2_slugs():
+                coverage = 0.9
+            if rng.random() >= coverage:
+                continue
+            layer1 = sorted(org.truth.layer1_slugs())[0]
+            slugs = org.truth.layer2_slugs()
+            # Multi-service operators register under their network identity.
+            if "isp" in slugs:
+                layer2: Optional[str] = "isp"
+            else:
+                layer2 = org.primary_layer2
+            category = schemes.peeringdb_category_for(layer1, layer2)
+            self._entries[asn] = SourceEntry(
+                entity_id=f"pdb-{asn}",
+                org_id=org.org_id,
+                name=org.name,
+                domain=org.domain,
+                native_categories=(category,),
+                labels=schemes.peeringdb_to_naicslite(category),
+            )
+
+    def coverage_count(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, query: Query) -> Optional[SourceMatch]:
+        """ASN-keyed lookup: exact, never the wrong entity."""
+        if query.asn is None:
+            return None
+        entry = self._entries.get(query.asn)
+        if entry is None:
+            return None
+        return SourceMatch(source=self.name, entry=entry, via="asn")
+
+    def lookup_by_org(self, org_id: str) -> Optional[SourceMatch]:
+        for asn in self._world.asns_of_org(org_id):
+            match = self.lookup(Query(asn=asn))
+            if match is not None:
+                return match
+        return None
+
+    def native_category(self, asn: int) -> Optional[str]:
+        """The registered PeeringDB category for an ASN, if any."""
+        entry = self._entries.get(asn)
+        return entry.native_categories[0] if entry else None

@@ -1,0 +1,435 @@
+"""Custom classification schemes and their NAICSlite translations.
+
+Clearbit, Crunchbase, PeeringDB, Zvelo, and IPinfo each use their own
+organization classification system (Section 3.2); the paper translates all
+of them to NAICSlite via a manual, twice-reviewed mapping.  This module is
+that mapping.
+
+Two directions exist per scheme:
+
+* ``*_FOR_LAYER2`` - given a ground-truth NAICSlite layer 2 slug, which
+  native category would the source plausibly apply?  (Used by simulators.)
+* ``*_TO_NAICSLITE`` - given a native category, which NAICSlite labels does
+  it translate to?  (Used by the pipeline's translation stage.)
+
+The mappings are deliberately lossy in the directions the paper measured:
+PeeringDB has no hosting category at all (hosting providers register as
+"content" or "nsp"), Zvelo's telecom bucket conflates ISPs with phone
+providers, and IPinfo's "business" bucket translates to nothing specific.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..taxonomy import Label, LabelSet
+
+__all__ = [
+    "PEERINGDB_CATEGORIES",
+    "peeringdb_to_naicslite",
+    "peeringdb_category_for",
+    "IPINFO_CATEGORIES",
+    "ipinfo_to_naicslite",
+    "ipinfo_category_for",
+    "ZVELO_TO_NAICSLITE",
+    "zvelo_category_for_layer2",
+    "zvelo_to_naicslite",
+    "CRUNCHBASE_TO_NAICSLITE",
+    "crunchbase_category_for_layer2",
+    "crunchbase_to_naicslite",
+]
+
+# --------------------------------------------------------------------------
+# PeeringDB: six operator-chosen categories (Section 2).
+# --------------------------------------------------------------------------
+
+PEERINGDB_CATEGORIES: Tuple[str, ...] = (
+    "Cable/DSL/ISP",
+    "Network Service Provider",
+    "Content",
+    "Education/Research",
+    "Enterprise",
+    "Non-profit",
+)
+
+_PDB_TO_NAICSLITE: Dict[str, LabelSet] = {
+    "Cable/DSL/ISP": LabelSet.from_layer2_slugs(["isp"]),
+    "Network Service Provider": LabelSet.from_layer2_slugs(["isp"]),
+    "Content": LabelSet.from_layer2_slugs(
+        ["streaming", "online_content"]
+    ),
+    "Education/Research": LabelSet.from_layer2_slugs(
+        ["university", "research"]
+    ),
+    # "Enterprise" carries no industry information: translated to nothing.
+    "Enterprise": LabelSet(),
+    "Non-profit": LabelSet.from_layer2_slugs(["nonprofit_other"]),
+}
+
+
+def peeringdb_to_naicslite(category: str) -> LabelSet:
+    """Translate a PeeringDB category to NAICSlite."""
+    return _PDB_TO_NAICSLITE[category]
+
+
+def peeringdb_category_for(layer1_slug: str, layer2_slug: Optional[str]) -> str:
+    """The PeeringDB category an operator of this type registers as."""
+    if layer2_slug in ("isp", "phone_provider"):
+        return "Cable/DSL/ISP"
+    if layer2_slug in ("ixp", "satellite"):
+        return "Network Service Provider"
+    if layer2_slug in ("hosting", "search_engine", "streaming",
+                       "online_content"):
+        # PeeringDB has no hosting category; hosts register as Content or
+        # NSP, which is why its hosting recall is 0 (Table 4).
+        return "Content"
+    if layer1_slug == "education":
+        return "Education/Research"
+    if layer1_slug == "nonprofit":
+        return "Non-profit"
+    return "Enterprise"
+
+
+# --------------------------------------------------------------------------
+# IPinfo: four categories (Section 2).
+# --------------------------------------------------------------------------
+
+IPINFO_CATEGORIES: Tuple[str, ...] = ("isp", "hosting", "education",
+                                      "business")
+
+_IPINFO_TO_NAICSLITE: Dict[str, LabelSet] = {
+    "isp": LabelSet.from_layer2_slugs(["isp"]),
+    "hosting": LabelSet.from_layer2_slugs(["hosting"]),
+    "education": LabelSet(
+        [Label(layer1="education")]
+    ),
+    # "business" = everything else; no NAICSlite information.
+    "business": LabelSet(),
+}
+
+
+def ipinfo_to_naicslite(category: str) -> LabelSet:
+    """Translate an IPinfo category to NAICSlite."""
+    return _IPINFO_TO_NAICSLITE[category]
+
+
+def ipinfo_category_for(layer1_slug: str, layer2_slug: Optional[str]) -> str:
+    """The IPinfo category for a ground-truth NAICSlite classification."""
+    if layer2_slug in ("isp", "phone_provider", "ixp", "satellite"):
+        return "isp"
+    if layer2_slug == "hosting":
+        return "hosting"
+    if layer1_slug == "education":
+        return "education"
+    return "business"
+
+
+# --------------------------------------------------------------------------
+# Zvelo: a production website classifier with ~100 content categories; we
+# implement the subset relevant to organization classification.
+# --------------------------------------------------------------------------
+
+#: NAICSlite layer 2 slug -> the Zvelo category its websites look like.
+_ZVELO_FOR_LAYER2: Dict[str, str] = {
+    # Technology.  Note: ISPs and phone providers collapse into one bucket;
+    # hosting has a bucket of its own but sites must score into it.
+    "isp": "internet_telecom",
+    "phone_provider": "internet_telecom",
+    "satellite": "internet_telecom",
+    "ixp": "internet_telecom",
+    "hosting": "web_hosting",
+    "software": "computers_technology",
+    "tech_consulting": "computers_technology",
+    "it_other": "computers_technology",
+    "search_engine": "search_portals",
+    "security": "computer_security",
+    "edu_software": "computers_technology",
+    # Media.
+    "streaming": "streaming_media",
+    "online_content": "news_media",
+    "print_media": "news_media",
+    "music_video_industry": "entertainment",
+    "radio_tv": "broadcasting",
+    "media_other": "news_media",
+    # Finance.
+    "banks": "banking",
+    "insurance": "insurance",
+    "accounting": "business_services",
+    "investment": "investing",
+    "finance_other": "banking",
+    # Education.
+    "k12": "education",
+    "university": "education",
+    "other_schools": "education",
+    "research": "science",
+    "education_other": "education",
+    # Service.
+    "consulting": "business_services",
+    "repair": "home_services",
+    "personal_care": "lifestyle",
+    "social_assistance": "society",
+    "service_other": "business_services",
+    # Agriculture / energy.
+    "crop_farming": "agriculture",
+    "animal_farming": "agriculture",
+    "greenhouses": "agriculture",
+    "forestry": "agriculture",
+    "mining": "energy_industry",
+    "oil_gas": "energy_industry",
+    "agriculture_other": "agriculture",
+    # Nonprofit.
+    "religious": "religion",
+    "advocacy": "society",
+    "nonprofit_other": "society",
+    # Construction / real estate.
+    "buildings": "real_estate_construction",
+    "civil_engineering": "real_estate_construction",
+    "real_estate": "real_estate_construction",
+    "construction_other": "real_estate_construction",
+    # Entertainment.
+    "libraries": "reference",
+    "recreation": "sports_recreation",
+    "amusement": "sports_recreation",
+    "museums": "arts_culture",
+    "gambling": "gambling",
+    "tours": "travel",
+    "entertainment_other": "entertainment",
+    # Utilities.
+    "electric": "utilities",
+    "natural_gas": "utilities",
+    "water": "utilities",
+    "sewage": "utilities",
+    "steam": "utilities",
+    "utilities_other": "utilities",
+    # Health.
+    "hospitals": "health",
+    "medical_labs": "health",
+    "nursing": "health",
+    "healthcare_other": "health",
+    # Travel.
+    "air_travel": "travel",
+    "rail_travel": "travel",
+    "water_travel": "travel",
+    "hotels": "travel",
+    "rv_parks": "travel",
+    "boarding": "travel",
+    "food_services": "food_dining",
+    "travel_other": "travel",
+    # Freight.
+    "postal": "logistics",
+    "air_freight": "logistics",
+    "rail_freight": "logistics",
+    "water_freight": "logistics",
+    "trucking": "logistics",
+    "space": "science",
+    "passenger_transit": "travel",
+    "freight_other": "logistics",
+    # Government.
+    "military": "government",
+    "law_enforcement": "government",
+    "agencies": "government",
+    "government_other": "government",
+    # Retail.
+    "grocery": "shopping",
+    "clothing": "shopping",
+    "retail_other": "shopping",
+    # Manufacturing.
+    "automotive": "vehicles",
+    "food_mfg": "manufacturing",
+    "textiles": "manufacturing",
+    "machinery": "manufacturing",
+    "chemical": "manufacturing",
+    "electronics": "manufacturing",
+    "manufacturing_other": "manufacturing",
+    # Other.
+    "individually_owned": "personal_sites",
+    "other_other": "society",
+}
+
+#: Zvelo category -> NAICSlite labels.  Lossiness is the point: most
+#: buckets translate to a *subset* of the L2 slugs that score into them.
+ZVELO_TO_NAICSLITE: Dict[str, LabelSet] = {
+    "internet_telecom": LabelSet.from_layer2_slugs(
+        ["isp", "phone_provider"]
+    ),
+    "web_hosting": LabelSet.from_layer2_slugs(["hosting"]),
+    "computers_technology": LabelSet.from_layer2_slugs(
+        ["software", "tech_consulting", "it_other"]
+    ),
+    "computer_security": LabelSet.from_layer2_slugs(["security"]),
+    "search_portals": LabelSet.from_layer2_slugs(["search_engine"]),
+    "streaming_media": LabelSet.from_layer2_slugs(["streaming"]),
+    "news_media": LabelSet.from_layer2_slugs(
+        ["online_content", "print_media"]
+    ),
+    "broadcasting": LabelSet.from_layer2_slugs(["radio_tv"]),
+    "entertainment": LabelSet.from_layer2_slugs(
+        ["music_video_industry", "entertainment_other"]
+    ),
+    "banking": LabelSet.from_layer2_slugs(["banks"]),
+    "insurance": LabelSet.from_layer2_slugs(["insurance"]),
+    "investing": LabelSet.from_layer2_slugs(["investment"]),
+    "education": LabelSet.from_layer2_slugs(["university", "k12"]),
+    "science": LabelSet.from_layer2_slugs(["research"]),
+    "business_services": LabelSet.from_layer2_slugs(["consulting"]),
+    "home_services": LabelSet.from_layer2_slugs(["repair"]),
+    "lifestyle": LabelSet.from_layer2_slugs(["personal_care"]),
+    "society": LabelSet.from_layer2_slugs(
+        ["advocacy", "nonprofit_other", "social_assistance"]
+    ),
+    "agriculture": LabelSet.from_layer2_slugs(
+        ["crop_farming", "animal_farming"]
+    ),
+    "energy_industry": LabelSet.from_layer2_slugs(["oil_gas", "mining"]),
+    "religion": LabelSet.from_layer2_slugs(["religious"]),
+    "real_estate_construction": LabelSet.from_layer2_slugs(
+        ["real_estate", "buildings"]
+    ),
+    "reference": LabelSet.from_layer2_slugs(["libraries"]),
+    "sports_recreation": LabelSet.from_layer2_slugs(
+        ["recreation", "amusement"]
+    ),
+    "arts_culture": LabelSet.from_layer2_slugs(["museums"]),
+    "gambling": LabelSet.from_layer2_slugs(["gambling"]),
+    "utilities": LabelSet.from_layer2_slugs(["electric", "water"]),
+    "health": LabelSet.from_layer2_slugs(
+        ["hospitals", "healthcare_other"]
+    ),
+    "travel": LabelSet.from_layer2_slugs(["hotels", "travel_other"]),
+    "food_dining": LabelSet.from_layer2_slugs(["food_services"]),
+    "logistics": LabelSet.from_layer2_slugs(
+        ["trucking", "freight_other", "postal"]
+    ),
+    "government": LabelSet.from_layer2_slugs(
+        ["agencies", "military", "law_enforcement"]
+    ),
+    "shopping": LabelSet.from_layer2_slugs(["retail_other", "grocery"]),
+    "vehicles": LabelSet.from_layer2_slugs(["automotive"]),
+    "manufacturing": LabelSet.from_layer2_slugs(
+        ["machinery", "manufacturing_other"]
+    ),
+    "personal_sites": LabelSet.from_layer2_slugs(["individually_owned"]),
+}
+
+
+def zvelo_category_for_layer2(layer2_slug: str) -> str:
+    """The Zvelo bucket a category's websites look like."""
+    return _ZVELO_FOR_LAYER2[layer2_slug]
+
+
+def zvelo_to_naicslite(category: str) -> LabelSet:
+    """Translate a Zvelo category to NAICSlite."""
+    return ZVELO_TO_NAICSLITE[category]
+
+
+# --------------------------------------------------------------------------
+# Crunchbase: startup-oriented custom categories.
+# --------------------------------------------------------------------------
+
+_CRUNCHBASE_FOR_LAYER2: Dict[str, str] = {
+    "isp": "internet services",
+    "phone_provider": "mobile",
+    "hosting": "cloud infrastructure",
+    "security": "cyber security",
+    "software": "software",
+    "tech_consulting": "information technology",
+    "satellite": "aerospace",
+    "search_engine": "search engine",
+    "ixp": "internet services",
+    "it_other": "information technology",
+    "streaming": "media and entertainment",
+    "online_content": "media and entertainment",
+    "banks": "financial services",
+    "insurance": "insurance",
+    "investment": "venture capital",
+    "university": "education",
+    "k12": "education",
+    "research": "biotechnology",
+    "edu_software": "edtech",
+    "hospitals": "health care",
+    "electric": "energy",
+    "oil_gas": "energy",
+}
+
+CRUNCHBASE_TO_NAICSLITE: Dict[str, LabelSet] = {
+    "internet services": LabelSet.from_layer2_slugs(["isp", "it_other"]),
+    "mobile": LabelSet.from_layer2_slugs(["phone_provider"]),
+    "cloud infrastructure": LabelSet.from_layer2_slugs(["hosting"]),
+    "cyber security": LabelSet.from_layer2_slugs(["security"]),
+    "software": LabelSet.from_layer2_slugs(["software"]),
+    "information technology": LabelSet.from_layer2_slugs(
+        ["it_other", "tech_consulting"]
+    ),
+    "aerospace": LabelSet.from_layer2_slugs(["satellite", "space"]),
+    "search engine": LabelSet.from_layer2_slugs(["search_engine"]),
+    "media and entertainment": LabelSet.from_layer2_slugs(
+        ["streaming", "online_content", "music_video_industry"]
+    ),
+    "financial services": LabelSet.from_layer2_slugs(
+        ["banks", "finance_other"]
+    ),
+    "insurance": LabelSet.from_layer2_slugs(["insurance"]),
+    "venture capital": LabelSet.from_layer2_slugs(["investment"]),
+    "education": LabelSet.from_layer2_slugs(["university", "k12"]),
+    "edtech": LabelSet.from_layer2_slugs(["edu_software"]),
+    "biotechnology": LabelSet.from_layer2_slugs(["research", "chemical"]),
+    "health care": LabelSet.from_layer2_slugs(
+        ["hospitals", "healthcare_other"]
+    ),
+    "energy": LabelSet.from_layer2_slugs(["electric", "oil_gas"]),
+    # Generic layer-1-level buckets (translations carry no layer 2).
+    "commerce and shopping": LabelSet([Label(layer1="retail")]),
+    "transportation": LabelSet([Label(layer1="freight")]),
+    "real estate": LabelSet([Label(layer1="construction")]),
+    "government and military": LabelSet([Label(layer1="government")]),
+    "agriculture and farming": LabelSet([Label(layer1="agriculture")]),
+    "manufacturing": LabelSet([Label(layer1="manufacturing")]),
+    "travel and tourism": LabelSet([Label(layer1="travel")]),
+    "sports and entertainment": LabelSet([Label(layer1="entertainment")]),
+    "nonprofit": LabelSet([Label(layer1="nonprofit")]),
+    "professional services": LabelSet([Label(layer1="service")]),
+    "utilities sector": LabelSet([Label(layer1="utilities")]),
+    "consumer goods": LabelSet([Label(layer1="other")]),
+}
+
+#: Layer 1 slug -> generic Crunchbase bucket, used when no specific
+#: category exists for a layer 2 slug.
+_CRUNCHBASE_L1_FALLBACK: Dict[str, str] = {
+    "computer_and_it": "information technology",
+    "media": "media and entertainment",
+    "finance": "financial services",
+    "education": "education",
+    "service": "professional services",
+    "agriculture": "agriculture and farming",
+    "nonprofit": "nonprofit",
+    "construction": "real estate",
+    "entertainment": "sports and entertainment",
+    "utilities": "utilities sector",
+    "healthcare": "health care",
+    "travel": "travel and tourism",
+    "freight": "transportation",
+    "government": "government and military",
+    "retail": "commerce and shopping",
+    "manufacturing": "manufacturing",
+    "other": "consumer goods",
+}
+
+
+def crunchbase_category_for_layer2(layer2_slug: str) -> Optional[str]:
+    """The Crunchbase category for a layer 2 slug.
+
+    Specific vocabulary is startup/tech-skewed; everything else falls back
+    to a generic layer-1-level bucket.
+    """
+    specific = _CRUNCHBASE_FOR_LAYER2.get(layer2_slug)
+    if specific is not None:
+        return specific
+    from ..taxonomy import naicslite
+
+    layer1 = naicslite.layer2_by_name(layer2_slug).layer1.slug
+    return _CRUNCHBASE_L1_FALLBACK.get(layer1)
+
+
+def crunchbase_to_naicslite(category: str) -> LabelSet:
+    """Translate a Crunchbase category to NAICSlite."""
+    return CRUNCHBASE_TO_NAICSLITE[category]

@@ -1,0 +1,78 @@
+"""ZoomInfo simulator.
+
+ZoomInfo is a paid business database returning exact NAICS codes.  The
+paper evaluates it (68% coverage but the second-worst recall and precision,
+Tables 3/4) and then drops it from the final system because it does not
+market full data access to academic researchers (Section 3.5).  We keep the
+simulator so the data-source evaluation benchmarks cover it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..taxonomy import translation
+from ..world.calibration import ZOOMINFO
+from ..world.organization import World
+from . import emission
+from .base import DataSource, Query, SourceEntry, SourceMatch
+from .dnb import _avoid_for, _naics_code_for
+
+__all__ = ["ZoomInfo"]
+
+
+class ZoomInfo(DataSource):
+    """The ZoomInfo business database over a synthetic world."""
+
+    name = "zoominfo"
+
+    def __init__(self, world: World, seed: int = 0) -> None:
+        self._world = world
+        self._entries: Dict[str, SourceEntry] = {}
+        self._name_index: Dict[str, str] = {}
+        self._domain_index: Dict[str, str] = {}
+        self._build(random.Random(("zoominfo", seed).__repr__()))
+
+    def _build(self, rng: random.Random) -> None:
+        for org in self._world.iter_organizations():
+            slugs = emission.emit_layer2_slugs(rng, org.truth, ZOOMINFO)
+            if slugs is None:
+                continue
+            truth_slugs = org.truth.layer2_slugs()
+            codes: List[str] = []
+            for slug in slugs:
+                codes.append(
+                    _naics_code_for(rng, slug, _avoid_for(slug, truth_slugs))
+                )
+            entry = SourceEntry(
+                entity_id=f"zi-{org.org_id}",
+                org_id=org.org_id,
+                name=org.name,
+                domain=org.domain,
+                native_categories=tuple(codes),
+                labels=translation.translate_naics_codes(codes),
+            )
+            self._entries[org.org_id] = entry
+            self._name_index.setdefault(org.name.lower(), org.org_id)
+            if org.domain:
+                self._domain_index.setdefault(org.domain, org.org_id)
+
+    def coverage_count(self) -> int:
+        return len(self._entries)
+
+    def lookup_by_org(self, org_id: str) -> Optional[SourceMatch]:
+        entry = self._entries.get(org_id)
+        if entry is None:
+            return None
+        return SourceMatch(source=self.name, entry=entry, via="manual")
+
+    def lookup(self, query: Query) -> Optional[SourceMatch]:
+        hit: Optional[str] = None
+        if query.domain:
+            hit = self._domain_index.get(query.domain)
+        if hit is None and query.name:
+            hit = self._name_index.get(query.name.lower())
+        if hit is None:
+            return None
+        return SourceMatch(source=self.name, entry=self._entries[hit])

@@ -1,0 +1,79 @@
+"""Evaluation framework: labelers, gold standards, metrics, baselines.
+
+Implements the paper's evaluation methodology end to end: simulated
+expert labelers with pair resolution (Section 3.2), the four labeled
+datasets of Table 2, the coverage/recall/precision metrics of Section 3.3,
+ASdb's per-stage breakdown (Table 8), the coarse F1 comparison (Table 7),
+and the prior-work baselines (Section 2).
+"""
+
+from .baselines import (
+    BF_CATEGORIES,
+    BaumannFabianClassifier,
+    CaidaEvaluation,
+    evaluate_caida,
+)
+from .goldstandard import (
+    LabeledAS,
+    LabeledDataset,
+    build_gold_standard,
+    build_test_set,
+    build_uniform_gold_standard,
+)
+from .harness import (
+    AgreementStats,
+    ConfidenceBucket,
+    EntityResolutionRow,
+    category_accuracy_rows,
+    figure1_agreement,
+    figure2_dnb_confidence,
+    pairwise_precision_rows,
+    table5_entity_resolution,
+    table7_coarse_f1,
+)
+from .labeler import Labeler, NaicsJudgment, NaicsliteJudgment, resolve_pair
+from .metrics import (
+    Fraction,
+    SourceEvaluation,
+    StageBreakdown,
+    StageRow,
+    coarse_class_of_labels,
+    coarse_f1,
+    evaluate_source,
+    evaluate_stages,
+    peeringdb_coarse_class,
+)
+
+__all__ = [
+    "Labeler",
+    "NaicsJudgment",
+    "NaicsliteJudgment",
+    "resolve_pair",
+    "LabeledAS",
+    "LabeledDataset",
+    "build_gold_standard",
+    "build_test_set",
+    "build_uniform_gold_standard",
+    "Fraction",
+    "SourceEvaluation",
+    "evaluate_source",
+    "StageBreakdown",
+    "StageRow",
+    "evaluate_stages",
+    "coarse_class_of_labels",
+    "peeringdb_coarse_class",
+    "coarse_f1",
+    "BaumannFabianClassifier",
+    "BF_CATEGORIES",
+    "CaidaEvaluation",
+    "evaluate_caida",
+    "AgreementStats",
+    "figure1_agreement",
+    "ConfidenceBucket",
+    "figure2_dnb_confidence",
+    "EntityResolutionRow",
+    "table5_entity_resolution",
+    "table7_coarse_f1",
+    "category_accuracy_rows",
+    "pairwise_precision_rows",
+]

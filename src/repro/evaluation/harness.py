@@ -1,0 +1,401 @@
+"""Per-experiment computation harness.
+
+One function per paper experiment, returning plain data structures the
+benchmark suite renders (and the tests assert on).  Keeping the logic here
+- instead of inside the benchmarks - means every number in EXPERIMENTS.md
+is produced by library code under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.database import ASdbDataset
+from ..datasources.base import DataSource, Query
+from ..datasources.dnb import DunBradstreet
+from ..matching import domains as domain_selection
+from ..matching.domains import DomainFrequencyIndex
+from ..taxonomy import LabelSet, naicslite
+from ..world.organization import World
+from .goldstandard import LabeledDataset
+from .labeler import Labeler
+from .metrics import (
+    Fraction,
+    coarse_class_of_labels,
+    coarse_f1,
+    peeringdb_coarse_class,
+)
+
+__all__ = [
+    "AgreementStats",
+    "figure1_agreement",
+    "ConfidenceBucket",
+    "figure2_dnb_confidence",
+    "EntityResolutionRow",
+    "table5_entity_resolution",
+    "table7_coarse_f1",
+    "category_accuracy_rows",
+    "pairwise_precision_rows",
+]
+
+
+# -- Figure 1: labeler agreement by framework --------------------------------
+
+
+@dataclass(frozen=True)
+class AgreementStats:
+    """Two-labeler agreement rates for one classification framework."""
+
+    framework: str
+    top_complete: float   # identical top-level assignments
+    low_complete: float   # identical full/low-level assignments
+    top_overlap: float    # >= 1 shared top-level category
+    low_overlap: float    # >= 1 shared low-level category
+
+
+def figure1_agreement(
+    world: World, n: int = 150, seed: int = 0
+) -> Tuple[AgreementStats, AgreementStats]:
+    """Label ``n`` ASes with two independent labelers under NAICS and
+    NAICSlite; return (naics_stats, naicslite_stats)."""
+    rng = random.Random(("figure1", seed).__repr__())
+    asns = rng.sample(world.asns(), min(n, len(world.asns())))
+    labeler_a = Labeler("fig1-a", seed=seed)
+    labeler_b = Labeler("fig1-b", seed=seed + 1)
+
+    naics_counts = [0, 0, 0, 0]
+    lite_counts = [0, 0, 0, 0]
+    total = 0
+    for asn in asns:
+        org = world.org_of_asn(asn)
+        total += 1
+        # NAICS.
+        codes_a = labeler_a.label_naics(org)
+        codes_b = labeler_b.label_naics(org)
+        sectors_a, sectors_b = codes_a.sectors(), codes_b.sectors()
+        full_a, full_b = set(codes_a.codes), set(codes_b.codes)
+        naics_counts[0] += sectors_a == sectors_b and bool(sectors_a)
+        naics_counts[1] += full_a == full_b and bool(full_a)
+        naics_counts[2] += bool(sectors_a & sectors_b)
+        naics_counts[3] += bool(full_a & full_b)
+        # NAICSlite.
+        lite_a = labeler_a.label_naicslite(org).labels
+        lite_b = labeler_b.label_naicslite(org).labels
+        l1_a, l1_b = lite_a.layer1_slugs(), lite_b.layer1_slugs()
+        l2_a, l2_b = lite_a.layer2_slugs(), lite_b.layer2_slugs()
+        lite_counts[0] += l1_a == l1_b and bool(l1_a)
+        lite_counts[1] += l2_a == l2_b and bool(l2_a)
+        lite_counts[2] += bool(l1_a & l1_b)
+        lite_counts[3] += bool(l2_a & l2_b)
+
+    def _stats(name: str, counts: List[int]) -> AgreementStats:
+        return AgreementStats(
+            framework=name,
+            top_complete=counts[0] / total,
+            low_complete=counts[1] / total,
+            top_overlap=counts[2] / total,
+            low_overlap=counts[3] / total,
+        )
+
+    return _stats("NAICS", naics_counts), _stats("NAICSlite", lite_counts)
+
+
+# -- Figure 2: D&B confidence codes -------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfidenceBucket:
+    """Match accuracy for one D&B confidence code."""
+
+    code: int
+    accuracy: Fraction
+
+
+def figure2_dnb_confidence(
+    dnb: DunBradstreet,
+    world: World,
+    dataset: LabeledDataset,
+) -> List[ConfidenceBucket]:
+    """Automated D&B lookups bucketed by returned confidence code."""
+    buckets: Dict[int, List[bool]] = {}
+    for entry in dataset.labeled_entries():
+        org = world.org_of_asn(entry.asn)
+        match = dnb.lookup(
+            Query(name=org.name, domain=org.domain, address=org.address)
+        )
+        if match is None or match.confidence is None:
+            continue
+        buckets.setdefault(match.confidence, []).append(
+            match.entry.org_id == org.org_id
+        )
+    return [
+        ConfidenceBucket(
+            code=code,
+            accuracy=Fraction(sum(results), len(results)),
+        )
+        for code, results in sorted(buckets.items())
+    ]
+
+
+# -- Table 5: automated entity resolution --------------------------------------
+
+
+@dataclass(frozen=True)
+class EntityResolutionRow:
+    """One Table-5 row: a matching strategy's outcome distribution."""
+
+    target: str
+    algorithm: str
+    match_accuracy: float   # correct / (correct + incorrect)
+    correct: float          # correct / all queried
+    incorrect: float
+    missing: float
+
+
+def _resolution_row(
+    target: str, algorithm: str, outcomes: Sequence[Optional[bool]]
+) -> EntityResolutionRow:
+    total = len(outcomes)
+    correct = sum(1 for outcome in outcomes if outcome is True)
+    incorrect = sum(1 for outcome in outcomes if outcome is False)
+    missing = total - correct - incorrect
+    matched = correct + incorrect
+    return EntityResolutionRow(
+        target=target,
+        algorithm=algorithm,
+        match_accuracy=correct / matched if matched else 0.0,
+        correct=correct / total if total else 0.0,
+        incorrect=incorrect / total if total else 0.0,
+        missing=missing / total if total else 0.0,
+    )
+
+
+def table5_entity_resolution(
+    world: World,
+    dataset: LabeledDataset,
+    dnb: DunBradstreet,
+    crunchbase,
+    ipinfo,
+    frequency_index: DomainFrequencyIndex,
+) -> List[EntityResolutionRow]:
+    """All Table-5 rows over one labeled dataset.
+
+    Outcomes per AS are True (correct entity/domain), False (wrong), or
+    None (no match).
+    """
+    entries = dataset.labeled_entries()
+
+    # D&B at two confidence thresholds.
+    dnb_rows: List[EntityResolutionRow] = []
+    for threshold, label in ((1, "Conf >=1"), (6, "Conf >=6")):
+        outcomes: List[Optional[bool]] = []
+        for entry in entries:
+            org = world.org_of_asn(entry.asn)
+            match = dnb.lookup(
+                Query(name=org.name, domain=org.domain,
+                      address=org.address)
+            )
+            if match is None or (match.confidence or 0) < threshold:
+                outcomes.append(None)
+            else:
+                outcomes.append(match.entry.org_id == org.org_id)
+        dnb_rows.append(_resolution_row("D&B", label, outcomes))
+
+    # Crunchbase by domain, then by tokenized name.
+    cb_domain: List[Optional[bool]] = []
+    cb_name: List[Optional[bool]] = []
+    for entry in entries:
+        org = world.org_of_asn(entry.asn)
+        domain_match = (
+            crunchbase.lookup(Query(domain=org.domain))
+            if org.domain
+            else None
+        )
+        cb_domain.append(
+            None
+            if domain_match is None
+            else domain_match.entry.org_id == org.org_id
+        )
+        name_match = crunchbase.lookup(Query(name=org.name))
+        cb_name.append(
+            None
+            if name_match is None
+            else name_match.entry.org_id == org.org_id
+        )
+    cb_rows = [
+        _resolution_row("Crunchbase", "Domain", cb_domain),
+        _resolution_row("Crunchbase", "Name", cb_name),
+    ]
+
+    # Domain selection heuristics: random / least common / most similar.
+    heuristics = {
+        "Random": lambda cands, asn, as_name: (
+            domain_selection.select_random(cands, seed_material=str(asn))
+        ),
+        "Least Common": lambda cands, asn, as_name: (
+            domain_selection.select_least_common(cands, frequency_index)
+        ),
+        "Most Similar": lambda cands, asn, as_name: (
+            domain_selection.select_most_similar(cands, as_name, world.web)
+        ),
+    }
+    domain_rows: List[EntityResolutionRow] = []
+    for label, heuristic in heuristics.items():
+        outcomes = []
+        for entry in entries:
+            org = world.org_of_asn(entry.asn)
+            contact = world.registry.contact(entry.asn)
+            as_name = world.ases[entry.asn].as_name
+            if org.domain is None:
+                outcomes.append(None)
+                continue
+            chosen = heuristic(
+                contact.candidate_domains, entry.asn, as_name
+            )
+            if chosen is None:
+                outcomes.append(None)
+            else:
+                outcomes.append(chosen == org.domain)
+        domain_rows.append(_resolution_row("Domain", label, outcomes))
+
+    # IPinfo's published domains.
+    ipinfo_outcomes: List[Optional[bool]] = []
+    for entry in entries:
+        org = world.org_of_asn(entry.asn)
+        hint = ipinfo.domain_hint(entry.asn)
+        if hint is None or org.domain is None:
+            ipinfo_outcomes.append(None)
+        else:
+            ipinfo_outcomes.append(hint == org.domain)
+    domain_rows.append(
+        _resolution_row("Domain", "IPinfo", ipinfo_outcomes)
+    )
+
+    return dnb_rows + cb_rows + domain_rows
+
+
+# -- Table 7: coarse F1 comparison -----------------------------------------------
+
+
+def table7_coarse_f1(
+    asdb_dataset: ASdbDataset,
+    ipinfo,
+    peeringdb,
+    dataset: LabeledDataset,
+) -> Dict[str, Dict[str, float]]:
+    """F1 per coarse class for ASdb, IPinfo, and PeeringDB.
+
+    Returns ``{class: {"asdb": f1, "ipinfo": f1, "peeringdb": f1,
+    "n": count}}``.
+    """
+    truth: List[Optional[str]] = []
+    asdb_pred: List[Optional[str]] = []
+    ipinfo_pred: List[Optional[str]] = []
+    pdb_pred: List[Optional[str]] = []
+    for entry in dataset.labeled_entries():
+        truth.append(coarse_class_of_labels(entry.labels))
+        record = asdb_dataset.get(entry.asn)
+        asdb_pred.append(
+            coarse_class_of_labels(record.labels) if record else None
+        )
+        ipinfo_category = ipinfo.native_category(entry.asn)
+        ipinfo_pred.append(ipinfo_category)
+        pdb_category = peeringdb.native_category(entry.asn)
+        pdb_pred.append(
+            peeringdb_coarse_class(pdb_category)
+            if pdb_category is not None
+            else None
+        )
+    result: Dict[str, Dict[str, float]] = {}
+    for cls in ("business", "isp", "hosting", "education"):
+        result[cls] = {
+            "n": sum(1 for t in truth if t == cls),
+            "asdb": coarse_f1(truth, asdb_pred, cls),
+            "ipinfo": coarse_f1(truth, ipinfo_pred, cls),
+            "peeringdb": coarse_f1(truth, pdb_pred, cls),
+        }
+    return result
+
+
+# -- Tables 10/11: per-category accuracy and pairwise precision --------------------
+
+
+def category_accuracy_rows(
+    world: World,
+    dataset: LabeledDataset,
+    classifier_of_asn,
+) -> Dict[str, Fraction]:
+    """Per-layer-1 accuracy/coverage of any AS -> LabelSet function.
+
+    ``classifier_of_asn(asn)`` returns a LabelSet (empty = uncovered).
+    Returns {layer1_slug: Fraction(correct, covered)} keyed by the
+    *expert* layer 1 category.
+    """
+    hits: Dict[str, int] = {}
+    totals: Dict[str, int] = {}
+    for entry in dataset.labeled_entries():
+        labels = classifier_of_asn(entry.asn)
+        if not labels:
+            continue
+        hit = labels.overlaps_layer1(entry.labels)
+        for slug in entry.labels.layer1_slugs():
+            totals[slug] = totals.get(slug, 0) + 1
+            hits[slug] = hits.get(slug, 0) + hit
+    return {
+        slug: Fraction(hits.get(slug, 0), totals[slug])
+        for slug in sorted(totals)
+    }
+
+
+def pairwise_precision_rows(
+    world: World,
+    dataset: LabeledDataset,
+    sources: Dict[str, DataSource],
+) -> Dict[Tuple[str, ...], Fraction]:
+    """Table-11 pairwise agreement: for each source combination, precision
+    of the *intersection* of their categories over ASes where all members
+    of the combination matched and pairwise agree at layer 1."""
+    names = sorted(sources)
+    combos: List[Tuple[str, ...]] = [(name,) for name in names]
+    for index, first in enumerate(names):
+        for second in names[index + 1:]:
+            combos.append((first, second))
+    if len(names) >= 3:
+        combos.append(tuple(names))
+
+    results: Dict[Tuple[str, ...], List[bool]] = {
+        combo: [] for combo in combos
+    }
+    for entry in dataset.labeled_entries():
+        org = world.org_of_asn(entry.asn)
+        matched: Dict[str, LabelSet] = {}
+        for name in names:
+            match = sources[name].lookup_by_org(org.org_id)
+            if match is not None and match.labels:
+                matched[name] = match.labels
+        for combo in combos:
+            if not all(name in matched for name in combo):
+                continue
+            combined = matched[combo[0]]
+            agreed = True
+            for name in combo[1:]:
+                if not combined.overlaps_layer1(matched[name]):
+                    agreed = False
+                    break
+                combined = combined.union(matched[name])
+            if not agreed:
+                continue
+            if len(combo) > 1:
+                shared = set.intersection(
+                    *(matched[name].layer1_slugs() for name in combo)
+                )
+                correct = bool(shared & entry.labels.layer1_slugs())
+            else:
+                correct = combined.overlaps_layer1(entry.labels)
+            results[combo].append(correct)
+    return {
+        combo: Fraction(sum(outcomes), len(outcomes))
+        for combo, outcomes in results.items()
+    }

@@ -1,0 +1,168 @@
+"""Simulated expert labelers (Section 3.2, Figure 1).
+
+Five computer-networking researchers labeled the Gold Standard: each AS
+was independently classified by two researchers, who then met in pairs to
+resolve discrepancies.  The paper found that the *framework* drives
+agreement: NAICS' >2,000 redundant codes halve labeler agreement relative
+to NAICSlite.
+
+A :class:`Labeler` sees the ground truth but renders it imperfectly:
+
+* **NAICS mode** - picks one of the several plausible 6-digit codes for
+  the organization's category (the paper's AS56885 example: one labeler
+  chose 335911 Storage Battery Manufacturing, the other 334416 Capacitor/
+  Resistor/Coil Manufacturing - semantically agreeing, zero code overlap);
+* **NAICSlite mode** - picks the layer 2 slug directly, with a small
+  subjectivity rate toward a confusable sibling (13% of Gold Standard ASes
+  had disagreeing-yet-accurate labels, Section 3.4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..taxonomy import LabelSet, naics, translation
+from ..world.calibration import CONFUSION_L1, CONFUSION_L2
+from ..world.organization import Organization
+
+__all__ = ["NaicsJudgment", "NaicsliteJudgment", "Labeler"]
+
+#: Probability a labeler's subjective perception lands on a confusable
+#: sibling category instead of the primary one.
+_SUBJECTIVITY_NAICSLITE = 0.12
+_SUBJECTIVITY_NAICS = 0.15
+#: Probability the subjective reading even crosses into a different
+#: layer 1 category (e.g. an online-learning service read as media vs
+#: education vs information technology - Section 3.4's AS32169).
+_CROSS_LAYER1 = 0.05
+#: Preference for the most canonical NAICS code of a category.  NAICS'
+#: redundancy means several codes fit; labelers still converge on the
+#: best-known one about this often.
+_CANONICAL_CODE_PREFERENCE = 0.60
+
+
+@dataclass(frozen=True)
+class NaicsJudgment:
+    """One labeler's NAICS verdict for one organization."""
+
+    codes: Tuple[str, ...]
+
+    def sectors(self) -> Set[str]:
+        """The 2-digit sector prefixes of the chosen codes."""
+        return {code[:2] for code in self.codes}
+
+
+@dataclass(frozen=True)
+class NaicsliteJudgment:
+    """One labeler's NAICSlite verdict for one organization."""
+
+    labels: LabelSet
+
+
+class Labeler:
+    """A simulated expert researcher.
+
+    Args:
+        name: Labeler identity (folded into per-judgment determinism).
+        seed: Base seed.
+    """
+
+    def __init__(self, name: str, seed: int = 0) -> None:
+        self.name = name
+        self._seed = seed
+
+    def _rng(self, org: Organization) -> random.Random:
+        return random.Random((self.name, self._seed, org.org_id).__repr__())
+
+    def _perceived_slug(
+        self, rng: random.Random, org: Organization, subjectivity: float
+    ) -> Optional[str]:
+        slugs = sorted(org.truth.layer2_slugs())
+        if not slugs:
+            return None
+        # Multi-service orgs: labelers latch onto different services.
+        slug = rng.choice(slugs)
+        if rng.random() < subjectivity:
+            if rng.random() < _CROSS_LAYER1:
+                from ..taxonomy import naicslite
+
+                layer1 = naicslite.layer2_by_name(slug).layer1
+                wrong_l1 = rng.choice(
+                    CONFUSION_L1.get(layer1.slug, ("service",))
+                )
+                candidates = naicslite.layer1_by_slug(wrong_l1).layer2
+                return rng.choice([sub.slug for sub in candidates])
+            partners = CONFUSION_L2.get(slug)
+            if partners:
+                slug = rng.choice(partners)
+        return slug
+
+    def label_naics(self, org: Organization) -> NaicsJudgment:
+        """Label with raw NAICS codes.
+
+        Several 6-digit codes plausibly describe most organizations; the
+        labeler picks one (sometimes two) according to personal reading.
+        """
+        rng = self._rng(org)
+        slug = self._perceived_slug(rng, org, _SUBJECTIVITY_NAICS)
+        if slug is None:
+            return NaicsJudgment(codes=())
+        candidates = translation.naics_candidates_for_layer2(slug)
+        if not candidates:
+            return NaicsJudgment(codes=())
+        if rng.random() < _CANONICAL_CODE_PREFERENCE:
+            codes = [candidates[0]]  # the best-known code for the category
+        else:
+            codes = [rng.choice(candidates)]
+        if rng.random() < 0.15 and len(candidates) > 1:
+            second = rng.choice(candidates)
+            if second not in codes:
+                codes.append(second)
+        return NaicsJudgment(codes=tuple(codes))
+
+    def label_naicslite(self, org: Organization) -> NaicsliteJudgment:
+        """Label with NAICSlite layer 2 categories."""
+        rng = self._rng(org)
+        slug = self._perceived_slug(rng, org, _SUBJECTIVITY_NAICSLITE)
+        if slug is None:
+            return NaicsliteJudgment(labels=LabelSet())
+        slugs = {slug}
+        # Multi-service orgs occasionally get both services recorded.
+        extra = sorted(org.truth.layer2_slugs() - slugs)
+        if extra and rng.random() < 0.35:
+            slugs.add(rng.choice(extra))
+        return NaicsliteJudgment(labels=LabelSet.from_layer2_slugs(slugs))
+
+
+def resolve_pair(
+    first: NaicsliteJudgment,
+    second: NaicsliteJudgment,
+    org: Organization,
+    rng: random.Random,
+) -> LabelSet:
+    """The pair-resolution meeting (Section 3.2).
+
+    Researchers reconcile their labels against the organization's actual
+    materials; the outcome keeps every label both can verify (the truth
+    labels either proposed) and drops unverifiable ones.  When neither
+    proposed anything verifiable the meeting converges on the primary
+    truth category - occasionally only at layer 1 (6 of 148 Gold Standard
+    ASes carry no layer 2 label, Table 8's footnote).
+    """
+    proposed = first.labels.union(second.labels)
+    verified = LabelSet(
+        label
+        for label in proposed
+        if label.layer2 in org.truth.layer2_slugs()
+    )
+    if not verified:
+        primary = sorted(org.truth.layer2_slugs())
+        if not primary:
+            return LabelSet()
+        if rng.random() < 0.04:
+            # The pair can only agree on the top-level category.
+            return LabelSet.from_layer2_slugs([primary[0]]).restrict_to_layer1()
+        return LabelSet.from_layer2_slugs([primary[0]])
+    return verified

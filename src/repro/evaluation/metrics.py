@@ -1,0 +1,274 @@
+"""Evaluation metrics mirroring the paper's definitions.
+
+* **Coverage** - fraction of (labelable) ASes a source has a classified
+  entry for (Table 3).
+* **Recall / correctness** - fraction of covered ASes whose source labels
+  overlap the expert labels in at least one NAICSlite category (Table 4);
+  computed at layer 1 and layer 2 granularity, with tech / non-tech /
+  hosting / ISP splits.
+* **Stage breakdown** - ASdb coverage and accuracy per pipeline stage
+  (Table 8).
+* **Coarse F1** - ASdb vs IPinfo vs PeeringDB under the Section-5.2
+  four-way mapping (Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.database import ASdbDataset
+from ..core.stages import Stage
+from ..datasources.base import DataSource
+from ..ml.metrics import confusion_matrix
+from ..taxonomy import LabelSet
+from ..world.organization import World
+from .goldstandard import LabeledDataset
+
+__all__ = [
+    "Fraction",
+    "SourceEvaluation",
+    "evaluate_source",
+    "StageRow",
+    "evaluate_stages",
+    "COARSE_CLASSES",
+    "coarse_class_of_labels",
+    "peeringdb_coarse_class",
+    "coarse_f1",
+]
+
+
+@dataclass(frozen=True)
+class Fraction:
+    """A hits/total pair rendered like the paper's ``93/121 (77%)``."""
+
+    hits: int
+    total: int
+
+    @property
+    def value(self) -> float:
+        """The ratio (0.0 for an empty denominator)."""
+        return self.hits / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.hits}/{self.total} ({self.value:.0%})"
+
+
+def _fraction(pairs: Sequence[Tuple[bool, bool]]) -> Fraction:
+    """(eligible, hit) pairs -> Fraction over the eligible ones."""
+    eligible = [hit for keep, hit in pairs if keep]
+    return Fraction(hits=sum(eligible), total=len(eligible))
+
+
+@dataclass(frozen=True)
+class SourceEvaluation:
+    """One source's Table 3 + Table 4 row against one labeled dataset."""
+
+    source: str
+    coverage: Fraction
+    coverage_tech: Fraction
+    coverage_nontech: Fraction
+    l1_recall: Fraction
+    l1_recall_tech: Fraction
+    l1_recall_nontech: Fraction
+    l2_recall: Fraction
+    l2_recall_tech: Fraction
+    l2_recall_nontech: Fraction
+    l2_recall_hosting: Fraction
+    l2_recall_isp: Fraction
+
+
+def evaluate_source(
+    source: DataSource,
+    world: World,
+    dataset: LabeledDataset,
+) -> SourceEvaluation:
+    """Manual-mode evaluation of one source (researchers hand-verify the
+    entity, so only coverage and label quality are measured)."""
+    coverage_pairs: List[Tuple[bool, bool]] = []
+    coverage_tech: List[Tuple[bool, bool]] = []
+    coverage_nontech: List[Tuple[bool, bool]] = []
+    l1_pairs: List[Tuple[bool, bool]] = []
+    l1_tech: List[Tuple[bool, bool]] = []
+    l1_nontech: List[Tuple[bool, bool]] = []
+    l2_pairs: List[Tuple[bool, bool]] = []
+    l2_tech: List[Tuple[bool, bool]] = []
+    l2_nontech: List[Tuple[bool, bool]] = []
+    l2_hosting: List[Tuple[bool, bool]] = []
+    l2_isp: List[Tuple[bool, bool]] = []
+
+    for entry in dataset.labeled_entries():
+        org = world.org_of_asn(entry.asn)
+        match = source.lookup_by_org(org.org_id)
+        covered = match is not None and bool(match.labels)
+        tech = entry.is_tech
+        coverage_pairs.append((True, covered))
+        coverage_tech.append((tech, covered))
+        coverage_nontech.append((not tech, covered))
+        if not covered:
+            continue
+        l1_hit = match.labels.overlaps_layer1(entry.labels)
+        l1_pairs.append((True, l1_hit))
+        l1_tech.append((tech, l1_hit))
+        l1_nontech.append((not tech, l1_hit))
+        if entry.has_layer2 and match.labels.has_layer2:
+            l2_hit = match.labels.overlaps_layer2(entry.labels)
+            l2_pairs.append((True, l2_hit))
+            l2_tech.append((tech, l2_hit))
+            l2_nontech.append((not tech, l2_hit))
+            # The hosting/ISP columns ask a sharper question: does the
+            # source *identify* the category (not merely overlap some
+            # other service of a multi-service org)?
+            slugs = entry.labels.layer2_slugs()
+            match_slugs = match.labels.layer2_slugs()
+            l2_hosting.append(
+                ("hosting" in slugs, "hosting" in match_slugs)
+            )
+            l2_isp.append(("isp" in slugs, "isp" in match_slugs))
+
+    return SourceEvaluation(
+        source=source.name,
+        coverage=_fraction(coverage_pairs),
+        coverage_tech=_fraction(coverage_tech),
+        coverage_nontech=_fraction(coverage_nontech),
+        l1_recall=_fraction(l1_pairs),
+        l1_recall_tech=_fraction(l1_tech),
+        l1_recall_nontech=_fraction(l1_nontech),
+        l2_recall=_fraction(l2_pairs),
+        l2_recall_tech=_fraction(l2_tech),
+        l2_recall_nontech=_fraction(l2_nontech),
+        l2_recall_hosting=_fraction(l2_hosting),
+        l2_recall_isp=_fraction(l2_isp),
+    )
+
+
+@dataclass(frozen=True)
+class StageRow:
+    """One Table-8 row: per-stage coverage and layer 1 accuracy."""
+
+    stage: Stage
+    coverage: Fraction
+    accuracy: Fraction
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Full Table-8 block for one labeled dataset."""
+
+    rows: Tuple[StageRow, ...]
+    overall_l1_coverage: Fraction
+    overall_l1_accuracy: Fraction
+    l2_tech_accuracy: Fraction
+    l2_nontech_accuracy: Fraction
+    overall_l2_coverage: Fraction
+    overall_l2_accuracy: Fraction
+
+
+def evaluate_stages(
+    dataset_records: ASdbDataset,
+    labeled: LabeledDataset,
+) -> StageBreakdown:
+    """Compute Table 8's per-stage and overall coverage/accuracy."""
+    total = len(labeled.labeled_entries())
+    per_stage_cov: Dict[Stage, int] = {}
+    per_stage_hits: Dict[Stage, int] = {}
+    per_stage_classified: Dict[Stage, int] = {}
+    l1_cov = l1_hits = 0
+    l2_cov = l2_hits = 0
+    l2_tech = [0, 0]
+    l2_nontech = [0, 0]
+    l2_total = len(labeled.layer2_entries())
+
+    for entry in labeled.labeled_entries():
+        record = dataset_records.get(entry.asn)
+        if record is None:
+            continue
+        stage = record.stage
+        # Cached answers attribute to the stage that produced them; keep
+        # the cached row separate only if it exists in the breakdown.
+        per_stage_cov[stage] = per_stage_cov.get(stage, 0) + 1
+        if record.classified:
+            l1_cov += 1
+            hit = record.labels.overlaps_layer1(entry.labels)
+            l1_hits += hit
+            per_stage_classified[stage] = (
+                per_stage_classified.get(stage, 0) + 1
+            )
+            per_stage_hits[stage] = per_stage_hits.get(stage, 0) + hit
+        if entry.has_layer2 and record.labels.has_layer2:
+            l2_cov += 1
+            l2_hit = record.labels.overlaps_layer2(entry.labels)
+            l2_hits += l2_hit
+            bucket = l2_tech if entry.is_tech else l2_nontech
+            bucket[0] += l2_hit
+            bucket[1] += 1
+
+    rows = tuple(
+        StageRow(
+            stage=stage,
+            coverage=Fraction(per_stage_cov.get(stage, 0), total),
+            accuracy=Fraction(
+                per_stage_hits.get(stage, 0),
+                per_stage_classified.get(stage, 0),
+            ),
+        )
+        for stage in Stage
+        if per_stage_cov.get(stage)
+    )
+    return StageBreakdown(
+        rows=rows,
+        overall_l1_coverage=Fraction(l1_cov, total),
+        overall_l1_accuracy=Fraction(l1_hits, l1_cov),
+        l2_tech_accuracy=Fraction(l2_tech[0], l2_tech[1]),
+        l2_nontech_accuracy=Fraction(l2_nontech[0], l2_nontech[1]),
+        overall_l2_coverage=Fraction(l2_cov, l2_total),
+        overall_l2_accuracy=Fraction(l2_hits, l2_cov),
+    )
+
+
+# -- Table 7: coarse four-class comparison -----------------------------------
+
+COARSE_CLASSES: Tuple[str, ...] = ("business", "isp", "hosting", "education")
+
+
+def coarse_class_of_labels(labels: LabelSet) -> Optional[str]:
+    """Map NAICSlite labels onto IPinfo's four classes (Section 5.2).
+
+    Hosting and ISP map to themselves, the education layer 1 maps to
+    education, and all other 92 categories map to "business".
+    """
+    if not labels:
+        return None
+    slugs = labels.layer2_slugs()
+    if "hosting" in slugs:
+        return "hosting"
+    if "isp" in slugs:
+        return "isp"
+    if "education" in labels.layer1_slugs():
+        return "education"
+    return "business"
+
+
+def peeringdb_coarse_class(native_category: str) -> str:
+    """Map PeeringDB's six categories onto the four classes (Section 5.2):
+    content -> hosting; enterprise and non-profit -> business;
+    education -> education; all remaining -> ISP."""
+    if native_category == "Content":
+        return "hosting"
+    if native_category in ("Enterprise", "Non-profit"):
+        return "business"
+    if native_category == "Education/Research":
+        return "education"
+    return "isp"
+
+
+def coarse_f1(
+    truth_classes: Sequence[Optional[str]],
+    predicted_classes: Sequence[Optional[str]],
+    positive: str,
+) -> float:
+    """F1 for one coarse class over parallel class sequences; ASes the
+    predictor left unclassified count as negative predictions."""
+    truth = [cls == positive for cls in truth_classes]
+    predicted = [cls == positive for cls in predicted_classes]
+    return confusion_matrix(truth, predicted).f1

@@ -1,0 +1,30 @@
+"""Entity resolution: domain selection heuristics and source matching.
+
+Implements Section 3.3's "Website Identification" heuristics (random /
+least-common / most-similar domain selection), the Figure-4 domain
+extraction algorithm, and the resolver that matches an AS's identifiers
+into the identifier-keyed external sources.
+"""
+
+from .domains import (
+    DomainFrequencyIndex,
+    choose_domain,
+    select_least_common,
+    select_most_similar,
+    select_random,
+)
+from .resolver import EntityResolver, ResolvedSources
+from .similarity import jaccard, lcs_ratio, name_similarity
+
+__all__ = [
+    "DomainFrequencyIndex",
+    "choose_domain",
+    "select_random",
+    "select_least_common",
+    "select_most_similar",
+    "EntityResolver",
+    "ResolvedSources",
+    "jaccard",
+    "lcs_ratio",
+    "name_similarity",
+]

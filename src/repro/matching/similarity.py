@@ -1,0 +1,58 @@
+"""String similarity primitives for entity resolution.
+
+"Most similar domain" selection compares a website's homepage title to the
+registered AS name (Section 3.3); name-keyed data-source matching compares
+organization names.  We use token-set Jaccard blended with a normalized
+longest-common-subsequence ratio - robust to word order, legal suffixes,
+and the concatenations common in AS handles ("FIBERLINK-AS" vs "FiberLink
+Communications").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from ..world.names import tokenize_name
+
+__all__ = ["jaccard", "lcs_ratio", "name_similarity"]
+
+
+def jaccard(a: Set[str], b: Set[str]) -> float:
+    """Jaccard similarity of two token sets (1.0 when both are empty)."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def lcs_ratio(a: str, b: str) -> float:
+    """Longest-common-subsequence length over max length, in [0, 1]."""
+    if not a or not b:
+        return 0.0
+    # Classic O(len(a) * len(b)) DP with two rows.
+    previous = [0] * (len(b) + 1)
+    for char_a in a:
+        current = [0]
+        for index, char_b in enumerate(b):
+            if char_a == char_b:
+                current.append(previous[index] + 1)
+            else:
+                current.append(max(previous[index + 1], current[-1]))
+        previous = current
+    return previous[-1] / max(len(a), len(b))
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Blended similarity of two organization/AS names, in [0, 1].
+
+    Token-set Jaccard catches reordered words; LCS on the joined
+    lowercase forms catches concatenations and partial stems.
+    """
+    tokens_a = set(tokenize_name(a))
+    tokens_b = set(tokenize_name(b))
+    token_score = jaccard(tokens_a, tokens_b)
+    joined_a = "".join(sorted(tokens_a)) or a.lower().replace(" ", "")
+    joined_b = "".join(sorted(tokens_b)) or b.lower().replace(" ", "")
+    sequence_score = lcs_ratio(joined_a, joined_b)
+    return 0.5 * token_score + 0.5 * sequence_score

@@ -1,0 +1,44 @@
+"""From-scratch text-classification stack (Section 4.1, Figure 3).
+
+Tokenizer, CountVectorizer, TF-IDF transformer, SGD classifier, metrics,
+and the end-to-end web classification pipeline that flags ISPs and hosting
+providers from scraped, translated website text.
+"""
+
+from .metrics import (
+    ConfusionMatrix,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    roc_auc,
+)
+from .pipeline import (
+    ClassifierVerdict,
+    TrainingExample,
+    WebClassificationPipeline,
+)
+from .sgd import SGDClassifier
+from .tfidf import TfidfTransformer
+from .tokenize import tokenize
+from .training import build_training_examples
+from .vectorize import CountVectorizer
+
+__all__ = [
+    "tokenize",
+    "CountVectorizer",
+    "TfidfTransformer",
+    "SGDClassifier",
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "roc_auc",
+    "TrainingExample",
+    "ClassifierVerdict",
+    "WebClassificationPipeline",
+    "build_training_examples",
+]

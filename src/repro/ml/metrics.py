@@ -1,0 +1,144 @@
+"""Classification metrics: accuracy, confusion matrix, PR/F1, AUC.
+
+Implemented from scratch on numpy; used by the ML evaluation (Table 6) and
+the system comparison (Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "roc_auc",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion matrix.
+
+    Attributes follow the usual convention: tp/fp/fn/tn.
+    """
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def total(self) -> int:
+        """Number of samples."""
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def accuracy(self) -> float:
+        """(tp + tn) / total."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """tp / (tp + fp)."""
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """tp / (tp + fn)."""
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """fp / total - the paper reports FP as a fraction of all samples
+        (Table 6: "1% false positive rate" of 123 test ASes)."""
+        return self.fp / self.total if self.total else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        """fn / total (same convention as :attr:`false_positive_rate`)."""
+        return self.fn / self.total if self.total else 0.0
+
+
+def confusion_matrix(truth: Sequence[bool], predicted: Sequence[bool]) -> ConfusionMatrix:
+    """Build a binary confusion matrix from parallel label sequences."""
+    t = np.asarray(truth, dtype=bool)
+    p = np.asarray(predicted, dtype=bool)
+    if t.shape != p.shape:
+        raise ValueError("truth and predictions disagree on sample count")
+    return ConfusionMatrix(
+        tp=int(np.sum(t & p)),
+        fp=int(np.sum(~t & p)),
+        fn=int(np.sum(t & ~p)),
+        tn=int(np.sum(~t & ~p)),
+    )
+
+
+def accuracy(truth: Sequence[bool], predicted: Sequence[bool]) -> float:
+    """Fraction of samples classified correctly."""
+    return confusion_matrix(truth, predicted).accuracy
+
+
+def precision(truth: Sequence[bool], predicted: Sequence[bool]) -> float:
+    """Positive predictive value."""
+    return confusion_matrix(truth, predicted).precision
+
+
+def recall(truth: Sequence[bool], predicted: Sequence[bool]) -> float:
+    """True positive rate."""
+    return confusion_matrix(truth, predicted).recall
+
+
+def f1_score(truth: Sequence[bool], predicted: Sequence[bool]) -> float:
+    """Harmonic mean of precision and recall."""
+    return confusion_matrix(truth, predicted).f1
+
+
+def roc_auc(truth: Sequence[bool], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Equals the probability a random positive scores above a random
+    negative (ties count half).  Returns 0.5 when one class is absent.
+    """
+    t = np.asarray(truth, dtype=bool)
+    s = np.asarray(scores, dtype=np.float64)
+    if t.shape != s.shape:
+        raise ValueError("truth and scores disagree on sample count")
+    n_pos = int(t.sum())
+    n_neg = int((~t).sum())
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = s[order]
+    index = 0
+    position = 1.0
+    while index < len(sorted_scores):
+        tie_end = index
+        while (
+            tie_end + 1 < len(sorted_scores)
+            and sorted_scores[tie_end + 1] == sorted_scores[index]
+        ):
+            tie_end += 1
+        mean_rank = (position + position + (tie_end - index)) / 2.0
+        for k in range(index, tie_end + 1):
+            ranks[order[k]] = mean_rank
+            position += 1.0
+        index = tie_end + 1
+    rank_sum_pos = float(ranks[t].sum())
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u_statistic / (n_pos * n_neg)

@@ -1,0 +1,63 @@
+"""TF-IDF transformer (from scratch).
+
+The second featurization stage of Figure 3: "uses a TF IDF (Term Frequency
+Inverse Document Frequency) transformer to convert the text into features
+by computing the relative importance of each word".  Smoothed IDF with L2
+row normalization, matching the conventions of standard text stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["TfidfTransformer"]
+
+
+class TfidfTransformer:
+    """Scale a count matrix by smoothed inverse document frequency.
+
+    ``idf(t) = ln((1 + n) / (1 + df(t))) + 1``; rows are then L2-normalized
+    so documents of different lengths are comparable.
+    """
+
+    def __init__(self, normalize: bool = True) -> None:
+        self.normalize = normalize
+        self.idf_: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.idf_ is not None
+
+    def fit(self, counts: sparse.csr_matrix) -> "TfidfTransformer":
+        """Compute per-feature IDF weights from a count matrix."""
+        n_docs = counts.shape[0]
+        document_frequency = np.asarray(
+            (counts > 0).sum(axis=0)
+        ).ravel()
+        self.idf_ = np.log((1.0 + n_docs) / (1.0 + document_frequency)) + 1.0
+        return self
+
+    def transform(self, counts: sparse.csr_matrix) -> sparse.csr_matrix:
+        """Apply IDF scaling (and L2 normalization) to a count matrix."""
+        if self.idf_ is None:
+            raise RuntimeError("TfidfTransformer is not fitted")
+        if counts.shape[1] != self.idf_.shape[0]:
+            raise ValueError(
+                f"feature mismatch: {counts.shape[1]} columns vs "
+                f"{self.idf_.shape[0]} fitted features"
+            )
+        weighted = counts.multiply(self.idf_).tocsr()
+        if self.normalize:
+            norms = sparse.linalg.norm(weighted, axis=1)
+            norms[norms == 0.0] = 1.0
+            scale = sparse.diags(1.0 / norms)
+            weighted = (scale @ weighted).tocsr()
+        return weighted
+
+    def fit_transform(self, counts: sparse.csr_matrix) -> sparse.csr_matrix:
+        """Fit then transform in one pass."""
+        return self.fit(counts).transform(counts)

@@ -1,0 +1,24 @@
+"""Word tokenization for the text-classification pipeline."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str, min_length: int = 2) -> List[str]:
+    """Lowercase word tokens of ``text``.
+
+    Args:
+        text: Input text (already translated to English upstream).
+        min_length: Minimum token length; single characters are noise.
+    """
+    return [
+        token
+        for token in _TOKEN_RE.findall(text.lower())
+        if len(token) >= min_length
+    ]

@@ -1,0 +1,92 @@
+"""Training-set construction for the ML pipeline (Table 2).
+
+The paper's training set holds 225 ASes: 150 random plus 75 sampled from
+D&B-labeled hosting providers, added "to provide sufficient hosting-class
+balance to train the model".  We reproduce exactly that sampling over a
+synthetic world: the 75 extras are chosen by *D&B's label*, not ground
+truth, so D&B's hosting mislabels leak into the class balance just as they
+would have for the authors.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set
+
+from ..datasources.dnb import DunBradstreet
+from ..world.organization import World
+from .pipeline import TrainingExample
+
+__all__ = ["build_training_examples"]
+
+
+def _example_for_asn(world: World, asn: int) -> Optional[TrainingExample]:
+    org = world.org_of_asn(asn)
+    if org.domain is None:
+        return None
+    slugs = org.truth.layer2_slugs()
+    return TrainingExample(
+        domain=org.domain,
+        is_isp="isp" in slugs,
+        is_hosting="hosting" in slugs,
+    )
+
+
+def build_training_examples(
+    world: World,
+    dnb: DunBradstreet,
+    rng: random.Random,
+    n_random: int = 150,
+    n_dnb_hosting: int = 75,
+    exclude_asns: Sequence[int] = (),
+) -> List[TrainingExample]:
+    """Sample the paper's 150 + 75 training mix from a world.
+
+    Args:
+        world: The synthetic world.
+        dnb: A D&B source whose hosting labels drive the 75-AS oversample.
+        rng: Seeded random source.
+        n_random: Randomly sampled ASes.
+        n_dnb_hosting: ASes sampled among those D&B labels as hosting.
+        exclude_asns: ASNs reserved for evaluation (e.g. the Gold
+            Standard) that must not leak into training.  Exclusion is by
+            *organization*: sibling ASes of an excluded AS share a domain
+            and would leak the test site into training.
+    """
+    excluded_orgs: Set[str] = {
+        world.ases[asn].org_id for asn in exclude_asns if asn in world.ases
+    }
+    candidates = [
+        asn
+        for asn in world.asns()
+        if world.ases[asn].org_id not in excluded_orgs
+    ]
+    rng.shuffle(candidates)
+
+    examples: List[TrainingExample] = []
+    used: Set[int] = set()
+    for asn in candidates:
+        if len(examples) >= n_random:
+            break
+        example = _example_for_asn(world, asn)
+        if example is not None:
+            examples.append(example)
+            used.add(asn)
+
+    # D&B-labeled hosting providers for class balance.
+    dnb_hosting = []
+    for asn in candidates:
+        if asn in used:
+            continue
+        org = world.org_of_asn(asn)
+        match = dnb.lookup_by_org(org.org_id)
+        if match is None:
+            continue
+        if "hosting" in match.labels.layer2_slugs():
+            dnb_hosting.append(asn)
+    rng.shuffle(dnb_hosting)
+    for asn in dnb_hosting[:n_dnb_hosting]:
+        example = _example_for_asn(world, asn)
+        if example is not None:
+            examples.append(example)
+    return examples

@@ -1,0 +1,96 @@
+"""CountVectorizer: text -> sparse word-count matrix (from scratch).
+
+The first featurization stage of the paper's ML pipeline (Figure 3):
+"converts the text into a vector of word counts".  Implemented on
+``scipy.sparse`` with a fitted vocabulary, document-frequency pruning, and
+an optional feature cap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from .tokenize import tokenize
+
+__all__ = ["CountVectorizer"]
+
+
+class CountVectorizer:
+    """Fit a vocabulary over a corpus; transform documents to counts.
+
+    Args:
+        min_df: Drop tokens appearing in fewer than this many documents.
+        max_features: Keep at most this many tokens (highest total count
+            wins; ties break lexicographically for determinism).
+    """
+
+    def __init__(
+        self, min_df: int = 1, max_features: Optional[int] = None
+    ) -> None:
+        self.min_df = min_df
+        self.max_features = max_features
+        self.vocabulary_: Dict[str, int] = {}
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return bool(self.vocabulary_)
+
+    def fit(self, documents: Sequence[str]) -> "CountVectorizer":
+        """Learn the vocabulary from ``documents``."""
+        doc_freq: Dict[str, int] = {}
+        total_count: Dict[str, int] = {}
+        for document in documents:
+            tokens = tokenize(document)
+            for token in set(tokens):
+                doc_freq[token] = doc_freq.get(token, 0) + 1
+            for token in tokens:
+                total_count[token] = total_count.get(token, 0) + 1
+        kept = [
+            token
+            for token, frequency in doc_freq.items()
+            if frequency >= self.min_df
+        ]
+        if self.max_features is not None and len(kept) > self.max_features:
+            kept.sort(key=lambda token: (-total_count[token], token))
+            kept = kept[: self.max_features]
+        kept.sort()
+        self.vocabulary_ = {token: index for index, token in enumerate(kept)}
+        return self
+
+    def transform(self, documents: Sequence[str]) -> sparse.csr_matrix:
+        """Transform documents into a (n_docs, n_features) count matrix."""
+        if not self.fitted:
+            raise RuntimeError("CountVectorizer is not fitted")
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        data: List[int] = []
+        for document in documents:
+            row_counts: Dict[int, int] = {}
+            for token in tokenize(document):
+                column = self.vocabulary_.get(token)
+                if column is not None:
+                    row_counts[column] = row_counts.get(column, 0) + 1
+            for column in sorted(row_counts):
+                indices.append(column)
+                data.append(row_counts[column])
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                np.asarray(indices, dtype=np.int32),
+                np.asarray(indptr, dtype=np.int32),
+            ),
+            shape=(len(documents), len(self.vocabulary_)),
+        )
+
+    def fit_transform(self, documents: Sequence[str]) -> sparse.csr_matrix:
+        """Fit then transform in one pass."""
+        return self.fit(documents).transform(documents)
+
+    def feature_names(self) -> List[str]:
+        """Vocabulary tokens in column order."""
+        return sorted(self.vocabulary_, key=self.vocabulary_.__getitem__)

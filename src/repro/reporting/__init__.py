@@ -1,0 +1,5 @@
+"""Rendering helpers for the benchmark harness (tables and ASCII bars)."""
+
+from .tables import format_fraction, render_bars, render_table
+
+__all__ = ["render_table", "render_bars", "format_fraction"]

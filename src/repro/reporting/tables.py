@@ -1,0 +1,68 @@
+"""Plain-text table and bar-chart rendering for the benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_bars", "format_fraction"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def _line(values: Sequence[str]) -> str:
+        return "  ".join(
+            value.ljust(widths[index]) for index, value in enumerate(values)
+        ).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(_line(list(headers)))
+    out.append(_line(["-" * width for width in widths]))
+    for row in cells:
+        out.append(_line(row))
+    return "\n".join(out)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: Optional[str] = None,
+    width: int = 40,
+    as_percent: bool = True,
+) -> str:
+    """Render a horizontal ASCII bar chart (for figure reproductions)."""
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    label_width = max((len(label) for label in labels), default=0)
+    peak = max(values) if values else 1.0
+    scale = width / peak if peak > 0 else 0.0
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value * scale))
+        shown = f"{value:.0%}" if as_percent else f"{value:.2f}"
+        out.append(f"{label.ljust(label_width)}  {bar} {shown}")
+    return "\n".join(out)
+
+
+def format_fraction(hits: int, total: int) -> str:
+    """``93/121 (77%)`` formatting used throughout the paper's tables."""
+    if total == 0:
+        return "-"
+    return f"{hits}/{total} ({hits / total:.0%})"

@@ -1,0 +1,5 @@
+"""Synthetic Internet-scan substrate (Section 6's Telnet analysis)."""
+
+from .telnet import TELNET_PROPENSITY, ScanObservation, TelnetScan
+
+__all__ = ["TelnetScan", "ScanObservation", "TELNET_PROPENSITY"]

@@ -1,0 +1,128 @@
+"""Factory wiring a complete ASdb system over a synthetic world.
+
+This is the "ten lines to a working system" entry point used by the
+examples, tests, and benchmarks:
+
+    >>> from repro import system, world
+    >>> w = world.generate_world(world.WorldConfig(n_orgs=200))
+    >>> asdb = system.build_asdb(w)
+    >>> dataset = asdb.classify_all()
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .core.pipeline import ASdb
+from .core.consensus import resolve_consensus
+from .datasources import Crunchbase, DunBradstreet, IPinfo, PeeringDB, Zvelo
+from .matching.domains import DomainFrequencyIndex
+from .matching.resolver import EntityResolver
+from .ml.pipeline import WebClassificationPipeline
+from .ml.training import build_training_examples
+from .web.scraper import Scraper
+from .world.organization import World
+
+__all__ = ["SystemConfig", "BuiltSystem", "build_asdb", "build_sources"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Assembly knobs for :func:`build_asdb`.
+
+    Attributes:
+        seed: Seed for source construction and ML training sampling.
+        train_ml: Train and attach the ML pipeline (stage 3).
+        exclude_asns_from_training: ASNs whose organizations must not
+            appear in ML training (reserve evaluation sets).
+        dnb_confidence_threshold: Minimum accepted D&B confidence code.
+        use_cache: Organization-level caching.
+        reject_domain_mismatch: Entity-disagreement rejection.
+    """
+
+    seed: int = 0
+    train_ml: bool = True
+    exclude_asns_from_training: Tuple[int, ...] = ()
+    dnb_confidence_threshold: int = 6
+    use_cache: bool = True
+    reject_domain_mismatch: bool = True
+
+
+@dataclass(frozen=True)
+class BuiltSystem:
+    """A fully wired system plus handles to its components."""
+
+    asdb: ASdb
+    dnb: DunBradstreet
+    crunchbase: Crunchbase
+    zvelo: Zvelo
+    peeringdb: PeeringDB
+    ipinfo: IPinfo
+    resolver: EntityResolver
+    ml_pipeline: Optional[WebClassificationPipeline]
+    frequency_index: DomainFrequencyIndex
+
+
+def build_sources(world: World, seed: int = 0):
+    """Construct the five deployed data sources over a world."""
+    return (
+        DunBradstreet(world, seed=seed),
+        Crunchbase(world, seed=seed),
+        Zvelo(world, seed=seed),
+        PeeringDB(world, seed=seed),
+        IPinfo(world, seed=seed),
+    )
+
+
+def build_asdb(
+    world: World, config: SystemConfig = SystemConfig()
+) -> BuiltSystem:
+    """Wire registry, sources, resolver, and ML into a runnable ASdb."""
+    dnb, crunchbase, zvelo, peeringdb, ipinfo = build_sources(
+        world, seed=config.seed
+    )
+    frequency_index = DomainFrequencyIndex.from_candidates(
+        world.registry.contact(asn).candidate_domains
+        for asn in world.asns()
+    )
+    resolver = EntityResolver(
+        world.web,
+        frequency_index,
+        sources=[dnb, crunchbase, zvelo],
+        dnb_confidence_threshold=config.dnb_confidence_threshold,
+        reject_domain_mismatch=config.reject_domain_mismatch,
+    )
+    ml_pipeline: Optional[WebClassificationPipeline] = None
+    if config.train_ml:
+        rng = random.Random(("ml-train", config.seed).__repr__())
+        examples = build_training_examples(
+            world,
+            dnb,
+            rng,
+            exclude_asns=config.exclude_asns_from_training,
+        )
+        ml_pipeline = WebClassificationPipeline(
+            Scraper(world.web), seed=config.seed
+        ).fit(examples)
+    asdb = ASdb(
+        registry=world.registry,
+        resolver=resolver,
+        peeringdb=peeringdb,
+        ipinfo=ipinfo,
+        ml_pipeline=ml_pipeline,
+        consensus_strategy=resolve_consensus,
+        use_cache=config.use_cache,
+    )
+    return BuiltSystem(
+        asdb=asdb,
+        dnb=dnb,
+        crunchbase=crunchbase,
+        zvelo=zvelo,
+        peeringdb=peeringdb,
+        ipinfo=ipinfo,
+        resolver=resolver,
+        ml_pipeline=ml_pipeline,
+        frequency_index=frequency_index,
+    )

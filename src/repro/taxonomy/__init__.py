@@ -1,0 +1,25 @@
+"""Taxonomy substrate: NAICS, NAICSlite, labels, translation, keywords.
+
+This package implements the classification frameworks at the heart of ASdb:
+
+* :mod:`repro.taxonomy.naicslite` - the paper's 17x95 NAICSlite system
+  (Appendix C);
+* :mod:`repro.taxonomy.naics` - a working subset of 6-digit NAICS codes;
+* :mod:`repro.taxonomy.labels` - the :class:`Label` / :class:`LabelSet`
+  value types exchanged between all other components;
+* :mod:`repro.taxonomy.translation` - the NAICS -> NAICSlite translation
+  layer (Section 3.2);
+* :mod:`repro.taxonomy.keywords` - per-category keyword profiles.
+"""
+
+from . import keywords, naics, naicslite, translation
+from .labels import Label, LabelSet
+
+__all__ = [
+    "naicslite",
+    "naics",
+    "translation",
+    "keywords",
+    "Label",
+    "LabelSet",
+]

@@ -1,0 +1,483 @@
+"""Per-category keyword profiles.
+
+Each NAICSlite layer 2 category carries a keyword profile: terms that an
+organization of that type characteristically uses in its WHOIS records and on
+its website.  The profiles drive three independent components:
+
+* the synthetic website generator (``repro.web``), which writes page text by
+  sampling a category's vocabulary;
+* the Zvelo simulator, a keyword-profile website classifier;
+* the Baumann & Fabian keyword baseline (``repro.evaluation.baselines``).
+
+The profiles deliberately overlap where the paper reports real-world
+confusion: ISP / hosting / cloud vocabularies share "network", "server",
+"connectivity", "bandwidth"; the education and research profiles share
+"university" terms; the utilities profile contains "power" and "grid" which
+also appear in hosting copy ("power your business"), etc.  That overlap - not
+injected label noise - is what makes the classifiers' errors realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
+
+from . import naicslite
+
+__all__ = [
+    "KEYWORDS_LAYER2",
+    "keywords_for_layer2",
+    "keywords_for_layer1",
+    "GENERIC_WEB_WORDS",
+    "SCRAPER_LINK_KEYWORDS",
+]
+
+# Layer 2 slug -> characteristic vocabulary.
+KEYWORDS_LAYER2: Dict[str, Tuple[str, ...]] = {
+    # --- Computer and Information Technology --------------------------------
+    "isp": (
+        "internet", "broadband", "fiber", "dsl", "wireless", "connectivity",
+        "bandwidth", "network", "isp", "subscriber", "coverage", "router",
+        "modem", "telecom", "unlimited", "speed", "plans", "residential",
+        "mbps", "gigabit",
+    ),
+    "phone_provider": (
+        "phone", "mobile", "voice", "sms", "calling", "telephony", "voip",
+        "cellular", "sim", "roaming", "minutes", "landline", "carrier",
+        "prepaid", "telecom",
+    ),
+    "hosting": (
+        "hosting", "cloud", "server", "datacenter", "colocation", "vps",
+        "dedicated", "virtual", "uptime", "rack", "bandwidth", "storage",
+        "compute", "infrastructure", "domains", "ssd", "backup", "managed",
+        "deploy", "scalable",
+    ),
+    "security": (
+        "security", "firewall", "threat", "malware", "encryption",
+        "penetration", "vulnerability", "antivirus", "cyber", "soc",
+        "detection", "incident", "forensics", "compliance", "protection",
+    ),
+    "software": (
+        "software", "application", "developer", "platform", "api", "code",
+        "release", "saas", "product", "integration", "agile", "enterprise",
+        "solution", "automation", "app",
+    ),
+    "tech_consulting": (
+        "consulting", "digital", "transformation", "integration", "advisory",
+        "implementation", "outsourcing", "managed", "services", "expertise",
+        "strategy", "technology", "staffing",
+    ),
+    "satellite": (
+        "satellite", "orbit", "vsat", "ground", "station", "uplink",
+        "downlink", "geostationary", "teleport", "transponder", "earth",
+    ),
+    "search_engine": (
+        "search", "engine", "index", "ranking", "query", "crawler",
+        "results", "web", "portal", "directory",
+    ),
+    "ixp": (
+        "exchange", "peering", "ixp", "interconnection", "fabric", "route",
+        "members", "port", "traffic", "neutral", "bgp",
+    ),
+    "it_other": (
+        "technology", "digital", "data", "analytics", "innovation",
+        "internet", "systems", "solutions", "information",
+    ),
+    # --- Media ----------------------------------------------------------------
+    "streaming": (
+        "streaming", "video", "music", "watch", "listen", "episodes",
+        "subscription", "catalog", "playlist", "on-demand", "originals",
+    ),
+    "online_content": (
+        "news", "articles", "stories", "editorial", "blog", "content",
+        "coverage", "headlines", "journalism", "publish", "online",
+    ),
+    "print_media": (
+        "newspaper", "magazine", "book", "print", "publisher", "edition",
+        "circulation", "subscription", "press", "journal",
+    ),
+    "music_video_industry": (
+        "studio", "film", "production", "record", "label", "artist",
+        "cinema", "movie", "soundtrack", "entertainment",
+    ),
+    "radio_tv": (
+        "radio", "television", "broadcast", "channel", "station", "cable",
+        "programming", "antenna", "fm", "tv", "network",
+    ),
+    "media_other": (
+        "media", "publishing", "broadcast", "creative", "audience",
+        "advertising", "content",
+    ),
+    # --- Finance -----------------------------------------------------------------
+    "banks": (
+        "bank", "banking", "account", "loan", "mortgage", "credit", "card",
+        "deposit", "checking", "savings", "branch", "atm", "interest",
+        "lending",
+    ),
+    "insurance": (
+        "insurance", "policy", "coverage", "claims", "premium", "insurer",
+        "underwriting", "liability", "agent", "auto", "life", "health",
+    ),
+    "accounting": (
+        "accounting", "tax", "payroll", "audit", "bookkeeping", "cpa",
+        "returns", "filing", "ledger", "compliance",
+    ),
+    "investment": (
+        "investment", "portfolio", "fund", "asset", "wealth", "capital",
+        "equity", "securities", "pension", "advisor", "trading", "markets",
+    ),
+    "finance_other": (
+        "finance", "financial", "payments", "fintech", "money", "currency",
+        "exchange",
+    ),
+    # --- Education and research -----------------------------------------------------
+    "k12": (
+        "school", "elementary", "secondary", "students", "teachers",
+        "curriculum", "classroom", "district", "grades", "parents",
+    ),
+    "university": (
+        "university", "college", "campus", "faculty", "undergraduate",
+        "graduate", "degree", "academic", "admissions", "students",
+        "professor", "department", "tuition",
+    ),
+    "other_schools": (
+        "training", "courses", "instruction", "certification", "exam",
+        "preparation", "lessons", "academy", "vocational", "driving",
+    ),
+    "research": (
+        "research", "laboratory", "institute", "science", "scientists",
+        "publications", "experiments", "grants", "development", "study",
+        "innovation",
+    ),
+    "edu_software": (
+        "learning", "education", "courses", "platform", "students",
+        "online", "software", "lms", "classroom", "interactive",
+    ),
+    "education_other": (
+        "education", "learning", "academic", "knowledge", "teaching",
+    ),
+    # --- Service ------------------------------------------------------------------------
+    "consulting": (
+        "law", "legal", "attorney", "consulting", "advisory", "business",
+        "clients", "firm", "counsel", "litigation", "strategy",
+    ),
+    "repair": (
+        "repair", "maintenance", "cleaning", "landscaping", "pest",
+        "locksmith", "plumbing", "janitorial", "restoration", "installation",
+    ),
+    "personal_care": (
+        "salon", "barber", "spa", "beauty", "hair", "nails", "wellness",
+        "laundry", "grooming", "massage",
+    ),
+    "social_assistance": (
+        "shelter", "relief", "assistance", "community", "childcare",
+        "daycare", "support", "families", "outreach", "welfare",
+    ),
+    "service_other": (
+        "services", "professional", "customers", "quality", "local",
+    ),
+    # --- Agriculture, mining, refineries --------------------------------------------------
+    "crop_farming": (
+        "farm", "crops", "harvest", "grain", "soybean", "agriculture",
+        "fields", "seeds", "irrigation", "organic",
+    ),
+    "animal_farming": (
+        "livestock", "cattle", "ranch", "poultry", "dairy", "eggs",
+        "breeding", "feed", "herd", "farming",
+    ),
+    "greenhouses": (
+        "greenhouse", "nursery", "plants", "flowers", "horticulture",
+        "seedlings", "garden", "growers",
+    ),
+    "forestry": (
+        "forestry", "timber", "logging", "lumber", "forest", "sawmill",
+        "wood", "harvesting",
+    ),
+    "mining": (
+        "mining", "mine", "ore", "quarry", "minerals", "extraction",
+        "drilling", "gold", "stone", "exploration",
+    ),
+    "oil_gas": (
+        "oil", "gas", "petroleum", "refinery", "drilling", "wells",
+        "crude", "pipeline", "energy", "exploration",
+    ),
+    "agriculture_other": (
+        "agriculture", "farming", "rural", "land", "producers",
+    ),
+    # --- Nonprofits -------------------------------------------------------------------------
+    "religious": (
+        "church", "parish", "ministry", "faith", "worship", "congregation",
+        "prayer", "mission", "diocese", "temple", "mosque",
+    ),
+    "advocacy": (
+        "advocacy", "rights", "environment", "conservation", "wildlife",
+        "justice", "campaign", "nonprofit", "volunteer", "awareness",
+    ),
+    "nonprofit_other": (
+        "community", "foundation", "charity", "donate", "members",
+        "association", "nonprofit", "volunteers",
+    ),
+    # --- Construction and real estate ------------------------------------------------------------
+    "buildings": (
+        "construction", "building", "contractor", "residential",
+        "commercial", "renovation", "projects", "builders", "architecture",
+    ),
+    "civil_engineering": (
+        "engineering", "infrastructure", "roads", "bridges", "utility",
+        "excavation", "paving", "civil", "construction", "highways",
+    ),
+    "real_estate": (
+        "real", "estate", "property", "homes", "listings", "realtor",
+        "apartments", "leasing", "commercial", "rental", "broker",
+    ),
+    "construction_other": (
+        "construction", "development", "projects", "property",
+    ),
+    # --- Museums, libraries, entertainment --------------------------------------------------------
+    "libraries": (
+        "library", "archives", "books", "collection", "catalog", "borrow",
+        "reading", "manuscripts", "reference",
+    ),
+    "recreation": (
+        "sports", "team", "theater", "performing", "arts", "concert",
+        "stadium", "tickets", "season", "athletics", "dance",
+    ),
+    "amusement": (
+        "park", "amusement", "arcade", "fitness", "gym", "rides",
+        "attractions", "fun", "membership", "games",
+    ),
+    "museums": (
+        "museum", "exhibit", "gallery", "historical", "zoo", "heritage",
+        "collection", "visitors", "tours", "art",
+    ),
+    "gambling": (
+        "casino", "gaming", "poker", "slots", "betting", "jackpot",
+        "lottery", "wagering", "odds",
+    ),
+    "tours": (
+        "tours", "sightseeing", "excursions", "guide", "travel",
+        "adventure", "destinations", "booking",
+    ),
+    "entertainment_other": (
+        "entertainment", "events", "leisure", "culture", "attractions",
+    ),
+    # --- Utilities ------------------------------------------------------------------------------------
+    "electric": (
+        "electric", "power", "energy", "grid", "utility", "transmission",
+        "distribution", "electricity", "outage", "megawatt", "substation",
+        "renewable",
+    ),
+    "natural_gas": (
+        "gas", "natural", "pipeline", "distribution", "utility", "meter",
+        "supply", "heating", "propane",
+    ),
+    "water": (
+        "water", "supply", "irrigation", "reservoir", "utility",
+        "drinking", "wells", "district", "conservation",
+    ),
+    "sewage": (
+        "sewage", "wastewater", "treatment", "sanitation", "sewer",
+        "effluent", "district", "utility",
+    ),
+    "steam": (
+        "steam", "heating", "cooling", "district", "chilled", "thermal",
+        "supply",
+    ),
+    "utilities_other": (
+        "utility", "utilities", "service", "infrastructure", "municipal",
+    ),
+    # --- Health care --------------------------------------------------------------------------------------
+    "hospitals": (
+        "hospital", "medical", "patients", "care", "physicians", "clinic",
+        "emergency", "surgery", "health", "treatment", "doctors",
+    ),
+    "medical_labs": (
+        "laboratory", "diagnostic", "testing", "imaging", "pathology",
+        "radiology", "specimens", "results", "clinical",
+    ),
+    "nursing": (
+        "nursing", "care", "assisted", "living", "residents", "elderly",
+        "rehabilitation", "home", "facility", "seniors",
+    ),
+    "healthcare_other": (
+        "health", "healthcare", "medical", "wellness", "clinic",
+        "providers", "patients",
+    ),
+    # --- Travel and accommodation ------------------------------------------------------------------------------
+    "air_travel": (
+        "airline", "flights", "passengers", "airport", "destinations",
+        "booking", "fares", "travel", "miles", "boarding",
+    ),
+    "rail_travel": (
+        "rail", "train", "railway", "passengers", "stations", "tickets",
+        "routes", "schedule",
+    ),
+    "water_travel": (
+        "cruise", "ferry", "ship", "voyage", "passengers", "ports",
+        "sailing", "maritime",
+    ),
+    "hotels": (
+        "hotel", "rooms", "reservations", "guests", "suites", "resort",
+        "accommodation", "stay", "amenities", "lodge", "inn",
+    ),
+    "rv_parks": (
+        "campground", "rv", "camping", "sites", "hookups", "outdoor",
+        "park", "reservations",
+    ),
+    "boarding": (
+        "dormitory", "boarding", "housing", "residents", "rooms",
+        "workers", "lodging",
+    ),
+    "food_services": (
+        "restaurant", "menu", "dining", "food", "bar", "chef", "cuisine",
+        "reservations", "catering", "drinks", "cafe",
+    ),
+    "travel_other": (
+        "travel", "trips", "vacation", "booking", "tourism",
+    ),
+    # --- Freight, shipment, postal ---------------------------------------------------------------------------------
+    "postal": (
+        "postal", "courier", "delivery", "parcels", "mail", "express",
+        "shipping", "tracking", "packages",
+    ),
+    "air_freight": (
+        "cargo", "air", "freight", "logistics", "shipments", "charter",
+        "airport", "tonnage",
+    ),
+    "rail_freight": (
+        "rail", "freight", "railroad", "locomotive", "cars", "intermodal",
+        "shipping", "track",
+    ),
+    "water_freight": (
+        "shipping", "maritime", "vessels", "containers", "port", "cargo",
+        "fleet", "sea",
+    ),
+    "trucking": (
+        "trucking", "freight", "fleet", "drivers", "haul", "logistics",
+        "trailers", "loads", "transport",
+    ),
+    "space": (
+        "space", "launch", "satellites", "rocket", "orbital", "payload",
+        "mission", "aerospace",
+    ),
+    "passenger_transit": (
+        "transit", "bus", "subway", "taxi", "riders", "routes", "fares",
+        "metro", "commuter",
+    ),
+    "freight_other": (
+        "logistics", "warehouse", "distribution", "supply", "chain",
+        "forwarding", "storage",
+    ),
+    # --- Government -----------------------------------------------------------------------------------------------------
+    "military": (
+        "defense", "military", "security", "armed", "forces", "national",
+        "veterans", "command", "ministry",
+    ),
+    "law_enforcement": (
+        "police", "enforcement", "justice", "court", "safety", "fire",
+        "emergency", "sheriff", "prosecutor",
+    ),
+    "agencies": (
+        "government", "agency", "public", "department", "administration",
+        "municipal", "citizens", "regulatory", "services", "ministry",
+        "federal", "county",
+    ),
+    "government_other": (
+        "government", "public", "official", "state",
+    ),
+    # --- Retail ------------------------------------------------------------------------------------------------------------
+    "grocery": (
+        "grocery", "supermarket", "food", "fresh", "produce", "beverages",
+        "store", "deli", "market",
+    ),
+    "clothing": (
+        "clothing", "fashion", "apparel", "shoes", "accessories", "style",
+        "collection", "wear", "boutique",
+    ),
+    "retail_other": (
+        "shop", "store", "retail", "products", "shopping", "sale",
+        "wholesale", "ecommerce", "cart", "brands",
+    ),
+    # --- Manufacturing ------------------------------------------------------------------------------------------------------------
+    "automotive": (
+        "automotive", "vehicles", "cars", "parts", "assembly", "motors",
+        "aircraft", "manufacturer", "oem",
+    ),
+    "food_mfg": (
+        "food", "beverage", "production", "processing", "bottling",
+        "ingredients", "brewing", "factory",
+    ),
+    "textiles": (
+        "textile", "fabric", "apparel", "garment", "mill", "weaving",
+        "yarn", "manufacturing",
+    ),
+    "machinery": (
+        "machinery", "equipment", "industrial", "machines", "tooling",
+        "fabrication", "engineering", "manufacturer",
+    ),
+    "chemical": (
+        "chemical", "pharmaceutical", "compounds", "formulation",
+        "laboratory", "production", "polymers", "drugs",
+    ),
+    "electronics": (
+        "electronics", "semiconductor", "components", "circuit", "chips",
+        "capacitor", "resistor", "battery", "devices", "pcb",
+    ),
+    "manufacturing_other": (
+        "manufacturing", "factory", "production", "industrial", "plant",
+        "quality",
+    ),
+    # --- Other ------------------------------------------------------------------------------------------------------------------------
+    "individually_owned": (
+        "personal", "individual", "private", "homepage", "hobby",
+    ),
+    "other_other": (
+        "organization", "general", "miscellaneous",
+    ),
+}
+
+#: Generic words present on nearly every website, regardless of industry.
+GENERIC_WEB_WORDS: Tuple[str, ...] = (
+    "home", "about", "contact", "welcome", "our", "team", "services",
+    "company", "us", "news", "careers", "privacy", "terms", "copyright",
+    "email", "address", "more", "learn", "today", "world", "customers",
+    "quality", "experience", "trusted", "leading", "since", "mission",
+)
+
+#: Keywords the paper's scraper uses to select internal pages to visit
+#: (Figure 3): pages whose link titles contain these are followed.
+SCRAPER_LINK_KEYWORDS: Tuple[str, ...] = (
+    "service", "solution", "about", "who", "do", "it", "us", "our",
+    "company", "network", "online", "connect", "coverage", "history",
+)
+
+
+def keywords_for_layer2(slug: str) -> Tuple[str, ...]:
+    """The keyword profile for a layer 2 category slug."""
+    return KEYWORDS_LAYER2[slug]
+
+
+def keywords_for_layer1(slug: str) -> Tuple[str, ...]:
+    """Union of keyword profiles across a layer 1 category's children."""
+    category = naicslite.layer1_by_slug(slug)
+    seen: Set[str] = set()
+    ordered: List[str] = []
+    for sub in category.layer2:
+        for word in KEYWORDS_LAYER2.get(sub.slug, ()):
+            if word not in seen:
+                seen.add(word)
+                ordered.append(word)
+    return tuple(ordered)
+
+
+def _validate() -> None:
+    """Every layer 2 category must have a keyword profile."""
+    missing = [
+        sub.slug
+        for sub in naicslite.ALL_LAYER2
+        if sub.slug not in KEYWORDS_LAYER2
+    ]
+    if missing:
+        raise RuntimeError(f"missing keyword profiles: {missing}")
+
+
+_validate()

@@ -1,0 +1,179 @@
+"""Category labels: the common currency exchanged between ASdb components.
+
+Every data source, classifier, labeler, and the ASdb pipeline itself emits
+*category labels*.  A label always names a NAICSlite layer 1 category and
+optionally a layer 2 sub-category (expert labelers occasionally can only
+assign a layer 1 category; the paper's Table 8 footnote relies on this).
+
+:class:`LabelSet` wraps a collection of labels and implements the paper's
+match semantics: a data source's answer is *accurate* if at least one of its
+NAICSlite categories overlaps with the ground truth ("loose" match), either
+at layer 1 or at layer 2 granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from . import naicslite
+
+__all__ = ["Label", "LabelSet"]
+
+
+@dataclass(frozen=True)
+class Label:
+    """A single NAICSlite classification label.
+
+    Attributes:
+        layer1: Slug of the layer 1 category (e.g. ``"computer_and_it"``).
+        layer2: Slug of the layer 2 category (e.g. ``"hosting"``), or None
+            when only a top-level classification is known.
+    """
+
+    layer1: str
+    layer2: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        category = naicslite.layer1_by_slug(self.layer1)  # raises if unknown
+        if self.layer2 is not None:
+            sub = naicslite.layer2_by_name(self.layer2)
+            if sub.layer1_code != category.code:
+                raise ValueError(
+                    f"layer2 {self.layer2!r} does not belong to "
+                    f"layer1 {self.layer1!r}"
+                )
+
+    @classmethod
+    def from_layer2(cls, layer2_slug: str) -> "Label":
+        """Build a full label from a layer 2 slug alone."""
+        sub = naicslite.layer2_by_name(layer2_slug)
+        return cls(layer1=sub.layer1.slug, layer2=layer2_slug)
+
+    @property
+    def is_tech(self) -> bool:
+        """Whether the label falls in the technology layer 1 category."""
+        return naicslite.layer1_by_slug(self.layer1).tech
+
+    @property
+    def has_layer2(self) -> bool:
+        """Whether a layer 2 sub-category is present."""
+        return self.layer2 is not None
+
+    @property
+    def sort_key(self) -> Tuple[str, str]:
+        """Deterministic ordering key (layer-1-only labels sort first
+        within their layer 1)."""
+        return (self.layer1, self.layer2 or "")
+
+    @property
+    def code(self) -> str:
+        """The dotted NAICSlite code, e.g. ``"1.3"`` or ``"1"``."""
+        category = naicslite.layer1_by_slug(self.layer1)
+        if self.layer2 is None:
+            return str(category.code)
+        return naicslite.layer2_by_name(self.layer2).code
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        if self.layer2 is None:
+            return self.layer1
+        return f"{self.layer1}/{self.layer2}"
+
+
+class LabelSet:
+    """An immutable set of :class:`Label` with paper-style match semantics."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Iterable[Label] = ()) -> None:
+        self._labels: FrozenSet[Label] = frozenset(labels)
+
+    @classmethod
+    def from_layer2_slugs(cls, slugs: Iterable[str]) -> "LabelSet":
+        """Build a label set from layer 2 slugs."""
+        return cls(Label.from_layer2(slug) for slug in slugs)
+
+    @classmethod
+    def from_layer1_slugs(cls, slugs: Iterable[str]) -> "LabelSet":
+        """Build a layer-1-only label set from layer 1 slugs."""
+        return cls(Label(layer1=slug) for slug in slugs)
+
+    @property
+    def labels(self) -> FrozenSet[Label]:
+        """The underlying frozen set of labels."""
+        return self._labels
+
+    def layer1_slugs(self) -> Set[str]:
+        """The distinct layer 1 slugs covered by this set."""
+        return {label.layer1 for label in self._labels}
+
+    def layer2_slugs(self) -> Set[str]:
+        """The distinct layer 2 slugs covered by this set (layer-1-only
+        labels contribute nothing here)."""
+        return {
+            label.layer2 for label in self._labels if label.layer2 is not None
+        }
+
+    def overlaps_layer1(self, other: "LabelSet") -> bool:
+        """Loose match at layer 1: do the two sets share a layer 1 slug?"""
+        return bool(self.layer1_slugs() & other.layer1_slugs())
+
+    def overlaps_layer2(self, other: "LabelSet") -> bool:
+        """Loose match at layer 2: do the two sets share a layer 2 slug?"""
+        return bool(self.layer2_slugs() & other.layer2_slugs())
+
+    def strict_equals_layer2(self, other: "LabelSet") -> bool:
+        """Strict match: identical layer 2 slug sets (Appendix B metric)."""
+        return self.layer2_slugs() == other.layer2_slugs()
+
+    def union(self, other: "LabelSet") -> "LabelSet":
+        """Set union of labels."""
+        return LabelSet(self._labels | other._labels)
+
+    def intersection_layer2(self, other: "LabelSet") -> "LabelSet":
+        """Labels of ``self`` whose layer 2 slug also appears in ``other``."""
+        shared = self.layer2_slugs() & other.layer2_slugs()
+        return LabelSet(
+            label for label in self._labels if label.layer2 in shared
+        )
+
+    def restrict_to_layer1(self) -> "LabelSet":
+        """Drop layer 2 information, keeping one label per layer 1 slug."""
+        return LabelSet(Label(layer1=slug) for slug in self.layer1_slugs())
+
+    @property
+    def is_tech(self) -> bool:
+        """Whether any label falls in the technology category."""
+        return any(label.is_tech for label in self._labels)
+
+    @property
+    def has_layer2(self) -> bool:
+        """Whether at least one label carries a layer 2 sub-category."""
+        return any(label.has_layer2 for label in self._labels)
+
+    def __bool__(self) -> bool:
+        return bool(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(sorted(self._labels, key=lambda l: l.sort_key))
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._labels
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelSet):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return hash(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        inner = ", ".join(
+            str(label)
+            for label in sorted(self._labels, key=lambda l: l.sort_key)
+        )
+        return f"LabelSet({{{inner}}})"

@@ -1,0 +1,346 @@
+"""A working subset of NAICS (North American Industry Classification System).
+
+NAICS is the de facto U.S. federal standard for classifying industries; the
+full 2017 edition defines over 2,000 hierarchical 2-6 digit codes across a
+517-page manual.  ASdb's business-database sources (Dun & Bradstreet and
+ZoomInfo) return NAICS codes, which ASdb translates to NAICSlite.
+
+We implement the subset of 6-digit codes that actually occurs for AS-owning
+organizations, spanning every NAICSlite category, plus the hierarchy helpers
+(sector = first 2 digits, subsector = 3, industry group = 4).  Crucially we
+include the codes the paper calls out as ambiguous - e.g. D&B uses 517911
+("Telecommunications Resellers"), 541512 ("Computer Systems Design Services")
+and 519190 ("All Other Information Services") interchangeably for both ISPs
+and hosting providers - so the downstream translation layer reproduces the
+real dataset's confusion.
+
+Example:
+    >>> from repro.taxonomy import naics
+    >>> naics.lookup("517311").title
+    'Wired Telecommunications Carriers'
+    >>> naics.sector("517311")
+    '51'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "NAICSCode",
+    "ALL_CODES",
+    "lookup",
+    "exists",
+    "sector",
+    "subsector",
+    "industry_group",
+    "codes_in_sector",
+    "SECTOR_TITLES",
+]
+
+
+@dataclass(frozen=True)
+class NAICSCode:
+    """A single 6-digit NAICS code.
+
+    Attributes:
+        code: The 6-digit code as a string (leading zeros preserved).
+        title: The official industry title.
+    """
+
+    code: str
+    title: str
+
+    @property
+    def sector(self) -> str:
+        """The 2-digit sector prefix."""
+        return self.code[:2]
+
+    @property
+    def subsector(self) -> str:
+        """The 3-digit subsector prefix."""
+        return self.code[:3]
+
+    @property
+    def industry_group(self) -> str:
+        """The 4-digit industry-group prefix."""
+        return self.code[:4]
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"{self.code} {self.title}"
+
+
+SECTOR_TITLES: Dict[str, str] = {
+    "11": "Agriculture, Forestry, Fishing and Hunting",
+    "21": "Mining, Quarrying, and Oil and Gas Extraction",
+    "22": "Utilities",
+    "23": "Construction",
+    "31": "Manufacturing",
+    "32": "Manufacturing",
+    "33": "Manufacturing",
+    "42": "Wholesale Trade",
+    "44": "Retail Trade",
+    "45": "Retail Trade",
+    "48": "Transportation and Warehousing",
+    "49": "Transportation and Warehousing",
+    "51": "Information",
+    "52": "Finance and Insurance",
+    "53": "Real Estate and Rental and Leasing",
+    "54": "Professional, Scientific, and Technical Services",
+    "55": "Management of Companies and Enterprises",
+    "56": "Administrative and Support and Waste Management",
+    "61": "Educational Services",
+    "62": "Health Care and Social Assistance",
+    "71": "Arts, Entertainment, and Recreation",
+    "72": "Accommodation and Food Services",
+    "81": "Other Services (except Public Administration)",
+    "92": "Public Administration",
+}
+
+# The working 6-digit subset: (code, title).
+_RAW_CODES: Sequence[Tuple[str, str]] = (
+    # --- Information sector: the codes that matter most for ASes -----------
+    ("517311", "Wired Telecommunications Carriers"),
+    ("517312", "Wireless Telecommunications Carriers (except Satellite)"),
+    ("517410", "Satellite Telecommunications"),
+    ("517911", "Telecommunications Resellers"),
+    ("517919", "All Other Telecommunications"),
+    ("518210", "Data Processing, Hosting, and Related Services"),
+    ("519130", "Internet Publishing and Broadcasting and Web Search Portals"),
+    ("519190", "All Other Information Services"),
+    ("511210", "Software Publishers"),
+    ("541511", "Custom Computer Programming Services"),
+    ("541512", "Computer Systems Design Services"),
+    ("541513", "Computer Facilities Management Services"),
+    ("541519", "Other Computer Related Services"),
+    ("541690", "Other Scientific and Technical Consulting Services"),
+    ("561621", "Security Systems Services (except Locksmiths)"),
+    # --- Media / publishing / broadcasting ---------------------------------
+    ("511110", "Newspaper Publishers"),
+    ("511120", "Periodical Publishers"),
+    ("511130", "Book Publishers"),
+    ("512110", "Motion Picture and Video Production"),
+    ("512230", "Music Publishers"),
+    ("512240", "Sound Recording Studios"),
+    ("515111", "Radio Networks"),
+    ("515112", "Radio Stations"),
+    ("515120", "Television Broadcasting"),
+    ("515210", "Cable and Other Subscription Programming"),
+    ("519110", "News Syndicates"),
+    ("519120", "Libraries and Archives"),
+    # --- Finance and insurance ----------------------------------------------
+    ("522110", "Commercial Banking"),
+    ("522130", "Credit Unions"),
+    ("522210", "Credit Card Issuing"),
+    ("522292", "Real Estate Credit"),
+    ("523110", "Investment Banking and Securities Dealing"),
+    ("523920", "Portfolio Management"),
+    ("523930", "Investment Advice"),
+    ("524113", "Direct Life Insurance Carriers"),
+    ("524114", "Direct Health and Medical Insurance Carriers"),
+    ("524126", "Direct Property and Casualty Insurance Carriers"),
+    ("524210", "Insurance Agencies and Brokerages"),
+    ("541211", "Offices of Certified Public Accountants"),
+    ("541213", "Tax Preparation Services"),
+    ("541214", "Payroll Services"),
+    ("525110", "Pension Funds"),
+    # --- Education and research ---------------------------------------------
+    ("611110", "Elementary and Secondary Schools"),
+    ("611210", "Junior Colleges"),
+    ("611310", "Colleges, Universities, and Professional Schools"),
+    ("611420", "Computer Training"),
+    ("611513", "Apprenticeship Training"),
+    ("611519", "Other Technical and Trade Schools"),
+    ("611691", "Exam Preparation and Tutoring"),
+    ("611692", "Automobile Driving Schools"),
+    ("541715", "R&D in the Physical, Engineering, and Life Sciences"),
+    ("541720", "R&D in the Social Sciences and Humanities"),
+    # --- Service -------------------------------------------------------------
+    ("541110", "Offices of Lawyers"),
+    ("541611", "Administrative Management Consulting Services"),
+    ("541613", "Marketing Consulting Services"),
+    ("561612", "Security Guards and Patrol Services"),
+    ("561710", "Exterminating and Pest Control Services"),
+    ("561720", "Janitorial Services"),
+    ("561730", "Landscaping Services"),
+    ("811111", "General Automotive Repair"),
+    ("811192", "Car Washes"),
+    ("812111", "Barber Shops"),
+    ("812113", "Nail Salons"),
+    ("812191", "Diet and Weight Reducing Centers"),
+    ("812320", "Drycleaning and Laundry Services"),
+    ("624221", "Temporary Shelters"),
+    ("624230", "Emergency and Other Relief Services"),
+    ("624410", "Child Day Care Services"),
+    # --- Agriculture, mining, refineries ------------------------------------
+    ("111110", "Soybean Farming"),
+    ("111419", "Other Food Crops Grown Under Cover"),
+    ("111421", "Nursery and Tree Production"),
+    ("112111", "Beef Cattle Ranching and Farming"),
+    ("112310", "Chicken Egg Production"),
+    ("113310", "Logging"),
+    ("115112", "Soil Preparation, Planting, and Cultivating"),
+    ("211120", "Crude Petroleum Extraction"),
+    ("211130", "Natural Gas Extraction"),
+    ("212221", "Gold Ore Mining"),
+    ("212311", "Dimension Stone Mining and Quarrying"),
+    ("324110", "Petroleum Refineries"),
+    # --- Community groups and nonprofits ------------------------------------
+    ("813110", "Religious Organizations"),
+    ("813311", "Human Rights Organizations"),
+    ("813312", "Environment, Conservation and Wildlife Organizations"),
+    ("813319", "Other Social Advocacy Organizations"),
+    ("813410", "Civic and Social Organizations"),
+    ("813910", "Business Associations"),
+    ("813990", "Other Similar Organizations"),
+    # --- Construction and real estate ----------------------------------------
+    ("236115", "New Single-Family Housing Construction"),
+    ("236220", "Commercial and Institutional Building Construction"),
+    ("237110", "Water and Sewer Line and Related Structures Construction"),
+    ("237310", "Highway, Street, and Bridge Construction"),
+    ("531110", "Lessors of Residential Buildings and Dwellings"),
+    ("531120", "Lessors of Nonresidential Buildings"),
+    ("531210", "Offices of Real Estate Agents and Brokers"),
+    ("531311", "Residential Property Managers"),
+    # --- Museums, libraries, entertainment -----------------------------------
+    ("711211", "Sports Teams and Clubs"),
+    ("711110", "Theater Companies and Dinner Theaters"),
+    ("711130", "Musical Groups and Artists"),
+    ("712110", "Museums"),
+    ("712120", "Historical Sites"),
+    ("712130", "Zoos and Botanical Gardens"),
+    ("712190", "Nature Parks and Other Similar Institutions"),
+    ("713110", "Amusement and Theme Parks"),
+    ("713120", "Amusement Arcades"),
+    ("713210", "Casinos (except Casino Hotels)"),
+    ("713290", "Other Gambling Industries"),
+    ("713940", "Fitness and Recreational Sports Centers"),
+    ("561520", "Tour Operators"),
+    ("487110", "Scenic and Sightseeing Transportation, Land"),
+    # --- Utilities ------------------------------------------------------------
+    ("221111", "Hydroelectric Power Generation"),
+    ("221112", "Fossil Fuel Electric Power Generation"),
+    ("221118", "Other Electric Power Generation"),
+    ("221121", "Electric Bulk Power Transmission and Control"),
+    ("221122", "Electric Power Distribution"),
+    ("221210", "Natural Gas Distribution"),
+    ("221310", "Water Supply and Irrigation Systems"),
+    ("221320", "Sewage Treatment Facilities"),
+    ("221330", "Steam and Air-Conditioning Supply"),
+    # --- Health care ------------------------------------------------------------
+    ("622110", "General Medical and Surgical Hospitals"),
+    ("622210", "Psychiatric and Substance Abuse Hospitals"),
+    ("621511", "Medical Laboratories"),
+    ("621512", "Diagnostic Imaging Centers"),
+    ("623110", "Nursing Care Facilities (Skilled Nursing Facilities)"),
+    ("623312", "Assisted Living Facilities for the Elderly"),
+    ("621610", "Home Health Care Services"),
+    ("621111", "Offices of Physicians (except Mental Health Specialists)"),
+    # --- Travel and accommodation -----------------------------------------------
+    ("481111", "Scheduled Passenger Air Transportation"),
+    ("482111", "Line-Haul Railroads"),
+    ("483112", "Deep Sea Passenger Transportation"),
+    ("721110", "Hotels (except Casino Hotels) and Motels"),
+    ("721120", "Casino Hotels"),
+    ("721211", "RV (Recreational Vehicle) Parks and Campgrounds"),
+    ("721310", "Rooming and Boarding Houses, Dormitories, and Workers' Camps"),
+    ("722511", "Full-Service Restaurants"),
+    ("722515", "Snack and Nonalcoholic Beverage Bars"),
+    ("561510", "Travel Agencies"),
+    # --- Freight, shipment, postal ------------------------------------------------
+    ("491110", "Postal Service"),
+    ("492110", "Couriers and Express Delivery Services"),
+    ("481112", "Scheduled Freight Air Transportation"),
+    ("482112", "Short Line Railroads"),
+    ("483111", "Deep Sea Freight Transportation"),
+    ("484110", "General Freight Trucking, Local"),
+    ("484121", "General Freight Trucking, Long-Distance, Truckload"),
+    ("485110", "Urban Transit Systems"),
+    ("485310", "Taxi Service"),
+    ("488510", "Freight Transportation Arrangement"),
+    ("493110", "General Warehousing and Storage"),
+    ("927110", "Space Research and Technology"),
+    # --- Government and public administration --------------------------------------
+    ("928110", "National Security"),
+    ("928120", "International Affairs"),
+    ("922120", "Police Protection"),
+    ("922130", "Legal Counsel and Prosecution"),
+    ("922160", "Fire Protection"),
+    ("921110", "Executive Offices"),
+    ("921130", "Public Finance Activities"),
+    ("921190", "Other General Government Support"),
+    ("923110", "Administration of Education Programs"),
+    ("926130", "Regulation and Administration of Communications, "
+     "Electric, Gas, and Other Utilities"),
+    # --- Retail, wholesale, e-commerce ------------------------------------------------
+    ("445110", "Supermarkets and Other Grocery (except Convenience) Stores"),
+    ("445310", "Beer, Wine, and Liquor Stores"),
+    ("448110", "Men's Clothing Stores"),
+    ("448120", "Women's Clothing Stores"),
+    ("448320", "Luggage and Leather Goods Stores"),
+    ("452210", "Department Stores"),
+    ("454110", "Electronic Shopping and Mail-Order Houses"),
+    ("423430", "Computer and Computer Peripheral Equipment and Software "
+     "Merchant Wholesalers"),
+    ("424410", "General Line Grocery Merchant Wholesalers"),
+    # --- Manufacturing ---------------------------------------------------------------
+    ("336111", "Automobile Manufacturing"),
+    ("336411", "Aircraft Manufacturing"),
+    ("311111", "Dog and Cat Food Manufacturing"),
+    ("312111", "Soft Drink Manufacturing"),
+    ("312230", "Tobacco Manufacturing"),
+    ("313210", "Broadwoven Fabric Mills"),
+    ("315220", "Men's and Boys' Cut and Sew Apparel Manufacturing"),
+    ("333111", "Farm Machinery and Equipment Manufacturing"),
+    ("333120", "Construction Machinery Manufacturing"),
+    ("325412", "Pharmaceutical Preparation Manufacturing"),
+    ("325199", "All Other Basic Organic Chemical Manufacturing"),
+    ("334111", "Electronic Computer Manufacturing"),
+    ("334413", "Semiconductor and Related Device Manufacturing"),
+    ("334416", "Capacitor, Resistor, Coil, Transformer, and Other "
+     "Inductor Manufacturing"),
+    ("335911", "Storage Battery Manufacturing"),
+    # --- Other -----------------------------------------------------------------------
+    ("814110", "Private Households"),
+    ("812990", "All Other Personal Services"),
+)
+
+ALL_CODES: Tuple[NAICSCode, ...] = tuple(
+    NAICSCode(code=code, title=title) for code, title in _RAW_CODES
+)
+_BY_CODE: Dict[str, NAICSCode] = {entry.code: entry for entry in ALL_CODES}
+
+
+def lookup(code: str) -> NAICSCode:
+    """Return the :class:`NAICSCode` for a 6-digit code string.
+
+    Raises:
+        KeyError: if the code is not in the working subset.
+    """
+    return _BY_CODE[code]
+
+
+def exists(code: str) -> bool:
+    """Whether ``code`` is part of the working subset."""
+    return code in _BY_CODE
+
+
+def sector(code: str) -> str:
+    """Return the 2-digit sector prefix of any 6-digit code string."""
+    return code[:2]
+
+
+def subsector(code: str) -> str:
+    """Return the 3-digit subsector prefix of any 6-digit code string."""
+    return code[:3]
+
+
+def industry_group(code: str) -> str:
+    """Return the 4-digit industry-group prefix of any 6-digit code string."""
+    return code[:4]
+
+
+def codes_in_sector(sector_prefix: str) -> List[NAICSCode]:
+    """All subset codes whose sector matches ``sector_prefix``."""
+    return [entry for entry in ALL_CODES if entry.sector == sector_prefix]

@@ -1,0 +1,421 @@
+"""NAICSlite: the two-layer industry classification system introduced by ASdb.
+
+NAICSlite (paper Appendix C) simplifies NAICS for Internet measurement: it
+collapses NAICS' >2,000 hierarchical categories into 17 top-level ("layer 1")
+categories and 95 lower-level ("layer 2") categories, while *expanding* the
+NAICS information-technology category so that ISPs, hosting providers,
+software companies, and other kinds of technology companies are
+distinguishable.
+
+This module defines the full taxonomy as immutable data plus lookup helpers.
+Layer 1 categories carry a stable integer code (1-17) and a slug; layer 2
+categories carry a dotted code ``"<l1>.<l2>"`` (e.g. ``"1.3"`` for Hosting).
+
+Example:
+    >>> from repro.taxonomy import naicslite
+    >>> cit = naicslite.layer1_by_slug("computer_and_it")
+    >>> cit.name
+    'Computer and Information Technology'
+    >>> naicslite.layer2_by_code("1.1").name
+    'Internet Service Provider (ISP)'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Layer1",
+    "Layer2",
+    "TAXONOMY",
+    "ALL_LAYER1",
+    "ALL_LAYER2",
+    "NUM_LAYER1",
+    "NUM_LAYER2",
+    "TECH_LAYER1_SLUG",
+    "layer1_by_slug",
+    "layer1_by_code",
+    "layer1_by_name",
+    "layer2_by_code",
+    "layer2_by_name",
+    "is_tech",
+    "sampleable_layer1",
+]
+
+
+@dataclass(frozen=True)
+class Layer2:
+    """A NAICSlite layer 2 (sub-) category.
+
+    Attributes:
+        code: Dotted code, e.g. ``"1.3"``.
+        name: Human-readable category name from the paper's Appendix C.
+        layer1_code: Integer code of the owning layer 1 category.
+        slug: Short machine identifier, unique across the taxonomy.
+    """
+
+    code: str
+    name: str
+    layer1_code: int
+    slug: str
+
+    @property
+    def layer1(self) -> "Layer1":
+        """The owning layer 1 category."""
+        return layer1_by_code(self.layer1_code)
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"{self.code} {self.name}"
+
+
+@dataclass(frozen=True)
+class Layer1:
+    """A NAICSlite layer 1 (top-level) category.
+
+    Attributes:
+        code: Stable integer code, 1-17.
+        name: Human-readable name from the paper's Appendix C.
+        slug: Short machine identifier.
+        layer2: The sub-categories, in Appendix C order.
+        tech: Whether this category counts as "technology" in the paper's
+            tech / non-tech splits (only Computer and Information Technology).
+    """
+
+    code: int
+    name: str
+    slug: str
+    layer2: Tuple[Layer2, ...] = field(default_factory=tuple)
+
+    @property
+    def tech(self) -> bool:
+        """True for the Computer and Information Technology category."""
+        return self.slug == TECH_LAYER1_SLUG
+
+    def layer2_by_slug(self, slug: str) -> Layer2:
+        """Return the child layer 2 category with the given slug."""
+        for sub in self.layer2:
+            if sub.slug == slug:
+                return sub
+        raise KeyError(f"no layer2 slug {slug!r} under {self.slug}")
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"{self.code} {self.name}"
+
+
+TECH_LAYER1_SLUG = "computer_and_it"
+
+# (slug, name, [(slug, name), ...]) in Appendix C order.  Counts per layer 1
+# follow the paper: 17 layer 1 categories and 95 layer 2 categories in total.
+_RAW: Sequence[Tuple[str, str, Sequence[Tuple[str, str]]]] = (
+    (
+        "computer_and_it",
+        "Computer and Information Technology",
+        (
+            ("isp", "Internet Service Provider (ISP)"),
+            ("phone_provider", "Phone Provider"),
+            ("hosting", "Hosting, Cloud Provider, Data Center, Server Colocation"),
+            ("security", "Computer and Network Security"),
+            ("software", "Software Development"),
+            ("tech_consulting", "Technology Consulting Services"),
+            ("satellite", "Satellite Communication"),
+            ("search_engine", "Search Engine"),
+            ("ixp", "Internet Exchange Point (IXP)"),
+            ("it_other", "Other"),
+        ),
+    ),
+    (
+        "media",
+        "Media, Publishing, and Broadcasting",
+        (
+            ("streaming", "Online Music and Video Streaming Services"),
+            ("online_content", "Online Informational Content"),
+            ("print_media", "Print Media (Newspapers, Magazines, Books)"),
+            ("music_video_industry", "Music and Video Industry"),
+            ("radio_tv", "Radio and Television Providers"),
+            ("media_other", "Other"),
+        ),
+    ),
+    (
+        "finance",
+        "Finance and Insurance",
+        (
+            ("banks", "Banks, Credit Card Companies, Mortgage Providers"),
+            ("insurance", "Insurance Carriers and Agencies"),
+            ("accounting", "Accountants, Tax Preparers, Payroll Services"),
+            ("investment", "Investment, Portfolio Management, Pensions and Funds"),
+            ("finance_other", "Other"),
+        ),
+    ),
+    (
+        "education",
+        "Education and Research",
+        (
+            ("k12", "Elementary and Secondary Schools"),
+            ("university", "Colleges, Universities, and Professional Schools"),
+            (
+                "other_schools",
+                "Other Schools, Instruction, and Exam Preparation "
+                "(Trade Schools, Art Schools, Driving Instruction, etc.)",
+            ),
+            ("research", "Research and Development Organizations"),
+            ("edu_software", "Education Software"),
+            ("education_other", "Other"),
+        ),
+    ),
+    (
+        "service",
+        "Service",
+        (
+            ("consulting", "Law, Business, and Consulting Services"),
+            (
+                "repair",
+                "Buildings, Repair, Maintenance (Pest Control, Landscaping, "
+                "Cleaning, Locksmiths, Car Washes, etc)",
+            ),
+            (
+                "personal_care",
+                "Personal Care and Lifestyle (Barber Shops, Nail Salons, "
+                "Diet Centers, Laundry, etc)",
+            ),
+            (
+                "social_assistance",
+                "Social Assistance (Temporary Shelters, Emergency Relief, "
+                "Child Day Care, etc)",
+            ),
+            ("service_other", "Other"),
+        ),
+    ),
+    (
+        "agriculture",
+        "Agriculture, Mining, and Refineries "
+        "(Farming, Greenhouses, Mining, Forestry, and Animal Farming)",
+        (
+            ("crop_farming", "Crop Farming"),
+            ("animal_farming", "Animal Production and Ranching"),
+            ("greenhouses", "Greenhouses and Nurseries"),
+            ("forestry", "Forestry and Logging"),
+            ("mining", "Mining and Quarrying"),
+            ("oil_gas", "Oil and Gas Extraction and Refineries"),
+            ("agriculture_other", "Other"),
+        ),
+    ),
+    (
+        "nonprofit",
+        "Community Groups and Nonprofits",
+        (
+            ("religious", "Churches and Religious Organizations"),
+            (
+                "advocacy",
+                "Human Rights and Social Advocacy (Human Rights, "
+                "Environment and Wildlife Conservation, Other)",
+            ),
+            ("nonprofit_other", "Other"),
+        ),
+    ),
+    (
+        "construction",
+        "Construction and Real Estate",
+        (
+            ("buildings", "Buildings (Residential or Commercial)"),
+            (
+                "civil_engineering",
+                "Civil Eng. Construction (Utility Lines, Roads and Bridges)",
+            ),
+            ("real_estate", "Real Estate (Residential and/or Commercial)"),
+            ("construction_other", "Other"),
+        ),
+    ),
+    (
+        "entertainment",
+        "Museums, Libraries, and Entertainment",
+        (
+            ("libraries", "Libraries and Archives"),
+            ("recreation", "Recreation, Sports, and Performing Arts"),
+            ("amusement", "Amusement Parks, Arcades, Fitness Centers, Other"),
+            ("museums", "Museums, Historical Sites, Zoos, Nature Parks"),
+            ("gambling", "Casinos and Gambling"),
+            ("tours", "Tours and Sightseeing"),
+            ("entertainment_other", "Other"),
+        ),
+    ),
+    (
+        "utilities",
+        "Utilities (Excluding Internet Service)",
+        (
+            (
+                "electric",
+                "Electric Power Generation, Transmission, Distribution",
+            ),
+            ("natural_gas", "Natural Gas Distribution"),
+            ("water", "Water Supply and Irrigation"),
+            ("sewage", "Sewage Treatment"),
+            ("steam", "Steam and Air-Conditioning Supply"),
+            ("utilities_other", "Other"),
+        ),
+    ),
+    (
+        "healthcare",
+        "Health Care Services",
+        (
+            ("hospitals", "Hospitals and Medical Centers"),
+            ("medical_labs", "Medical Laboratories and Diagnostic Centers"),
+            (
+                "nursing",
+                "Nursing, Residential Care Facilities, Assisted Living, "
+                "and Home Health Care",
+            ),
+            ("healthcare_other", "Other"),
+        ),
+    ),
+    (
+        "travel",
+        "Travel and Accommodation",
+        (
+            ("air_travel", "Air Travel"),
+            ("rail_travel", "Railroad Travel"),
+            ("water_travel", "Water Travel"),
+            ("hotels", "Hotels, Motels, Inns, Other Traveler Accommodation"),
+            ("rv_parks", "Recreational Vehicle Parks and Campgrounds"),
+            ("boarding", "Boarding Houses, Dormitories, Workers' Camps"),
+            ("food_services", "Food Services and Drinking Places"),
+            ("travel_other", "Other"),
+        ),
+    ),
+    (
+        "freight",
+        "Freight, Shipment, and Postal Services",
+        (
+            ("postal", "Postal Services and Couriers"),
+            ("air_freight", "Air Transportation"),
+            ("rail_freight", "Railroad Transportation"),
+            ("water_freight", "Water Transportation"),
+            ("trucking", "Trucking"),
+            ("space", "Space, Satellites"),
+            ("passenger_transit", "Passenger Transit (Car, Bus, Taxi, Subway)"),
+            ("freight_other", "Other"),
+        ),
+    ),
+    (
+        "government",
+        "Government and Public Administration",
+        (
+            (
+                "military",
+                "Military, Defense, National Security, and Intl. Affairs",
+            ),
+            ("law_enforcement", "Law Enforcement, Public Safety, and Justice"),
+            (
+                "agencies",
+                "Government and Regulatory Agencies, Administrations, "
+                "Departments, and Services",
+            ),
+            ("government_other", "Other"),
+        ),
+    ),
+    (
+        "retail",
+        "Retail Stores, Wholesale, and E-commerce Sites",
+        (
+            ("grocery", "Food, Grocery, Beverages"),
+            ("clothing", "Clothing, Fashion, Luggage"),
+            ("retail_other", "Other"),
+        ),
+    ),
+    (
+        "manufacturing",
+        "Manufacturing",
+        (
+            ("automotive", "Automotive and Transportation"),
+            ("food_mfg", "Food, Beverage, and Tobacco"),
+            ("textiles", "Clothing and Textiles"),
+            ("machinery", "Machinery"),
+            ("chemical", "Chemical and Pharmaceutical Manufacturing"),
+            ("electronics", "Electronics and Computer Components"),
+            ("manufacturing_other", "Other"),
+        ),
+    ),
+    (
+        "other",
+        "Other",
+        (
+            ("individually_owned", "Individually Owned"),
+            ("other_other", "Other"),
+        ),
+    ),
+)
+
+
+def _build_taxonomy() -> Tuple[Layer1, ...]:
+    layer1s: List[Layer1] = []
+    for index, (slug, name, subs) in enumerate(_RAW, start=1):
+        layer2s = tuple(
+            Layer2(
+                code=f"{index}.{sub_index}",
+                name=sub_name,
+                layer1_code=index,
+                slug=sub_slug,
+            )
+            for sub_index, (sub_slug, sub_name) in enumerate(subs, start=1)
+        )
+        layer1s.append(Layer1(code=index, name=name, slug=slug, layer2=layer2s))
+    return tuple(layer1s)
+
+
+TAXONOMY: Tuple[Layer1, ...] = _build_taxonomy()
+ALL_LAYER1: Tuple[Layer1, ...] = TAXONOMY
+ALL_LAYER2: Tuple[Layer2, ...] = tuple(
+    sub for cat in TAXONOMY for sub in cat.layer2
+)
+NUM_LAYER1: int = len(ALL_LAYER1)
+NUM_LAYER2: int = len(ALL_LAYER2)
+
+_BY_L1_SLUG: Dict[str, Layer1] = {cat.slug: cat for cat in ALL_LAYER1}
+_BY_L1_CODE: Dict[int, Layer1] = {cat.code: cat for cat in ALL_LAYER1}
+_BY_L1_NAME: Dict[str, Layer1] = {cat.name.lower(): cat for cat in ALL_LAYER1}
+_BY_L2_CODE: Dict[str, Layer2] = {sub.code: sub for sub in ALL_LAYER2}
+_BY_L2_SLUG: Dict[str, Layer2] = {sub.slug: sub for sub in ALL_LAYER2}
+
+
+def layer1_by_slug(slug: str) -> Layer1:
+    """Return a layer 1 category by its slug (e.g. ``"finance"``)."""
+    return _BY_L1_SLUG[slug]
+
+
+def layer1_by_code(code: int) -> Layer1:
+    """Return a layer 1 category by its integer code (1-17)."""
+    return _BY_L1_CODE[code]
+
+
+def layer1_by_name(name: str) -> Layer1:
+    """Return a layer 1 category by its full name (case-insensitive)."""
+    return _BY_L1_NAME[name.lower()]
+
+
+def layer2_by_code(code: str) -> Layer2:
+    """Return a layer 2 category by its dotted code (e.g. ``"1.3"``)."""
+    return _BY_L2_CODE[code]
+
+
+def layer2_by_name(slug: str) -> Layer2:
+    """Return a layer 2 category by its slug (e.g. ``"hosting"``)."""
+    return _BY_L2_SLUG[slug]
+
+
+def is_tech(category: Layer1) -> bool:
+    """Whether ``category`` counts as technology for tech/non-tech splits."""
+    return category.tech
+
+
+def sampleable_layer1(include_other: bool = False) -> Tuple[Layer1, ...]:
+    """The layer 1 categories used for uniform sampling.
+
+    The paper's Uniform Gold Standard samples across "all 16 NAICSlite Layer 1
+    categories" - i.e. all categories except the residual "Other" bucket.
+
+    Args:
+        include_other: If True, include the residual "Other" category too.
+    """
+    if include_other:
+        return ALL_LAYER1
+    return tuple(cat for cat in ALL_LAYER1 if cat.slug != "other")

@@ -1,0 +1,360 @@
+"""NAICS -> NAICSlite translation.
+
+The paper translates all data-source classification systems to NAICSlite to
+obtain a common denominator (Section 3.2).  For NAICS-coded sources (Dun &
+Bradstreet, ZoomInfo) the translation is automatic: every 6-digit NAICS code
+maps to one or more NAICSlite layer 2 categories.
+
+The mapping is deliberately *not* one-to-one for the codes the paper found
+ambiguous: D&B uses 517911 ("Telecommunications Resellers"), 541512
+("Computer Systems Design Services"), and 519190 ("All Other Information
+Services") interchangeably for ISPs and hosting providers, and NAICS 518210
+covers both "data processing" and "hosting provider".  Those codes translate
+to multiple NAICSlite sub-categories, which is exactly what makes the
+downstream consensus logic necessary.
+
+Codes outside the working subset fall back to prefix rules (4-digit industry
+group, 3-digit subsector, then 2-digit sector), mirroring how a practitioner
+would map an unexpected NAICS code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .labels import Label, LabelSet
+
+__all__ = [
+    "translate_naics",
+    "translate_naics_codes",
+    "naics_candidates_for_layer2",
+    "AMBIGUOUS_TECH_CODES",
+]
+
+# 6-digit NAICS code -> NAICSlite layer 2 slugs.  Multi-valued entries encode
+# genuine NAICS ambiguity.
+_EXACT: Dict[str, Tuple[str, ...]] = {
+    # Information / technology ------------------------------------------------
+    "517311": ("isp",),
+    "517312": ("phone_provider",),
+    "517410": ("satellite",),
+    "517911": ("isp", "hosting"),           # paper: used for both
+    "517919": ("isp", "phone_provider"),
+    "518210": ("hosting", "it_other"),      # data processing == hosting in NAICS
+    "519130": ("online_content", "search_engine"),
+    "519190": ("isp", "hosting", "it_other"),
+    "511210": ("software",),
+    "541511": ("software",),
+    "541512": ("isp", "hosting", "tech_consulting"),
+    "541513": ("hosting", "tech_consulting"),
+    "541519": ("it_other",),
+    "541690": ("tech_consulting",),
+    "561621": ("security",),
+    # Media --------------------------------------------------------------------
+    "511110": ("print_media",),
+    "511120": ("print_media",),
+    "511130": ("print_media",),
+    "512110": ("music_video_industry",),
+    "512230": ("music_video_industry",),
+    "512240": ("music_video_industry",),
+    "515111": ("radio_tv",),
+    "515112": ("radio_tv",),
+    "515120": ("radio_tv",),
+    "515210": ("radio_tv",),
+    "519110": ("online_content",),
+    "519120": ("libraries",),
+    # Finance --------------------------------------------------------------------
+    "522110": ("banks",),
+    "522130": ("banks",),
+    "522210": ("banks",),
+    "522292": ("banks",),
+    "523110": ("investment",),
+    "523920": ("investment",),
+    "523930": ("investment",),
+    "524113": ("insurance",),
+    "524114": ("insurance",),
+    "524126": ("insurance",),
+    "524210": ("insurance",),
+    "541211": ("accounting",),
+    "541213": ("accounting",),
+    "541214": ("accounting",),
+    "525110": ("investment",),
+    # Education and research --------------------------------------------------------
+    "611110": ("k12",),
+    "611210": ("university",),
+    "611310": ("university",),
+    "611420": ("other_schools",),
+    "611513": ("other_schools",),
+    "611519": ("other_schools",),
+    "611691": ("other_schools",),
+    "611692": ("other_schools",),
+    "541715": ("research",),
+    "541720": ("research",),
+    # Service ---------------------------------------------------------------------------
+    "541110": ("consulting",),
+    "541611": ("consulting",),
+    "541613": ("consulting",),
+    "561612": ("service_other",),
+    "561710": ("repair",),
+    "561720": ("repair",),
+    "561730": ("repair",),
+    "811111": ("repair",),
+    "811192": ("repair",),
+    "812111": ("personal_care",),
+    "812113": ("personal_care",),
+    "812191": ("personal_care",),
+    "812320": ("personal_care",),
+    "624221": ("social_assistance",),
+    "624230": ("social_assistance",),
+    "624410": ("social_assistance",),
+    # Agriculture, mining, refineries ---------------------------------------------------------
+    "111110": ("crop_farming",),
+    "111419": ("greenhouses",),
+    "111421": ("greenhouses",),
+    "112111": ("animal_farming",),
+    "112310": ("animal_farming",),
+    "113310": ("forestry",),
+    "115112": ("crop_farming",),
+    "211120": ("oil_gas",),
+    "211130": ("oil_gas",),
+    "212221": ("mining",),
+    "212311": ("mining",),
+    "324110": ("oil_gas",),
+    # Nonprofits -----------------------------------------------------------------------------------
+    "813110": ("religious",),
+    "813311": ("advocacy",),
+    "813312": ("advocacy",),
+    "813319": ("advocacy",),
+    "813410": ("nonprofit_other",),
+    "813910": ("nonprofit_other",),
+    "813990": ("nonprofit_other",),
+    # Construction and real estate --------------------------------------------------------------------
+    "236115": ("buildings",),
+    "236220": ("buildings",),
+    "237110": ("civil_engineering",),
+    "237310": ("civil_engineering",),
+    "531110": ("real_estate",),
+    "531120": ("real_estate",),
+    "531210": ("real_estate",),
+    "531311": ("real_estate",),
+    # Museums, libraries, entertainment --------------------------------------------------------------------
+    "711211": ("recreation",),
+    "711110": ("recreation",),
+    "711130": ("recreation",),
+    "712110": ("museums",),
+    "712120": ("museums",),
+    "712130": ("museums",),
+    "712190": ("museums",),
+    "713110": ("amusement",),
+    "713120": ("amusement",),
+    "713210": ("gambling",),
+    "713290": ("gambling",),
+    "713940": ("amusement",),
+    "561520": ("tours",),
+    "487110": ("tours",),
+    # Utilities --------------------------------------------------------------------------------------------------
+    "221111": ("electric",),
+    "221112": ("electric",),
+    "221118": ("electric",),
+    "221121": ("electric",),
+    "221122": ("electric",),
+    "221210": ("natural_gas",),
+    "221310": ("water",),
+    "221320": ("sewage",),
+    "221330": ("steam",),
+    # Health care -------------------------------------------------------------------------------------------------------
+    "622110": ("hospitals",),
+    "622210": ("hospitals",),
+    "621511": ("medical_labs",),
+    "621512": ("medical_labs",),
+    "623110": ("nursing",),
+    "623312": ("nursing",),
+    "621610": ("nursing",),
+    "621111": ("healthcare_other",),
+    # Travel and accommodation ------------------------------------------------------------------------------------------------
+    "481111": ("air_travel",),
+    "482111": ("rail_travel", "rail_freight"),
+    "483112": ("water_travel",),
+    "721110": ("hotels",),
+    "721120": ("hotels", "gambling"),
+    "721211": ("rv_parks",),
+    "721310": ("boarding",),
+    "722511": ("food_services",),
+    "722515": ("food_services",),
+    "561510": ("travel_other",),
+    # Freight, shipment, postal --------------------------------------------------------------------------------------------------------
+    "491110": ("postal",),
+    "492110": ("postal",),
+    "481112": ("air_freight",),
+    "482112": ("rail_freight",),
+    "483111": ("water_freight",),
+    "484110": ("trucking",),
+    "484121": ("trucking",),
+    "485110": ("passenger_transit",),
+    "485310": ("passenger_transit",),
+    "488510": ("freight_other",),
+    "493110": ("freight_other",),
+    "927110": ("space",),
+    # Government ----------------------------------------------------------------------------------------------------------------------------
+    "928110": ("military",),
+    "928120": ("military",),
+    "922120": ("law_enforcement",),
+    "922130": ("law_enforcement",),
+    "922160": ("law_enforcement",),
+    "921110": ("agencies",),
+    "921130": ("agencies",),
+    "921190": ("agencies",),
+    "923110": ("agencies",),
+    "926130": ("agencies",),
+    # Retail ----------------------------------------------------------------------------------------------------------------------------------------
+    "445110": ("grocery",),
+    "445310": ("grocery",),
+    "448110": ("clothing",),
+    "448120": ("clothing",),
+    "448320": ("clothing",),
+    "452210": ("retail_other",),
+    "454110": ("retail_other",),
+    "423430": ("retail_other",),
+    "424410": ("grocery",),
+    # Manufacturing ----------------------------------------------------------------------------------------------------------------------------------------
+    "336111": ("automotive",),
+    "336411": ("automotive",),
+    "311111": ("food_mfg",),
+    "312111": ("food_mfg",),
+    "312230": ("food_mfg",),
+    "313210": ("textiles",),
+    "315220": ("textiles",),
+    "333111": ("machinery",),
+    "333120": ("machinery",),
+    "325412": ("chemical",),
+    "325199": ("chemical",),
+    "334111": ("electronics",),
+    "334413": ("electronics",),
+    "334416": ("electronics",),
+    "335911": ("electronics",),
+    # Other ----------------------------------------------------------------------------------------------------------------------------------------------------
+    "814110": ("individually_owned",),
+    "812990": ("other_other",),
+}
+
+# Prefix fallbacks used when a 6-digit code is outside the exact table.
+_PREFIX_4: Dict[str, Tuple[str, ...]] = {
+    "5173": ("isp",),
+    "5182": ("hosting",),
+    "5112": ("software",),
+    "5415": ("tech_consulting",),
+    "5221": ("banks",),
+    "5241": ("insurance",),
+    "6113": ("university",),
+    "6221": ("hospitals",),
+    "2211": ("electric",),
+    "7121": ("museums",),
+    "7211": ("hotels",),
+    "4841": ("trucking",),
+}
+
+_PREFIX_3: Dict[str, Tuple[str, ...]] = {
+    "517": ("isp", "phone_provider"),
+    "518": ("hosting",),
+    "519": ("online_content",),
+    "511": ("print_media", "software"),
+    "512": ("music_video_industry",),
+    "515": ("radio_tv",),
+    "522": ("banks",),
+    "523": ("investment",),
+    "524": ("insurance",),
+    "525": ("investment",),
+    "611": ("education_other",),
+    "622": ("hospitals",),
+    "621": ("healthcare_other",),
+    "623": ("nursing",),
+    "624": ("social_assistance",),
+    "221": ("utilities_other",),
+    "236": ("buildings",),
+    "237": ("civil_engineering",),
+    "531": ("real_estate",),
+    "711": ("recreation",),
+    "712": ("museums",),
+    "713": ("amusement",),
+    "721": ("hotels",),
+    "722": ("food_services",),
+    "481": ("air_freight",),
+    "482": ("rail_freight",),
+    "483": ("water_freight",),
+    "484": ("trucking",),
+    "485": ("passenger_transit",),
+    "491": ("postal",),
+    "492": ("postal",),
+    "493": ("freight_other",),
+    "813": ("nonprofit_other",),
+}
+
+# 2-digit sector -> NAICSlite layer 1 slug (layer-1-only fallback).
+_SECTOR_TO_L1: Dict[str, str] = {
+    "11": "agriculture",
+    "21": "agriculture",
+    "22": "utilities",
+    "23": "construction",
+    "31": "manufacturing",
+    "32": "manufacturing",
+    "33": "manufacturing",
+    "42": "retail",
+    "44": "retail",
+    "45": "retail",
+    "48": "freight",
+    "49": "freight",
+    "51": "computer_and_it",
+    "52": "finance",
+    "53": "construction",
+    "54": "service",
+    "55": "service",
+    "56": "service",
+    "61": "education",
+    "62": "healthcare",
+    "71": "entertainment",
+    "72": "travel",
+    "81": "service",
+    "92": "government",
+}
+
+#: NAICS codes D&B uses interchangeably for ISPs and hosting providers.
+AMBIGUOUS_TECH_CODES: Tuple[str, ...] = ("517911", "541512", "519190")
+
+
+def translate_naics(code: str) -> LabelSet:
+    """Translate one 6-digit NAICS code to a NAICSlite :class:`LabelSet`.
+
+    Exact codes map via the curated table; unknown codes fall back to
+    4-digit, 3-digit, then 2-digit prefix rules.  A completely unknown
+    sector yields an empty label set.
+    """
+    slugs = _EXACT.get(code)
+    if slugs is None:
+        slugs = _PREFIX_4.get(code[:4])
+    if slugs is None:
+        slugs = _PREFIX_3.get(code[:3])
+    if slugs is not None:
+        return LabelSet.from_layer2_slugs(slugs)
+    layer1 = _SECTOR_TO_L1.get(code[:2])
+    if layer1 is not None:
+        return LabelSet([Label(layer1=layer1)])
+    return LabelSet()
+
+
+def translate_naics_codes(codes: Sequence[str]) -> LabelSet:
+    """Translate several NAICS codes and union the results."""
+    result = LabelSet()
+    for code in codes:
+        result = result.union(translate_naics(code))
+    return result
+
+
+def naics_candidates_for_layer2(layer2_slug: str) -> List[str]:
+    """All exact-table NAICS codes whose translation includes ``layer2_slug``.
+
+    Used by the D&B / ZoomInfo simulators to pick a plausible NAICS code for
+    an organization whose ground-truth NAICSlite category is known.
+    """
+    return sorted(
+        code for code, slugs in _EXACT.items() if layer2_slug in slugs
+    )

@@ -1,0 +1,135 @@
+"""Text corpora for the synthetic web.
+
+Page text is generated as a mixture of three vocabularies:
+
+* the owning organization's NAICSlite category keyword profile
+  (:mod:`repro.taxonomy.keywords`) - the signal;
+* generic web words present on nearly every site (nav labels, boilerplate);
+* neutral filler words - the noise floor.
+
+The mixture weights control how "on-topic" a page is: homepages are diluted
+(the paper notes service descriptions often live on inner pages), while
+"About us" / "Our services" pages are keyword-dense.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..taxonomy import keywords
+
+__all__ = [
+    "FILLER_WORDS",
+    "category_text",
+    "page_title_for",
+    "INTERNAL_PAGE_TITLES",
+    "UNINFORMATIVE_TEXT",
+]
+
+#: Neutral words that carry no industry signal.
+FILLER_WORDS: Tuple[str, ...] = (
+    "the", "and", "for", "with", "that", "this", "from", "your", "you",
+    "are", "was", "will", "can", "has", "have", "all", "new", "one", "two",
+    "also", "its", "our", "out", "get", "use", "see", "now", "here",
+    "every", "each", "over", "under", "between", "during", "within",
+    "provide", "offer", "make", "made", "help", "best", "great", "many",
+    "most", "other", "some", "such", "than", "then", "them", "they",
+    "year", "years", "time", "day", "place", "people", "work", "working",
+    "based", "located", "around", "across", "along", "available", "visit",
+    "find", "call", "page", "site", "information", "details", "read",
+    "click", "view", "open", "close", "start", "end", "first", "last",
+    "number", "name", "list", "area", "region", "local", "global",
+    "national", "international", "group", "member", "part", "full",
+)
+
+#: Canonical internal-page titles.  Titles in the first group contain the
+#: scraper's link keywords (Figure 3) and get followed; the second group's
+#: titles do not and get skipped even when they hold descriptive text.
+INTERNAL_PAGE_TITLES: Tuple[str, ...] = (
+    "About Us",
+    "Our Services",
+    "Our Company",
+    "Network Coverage",
+    "What We Do",
+    "Solutions",
+    "Company History",
+    "Connect With Us",
+)
+
+#: Internal-page titles that do NOT match any scraper keyword.
+HIDDEN_PAGE_TITLES: Tuple[str, ...] = (
+    "Portfolio",
+    "Blog",
+    "Press Releases",
+    "Investors",
+    "Legal Notices",
+)
+
+#: Text of an uninformative site (the paper's Apache-test-page case).
+UNINFORMATIVE_TEXT: str = (
+    "it works this is the default web page for this server the web server "
+    "software is running but no content has been added yet"
+)
+
+
+def category_text(
+    rng: random.Random,
+    layer2_slug: Optional[str],
+    n_words: int,
+    keyword_weight: float = 0.4,
+    generic_weight: float = 0.3,
+    extra_keywords: Sequence[str] = (),
+    bleed_keywords: Sequence[str] = (),
+    bleed_weight: float = 0.0,
+) -> str:
+    """Generate ``n_words`` of page text for a category.
+
+    Args:
+        rng: Seeded random source.
+        layer2_slug: NAICSlite layer 2 slug supplying the keyword profile,
+            or None for a category-free page (pure boilerplate).
+        n_words: Number of words to emit.
+        keyword_weight: Probability each word is drawn from the category
+            profile (split evenly with ``extra_keywords`` when given).
+        generic_weight: Probability each word is generic web boilerplate.
+        extra_keywords: Additional vocabulary mixed into the keyword share
+            (used to inject misleading terms, e.g. a research institute
+            whose homepage talks about "cloud" and "computing").
+        bleed_keywords: Vocabulary of an *adjacent* category mixed in at
+            ``bleed_weight`` (hosting providers talk about their network;
+            ISPs sell hosting add-ons) - the source of realistic
+            classifier confusion.
+        bleed_weight: Probability each word is drawn from
+            ``bleed_keywords``.
+    """
+    profile: Sequence[str] = ()
+    if layer2_slug is not None:
+        profile = keywords.keywords_for_layer2(layer2_slug)
+    words: List[str] = []
+    bleed_edge = bleed_weight if bleed_keywords else 0.0
+    for _ in range(n_words):
+        roll = rng.random()
+        if roll < bleed_edge:
+            words.append(rng.choice(list(bleed_keywords)))
+        elif roll < bleed_edge + keyword_weight and (
+            profile or extra_keywords
+        ):
+            if extra_keywords and (not profile or rng.random() < 0.5):
+                words.append(rng.choice(list(extra_keywords)))
+            else:
+                words.append(rng.choice(list(profile)))
+        elif roll < bleed_edge + keyword_weight + generic_weight:
+            words.append(rng.choice(keywords.GENERIC_WEB_WORDS))
+        else:
+            words.append(rng.choice(FILLER_WORDS))
+    return " ".join(words)
+
+
+def page_title_for(org_name: str, kind: str = "home") -> str:
+    """A page title; homepages echo the organization name (the paper's
+    "most similar domain" heuristic compares homepage titles to AS names).
+    """
+    if kind == "home":
+        return f"{org_name} - Home"
+    return kind

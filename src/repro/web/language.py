@@ -1,0 +1,86 @@
+"""Synthetic non-English languages and language detection.
+
+49% of Gold Standard AS websites are not in English (Section 4.1); the paper
+pipes scraped text through Google Translate before featurization.  Offline,
+we model "a foreign language" as an invertible token cipher: each language
+transforms every word deterministically (reverse the word and add a
+language-specific suffix).  The :mod:`repro.web.translate` module inverts the
+cipher, playing the role of the translation service.
+
+The ciphers are bijective on lowercase ASCII tokens, so translation can be
+(nearly) lossless - and crucially, *untranslated* foreign text shares no
+vocabulary with the English training corpus, reproducing why translation is
+a load-bearing pipeline stage (the ablation bench disables it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Language", "LANGUAGES", "ENGLISH", "by_code", "encode_text"]
+
+
+@dataclass(frozen=True)
+class Language:
+    """A synthetic language defined by a word cipher.
+
+    Attributes:
+        code: Two-letter language code (``"en"`` is the identity).
+        name: Display name.
+        suffix: Suffix appended to each reversed word; unique per language
+            and used for detection.
+    """
+
+    code: str
+    name: str
+    suffix: str
+
+    @property
+    def is_english(self) -> bool:
+        """Whether this is the identity language."""
+        return self.code == "en"
+
+    def encode_word(self, word: str) -> str:
+        """Cipher one lowercase word into this language."""
+        if self.is_english or not word:
+            return word
+        return word[::-1] + self.suffix
+
+    def decode_word(self, word: str) -> Optional[str]:
+        """Invert the cipher; None if ``word`` is not in this language."""
+        if self.is_english:
+            return word
+        if not word.endswith(self.suffix) or len(word) <= len(self.suffix):
+            return None
+        return word[: -len(self.suffix)][::-1]
+
+
+ENGLISH = Language(code="en", name="English", suffix="")
+
+#: The non-English languages of the synthetic web.  Suffixes are chosen so
+#: no suffix is a suffix of another (detection is unambiguous).
+LANGUAGES: Tuple[Language, ...] = (
+    ENGLISH,
+    Language(code="xa", name="Xalian", suffix="ax"),
+    Language(code="xb", name="Xborese", suffix="ubo"),
+    Language(code="xc", name="Xocian", suffix="eco"),
+    Language(code="xd", name="Xdunic", suffix="idu"),
+    Language(code="xe", name="Xelvan", suffix="ove"),
+)
+
+_BY_CODE: Dict[str, Language] = {lang.code: lang for lang in LANGUAGES}
+
+
+def by_code(code: str) -> Language:
+    """Look up a language by its two-letter code."""
+    return _BY_CODE[code]
+
+
+def encode_text(text: str, language: Language) -> str:
+    """Cipher whole text (word by word) into ``language``."""
+    if language.is_english:
+        return text
+    return " ".join(
+        language.encode_word(word) for word in text.split()
+    )

@@ -1,0 +1,123 @@
+"""Website and page model for the synthetic web.
+
+A :class:`Website` is a homepage plus internal pages reachable through
+titled links.  Pages can hide their text in images (``text_in_images``),
+which defeats the scraper - one of the paper's documented failure modes.
+:class:`WebUniverse` maps domains to websites and models unreachable sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Page", "Link", "Website", "WebUniverse"]
+
+
+@dataclass(frozen=True)
+class Page:
+    """One web page.
+
+    Attributes:
+        title: The page's ``<title>``.
+        text: Visible page text (already plain text; the scraper does not
+            parse HTML).
+        text_in_images: If True, the text is rendered inside images and a
+            scraper harvests nothing from this page.
+    """
+
+    title: str
+    text: str
+    text_in_images: bool = False
+
+    @property
+    def scrapable_text(self) -> str:
+        """Text a scraper can extract (empty when text is in images)."""
+        return "" if self.text_in_images else self.text
+
+
+@dataclass(frozen=True)
+class Link:
+    """A titled link from the homepage to an internal page.
+
+    Attributes:
+        title: The anchor text / link title the scraper filters on.
+        page: The target page.
+    """
+
+    title: str
+    page: Page
+
+
+@dataclass(frozen=True)
+class Website:
+    """A website: homepage plus titled links to internal pages.
+
+    Attributes:
+        domain: The site's domain.
+        homepage: The root page.
+        links: Links from the homepage to internal pages.
+        language_code: Language of all page text (``"en"`` or one of the
+            synthetic languages in :mod:`repro.web.language`).
+    """
+
+    domain: str
+    homepage: Page
+    links: Tuple[Link, ...] = ()
+    language_code: str = "en"
+
+    @property
+    def all_pages(self) -> List[Page]:
+        """Homepage followed by internal pages."""
+        return [self.homepage] + [link.page for link in self.links]
+
+
+class WebUniverse:
+    """The synthetic World-Wide-Web: domain -> website.
+
+    Sites can be registered as *down* (domain known but unreachable),
+    matching the paper's observation that 31% of crowdwork-escalated ASes
+    had no working website.
+    """
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, Website] = {}
+        self._down: set = set()
+
+    def add(self, site: Website) -> None:
+        """Register a website (replaces any previous site at the domain)."""
+        self._sites[site.domain] = site
+        self._down.discard(site.domain)
+
+    def mark_down(self, domain: str) -> None:
+        """Mark a domain as unreachable."""
+        self._down.add(domain)
+
+    def is_down(self, domain: str) -> bool:
+        """Whether a domain is registered but unreachable."""
+        return domain in self._down
+
+    def fetch(self, domain: str) -> Optional[Website]:
+        """Fetch a website; None when unknown or down."""
+        if domain in self._down:
+            return None
+        return self._sites.get(domain)
+
+    def homepage_title(self, domain: str) -> Optional[str]:
+        """The homepage title, or None for unknown/down domains.
+
+        Used by "most similar domain" selection, which compares homepage
+        titles to registered AS names (Table 5).
+        """
+        site = self.fetch(domain)
+        return site.homepage.title if site else None
+
+    def domains(self) -> List[str]:
+        """All known (reachable or down) domains."""
+        return sorted(set(self._sites) | self._down)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._sites and domain not in self._down

@@ -1,0 +1,176 @@
+"""Synthetic website generator.
+
+Builds a :class:`~repro.web.site.Website` for an organization given its
+NAICSlite category and a set of *traits* modeling the paper's documented
+real-world failure modes:
+
+* ``language`` - 49% of Gold Standard AS websites are not in English;
+* ``uninformative`` - e.g. an Apache test page (11% of crowdwork cases);
+* ``text_in_images`` - descriptive text rendered in images, unscrapable;
+* ``hidden_info`` - service descriptions live on an internal page whose
+  link title matches none of the scraper's keywords (67% of ML failures);
+* ``misleading_keywords`` - off-category words on the homepage (the Indian
+  Institute of Tropical Meteorology's "cloud computing performance" case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..taxonomy import keywords as taxonomy_keywords
+from . import corpus
+from .language import ENGLISH, Language, encode_text
+from .site import Link, Page, Website
+
+__all__ = ["SiteTraits", "generate_site"]
+
+#: Vocabulary bleed between adjacent technology categories: hosting
+#: providers advertise their network; ISPs upsell hosting.  This overlap -
+#: not label noise - is what caps the ML classifiers' separability
+#: (Table 6: hosting AUC .80 vs ISP AUC .94).
+_VOCAB_BLEED = {
+    "hosting": ("isp", 0.22),
+    "isp": ("hosting", 0.05),
+    "phone_provider": ("isp", 0.12),
+    "it_other": ("hosting", 0.10),
+    "tech_consulting": ("hosting", 0.08),
+}
+
+
+@dataclass(frozen=True)
+class SiteTraits:
+    """Failure-mode switches for a generated website."""
+
+    language: Language = ENGLISH
+    uninformative: bool = False
+    text_in_images: bool = False
+    hidden_info: bool = False
+    misleading_keywords: Tuple[str, ...] = ()
+
+
+def _page(
+    rng: random.Random,
+    title: str,
+    layer2_slug: Optional[str],
+    n_words: int,
+    keyword_weight: float,
+    language: Language,
+    text_in_images: bool = False,
+    extra_keywords: Sequence[str] = (),
+) -> Page:
+    bleed_keywords: Sequence[str] = ()
+    bleed_weight = 0.0
+    if layer2_slug in _VOCAB_BLEED:
+        bleed_slug, bleed_weight = _VOCAB_BLEED[layer2_slug]
+        bleed_keywords = taxonomy_keywords.keywords_for_layer2(bleed_slug)
+    text = corpus.category_text(
+        rng,
+        layer2_slug,
+        n_words,
+        keyword_weight=keyword_weight,
+        extra_keywords=extra_keywords,
+        bleed_keywords=bleed_keywords,
+        bleed_weight=bleed_weight,
+    )
+    return Page(
+        title=title,
+        text=encode_text(text, language),
+        text_in_images=text_in_images,
+    )
+
+
+def generate_site(
+    rng: random.Random,
+    org_name: str,
+    domain: str,
+    layer2_slug: str,
+    traits: SiteTraits = SiteTraits(),
+) -> Website:
+    """Generate one organization website.
+
+    The homepage is keyword-diluted; descriptive text concentrates on
+    internal pages (as the paper observes).  Traits inject failure modes.
+
+    Args:
+        rng: Seeded random source.
+        org_name: Organization name (echoed in the homepage title, which
+            "most similar domain" matching relies on).
+        domain: The site's domain.
+        layer2_slug: Ground-truth NAICSlite layer 2 slug of the owner.
+        traits: Failure-mode switches.
+    """
+    language = traits.language
+    home_title = corpus.page_title_for(org_name, "home")
+
+    if traits.uninformative:
+        homepage = Page(
+            title="Test Page",
+            text=encode_text(corpus.UNINFORMATIVE_TEXT, language),
+        )
+        return Website(
+            domain=domain,
+            homepage=homepage,
+            links=(),
+            language_code=language.code,
+        )
+
+    # Homepage: diluted signal unless info is hidden deeper.
+    home_keyword_weight = 0.05 if traits.hidden_info else 0.25
+    homepage = _page(
+        rng,
+        home_title,
+        layer2_slug,
+        n_words=rng.randint(60, 140),
+        keyword_weight=home_keyword_weight,
+        language=language,
+        text_in_images=traits.text_in_images,
+        extra_keywords=traits.misleading_keywords,
+    )
+
+    links: List[Link] = []
+    n_internal = rng.randint(2, 6)
+    titles = list(corpus.INTERNAL_PAGE_TITLES)
+    rng.shuffle(titles)
+    for title in titles[:n_internal]:
+        links.append(
+            Link(
+                title=title,
+                page=_page(
+                    rng,
+                    title,
+                    layer2_slug,
+                    n_words=rng.randint(80, 200),
+                    keyword_weight=0.05 if traits.hidden_info else 0.45,
+                    language=language,
+                    text_in_images=traits.text_in_images,
+                ),
+            )
+        )
+
+    if traits.hidden_info:
+        # The descriptive text exists but sits behind a link whose title
+        # matches none of the scraper's keywords.
+        hidden_titles = list(corpus.HIDDEN_PAGE_TITLES)
+        rng.shuffle(hidden_titles)
+        links.append(
+            Link(
+                title=hidden_titles[0],
+                page=_page(
+                    rng,
+                    hidden_titles[0],
+                    layer2_slug,
+                    n_words=rng.randint(120, 240),
+                    keyword_weight=0.5,
+                    language=language,
+                ),
+            )
+        )
+
+    return Website(
+        domain=domain,
+        homepage=homepage,
+        links=tuple(links),
+        language_code=language.code,
+    )

@@ -1,0 +1,80 @@
+"""The translation stage of the ML pipeline (stands in for Google Translate).
+
+The paper translates scraped non-English text to English using Chrome's
+Google Translate (Section 4.1).  Our translator detects the synthetic
+language by suffix statistics and inverts the token cipher.  Real machine
+translation is imperfect; we model that with a small deterministic loss:
+words whose decode fails (or that were never cipher-encoded, e.g. proper
+nouns) pass through untranslated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .language import ENGLISH, LANGUAGES, Language
+
+__all__ = ["TranslationResult", "detect_language", "translate_to_english"]
+
+#: Minimum fraction of tokens matching a language's suffix for detection.
+_DETECTION_THRESHOLD = 0.3
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of a translation call.
+
+    Attributes:
+        text: The (possibly partially) translated text.
+        detected: The detected source language.
+        translated_fraction: Fraction of tokens successfully translated
+            (1.0 for English input).
+    """
+
+    text: str
+    detected: Language
+    translated_fraction: float
+
+
+def detect_language(text: str) -> Language:
+    """Detect the dominant language of ``text`` by suffix statistics."""
+    words = text.split()
+    if not words:
+        return ENGLISH
+    best, best_fraction = ENGLISH, 0.0
+    for language in LANGUAGES:
+        if language.is_english:
+            continue
+        hits = sum(
+            1 for word in words if language.decode_word(word) is not None
+        )
+        fraction = hits / len(words)
+        if fraction > best_fraction:
+            best, best_fraction = language, fraction
+    if best_fraction >= _DETECTION_THRESHOLD:
+        return best
+    return ENGLISH
+
+
+def translate_to_english(text: str) -> TranslationResult:
+    """Translate ``text`` to English, auto-detecting the source language."""
+    language = detect_language(text)
+    if language.is_english:
+        return TranslationResult(
+            text=text, detected=ENGLISH, translated_fraction=1.0
+        )
+    words = text.split()
+    out: List[str] = []
+    translated = 0
+    for word in words:
+        decoded = language.decode_word(word)
+        if decoded is not None:
+            out.append(decoded)
+            translated += 1
+        else:
+            out.append(word)
+    fraction = translated / len(words) if words else 1.0
+    return TranslationResult(
+        text=" ".join(out), detected=language, translated_fraction=fraction
+    )

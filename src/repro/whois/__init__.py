@@ -1,0 +1,36 @@
+"""WHOIS substrate: RIR record model, renderers, parsers, extraction.
+
+This package stands in for bulk RIR WHOIS dumps.  The synthetic world
+(:mod:`repro.world`) renders raw per-RIR text via :mod:`repro.whois.render`;
+the ASdb pipeline recovers structure via :mod:`repro.whois.parsers` and
+applies the paper's Appendix-A extraction via
+:mod:`repro.whois.extraction`.
+"""
+
+from .as2org import As2OrgInferrer, As2OrgMap, InferredOrg
+from .dump import iter_dump_objects, read_dump, write_dump
+from .extraction import ExtractedContact, extract, extract_domains
+from .parsers import parse
+from .records import RIR, ParsedWhois, RawWhoisObject
+from .registry import RegistryEntry, WhoisRegistry
+from .render import WhoisFacts, render
+
+__all__ = [
+    "RIR",
+    "RawWhoisObject",
+    "ParsedWhois",
+    "WhoisFacts",
+    "render",
+    "parse",
+    "extract",
+    "extract_domains",
+    "ExtractedContact",
+    "WhoisRegistry",
+    "RegistryEntry",
+    "As2OrgInferrer",
+    "As2OrgMap",
+    "InferredOrg",
+    "write_dump",
+    "read_dump",
+    "iter_dump_objects",
+]

@@ -1,0 +1,120 @@
+"""Bulk WHOIS dump files: serialize and load a registry.
+
+Real RIRs publish bulk data as large text files of blank-line-separated
+objects.  This module writes a :class:`~repro.whois.registry.WhoisRegistry`
+in that shape (with a per-object source comment, as RIR dumps carry) and
+loads such files back - including files assembled from *real* RIR data,
+which makes the parsing half of the pipeline usable beyond the synthetic
+world.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, TextIO, Tuple
+
+from .records import RIR, RawWhoisObject
+from .registry import WhoisRegistry
+
+__all__ = ["write_dump", "read_dump", "iter_dump_objects"]
+
+_HEADER_RE = re.compile(r"^#\s*source=(\w+)\s+asn=(\d+)\s*$")
+_ASN_RE = re.compile(r"^(?:aut-num|ASNumber):\s*(?:AS)?(\d+)", re.IGNORECASE | re.MULTILINE)
+
+
+def write_dump(registry: WhoisRegistry, stream: TextIO) -> int:
+    """Write every raw object to ``stream``; returns the object count.
+
+    Each object is preceded by a ``# source=<rir> asn=<n>`` comment and
+    followed by a blank line, mirroring RIR bulk-file conventions.
+    """
+    count = 0
+    for asn in registry.asns():
+        raw = registry.raw(asn)
+        stream.write(f"# source={raw.rir.value} asn={raw.asn}\n")
+        stream.write(raw.text.rstrip("\n"))
+        stream.write("\n\n")
+        count += 1
+    return count
+
+
+def _detect_rir(text: str) -> RIR:
+    """Best-effort dialect detection for headerless objects."""
+    lowered = text.lower()
+    if "asnumber:" in lowered or "orgname:" in lowered:
+        return RIR.ARIN
+    for rir in (RIR.RIPE, RIR.APNIC, RIR.AFRINIC, RIR.LACNIC):
+        if f"source:{'':8}{rir.value.upper()}".lower() in lowered.replace(
+            " ", ""
+        ):
+            return rir
+    if "owner:" in lowered and "responsible:" in lowered:
+        return RIR.LACNIC
+    return RIR.RIPE
+
+
+def iter_dump_objects(stream: TextIO) -> Iterator[RawWhoisObject]:
+    """Stream raw objects out of a dump file.
+
+    Objects are blank-line separated.  The ``# source=... asn=...``
+    header is honored when present; otherwise the RIR dialect and ASN
+    are inferred from the object text.  Objects with no recoverable ASN
+    are skipped.
+    """
+    rir: Optional[RIR] = None
+    asn: Optional[int] = None
+    lines: List[str] = []
+
+    def flush() -> Optional[RawWhoisObject]:
+        nonlocal rir, asn, lines
+        text = "\n".join(lines).strip("\n")
+        result = None
+        if text:
+            object_rir = rir if rir is not None else _detect_rir(text)
+            object_asn = asn
+            if object_asn is None:
+                match = _ASN_RE.search(text)
+                if match:
+                    object_asn = int(match.group(1))
+            if object_asn is not None:
+                result = RawWhoisObject(
+                    rir=object_rir, asn=object_asn, text=text + "\n"
+                )
+        rir, asn, lines = None, None, []
+        return result
+
+    for line in stream:
+        line = line.rstrip("\n")
+        header = _HEADER_RE.match(line)
+        if header:
+            flushed = flush()
+            if flushed is not None:
+                yield flushed
+            rir = RIR(header.group(1))
+            asn = int(header.group(2))
+            continue
+        if not line.strip():
+            if rir is not None:
+                # Inside a headered object: blank lines separate its
+                # internal blocks (aut-num + organisation), not objects.
+                lines.append(line)
+                continue
+            flushed = flush()
+            if flushed is not None:
+                yield flushed
+            continue
+        lines.append(line)
+    flushed = flush()
+    if flushed is not None:
+        yield flushed
+
+
+def read_dump(stream: TextIO) -> WhoisRegistry:
+    """Load a dump file into a fresh registry (duplicate ASNs keep the
+    first occurrence, as bulk processing pipelines conventionally do)."""
+    registry = WhoisRegistry()
+    for raw in iter_dump_objects(stream):
+        if raw.asn in registry:
+            continue
+        registry.register(raw)
+    return registry

@@ -1,0 +1,191 @@
+"""Parsers that recover structured fields from raw per-RIR WHOIS text.
+
+WHOIS data is only semi-structured (Section 2): each registry uses its own
+layout, key names, and omissions.  These parsers are intentionally defensive
+- they tolerate unknown keys, repeated keys, and missing blocks - because the
+pipeline must handle arbitrary bulk-dump content without crashing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .records import RIR, ParsedWhois, RawWhoisObject
+
+__all__ = ["parse", "parse_rpsl", "parse_arin", "parse_lacnic"]
+
+_EMAIL_RE = re.compile(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}")
+
+
+def parse(obj: RawWhoisObject) -> ParsedWhois:
+    """Parse a raw WHOIS object using the appropriate RIR dialect."""
+    if obj.rir.rpsl_style:
+        return parse_rpsl(obj)
+    if obj.rir is RIR.ARIN:
+        return parse_arin(obj)
+    return parse_lacnic(obj)
+
+
+def _rpsl_pairs(text: str) -> List[Tuple[str, str]]:
+    """Split RPSL text into ordered (key, value) pairs, skipping blanks."""
+    pairs: List[Tuple[str, str]] = []
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("%"):
+            continue
+        if ":" not in line:
+            # Continuation line: append to the previous value.
+            if pairs:
+                key, value = pairs[-1]
+                pairs[-1] = (key, f"{value} {line.strip()}")
+            continue
+        key, _, value = line.partition(":")
+        pairs.append((key.strip().lower(), value.strip()))
+    return pairs
+
+
+def parse_rpsl(obj: RawWhoisObject) -> ParsedWhois:
+    """Parse a RIPE / APNIC / AFRINIC RPSL-style object."""
+    pairs = _rpsl_pairs(obj.text)
+    as_name = ""
+    org_name: Optional[str] = None
+    descriptions: List[str] = []
+    addresses: List[str] = []
+    country: Optional[str] = None
+    phone: Optional[str] = None
+    emails: List[str] = []
+    remarks: List[str] = []
+    asn = obj.asn
+    for key, value in pairs:
+        if key == "aut-num":
+            match = re.match(r"AS(\d+)", value, re.IGNORECASE)
+            if match:
+                asn = int(match.group(1))
+        elif key == "as-name":
+            as_name = value
+        elif key == "descr":
+            descriptions.append(value)
+        elif key == "org-name":
+            org_name = value
+        elif key == "address":
+            addresses.append(value)
+        elif key == "country":
+            country = country or value
+        elif key == "phone":
+            phone = phone or value
+        elif key in ("abuse-mailbox", "e-mail", "email"):
+            emails.extend(_EMAIL_RE.findall(value))
+        elif key == "remarks":
+            remarks.append(value)
+    return ParsedWhois(
+        asn=asn,
+        rir=obj.rir,
+        as_name=as_name,
+        org_name=org_name,
+        description="\n".join(descriptions) or None,
+        address_lines=tuple(addresses),
+        city=None,
+        country=country,
+        phone=phone,
+        emails=tuple(dict.fromkeys(emails)),
+        remarks=tuple(remarks),
+    )
+
+
+def parse_arin(obj: RawWhoisObject) -> ParsedWhois:
+    """Parse an ARIN report-layout object."""
+    as_name = ""
+    org_name: Optional[str] = None
+    addresses: List[str] = []
+    city: Optional[str] = None
+    country: Optional[str] = None
+    phone: Optional[str] = None
+    emails: List[str] = []
+    remarks: List[str] = []
+    asn = obj.asn
+    for line in obj.text.splitlines():
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        key = key.strip().lower()
+        value = value.strip()
+        if not value:
+            continue
+        if key == "asnumber":
+            try:
+                asn = int(value)
+            except ValueError:
+                pass
+        elif key == "asname":
+            as_name = value
+        elif key == "orgname":
+            org_name = value
+        elif key == "address":
+            addresses.append(value)
+        elif key == "city":
+            city = value
+        elif key == "country":
+            country = value
+        elif key in ("orgphone", "orgtechphone", "orgabusephone"):
+            phone = phone or value
+        elif key in ("orgabuseemail", "orgtechemail", "orgnocemail"):
+            emails.extend(_EMAIL_RE.findall(value))
+        elif key == "comment":
+            remarks.append(value)
+    return ParsedWhois(
+        asn=asn,
+        rir=RIR.ARIN,
+        as_name=as_name,
+        org_name=org_name,
+        description=None,
+        address_lines=tuple(addresses),
+        city=city,
+        country=country,
+        phone=phone,
+        emails=tuple(dict.fromkeys(emails)),
+        remarks=tuple(remarks),
+    )
+
+
+def parse_lacnic(obj: RawWhoisObject) -> ParsedWhois:
+    """Parse a LACNIC minimal-layout object."""
+    as_name = ""
+    org_name: Optional[str] = None
+    description: Optional[str] = None
+    city: Optional[str] = None
+    country: Optional[str] = None
+    asn = obj.asn
+    for line in obj.text.splitlines():
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        key = key.strip().lower()
+        value = value.strip()
+        if not value:
+            continue
+        if key == "aut-num":
+            match = re.match(r"AS(\d+)", value, re.IGNORECASE)
+            if match:
+                asn = int(match.group(1))
+        elif key == "owner":
+            org_name = value
+            as_name = as_name or value
+        elif key == "responsible":
+            description = value
+        elif key == "city":
+            city = value
+        elif key == "country":
+            country = value
+    return ParsedWhois(
+        asn=asn,
+        rir=RIR.LACNIC,
+        as_name=as_name,
+        org_name=org_name,
+        description=description,
+        address_lines=(),
+        city=city,
+        country=country,
+        phone=None,
+        emails=(),
+        remarks=(),
+    )

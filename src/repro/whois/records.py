@@ -1,0 +1,104 @@
+"""Data model for RIR WHOIS information about Autonomous Systems.
+
+Two representations exist:
+
+* :class:`RawWhoisObject` - the semi-structured text blob a Regional Internet
+  Registry publishes for an AS (what bulk WHOIS dumps contain);
+* :class:`ParsedWhois` - the structured fields our parsers recover from it.
+
+Each of the five RIRs formats its data differently and omits different
+fields; :class:`RIR` enumerates them and records their quirks (paper
+Appendix A), which the renderers and parsers in this package honor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["RIR", "RawWhoisObject", "ParsedWhois"]
+
+
+class RIR(enum.Enum):
+    """The five Regional Internet Registries."""
+
+    ARIN = "arin"
+    RIPE = "ripe"
+    APNIC = "apnic"
+    AFRINIC = "afrinic"
+    LACNIC = "lacnic"
+
+    @property
+    def provides_phone(self) -> bool:
+        """APNIC and ARIN provide contact phone numbers for 100% of their
+        ASes; no other RIR provides phone numbers (Appendix A)."""
+        return self in (RIR.APNIC, RIR.ARIN)
+
+    @property
+    def provides_emails(self) -> bool:
+        """LACNIC does not provide domains or contact emails (Appendix A)."""
+        return self is not RIR.LACNIC
+
+    @property
+    def rpsl_style(self) -> bool:
+        """RIPE, APNIC, and AFRINIC publish RPSL-style ``key: value``
+        objects; ARIN and LACNIC use their own layouts."""
+        return self in (RIR.RIPE, RIR.APNIC, RIR.AFRINIC)
+
+
+@dataclass(frozen=True)
+class RawWhoisObject:
+    """A raw WHOIS text blob for one AS, as published by one RIR.
+
+    Attributes:
+        rir: The registry that published the object.
+        asn: The autonomous system number the object describes.
+        text: The semi-structured record text.
+    """
+
+    rir: RIR
+    asn: int
+    text: str
+
+
+@dataclass(frozen=True)
+class ParsedWhois:
+    """Structured fields recovered from a :class:`RawWhoisObject`.
+
+    All fields except ``asn``, ``rir`` and ``as_name`` are optional: RIRs
+    inconsistently collect and publish them (Section 2).  Tuples are used for
+    multi-valued fields so instances stay hashable.
+
+    Attributes:
+        asn: Autonomous system number.
+        rir: Source registry.
+        as_name: The registered AS handle (always present).
+        org_name: Organization name (present for ~80% of ASes).
+        description: Free-text description lines, joined (present ~25%).
+        address_lines: Street address lines as published (possibly
+            ``*``-obfuscated for AFRINIC).
+        city: City, when published separately (LACNIC).
+        country: ISO-3166 alpha-2 country code.
+        phone: Contact phone number (APNIC/ARIN only).
+        emails: Contact / abuse email addresses.
+        remarks: Free-text remark lines (may contain URLs).
+    """
+
+    asn: int
+    rir: RIR
+    as_name: str
+    org_name: Optional[str] = None
+    description: Optional[str] = None
+    address_lines: Tuple[str, ...] = ()
+    city: Optional[str] = None
+    country: Optional[str] = None
+    phone: Optional[str] = None
+    emails: Tuple[str, ...] = ()
+    remarks: Tuple[str, ...] = ()
+
+    @property
+    def has_some_name(self) -> bool:
+        """Whether any form of name is present (true for 100% of RIR
+        records, per Section 3.1)."""
+        return bool(self.org_name or self.description or self.as_name)

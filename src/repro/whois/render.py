@@ -1,0 +1,175 @@
+"""Per-RIR WHOIS text renderers.
+
+Given the facts that should appear in a record, these renderers produce raw
+text in each registry's native layout:
+
+* **RIPE / APNIC / AFRINIC** - RPSL-style ``key: value`` objects
+  (``aut-num`` + ``organisation`` blocks);
+* **ARIN** - the ``ASNumber`` / ``OrgName`` / ``Address`` report layout;
+* **LACNIC** - the minimal ``aut-num`` / ``owner`` layout with only city and
+  country location data and no contact emails.
+
+The renderers exist so the synthetic world produces *realistic raw inputs*:
+the ASdb pipeline only ever sees raw text and must recover structure through
+:mod:`repro.whois.parsers`, exactly as the real system bootstraps from bulk
+WHOIS dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .records import RIR, RawWhoisObject
+
+__all__ = ["WhoisFacts", "render"]
+
+
+@dataclass(frozen=True)
+class WhoisFacts:
+    """The facts a WHOIS record should carry, before RIR formatting.
+
+    The synthetic world generator decides which optional fields are present
+    (honoring the paper's measured availability rates) and the renderer lays
+    them out in the target RIR's format.
+
+    Attributes:
+        asn: Autonomous system number.
+        as_name: Registered AS handle (e.g. ``"EXAMPLENET-AS"``).
+        org_name: Organization name, or None if the RIR record lacks one.
+        description: Free-text description, or None.
+        address_lines: Street address lines (empty if unavailable).
+        city: City name (used by LACNIC, which publishes no street address).
+        country: ISO-3166 alpha-2 code, or None.
+        phone: Contact phone, or None (only rendered by APNIC/ARIN).
+        emails: Contact/abuse emails (never rendered by LACNIC).
+        remark_urls: URLs that should appear in free-text remarks.
+        obfuscate_address: AFRINIC-style ``*`` masking of street parts
+            (92% of AFRINIC entries do this, Appendix A).
+    """
+
+    asn: int
+    as_name: str
+    org_name: Optional[str] = None
+    description: Optional[str] = None
+    address_lines: Tuple[str, ...] = ()
+    city: Optional[str] = None
+    country: Optional[str] = None
+    phone: Optional[str] = None
+    emails: Tuple[str, ...] = ()
+    remark_urls: Tuple[str, ...] = ()
+    obfuscate_address: bool = False
+
+
+def render(facts: WhoisFacts, rir: RIR) -> RawWhoisObject:
+    """Render ``facts`` in ``rir``'s native layout."""
+    if rir.rpsl_style:
+        text = _render_rpsl(facts, rir)
+    elif rir is RIR.ARIN:
+        text = _render_arin(facts)
+    else:
+        text = _render_lacnic(facts)
+    return RawWhoisObject(rir=rir, asn=facts.asn, text=text)
+
+
+def _kv(key: str, value: str) -> str:
+    return f"{key}:{' ' * max(1, 16 - len(key) - 1)}{value}"
+
+
+def _obfuscate(line: str) -> str:
+    """AFRINIC-style masking: replace the street part with ``*``s."""
+    return "*" * max(4, len(line.split(",")[0]))
+
+
+def _render_rpsl(facts: WhoisFacts, rir: RIR) -> str:
+    source = rir.value.upper()
+    lines: List[str] = [_kv("aut-num", f"AS{facts.asn}")]
+    lines.append(_kv("as-name", facts.as_name))
+    if facts.description:
+        for chunk in facts.description.splitlines():
+            lines.append(_kv("descr", chunk))
+    org_handle = f"ORG-{facts.as_name[:4].upper().replace(' ', '')}{facts.asn % 100}-{source}"
+    if facts.org_name:
+        lines.append(_kv("org", org_handle))
+    for url in facts.remark_urls:
+        lines.append(_kv("remarks", f"see {url} for details"))
+    if facts.emails and rir.provides_emails:
+        lines.append(_kv("abuse-mailbox", facts.emails[0]))
+    if facts.country and not facts.org_name:
+        # Org-less records still carry a country (99.7% of RIR records
+        # have one, Section 3.1).
+        lines.append(_kv("country", facts.country))
+    lines.append(_kv("source", source))
+
+    if facts.org_name:
+        lines.append("")
+        lines.append(_kv("organisation", org_handle))
+        lines.append(_kv("org-name", facts.org_name))
+        # RIPE has no address field (Appendix A); APNIC and AFRINIC do.
+        if rir in (RIR.APNIC, RIR.AFRINIC) and facts.address_lines:
+            for address_line in facts.address_lines:
+                if facts.obfuscate_address and rir is RIR.AFRINIC:
+                    lines.append(_kv("address", _obfuscate(address_line)))
+                else:
+                    lines.append(_kv("address", address_line))
+            if facts.obfuscate_address and rir is RIR.AFRINIC:
+                # City/state/country remain readable after obfuscation.
+                if facts.city:
+                    lines.append(_kv("address", facts.city))
+        if facts.country:
+            lines.append(_kv("country", facts.country))
+        if facts.phone and rir.provides_phone:
+            lines.append(_kv("phone", facts.phone))
+        if rir.provides_emails:
+            for email in facts.emails[1:]:
+                lines.append(_kv("e-mail", email))
+        lines.append(_kv("source", source))
+    return "\n".join(lines) + "\n"
+
+
+def _render_arin(facts: WhoisFacts) -> str:
+    lines: List[str] = [
+        f"ASNumber:       {facts.asn}",
+        f"ASName:         {facts.as_name}",
+        f"ASHandle:       AS{facts.asn}",
+    ]
+    if facts.org_name:
+        lines.append(f"OrgName:        {facts.org_name}")
+        org_id = facts.org_name[:6].upper().replace(" ", "").replace(",", "")
+        lines.append(f"OrgId:          {org_id or 'ORG'}-{facts.asn % 1000}")
+    # ARIN entries contain the entire street address 100% of the time
+    # (Appendix A) - the generator always supplies address lines for ARIN.
+    for address_line in facts.address_lines:
+        lines.append(f"Address:        {address_line}")
+    if facts.city:
+        lines.append(f"City:           {facts.city}")
+    if facts.country:
+        lines.append(f"Country:        {facts.country}")
+    if facts.phone:
+        lines.append(f"OrgPhone:       {facts.phone}")
+    if facts.emails:
+        lines.append(f"OrgAbuseEmail:  {facts.emails[0]}")
+        for email in facts.emails[1:]:
+            lines.append(f"OrgTechEmail:   {email}")
+    if facts.description:
+        lines.append(f"Comment:        {facts.description}")
+    for url in facts.remark_urls:
+        lines.append(f"Comment:        {url}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_lacnic(facts: WhoisFacts) -> str:
+    # LACNIC provides no street address, no domains, no contact emails;
+    # only owner, city and country (Appendix A).
+    lines: List[str] = [
+        f"aut-num:     AS{facts.asn}",
+        f"owner:       {facts.org_name or facts.as_name}",
+    ]
+    if facts.description:
+        lines.append(f"responsible: {facts.description}")
+    if facts.city:
+        lines.append(f"city:        {facts.city}")
+    if facts.country:
+        lines.append(f"country:     {facts.country}")
+    lines.append("source:      LACNIC")
+    return "\n".join(lines) + "\n"

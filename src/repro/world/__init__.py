@@ -1,0 +1,24 @@
+"""Synthetic world: ground-truth organizations, ASes, WHOIS, websites.
+
+:func:`generate_world` builds the universe every other component runs
+against; :mod:`repro.world.calibration` centralizes the paper-measured
+rates used throughout the reproduction.
+"""
+
+from . import calibration, distributions, names
+from .churn import ChurnStats, simulate_churn
+from .generator import WorldConfig, generate_world
+from .organization import ASInfo, Organization, World
+
+__all__ = [
+    "World",
+    "Organization",
+    "ASInfo",
+    "WorldConfig",
+    "generate_world",
+    "ChurnStats",
+    "simulate_churn",
+    "calibration",
+    "distributions",
+    "names",
+]

@@ -1,0 +1,142 @@
+"""Registry churn simulation (Section 5.3).
+
+Between October 2020 and February 2021 the paper measured an average of 21
+new ASes per day belonging to ~19 new organizations, and 4% of all
+registered ASes changing ownership metadata during the period, implying
+~140 updates per week at Internet scale.
+
+:func:`simulate_churn` applies those *rates* to a synthetic world, scaled
+to its size, so the maintenance bench can measure the same quantities
+(ASes/day, orgs/day, metadata-churn fraction) from simulated history.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..whois.render import render
+from . import names
+from .generator import _choose_rir, _sample_truth, _whois_facts
+from .organization import ASInfo, Organization, World
+
+__all__ = ["ChurnStats", "simulate_churn"]
+
+#: Internet-scale daily registration rate per registered AS (21 new ASes a
+#: day against ~100K registered ASes).
+NEW_AS_RATE_PER_DAY = 21.0 / 100_000.0
+
+#: New organizations per new AS (19 orgs per 21 ASes).
+NEW_ORG_PER_NEW_AS = 19.0 / 21.0
+
+#: Fraction of ASes whose ownership metadata changes over the measurement
+#: window (~135 days).
+METADATA_CHURN = 0.04
+CHURN_WINDOW_DAYS = 135
+
+
+@dataclass(frozen=True)
+class ChurnStats:
+    """What a churn simulation did to the registry.
+
+    Attributes:
+        days: Simulated days.
+        new_asns: ASNs registered during the simulation.
+        updated_asns: Existing ASNs whose metadata changed.
+        new_orgs: Organizations created.
+    """
+
+    days: int
+    new_asns: Tuple[int, ...]
+    updated_asns: Tuple[int, ...]
+    new_orgs: int
+
+    @property
+    def ases_per_day(self) -> float:
+        """New-AS registration rate."""
+        return len(self.new_asns) / self.days if self.days else 0.0
+
+    @property
+    def orgs_per_day(self) -> float:
+        """New-organization rate."""
+        return self.new_orgs / self.days if self.days else 0.0
+
+
+def simulate_churn(
+    world: World, days: int, seed: int = 0, start_day: int = 1
+) -> ChurnStats:
+    """Apply ``days`` of scaled registration + metadata churn to a world.
+
+    New organizations get full WHOIS records (and occasionally share an
+    org with an existing AS); a scaled fraction of existing ASes have
+    their records re-rendered with updated ownership metadata.
+    """
+    rng = random.Random(("churn", seed).__repr__())
+    namegen = names.NameGenerator(rng)
+    base_asns = list(world.asns())
+    n_base = len(base_asns)
+    next_asn = max(base_asns) + 100 if base_asns else 70000
+
+    expected_new = NEW_AS_RATE_PER_DAY * n_base * days
+    new_asns: List[int] = []
+    new_orgs = 0
+    org_counter = len(world.organizations)
+    day = start_day
+    accumulator = 0.0
+    per_day = expected_new / days if days else 0.0
+    for offset in range(days):
+        day = start_day + offset
+        accumulator += per_day
+        while accumulator >= 1.0:
+            accumulator -= 1.0
+            if rng.random() < NEW_ORG_PER_NEW_AS or not base_asns:
+                truth = _sample_truth(rng)
+                primary = sorted(truth.layer2_slugs())[0]
+                name = namegen.org_name(primary)
+                city, country = namegen.city_and_country()
+                org = Organization(
+                    org_id=f"org-churn-{org_counter:05d}",
+                    name=name,
+                    truth=truth,
+                    country=country,
+                    city=city,
+                    address=namegen.street_address(city),
+                    phone=namegen.phone(country),
+                    domain=names.domain_for(name, country, rng),
+                )
+                world.add_organization(org)
+                org_counter += 1
+                new_orgs += 1
+            else:
+                # A new AS for an existing organization.
+                existing_asn = rng.choice(base_asns)
+                org = world.org_of_asn(existing_asn)
+            asn = next_asn
+            next_asn += rng.randint(1, 3)
+            rir = _choose_rir(rng)
+            as_name = names.as_handle_for(org.name, rng)
+            facts = _whois_facts(rng, org, asn, as_name, rir, ())
+            world.registry.register(render(facts, rir), day=day)
+            world.add_as(
+                ASInfo(asn=asn, org_id=org.org_id, rir=rir,
+                       as_name=as_name)
+            )
+            new_asns.append(asn)
+
+    # Metadata churn over the window, scaled to the simulated days.
+    churn_fraction = METADATA_CHURN * days / CHURN_WINDOW_DAYS
+    n_updates = round(churn_fraction * n_base)
+    updated = rng.sample(base_asns, min(n_updates, n_base))
+    for asn in updated:
+        info = world.ases[asn]
+        org = world.org_of_asn(asn)
+        facts = _whois_facts(rng, org, asn, info.as_name, info.rir, ())
+        world.registry.update(render(facts, info.rir), day=day)
+
+    return ChurnStats(
+        days=days,
+        new_asns=tuple(new_asns),
+        updated_asns=tuple(sorted(updated)),
+        new_orgs=new_orgs,
+    )

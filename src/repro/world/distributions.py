@@ -1,0 +1,225 @@
+"""Category and attribute distributions for the synthetic AS population.
+
+Calibrated to the paper's measurements:
+
+* ~64% of ASes belong to technology organizations (Section 3.3), dominated
+  by ISPs (Gold Standard: 66/150) and hosting providers (13/150);
+* education and finance are the largest non-technology categories;
+* some technology companies are multi-service ("ISP, Hosting, Cell" -
+  Section 3.4's nuanced-disagreement discussion);
+* 17% of hosting providers have no domain (Section 5.2);
+* field availability in WHOIS follows Section 3.1 / Appendix A.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LAYER2_WEIGHTS",
+    "sample_layer2",
+    "MULTI_SERVICE_PARTNERS",
+    "FIELD_AVAILABILITY",
+    "RIR_WEIGHTS",
+]
+
+# Layer 2 slug -> sampling weight (normalized at load).  Tech sums to ~0.64.
+LAYER2_WEIGHTS: Dict[str, float] = {
+    # --- technology (0.64) --------------------------------------------------
+    "isp": 0.400,
+    "hosting": 0.085,
+    "phone_provider": 0.030,
+    "software": 0.045,
+    "tech_consulting": 0.030,
+    "security": 0.012,
+    "satellite": 0.006,
+    "search_engine": 0.003,
+    "ixp": 0.009,
+    "it_other": 0.020,
+    # --- education and research (0.085) --------------------------------------
+    "university": 0.045,
+    "k12": 0.012,
+    "other_schools": 0.005,
+    "research": 0.018,
+    "edu_software": 0.003,
+    "education_other": 0.002,
+    # --- finance (0.040) -------------------------------------------------------
+    "banks": 0.020,
+    "insurance": 0.010,
+    "accounting": 0.003,
+    "investment": 0.006,
+    "finance_other": 0.001,
+    # --- government (0.025) ------------------------------------------------------
+    "military": 0.004,
+    "law_enforcement": 0.004,
+    "agencies": 0.016,
+    "government_other": 0.001,
+    # --- media (0.020) ---------------------------------------------------------------
+    "streaming": 0.003,
+    "online_content": 0.006,
+    "print_media": 0.004,
+    "music_video_industry": 0.003,
+    "radio_tv": 0.003,
+    "media_other": 0.001,
+    # --- manufacturing (0.022) -----------------------------------------------------------
+    "automotive": 0.004,
+    "food_mfg": 0.003,
+    "textiles": 0.002,
+    "machinery": 0.004,
+    "chemical": 0.004,
+    "electronics": 0.004,
+    "manufacturing_other": 0.001,
+    # --- healthcare (0.016) -----------------------------------------------------------------
+    "hospitals": 0.008,
+    "medical_labs": 0.003,
+    "nursing": 0.003,
+    "healthcare_other": 0.002,
+    # --- service (0.030) -----------------------------------------------------------------------
+    "consulting": 0.015,
+    "repair": 0.005,
+    "personal_care": 0.003,
+    "social_assistance": 0.004,
+    "service_other": 0.003,
+    # --- retail (0.020) --------------------------------------------------------------------------
+    "grocery": 0.005,
+    "clothing": 0.004,
+    "retail_other": 0.011,
+    # --- utilities (0.012) ------------------------------------------------------------------------
+    "electric": 0.007,
+    "natural_gas": 0.002,
+    "water": 0.002,
+    "sewage": 0.0005,
+    "steam": 0.0002,
+    "utilities_other": 0.0003,
+    # --- construction (0.014) ----------------------------------------------------------------------
+    "buildings": 0.004,
+    "civil_engineering": 0.003,
+    "real_estate": 0.006,
+    "construction_other": 0.001,
+    # --- travel (0.012) ----------------------------------------------------------------------------
+    "air_travel": 0.002,
+    "rail_travel": 0.001,
+    "water_travel": 0.001,
+    "hotels": 0.004,
+    "rv_parks": 0.0005,
+    "boarding": 0.0005,
+    "food_services": 0.002,
+    "travel_other": 0.001,
+    # --- freight (0.012) ----------------------------------------------------------------------------
+    "postal": 0.002,
+    "air_freight": 0.001,
+    "rail_freight": 0.001,
+    "water_freight": 0.002,
+    "trucking": 0.003,
+    "space": 0.0005,
+    "passenger_transit": 0.0015,
+    "freight_other": 0.001,
+    # --- nonprofit (0.014) ----------------------------------------------------------------------------
+    "religious": 0.004,
+    "advocacy": 0.005,
+    "nonprofit_other": 0.005,
+    # --- entertainment (0.010) --------------------------------------------------------------------------
+    "libraries": 0.002,
+    "recreation": 0.002,
+    "amusement": 0.001,
+    "museums": 0.002,
+    "gambling": 0.001,
+    "tours": 0.001,
+    "entertainment_other": 0.001,
+    # --- agriculture (0.006) ----------------------------------------------------------------------------
+    "crop_farming": 0.001,
+    "animal_farming": 0.001,
+    "greenhouses": 0.0005,
+    "forestry": 0.0005,
+    "mining": 0.001,
+    "oil_gas": 0.0015,
+    "agriculture_other": 0.0005,
+    # --- other (0.004) -----------------------------------------------------------------------------------
+    "individually_owned": 0.003,
+    "other_other": 0.001,
+}
+
+_SLUGS: Tuple[str, ...] = tuple(LAYER2_WEIGHTS)
+_TOTAL = sum(LAYER2_WEIGHTS.values())
+_CUMULATIVE: List[float] = []
+_acc = 0.0
+for _slug in _SLUGS:
+    _acc += LAYER2_WEIGHTS[_slug] / _TOTAL
+    _CUMULATIVE.append(_acc)
+
+
+def sample_layer2(rng: random.Random) -> str:
+    """Sample a layer 2 slug from the AS-population distribution."""
+    roll = rng.random()
+    for slug, edge in zip(_SLUGS, _CUMULATIVE):
+        if roll <= edge:
+            return slug
+    return _SLUGS[-1]
+
+
+#: Multi-service technology companies: primary slug -> possible secondary
+#: service slugs (Section 3.4: "technology companies offer multiple
+#: services (e.g., ISP, Hosting, Cell)").
+MULTI_SERVICE_PARTNERS: Dict[str, Tuple[str, ...]] = {
+    "isp": ("hosting", "phone_provider"),
+    "hosting": ("isp", "software"),
+    "phone_provider": ("isp",),
+    "edu_software": ("software",),
+    "streaming": ("online_content",),
+}
+
+#: Probability a tech org with a partner entry is multi-service.
+MULTI_SERVICE_PROBABILITY = 0.12
+
+#: WHOIS field availability (Section 3.1 / Appendix A).
+FIELD_AVAILABILITY: Dict[str, float] = {
+    "org_name": 0.8019,
+    "description": 0.2481,
+    "address": 0.617,
+    "phone": 0.45,
+    "country": 0.997,
+    "domain_in_whois": 0.871,  # some kind of domain present
+}
+
+#: RIR market shares for new registrations (approximate real-world split).
+RIR_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("ripe", 0.35),
+    ("arin", 0.25),
+    ("apnic", 0.20),
+    ("lacnic", 0.12),
+    ("afrinic", 0.08),
+)
+
+#: Fraction of hosting providers with no domain at all (Section 5.2: "17%
+#: of all hosting providers do not have domains").
+HOSTING_NO_DOMAIN = 0.17
+
+#: Fraction of non-hosting orgs with no domain.
+DEFAULT_NO_DOMAIN = 0.06
+
+#: Fraction of orgs whose contact emails use a third-party mail provider
+#: (gmail-like) *in addition to* or instead of their own domain.
+THIRD_PARTY_EMAIL = 0.25
+
+#: Website failure-mode rates (Section 4.1 / Appendix B).
+SITE_NON_ENGLISH = 0.49
+SITE_UNINFORMATIVE = 0.04
+SITE_TEXT_IN_IMAGES = 0.03
+SITE_HIDDEN_INFO = 0.06
+SITE_MISLEADING = 0.02
+SITE_DOWN = 0.04
+
+#: Startup probability by tech-ness (Crunchbase coverage skew).
+STARTUP_PROBABILITY_TECH = 0.30
+STARTUP_PROBABILITY_NONTECH = 0.10
+
+#: Content identity swaps: some organizations' websites read as a
+#: *different* category entirely - many hosting providers market
+#: themselves as ISPs / connectivity companies.  This irreducible overlap
+#: is what caps the hosting classifier's AUC at ~.80 (Table 6) where the
+#: ISP classifier reaches ~.94.
+SITE_CONTENT_SWAP: Dict[str, Tuple[str, float]] = {
+    "hosting": ("it_other", 0.30),
+    "isp": ("hosting", 0.02),
+}

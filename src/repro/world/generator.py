@@ -1,0 +1,258 @@
+"""Synthetic world generation.
+
+:func:`generate_world` builds a complete, internally consistent universe
+from one seed: organizations with ground-truth categories, their ASes with
+raw per-RIR WHOIS records (honoring the paper's field-availability rates),
+and their websites (honoring the paper's failure-mode rates).  External
+data-source simulators are then constructed over the same world, so every
+component observes one consistent reality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..taxonomy import Label, LabelSet
+from ..web import SiteTraits, by_code, generate_site
+from ..web.language import LANGUAGES
+from ..whois.records import RIR
+from ..whois.render import WhoisFacts, render
+from . import calibration, distributions, names
+from .organization import ASInfo, Organization, World
+
+__all__ = ["WorldConfig", "generate_world"]
+
+_NON_ENGLISH = [lang for lang in LANGUAGES if not lang.is_english]
+
+#: Misleading-keyword injections: truth slug -> off-category words its
+#: websites sometimes feature (the meteorology-institute "clouds" case).
+_MISLEADING: Dict[str, Tuple[str, ...]] = {
+    "research": ("cloud", "computing", "performance", "data"),
+    "university": ("network", "computing", "internet"),
+    "electric": ("network", "coverage", "connect"),
+    "libraries": ("online", "digital", "internet"),
+}
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Knobs for world generation.
+
+    Attributes:
+        n_orgs: Number of organizations to generate.
+        seed: Master seed; every world attribute derives from it.
+        first_asn: Lowest ASN to assign.
+        multi_as_probability: P(an org owns more than one AS).
+        big_provider_count: Number of early ISPs whose domains leak into
+            other orgs' WHOIS records (exercises common-domain filtering).
+    """
+
+    n_orgs: int = 500
+    seed: int = 20211102  # IMC'21 dates
+    first_asn: int = 64512
+    multi_as_probability: float = 0.10
+    big_provider_count: int = 5
+
+
+def _sample_truth(rng: random.Random) -> LabelSet:
+    primary = distributions.sample_layer2(rng)
+    slugs = {primary}
+    partners = distributions.MULTI_SERVICE_PARTNERS.get(primary)
+    if partners and rng.random() < distributions.MULTI_SERVICE_PROBABILITY:
+        slugs.add(rng.choice(partners))
+    return LabelSet.from_layer2_slugs(slugs)
+
+
+def _site_traits(rng: random.Random, primary: str) -> SiteTraits:
+    language = by_code("en")
+    if rng.random() < distributions.SITE_NON_ENGLISH:
+        language = rng.choice(_NON_ENGLISH)
+    misleading: Tuple[str, ...] = ()
+    if primary in _MISLEADING and rng.random() < 0.25:
+        misleading = _MISLEADING[primary]
+    elif rng.random() < distributions.SITE_MISLEADING:
+        misleading = ("cloud", "network", "computing")
+    return SiteTraits(
+        language=language,
+        uninformative=rng.random() < distributions.SITE_UNINFORMATIVE,
+        text_in_images=rng.random() < distributions.SITE_TEXT_IN_IMAGES,
+        hidden_info=rng.random() < distributions.SITE_HIDDEN_INFO,
+        misleading_keywords=misleading,
+    )
+
+
+def _choose_rir(rng: random.Random) -> RIR:
+    roll = rng.random()
+    acc = 0.0
+    for code, weight in distributions.RIR_WEIGHTS:
+        acc += weight
+        if roll <= acc:
+            return RIR(code)
+    return RIR.RIPE
+
+
+def _whois_facts(
+    rng: random.Random,
+    org: Organization,
+    asn: int,
+    as_name: str,
+    rir: RIR,
+    leaked_domains: Tuple[str, ...],
+) -> WhoisFacts:
+    availability = distributions.FIELD_AVAILABILITY
+    org_name = org.name if rng.random() < availability["org_name"] else None
+    description = None
+    if rng.random() < availability["description"]:
+        description = f"{org.name} - {org.city}"
+    address_lines: Tuple[str, ...] = ()
+    if rir is RIR.ARIN or rng.random() < availability["address"]:
+        address_lines = (org.address,)
+    country = org.country if rng.random() < availability["country"] else None
+
+    emails: List[str] = []
+    remark_urls: List[str] = []
+    if rir.provides_emails:
+        handles = ("abuse", "noc", "admin", "info")
+        pool = list(org.email_domains)
+        # The correct org domain is present among abuse contacts for 85% of
+        # ASes (Section 3.3) when the org has one at all.
+        if org.domain and org.domain in pool:
+            if rng.random() >= calibration.MATCHING.org_domain_in_whois:
+                pool = [d for d in pool if d != org.domain]
+        for domain in pool:
+            emails.append(f"{rng.choice(handles)}@{domain}")
+        for leaked in leaked_domains:
+            emails.append(f"{rng.choice(handles)}@{leaked}")
+        if org.domain and rng.random() < 0.25:
+            remark_urls.append(f"http://www.{org.domain}")
+    return WhoisFacts(
+        asn=asn,
+        as_name=as_name,
+        org_name=org_name,
+        description=description,
+        address_lines=address_lines,
+        city=org.city,
+        country=country,
+        phone=org.phone,  # rendered only by APNIC/ARIN
+        emails=tuple(emails),
+        remark_urls=tuple(remark_urls),
+        obfuscate_address=(rir is RIR.AFRINIC and rng.random() < 0.92),
+    )
+
+
+def generate_world(config: WorldConfig = WorldConfig()) -> World:
+    """Generate a complete synthetic world from ``config.seed``."""
+    rng = random.Random(config.seed)
+    namegen = names.NameGenerator(rng)
+    world = World()
+    next_asn = config.first_asn
+    big_provider_domains: List[str] = []
+    used_domains: set = set()
+
+    for index in range(config.n_orgs):
+        org_id = f"org-{index:05d}"
+        truth = _sample_truth(rng)
+        primary = sorted(truth.layer2_slugs())[0]
+        name = namegen.org_name(primary)
+        city, country = namegen.city_and_country()
+        is_tech = truth.is_tech
+
+        # Domain presence: hosting providers lack domains more often.
+        no_domain_rate = (
+            distributions.HOSTING_NO_DOMAIN
+            if "hosting" in truth.layer2_slugs()
+            else distributions.DEFAULT_NO_DOMAIN
+        )
+        domain: Optional[str] = None
+        if rng.random() >= no_domain_rate:
+            domain = names.domain_for(name, country, rng)
+            while domain in used_domains:
+                stem, _, tld = domain.partition(".")
+                domain = f"{stem}{rng.randint(2, 99)}.{tld}"
+            used_domains.add(domain)
+
+        email_domains: List[str] = []
+        if domain:
+            email_domains.append(domain)
+        if rng.random() < distributions.THIRD_PARTY_EMAIL or not domain:
+            email_domains.append(
+                rng.choice(calibration.MATCHING.email_domain_top10)
+            )
+
+        startup_p = (
+            distributions.STARTUP_PROBABILITY_TECH
+            if is_tech
+            else distributions.STARTUP_PROBABILITY_NONTECH
+        )
+        org = Organization(
+            org_id=org_id,
+            name=name,
+            truth=truth,
+            country=country,
+            city=city,
+            address=namegen.street_address(city),
+            phone=namegen.phone(country),
+            domain=domain,
+            email_domains=tuple(email_domains),
+            has_website=bool(domain)
+            and rng.random() >= distributions.SITE_DOWN,
+            is_startup=rng.random() < startup_p,
+            employees=max(1, int(rng.lognormvariate(3.5, 1.5))),
+            founded_year=rng.randint(1950, 2020),
+        )
+        world.add_organization(org)
+
+        # Website.  A fraction of sites read as an adjacent category
+        # (hosting providers marketing themselves as ISPs).
+        if org.domain:
+            if org.has_website:
+                content_slug = primary
+                swap = distributions.SITE_CONTENT_SWAP.get(primary)
+                if swap is not None and rng.random() < swap[1]:
+                    content_slug = swap[0]
+                site = generate_site(
+                    rng,
+                    org.name,
+                    org.domain,
+                    content_slug,
+                    _site_traits(rng, primary),
+                )
+                world.web.add(site)
+            else:
+                world.web.mark_down(org.domain)
+
+        # Track a few early big ISPs whose domains leak into customers'
+        # WHOIS records (they appear in >= 100 ASes in the full world).
+        if (
+            "isp" in truth.layer2_slugs()
+            and org.domain
+            and len(big_provider_domains) < config.big_provider_count
+        ):
+            big_provider_domains.append(org.domain)
+
+        # ASes.
+        n_ases = 1
+        while (
+            rng.random() < config.multi_as_probability and n_ases < 6
+        ):
+            n_ases += 1
+        for _ in range(n_ases):
+            asn = next_asn
+            next_asn += rng.randint(1, 3)
+            rir = _choose_rir(rng)
+            as_name = names.as_handle_for(name, rng)
+            leaked: Tuple[str, ...] = ()
+            if big_provider_domains and rng.random() < 0.28:
+                # Upstream-provider domains leak into customer WHOIS
+                # records (NOC/abuse contacts at the transit provider);
+                # they are exactly what domain-selection must filter out.
+                leaked = (rng.choice(big_provider_domains),)
+            facts = _whois_facts(rng, org, asn, as_name, rir, leaked)
+            world.registry.register(render(facts, rir))
+            world.add_as(
+                ASInfo(asn=asn, org_id=org_id, rir=rir, as_name=as_name)
+            )
+
+    return world

@@ -1,0 +1,207 @@
+"""Organization, AS, and domain name generation.
+
+Names need enough structure for the matching subsystem to be meaningfully
+exercised: organization names share tokens with AS handles and homepage
+titles (so "most similar domain" selection works), legal suffixes vary, and
+distinct organizations can collide on common stems (so entity resolution can
+actually go wrong, as in the real D&B bulk API).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "NameGenerator",
+    "tokenize_name",
+    "as_handle_for",
+    "domain_for",
+]
+
+# Category-flavored name stems: layer 2 slug -> (prefix stems, industry nouns)
+_STEMS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "isp": (
+        ("Fiber", "Net", "Sky", "Metro", "Rapid", "Coastal", "Summit",
+         "Prairie", "Velo", "Nova"),
+        ("Link", "Wave", "Connect", "Band", "Path", "Line", "Stream",
+         "Bridge", "Net", "Com"),
+    ),
+    "hosting": (
+        ("Cloud", "Host", "Data", "Stack", "Core", "Grid", "Node", "Vault",
+         "Forge", "Apex"),
+        ("Layer", "Works", "Center", "Box", "Point", "Hub", "Space",
+         "Cluster", "Farm", "Systems"),
+    ),
+    "software": (
+        ("Soft", "Code", "Logic", "Byte", "Pixel", "Quanta", "Flux",
+         "Lambda", "Vector", "Kernel"),
+        ("Labs", "Works", "Soft", "Systems", "Apps", "Forge", "Studio",
+         "Dynamics", "Tech", "Solutions"),
+    ),
+    "banks": (
+        ("First", "National", "United", "Heritage", "Sterling", "Pioneer",
+         "Granite", "Liberty", "Anchor", "Crown"),
+        ("Bank", "Trust", "Savings", "Financial", "Bancorp", "Credit Union",
+         "Capital", "Banking Group", "Federal Bank", "Mutual"),
+    ),
+    "university": (
+        ("Northern", "Eastern", "Western", "Central", "Pacific", "Atlantic",
+         "Highland", "Riverside", "Lakeside", "Mountain"),
+        ("University", "State University", "Institute of Technology",
+         "College", "Polytechnic", "Technical University",
+         "University College", "Academy of Sciences", "State College",
+         "Institute"),
+    ),
+    "electric": (
+        ("Valley", "Plains", "Northern", "Tri-County", "Regional", "Delta",
+         "Cascade", "Lakeland", "Bayside", "Ridgeline"),
+        ("Power", "Electric", "Energy", "Utilities", "Power Cooperative",
+         "Electric Cooperative", "Power & Light", "Grid", "Energy Authority",
+         "Electric Company"),
+    ),
+}
+
+# Default stems for any category without a bespoke table.
+_DEFAULT_STEMS: Tuple[Tuple[str, ...], Tuple[str, ...]] = (
+    ("Global", "Prime", "Alpha", "Omega", "Blue", "Silver", "Golden",
+     "Royal", "Grand", "Union", "Allied", "Crest", "True", "Bright",
+     "North", "South", "East", "West", "New", "Old"),
+    ("Group", "Holdings", "Partners", "Services", "Industries", "Company",
+     "Enterprises", "Associates", "International", "Corporation",
+     "Ventures", "Collective", "Alliance", "Works", "House", "Bros",
+     "Organization", "Agency", "Bureau", "Office"),
+)
+
+_LEGAL_SUFFIXES: Tuple[str, ...] = (
+    "", " Inc", " LLC", " Ltd", " GmbH", " S.A.", " Corp", " Co",
+    " SRL", " Pty Ltd", " AG", " B.V.",
+)
+
+_CITIES: Tuple[Tuple[str, str], ...] = (
+    ("Springfield", "US"), ("Riverton", "US"), ("Fairview", "US"),
+    ("Milton", "CA"), ("Westbrook", "GB"), ("Karlsfeld", "DE"),
+    ("Montclair", "FR"), ("Oakdale", "AU"), ("Lindhaven", "NL"),
+    ("Porto Verde", "BR"), ("Nakashima", "JP"), ("Seong-ri", "KR"),
+    ("Harborview", "ZA"), ("Altiplano", "AR"), ("Mirabad", "IN"),
+    ("Kibwezi", "KE"), ("Tarnova", "PL"), ("Valmieras", "LV"),
+    ("Qingyan", "CN"), ("Novaya Gavan", "RU"),
+)
+
+_TLDS_BY_COUNTRY: Dict[str, str] = {
+    "US": "com", "CA": "ca", "GB": "co.uk", "DE": "de", "FR": "fr",
+    "AU": "com.au", "NL": "nl", "BR": "com.br", "JP": "co.jp", "KR": "kr",
+    "ZA": "co.za", "AR": "com.ar", "IN": "in", "KE": "co.ke", "PL": "pl",
+    "LV": "lv", "CN": "cn", "RU": "ru",
+}
+
+_STOPWORDS = {
+    "inc", "llc", "ltd", "gmbh", "sa", "corp", "co", "srl", "pty", "ag",
+    "bv", "the", "of", "and", "group", "company",
+}
+
+
+def tokenize_name(name: str) -> List[str]:
+    """Lowercase alphanumeric tokens of a name, minus legal stopwords.
+
+    Single-letter fragments (e.g. the "s"/"a" of "S.A.") are dropped so
+    legal-form punctuation doesn't manufacture distinguishing tokens.
+    """
+    tokens = re.findall(r"[a-z0-9]+", name.lower())
+    return [
+        token
+        for token in tokens
+        if token not in _STOPWORDS and len(token) > 1
+    ]
+
+
+def as_handle_for(name: str, rng: random.Random) -> str:
+    """Derive an AS handle ("AS name") from an organization name."""
+    tokens = tokenize_name(name)
+    if not tokens:
+        return f"AS-ORG{rng.randint(1, 999)}"
+    core = "-".join(tokens[:2]).upper()
+    suffix = rng.choice(("-AS", "-NET", "-BACKBONE", ""))
+    return f"{core}{suffix}"
+
+
+def domain_for(name: str, country: str, rng: random.Random) -> str:
+    """Derive a plausible domain from an organization name and country."""
+    tokens = tokenize_name(name)
+    stem = "".join(tokens[:2]) or f"org{rng.randint(1, 9999)}"
+    tld = _TLDS_BY_COUNTRY.get(country, "com")
+    if rng.random() < 0.2:
+        tld = rng.choice(("net", "org", "com"))
+    return f"{stem}.{tld}"
+
+
+class NameGenerator:
+    """Deterministic generator of organization names, cities, handles.
+
+    Args:
+        rng: Seeded random source owned by the caller (typically the world
+            generator) so the whole world derives from one seed.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used: set = set()
+
+    def city_and_country(self) -> Tuple[str, str]:
+        """A (city, country) pair."""
+        return self._rng.choice(_CITIES)
+
+    def org_name(self, layer2_slug: str) -> str:
+        """A fresh organization name flavored by its category.
+
+        Uniqueness is enforced on the name's *token set* (legal suffixes
+        stripped), not just the literal string - otherwise "Acme Inc" and
+        "Acme LLC" would be distinct organizations that every name-keyed
+        lookup conflates.
+        """
+        prefixes, nouns = _STEMS.get(layer2_slug, _DEFAULT_STEMS)
+        for attempt in range(96):
+            prefix = self._rng.choice(prefixes)
+            noun = self._rng.choice(nouns)
+            suffix = self._rng.choice(_LEGAL_SUFFIXES)
+            joiner = "" if self._rng.random() < 0.4 else " "
+            name = f"{prefix}{joiner}{noun}{suffix}"
+            if attempt >= 32:
+                # Stems exhausted: disambiguate with a city-like token.
+                city = self._rng.choice(_CITIES)[0].split()[0]
+                name = f"{prefix}{joiner}{noun} {city}{suffix}"
+            key = frozenset(tokenize_name(name))
+            if key and key not in self._used:
+                self._used.add(key)
+                return name
+        # Last resort: a numbered name (the number is a fresh token).
+        for _ in range(1000):
+            name = (
+                f"{self._rng.choice(prefixes)} {self._rng.choice(nouns)} "
+                f"{self._rng.randint(2, 99999)}"
+            )
+            key = frozenset(tokenize_name(name))
+            if key not in self._used:
+                self._used.add(key)
+                return name
+        raise RuntimeError("name space exhausted")
+
+    def phone(self, country: str) -> str:
+        """A phone number with a country-dependent prefix."""
+        prefix = {"US": "+1", "CA": "+1", "GB": "+44", "DE": "+49",
+                  "FR": "+33", "AU": "+61", "NL": "+31", "BR": "+55",
+                  "JP": "+81", "KR": "+82", "ZA": "+27", "AR": "+54",
+                  "IN": "+91", "KE": "+254", "PL": "+48", "LV": "+371",
+                  "CN": "+86", "RU": "+7"}.get(country, "+1")
+        return f"{prefix}-555-{self._rng.randint(0, 9999):04d}"
+
+    def street_address(self, city: str) -> str:
+        """A street address line ending in the city."""
+        number = self._rng.randint(1, 9900)
+        street = self._rng.choice(
+            ("Main Street", "Oak Avenue", "Harbor Road", "Industrial Way",
+             "Station Road", "High Street", "Park Boulevard", "Mill Lane",
+             "Commerce Drive", "Center Plaza")
+        )
+        return f"{number} {street}, {city}"

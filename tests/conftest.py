@@ -1,0 +1,17 @@
+"""Shared fixtures: one medium synthetic world per test session."""
+
+import pytest
+
+from repro.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small world for fast per-module tests."""
+    return generate_world(WorldConfig(n_orgs=150, seed=101))
+
+
+@pytest.fixture(scope="session")
+def medium_world():
+    """A medium world for statistical checks."""
+    return generate_world(WorldConfig(n_orgs=600, seed=3))

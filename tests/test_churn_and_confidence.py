@@ -1,0 +1,111 @@
+"""Tests for registry churn simulation and record confidence priors."""
+
+import pytest
+
+from repro.core import ASdbRecord, Stage
+from repro.taxonomy import LabelSet
+from repro.world import WorldConfig, generate_world, simulate_churn
+
+
+class TestChurn:
+    @pytest.fixture()
+    def world(self):
+        return generate_world(WorldConfig(n_orgs=200, seed=88))
+
+    def test_rates_scale_with_world_size(self, world):
+        n_base = len(world.asns())
+        stats = simulate_churn(world, days=365, seed=1)
+        expected = 21.0 / 100_000.0 * n_base * 365
+        assert abs(len(stats.new_asns) - expected) <= max(
+            3, 0.4 * expected
+        )
+
+    def test_new_ases_registered_and_parseable(self, world):
+        stats = simulate_churn(world, days=365, seed=1)
+        for asn in stats.new_asns:
+            assert asn in world.registry
+            assert asn in world.ases
+            contact = world.registry.contact(asn)
+            assert contact.name
+
+    def test_new_orgs_have_truth(self, world):
+        stats = simulate_churn(world, days=365, seed=1)
+        for asn in stats.new_asns:
+            assert world.truth(asn)
+
+    def test_updates_bump_registry_version(self, world):
+        stats = simulate_churn(world, days=120, seed=2)
+        for asn in stats.updated_asns:
+            assert world.registry.entry(asn).version >= 2
+
+    def test_some_new_ases_join_existing_orgs(self, world):
+        stats = simulate_churn(world, days=2000, seed=3)
+        joined = sum(
+            1
+            for asn in stats.new_asns
+            if not world.ases[asn].org_id.startswith("org-churn")
+        )
+        # 19 of 21 new ASes belong to new orgs; the rest join old ones.
+        assert joined >= 1
+
+    def test_zero_days_is_noop(self, world):
+        before = world.asns()
+        stats = simulate_churn(world, days=0, seed=4)
+        assert stats.new_asns == ()
+        assert world.asns() == before
+
+    def test_deterministic(self):
+        a_world = generate_world(WorldConfig(n_orgs=150, seed=5))
+        b_world = generate_world(WorldConfig(n_orgs=150, seed=5))
+        a = simulate_churn(a_world, days=365, seed=9)
+        b = simulate_churn(b_world, days=365, seed=9)
+        assert a.new_asns == b.new_asns
+        assert a.updated_asns == b.updated_asns
+
+
+class TestConfidencePriors:
+    def test_all_stages_have_priors(self):
+        for stage in Stage:
+            assert 0.0 <= stage.prior_accuracy <= 1.0
+
+    def test_agreement_most_trusted(self):
+        assert Stage.MULTI_AGREE.prior_accuracy >= (
+            Stage.MULTI_DISAGREE.prior_accuracy
+        )
+        assert Stage.MULTI_AGREE.prior_accuracy >= (
+            Stage.ONE_SOURCE.prior_accuracy
+        )
+
+    def test_unclassified_record_zero_confidence(self):
+        record = ASdbRecord(
+            asn=1, labels=LabelSet(), stage=Stage.ZERO_SOURCES
+        )
+        assert record.confidence == 0.0
+
+    def test_classified_record_inherits_stage_prior(self):
+        record = ASdbRecord(
+            asn=1,
+            labels=LabelSet.from_layer2_slugs(["isp"]),
+            stage=Stage.MULTI_AGREE,
+        )
+        assert record.confidence == Stage.MULTI_AGREE.prior_accuracy
+
+    def test_confidence_correlates_with_accuracy(self, medium_world):
+        """High-confidence records really are more accurate."""
+        from repro import SystemConfig, build_asdb
+
+        built = build_asdb(medium_world, SystemConfig(seed=1))
+        dataset = built.asdb.classify_all()
+        buckets = {"high": [0, 0], "low": [0, 0]}
+        for record in dataset:
+            if not record.classified:
+                continue
+            key = "high" if record.confidence >= 0.95 else "low"
+            buckets[key][1] += 1
+            buckets[key][0] += record.labels.overlaps_layer1(
+                medium_world.truth(record.asn)
+            )
+        high = buckets["high"][0] / max(buckets["high"][1], 1)
+        low = buckets["low"][0] / max(buckets["low"][1], 1)
+        assert buckets["high"][1] > 20 and buckets["low"][1] > 20
+        assert high >= low

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_classify_defaults(self):
+        args = build_parser().parse_args(["classify"])
+        assert args.command == "classify"
+        assert args.n_orgs == 400
+        assert not args.no_ml
+
+    def test_lookup_asn(self):
+        args = build_parser().parse_args(["lookup", "--asn", "64512"])
+        assert args.asn == 64512
+
+
+class TestTaxonomyCommand:
+    def test_prints_all_categories(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "Computer and Information Technology" in out
+        assert "Internet Service Provider (ISP)" in out
+        assert out.count("[") >= 95 + 17  # every slug printed
+
+    def test_layer1_filter(self, capsys):
+        assert main(["taxonomy", "--layer1", "finance"]) == 0
+        out = capsys.readouterr().out
+        assert "Finance and Insurance" in out
+        assert "Internet Service Provider" not in out
+
+    def test_unknown_layer1(self, capsys):
+        assert main(["taxonomy", "--layer1", "nope"]) == 2
+
+
+class TestClassifyCommand:
+    def test_classify_small_world(self, capsys):
+        code = main(
+            ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classified" in out
+        assert "coverage" in out
+
+    def test_classify_writes_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "dataset.csv"
+        code = main(
+            ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        text = out_file.read_text()
+        assert text.startswith("ASN,Layer1,Layer2,Sources,Stage")
+
+    def test_classify_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "dataset.json"
+        code = main(
+            ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        document = json.loads(out_file.read_text())
+        assert document["format"] == "asdb-repro/1"
+        assert document["records"]
+
+    def test_bad_extension_rejected(self, tmp_path, capsys):
+        code = main(
+            ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml",
+             "--out", str(tmp_path / "dataset.xlsx")]
+        )
+        assert code == 2
+
+
+class TestLookupCommand:
+    def test_lookup_default_asn(self, capsys):
+        assert main(["lookup", "--n-orgs", "60", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "classified as:" in out
+        assert "stage:" in out
+
+    def test_lookup_unknown_asn(self, capsys):
+        code = main(
+            ["lookup", "--asn", "999999999", "--n-orgs", "60",
+             "--seed", "9"]
+        )
+        assert code == 2
+
+
+class TestEvaluateCommand:
+    def test_evaluate_runs(self, capsys):
+        code = main(
+            ["evaluate", "--n-orgs", "150", "--seed", "3",
+             "--gold-size", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Overall Layer 1" in out
+        assert "Gold-standard evaluation" in out
+
+
+class TestDumpCommand:
+    def test_dump_write_and_parse(self, tmp_path, capsys):
+        out = tmp_path / "whois.dump"
+        assert main(
+            ["dump", "--n-orgs", "30", "--seed", "4", "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert main(["dump", "--parse", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "parsed" in stdout
+        assert "name" in stdout
+
+    def test_dump_requires_out_or_parse(self, capsys):
+        assert main(["dump", "--n-orgs", "30"]) == 2

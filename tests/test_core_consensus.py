@@ -1,0 +1,142 @@
+"""Tests for the consensus phase and its ablation strategies."""
+
+import pytest
+
+from repro.core import (
+    ACCURACY_RANK,
+    Stage,
+    majority_vote,
+    resolve_consensus,
+    single_best_source,
+)
+from repro.datasources.base import SourceEntry, SourceMatch
+from repro.taxonomy import Label, LabelSet
+
+
+def _match(source, slugs, layer1_only=()):
+    labels = LabelSet.from_layer2_slugs(slugs)
+    if layer1_only:
+        labels = labels.union(LabelSet.from_layer1_slugs(layer1_only))
+    entry = SourceEntry(
+        entity_id=f"{source}-1",
+        org_id="org-x",
+        name="X",
+        domain="x.example",
+        native_categories=(),
+        labels=labels,
+    )
+    return SourceMatch(source=source, entry=entry)
+
+
+class TestResolveConsensus:
+    def test_zero_sources(self):
+        result = resolve_consensus({})
+        assert result.stage is Stage.ZERO_SOURCES
+        assert not result.labels
+
+    def test_empty_labels_do_not_count_as_sources(self):
+        result = resolve_consensus({"ipinfo": _match("ipinfo", [])})
+        assert result.stage is Stage.ZERO_SOURCES
+
+    def test_one_source(self):
+        result = resolve_consensus({"dnb": _match("dnb", ["banks"])})
+        assert result.stage is Stage.ONE_SOURCE
+        assert result.labels.layer2_slugs() == {"banks"}
+        assert result.trusted_sources == ("dnb",)
+
+    def test_two_agreeing_sources_union(self):
+        result = resolve_consensus(
+            {
+                "dnb": _match("dnb", ["banks", "investment"]),
+                "zvelo": _match("zvelo", ["banks"]),
+            }
+        )
+        assert result.stage is Stage.MULTI_AGREE
+        # Union of the overlapping sources' categories.
+        assert result.labels.layer2_slugs() == {"banks", "investment"}
+        assert set(result.trusted_sources) == {"dnb", "zvelo"}
+
+    def test_disagreement_auto_chooses_by_accuracy(self):
+        result = resolve_consensus(
+            {
+                "crunchbase": _match("crunchbase", ["software"]),
+                "dnb": _match("dnb", ["banks"]),
+            }
+        )
+        assert result.stage is Stage.MULTI_DISAGREE
+        # D&B (96%) outranks Crunchbase (83%).
+        assert result.labels.layer2_slugs() == {"banks"}
+        assert result.trusted_sources == ("dnb",)
+
+    def test_accuracy_rank_matches_paper(self):
+        ordering = sorted(
+            ["ipinfo", "dnb", "peeringdb", "zvelo", "crunchbase"],
+            key=lambda s: ACCURACY_RANK[s],
+            reverse=True,
+        )
+        assert ordering[0] in ("ipinfo", "dnb")  # both 96%
+        assert ordering[-1] == "crunchbase"
+
+    def test_ipinfo_outranks_dnb_on_tie(self):
+        result = resolve_consensus(
+            {
+                "ipinfo": _match("ipinfo", ["isp"]),
+                "dnb": _match("dnb", ["banks"]),
+            }
+        )
+        assert result.trusted_sources == ("ipinfo",)
+
+    def test_layer1_only_agreement(self):
+        # Crunchbase generic bucket (layer 1 only) agreeing with a D&B
+        # layer 2 label counts as overlap.
+        result = resolve_consensus(
+            {
+                "crunchbase": _match("crunchbase", [], ["finance"]),
+                "dnb": _match("dnb", ["banks"]),
+            }
+        )
+        assert result.stage is Stage.MULTI_AGREE
+
+    def test_three_sources_two_agree(self):
+        result = resolve_consensus(
+            {
+                "dnb": _match("dnb", ["banks"]),
+                "zvelo": _match("zvelo", ["banks"]),
+                "crunchbase": _match("crunchbase", ["software"]),
+            }
+        )
+        assert result.stage is Stage.MULTI_AGREE
+        assert "crunchbase" not in result.trusted_sources
+        assert result.labels.layer2_slugs() == {"banks"}
+
+
+class TestAblationStrategies:
+    MATCHES = {
+        "dnb": _match("dnb", ["banks"]),
+        "zvelo": _match("zvelo", ["banks", "investment"]),
+        "crunchbase": _match("crunchbase", ["investment"]),
+    }
+
+    def test_single_best_source(self):
+        result = single_best_source(self.MATCHES)
+        assert result.trusted_sources == ("dnb",)
+        assert result.labels.layer2_slugs() == {"banks"}
+
+    def test_single_best_source_empty(self):
+        assert single_best_source({}).stage is Stage.ZERO_SOURCES
+
+    def test_majority_vote(self):
+        result = majority_vote(self.MATCHES)
+        # banks: 2 votes, investment: 2 votes -> both kept.
+        assert result.labels.layer2_slugs() == {"banks", "investment"}
+        assert result.stage is Stage.MULTI_AGREE
+
+    def test_majority_vote_single_votes(self):
+        result = majority_vote(
+            {
+                "dnb": _match("dnb", ["banks"]),
+                "zvelo": _match("zvelo", ["software"]),
+            }
+        )
+        assert result.stage is Stage.MULTI_DISAGREE
+        assert result.labels.layer2_slugs() == {"banks", "software"}

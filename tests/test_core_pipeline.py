@@ -1,0 +1,179 @@
+"""Integration tests for the full ASdb pipeline (Figure 4)."""
+
+import pytest
+
+from repro import SystemConfig, build_asdb
+from repro.core import Stage
+from repro.taxonomy import LabelSet
+
+
+@pytest.fixture(scope="module")
+def built(medium_world):
+    return build_asdb(medium_world, SystemConfig(seed=1))
+
+
+@pytest.fixture(scope="module")
+def dataset(built):
+    return built.asdb.classify_all()
+
+
+class TestSystemLevel:
+    def test_every_as_gets_a_record(self, medium_world, dataset):
+        assert len(dataset) == len(medium_world.asns())
+
+    def test_coverage_band(self, dataset):
+        # Paper: 96% of ASes receive a classification.
+        assert dataset.coverage() >= 0.85
+
+    def test_layer1_accuracy_band(self, medium_world, dataset):
+        hits = total = 0
+        for record in dataset:
+            if not record.labels:
+                continue
+            total += 1
+            hits += record.labels.overlaps_layer1(
+                medium_world.truth(record.asn)
+            )
+        assert hits / total >= 0.85  # paper: 89-97% across datasets
+
+    def test_layer2_accuracy_band(self, medium_world, dataset):
+        hits = total = 0
+        for record in dataset:
+            truth = medium_world.truth(record.asn)
+            if not record.labels.has_layer2 or not truth.has_layer2:
+                continue
+            total += 1
+            hits += record.labels.overlaps_layer2(truth)
+        assert hits / total >= 0.70  # paper: 75-87%
+
+    def test_all_stages_exercised(self, dataset):
+        stages = set(dataset.stage_counts())
+        for stage in (
+            Stage.MATCHED_BY_ASN,
+            Stage.CLASSIFIER,
+            Stage.ONE_SOURCE,
+            Stage.MULTI_AGREE,
+            Stage.MULTI_DISAGREE,
+            Stage.ZERO_SOURCES,
+            Stage.CACHED,
+        ):
+            assert stage in stages, stage
+
+    def test_multi_agree_is_most_accurate_stage(self, medium_world, dataset):
+        # Table 8: >=2-sources-agree reaches ~100% accuracy; no-agreement
+        # is the weakest stage.
+        def stage_accuracy(stage):
+            hits = total = 0
+            for record in dataset:
+                if record.stage is not stage or not record.labels:
+                    continue
+                total += 1
+                hits += record.labels.overlaps_layer1(
+                    medium_world.truth(record.asn)
+                )
+            return hits / total if total else None
+
+        agree = stage_accuracy(Stage.MULTI_AGREE)
+        disagree = stage_accuracy(Stage.MULTI_DISAGREE)
+        assert agree is not None and disagree is not None
+        assert agree >= disagree
+
+    def test_asn_stage_is_isp_only(self, dataset):
+        # Only PeeringDB ISP labels are high-confidence ASN matches.
+        for record in dataset:
+            if record.stage is Stage.MATCHED_BY_ASN:
+                assert "isp" in record.labels.layer2_slugs()
+
+    def test_zero_source_records_unclassified(self, dataset):
+        for record in dataset:
+            if record.stage is Stage.ZERO_SOURCES:
+                assert not record.classified
+
+
+class TestCacheBehavior:
+    def test_sibling_ases_share_classification(self, medium_world, dataset):
+        shared = 0
+        for org_id in sorted(medium_world.organizations):
+            asns = medium_world.asns_of_org(org_id)
+            if len(asns) < 2:
+                continue
+            records = [dataset.get(asn) for asn in asns]
+            labeled = [r for r in records if r.classified]
+            if len(labeled) >= 2:
+                if all(r.labels == labeled[0].labels for r in labeled):
+                    shared += 1
+        assert shared > 0
+
+    def test_cached_stage_present_for_multi_as_orgs(self, dataset):
+        assert dataset.stage_counts().get(Stage.CACHED, 0) > 0
+
+    def test_cache_disabled_removes_cached_stage(self, medium_world):
+        built = build_asdb(
+            medium_world, SystemConfig(seed=1, use_cache=False)
+        )
+        for asn in medium_world.asns()[:80]:
+            built.asdb.classify(asn)
+        assert Stage.CACHED not in built.asdb.dataset.stage_counts()
+
+    def test_reclassify_invalidates_cache(self, medium_world):
+        built = build_asdb(medium_world, SystemConfig(seed=1))
+        asn = medium_world.asns()[0]
+        first = built.asdb.classify(asn)
+        again = built.asdb.reclassify(asn)
+        assert again.stage is not Stage.CACHED
+
+
+class TestDatasetStore:
+    def test_csv_export_shape(self, dataset):
+        csv_text = dataset.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "ASN,Layer1,Layer2,Sources,Stage"
+        assert len(lines) > len(dataset)  # multi-label rows expand
+
+    def test_category_histogram_dominated_by_tech(self, dataset):
+        histogram = dataset.category_histogram()
+        assert max(histogram, key=histogram.get) == "computer_and_it"
+
+    def test_asns_in_layer1(self, dataset):
+        asns = dataset.asns_in_layer1("computer_and_it")
+        assert asns
+        for asn in asns[:10]:
+            record = dataset.get(asn)
+            assert "computer_and_it" in record.labels.layer1_slugs()
+
+    def test_get_missing_returns_none(self, dataset):
+        assert dataset.get(4_199_999_999) is None
+
+
+class TestAblationKnobs:
+    def test_no_ml_reduces_classifier_stage(self, medium_world):
+        built = build_asdb(
+            medium_world, SystemConfig(seed=1, train_ml=False)
+        )
+        for asn in medium_world.asns()[:150]:
+            built.asdb.classify(asn)
+        counts = built.asdb.dataset.stage_counts()
+        assert Stage.CLASSIFIER not in counts
+
+    def test_lax_dnb_threshold_increases_matches(self, medium_world):
+        strict = build_asdb(
+            medium_world,
+            SystemConfig(seed=1, train_ml=False,
+                         dnb_confidence_threshold=10),
+        )
+        lax = build_asdb(
+            medium_world,
+            SystemConfig(seed=1, train_ml=False,
+                         dnb_confidence_threshold=1),
+        )
+        sample = medium_world.asns()[:200]
+        for asn in sample:
+            strict.asdb.classify(asn)
+            lax.asdb.classify(asn)
+        strict_zero = strict.asdb.dataset.stage_counts().get(
+            Stage.ZERO_SOURCES, 0
+        )
+        lax_zero = lax.asdb.dataset.stage_counts().get(
+            Stage.ZERO_SOURCES, 0
+        )
+        assert lax_zero <= strict_zero

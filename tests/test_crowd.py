@@ -1,0 +1,205 @@
+"""Tests for the crowdwork simulation (Appendix B)."""
+
+import pytest
+
+from repro.crowd import (
+    MTurkPlatform,
+    MTurkWorker,
+    apply_crowdwork,
+    consensus_labels,
+    estimate_cost_dollars,
+)
+from repro.crowd.worker import WorkerResponse
+from repro.taxonomy import LabelSet
+
+
+def _response(worker_id, slugs, minutes=1.0):
+    return WorkerResponse(
+        worker_id=worker_id,
+        labels=LabelSet.from_layer2_slugs(slugs),
+        minutes=minutes,
+    )
+
+
+class TestConsensus:
+    def test_two_of_three_reached(self):
+        outcome = consensus_labels(
+            [
+                _response("a", ["banks"]),
+                _response("b", ["banks"]),
+                _response("c", ["investment"]),
+            ],
+            required=2,
+        )
+        assert outcome.reached
+        assert outcome.labels.layer2_slugs() == {"banks"}
+
+    def test_no_consensus(self):
+        outcome = consensus_labels(
+            [
+                _response("a", ["banks"]),
+                _response("b", ["investment"]),
+                _response("c", ["insurance"]),
+            ],
+            required=2,
+        )
+        assert not outcome.reached
+        assert not outcome.labels
+
+    def test_stricter_requirement(self):
+        responses = [
+            _response("a", ["banks"]),
+            _response("b", ["banks"]),
+            _response("c", ["banks"]),
+            _response("d", ["investment"]),
+            _response("e", ["investment"]),
+        ]
+        assert consensus_labels(responses, required=3).reached
+        assert not consensus_labels(responses, required=4).reached
+
+    def test_multiple_backed_categories(self):
+        responses = [
+            _response("a", ["banks", "investment"]),
+            _response("b", ["banks", "investment"]),
+            _response("c", ["insurance"]),
+        ]
+        outcome = consensus_labels(responses, required=2)
+        assert outcome.labels.layer2_slugs() == {"banks", "investment"}
+
+    def test_empty_responses(self):
+        assert not consensus_labels([], required=2).reached
+
+
+class TestWorker:
+    def test_deterministic(self, medium_world):
+        org = next(medium_world.iter_organizations())
+        worker = MTurkWorker("w1", seed=3)
+        a = worker.classify(org, reward_cents=30)
+        b = worker.classify(org, reward_cents=30)
+        assert a == b
+
+    def test_options_restrict_answers(self, medium_world):
+        org = next(medium_world.iter_organizations())
+        worker = MTurkWorker("w1", seed=3)
+        options = ["banks", "hospitals"]
+        for reward in (10, 30, 60):
+            response = worker.classify(org, reward, options=options)
+            assert response.labels.layer2_slugs() <= set(options)
+
+    def test_positive_minutes(self, medium_world):
+        worker = MTurkWorker("w2")
+        for org in list(medium_world.iter_organizations())[:20]:
+            assert worker.classify(org, 30).minutes > 0
+
+
+@pytest.fixture(scope="module")
+def org_groups(medium_world):
+    orgs = list(medium_world.iter_organizations())
+    finance = [o for o in orgs if "finance" in o.truth.layer1_slugs()][:20]
+    tech = [o for o in orgs if o.is_tech][:20]
+    return finance, tech
+
+
+class TestPlatform:
+    def test_coverage_increases_with_reward(self, org_groups):
+        finance, tech = org_groups
+        platform = MTurkPlatform(seed=2)
+        low = platform.run_batch(finance + tech, reward_cents=10)
+        high = platform.run_batch(finance + tech, reward_cents=60)
+        assert high.coverage >= low.coverage
+
+    def test_consensus_accuracy_high(self, medium_world, org_groups):
+        finance, tech = org_groups
+        platform = MTurkPlatform(seed=2)
+        batch = platform.run_batch(finance + tech, reward_cents=30)
+        hits = total = 0
+        lookup = {o.org_id: o for o in finance + tech}
+        for task in batch.tasks:
+            if not task.outcome.reached:
+                continue
+            total += 1
+            hits += task.outcome.labels.overlaps_layer2(
+                lookup[task.org_id].truth
+            )
+        assert total > 10
+        assert hits / total >= 0.80  # paper: 90-100% loose match
+
+    def test_stricter_consensus_trades_coverage_for_accuracy(
+        self, org_groups
+    ):
+        finance, tech = org_groups
+        platform = MTurkPlatform(seed=2)
+        loose_batch = platform.run_batch(
+            tech, 30, workers_per_task=3, required=2
+        )
+        strict_batch = platform.run_batch(
+            tech, 30, workers_per_task=5, required=4
+        )
+        assert strict_batch.coverage <= loose_batch.coverage
+
+    def test_cost_accounting(self, org_groups):
+        finance, _ = org_groups
+        platform = MTurkPlatform(seed=2)
+        batch = platform.run_batch(finance, reward_cents=30)
+        expected = len(finance) * 3 * 0.30 * 1.05
+        assert batch.total_cost_dollars == pytest.approx(expected)
+
+    def test_wages_positive_and_dispersed(self, org_groups):
+        finance, tech = org_groups
+        platform = MTurkPlatform(seed=2)
+        batch = platform.run_batch(finance + tech, reward_cents=30)
+        wages = batch.hourly_wages()
+        assert all(wage > 0 for wage in wages)
+        assert max(wages) > 2 * min(wages)  # wide dispersion (Figure 6)
+
+    def test_cost_estimates_match_paper_scale(self):
+        # ~20.7K ASes x 5 workers x 30c -> >= $31,000.
+        assert estimate_cost_dollars(20700, 30, 5) >= 31000
+        # ~22K ASes x 3 workers x 10c -> about $6,000-7,000.
+        assert 5500 <= estimate_cost_dollars(22000, 10, 3) <= 8000
+
+
+class TestCrowdworkIntegration:
+    def test_apply_crowdwork_improves_or_holds_accuracy(self, medium_world):
+        from repro import SystemConfig, build_asdb
+        from repro.evaluation import build_gold_standard, evaluate_stages
+
+        gs = build_gold_standard(medium_world, seed=0)
+        built = build_asdb(
+            medium_world,
+            SystemConfig(seed=1,
+                         exclude_asns_from_training=tuple(gs.asns())),
+        )
+        dataset = built.asdb.classify_all()
+        platform = MTurkPlatform(seed=9)
+        outcome = apply_crowdwork(
+            medium_world, dataset, platform, asns=gs.asns()
+        )
+        assert outcome.escalated_asns
+        before = evaluate_stages(dataset, gs)
+        after = evaluate_stages(outcome.dataset, gs)
+        # Appendix B: accuracy moves by only a few points either way.
+        delta = (
+            after.overall_l1_accuracy.value
+            - before.overall_l1_accuracy.value
+        )
+        assert -0.05 <= delta <= 0.10
+
+    def test_non_escalated_records_untouched(self, medium_world):
+        from repro import SystemConfig, build_asdb
+        from repro.core import Stage
+
+        built = build_asdb(medium_world, SystemConfig(seed=1))
+        sample = medium_world.asns()[:120]
+        for asn in sample:
+            built.asdb.classify(asn)
+        dataset = built.asdb.dataset
+        outcome = apply_crowdwork(
+            medium_world, dataset, MTurkPlatform(seed=9), asns=sample
+        )
+        for record in dataset:
+            if record.stage not in (
+                Stage.ZERO_SOURCES, Stage.ONE_SOURCE, Stage.MULTI_DISAGREE
+            ):
+                merged = outcome.dataset.get(record.asn)
+                assert merged.labels == record.labels

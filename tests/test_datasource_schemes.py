@@ -1,0 +1,211 @@
+"""Consistency tests for the custom classification schemes and emission."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datasources import schemes
+from repro.datasources.emission import (
+    confused_layer1_slug,
+    confused_sibling,
+    emit_layer2_slugs,
+)
+from repro.taxonomy import LabelSet, naicslite
+from repro.world.calibration import CONFUSION_L1, CONFUSION_L2, DNB
+
+LAYER2_SLUGS = [sub.slug for sub in naicslite.ALL_LAYER2]
+LAYER1_SLUGS = [cat.slug for cat in naicslite.ALL_LAYER1]
+
+
+class TestZveloScheme:
+    def test_every_layer2_has_a_zvelo_bucket(self):
+        for slug in LAYER2_SLUGS:
+            assert schemes.zvelo_category_for_layer2(slug)
+
+    def test_every_bucket_has_a_translation(self):
+        buckets = {
+            schemes.zvelo_category_for_layer2(slug)
+            for slug in LAYER2_SLUGS
+        }
+        for bucket in buckets:
+            labels = schemes.zvelo_to_naicslite(bucket)
+            assert isinstance(labels, LabelSet)
+
+    def test_hosting_bucket_is_narrow(self):
+        # PeeringDB-style lossiness: only the hosting slug maps to the
+        # web_hosting bucket, and its translation is exactly hosting.
+        assert schemes.zvelo_category_for_layer2("hosting") == "web_hosting"
+        assert schemes.zvelo_to_naicslite("web_hosting").layer2_slugs() == {
+            "hosting"
+        }
+
+    def test_isp_and_phone_share_a_bucket(self):
+        assert schemes.zvelo_category_for_layer2(
+            "isp"
+        ) == schemes.zvelo_category_for_layer2("phone_provider")
+
+    def test_translation_roundtrip_hits_layer1(self):
+        # Translating a slug's bucket lands in the right layer 1 for the
+        # overwhelming majority of slugs (the lossiness is at layer 2).
+        hits = 0
+        for slug in LAYER2_SLUGS:
+            bucket = schemes.zvelo_category_for_layer2(slug)
+            labels = schemes.zvelo_to_naicslite(bucket)
+            layer1 = naicslite.layer2_by_name(slug).layer1.slug
+            hits += layer1 in labels.layer1_slugs()
+        assert hits / len(LAYER2_SLUGS) >= 0.85
+
+
+class TestCrunchbaseScheme:
+    def test_every_layer2_reaches_some_category(self):
+        for slug in LAYER2_SLUGS:
+            category = schemes.crunchbase_category_for_layer2(slug)
+            assert category is not None, slug
+            assert category in schemes.CRUNCHBASE_TO_NAICSLITE
+
+    def test_generic_buckets_are_layer1_only(self):
+        labels = schemes.crunchbase_to_naicslite("commerce and shopping")
+        assert labels.layer1_slugs() == {"retail"}
+        assert not labels.has_layer2
+
+    def test_specific_buckets_carry_layer2(self):
+        assert "hosting" in schemes.crunchbase_to_naicslite(
+            "cloud infrastructure"
+        ).layer2_slugs()
+
+
+class TestPeeringdbScheme:
+    def test_six_categories(self):
+        assert len(schemes.PEERINGDB_CATEGORIES) == 6
+
+    def test_all_categories_translate(self):
+        for category in schemes.PEERINGDB_CATEGORIES:
+            schemes.peeringdb_to_naicslite(category)  # must not raise
+
+    def test_enterprise_translates_to_nothing(self):
+        assert not schemes.peeringdb_to_naicslite("Enterprise")
+
+    def test_hosting_has_no_home(self):
+        # No PeeringDB category translates to the hosting slug.
+        for category in schemes.PEERINGDB_CATEGORIES:
+            labels = schemes.peeringdb_to_naicslite(category)
+            assert "hosting" not in labels.layer2_slugs(), category
+
+    @given(st.sampled_from(LAYER2_SLUGS))
+    def test_category_for_any_slug(self, slug):
+        layer1 = naicslite.layer2_by_name(slug).layer1.slug
+        category = schemes.peeringdb_category_for(layer1, slug)
+        assert category in schemes.PEERINGDB_CATEGORIES
+
+
+class TestIPinfoScheme:
+    def test_four_categories(self):
+        assert len(schemes.IPINFO_CATEGORIES) == 4
+
+    def test_business_translates_to_nothing(self):
+        assert not schemes.ipinfo_to_naicslite("business")
+
+    @given(st.sampled_from(LAYER2_SLUGS))
+    def test_category_for_any_slug(self, slug):
+        layer1 = naicslite.layer2_by_name(slug).layer1.slug
+        category = schemes.ipinfo_category_for(layer1, slug)
+        assert category in schemes.IPINFO_CATEGORIES
+
+    def test_isp_keeps_identity(self):
+        assert schemes.ipinfo_category_for("computer_and_it", "isp") == "isp"
+        assert schemes.ipinfo_to_naicslite("isp").layer2_slugs() == {"isp"}
+
+
+class TestConfusionTables:
+    def test_l2_partners_share_layer1(self):
+        for slug, partners in CONFUSION_L2.items():
+            layer1 = naicslite.layer2_by_name(slug).layer1.code
+            for partner in partners:
+                assert (
+                    naicslite.layer2_by_name(partner).layer1.code == layer1
+                ), (slug, partner)
+
+    def test_l1_partners_differ(self):
+        for slug, partners in CONFUSION_L1.items():
+            assert slug not in partners
+
+    def test_l1_table_covers_every_layer1(self):
+        assert set(CONFUSION_L1) == set(LAYER1_SLUGS)
+
+
+class TestEmission:
+    def test_confused_sibling_same_layer1(self):
+        rng = random.Random(0)
+        for slug in LAYER2_SLUGS:
+            sibling = confused_sibling(rng, slug)
+            assert (
+                naicslite.layer2_by_name(sibling).layer1.code
+                == naicslite.layer2_by_name(slug).layer1.code
+            )
+
+    def test_confused_layer1_differs(self):
+        rng = random.Random(0)
+        for slug in LAYER2_SLUGS[:30]:
+            wrong = confused_layer1_slug(rng, slug)
+            assert (
+                naicslite.layer2_by_name(wrong).layer1.code
+                != naicslite.layer2_by_name(slug).layer1.code
+            )
+
+    def test_emission_respects_coverage_zero(self):
+        from repro.world.calibration import BusinessSourceCalibration
+
+        never = BusinessSourceCalibration(
+            name="never", coverage_tech=0.0, coverage_nontech=0.0,
+            l1_recall_tech=1.0, l1_recall_nontech=1.0,
+            l2_recall_tech=1.0, l2_recall_nontech=1.0,
+        )
+        rng = random.Random(0)
+        truth = LabelSet.from_layer2_slugs(["isp"])
+        for _ in range(20):
+            assert emit_layer2_slugs(rng, truth, never) is None
+
+    def test_emission_perfect_source_always_correct(self):
+        from repro.world.calibration import BusinessSourceCalibration
+
+        perfect = BusinessSourceCalibration(
+            name="perfect", coverage_tech=1.0, coverage_nontech=1.0,
+            l1_recall_tech=1.0, l1_recall_nontech=1.0,
+            l2_recall_tech=1.0, l2_recall_nontech=1.0,
+            multi_label_rate=0.0,
+        )
+        rng = random.Random(0)
+        for slug in LAYER2_SLUGS[:20]:
+            truth = LabelSet.from_layer2_slugs([slug])
+            emitted = emit_layer2_slugs(rng, truth, perfect)
+            assert emitted == [slug]
+
+    def test_emission_statistics_track_calibration(self):
+        rng = random.Random(1)
+        truth = LabelSet.from_layer2_slugs(["banks"])
+        covered = l1_hits = l2_hits = 0
+        trials = 2000
+        for _ in range(trials):
+            emitted = emit_layer2_slugs(rng, truth, DNB)
+            if emitted is None:
+                continue
+            covered += 1
+            labels = LabelSet.from_layer2_slugs(emitted)
+            l1_hits += labels.overlaps_layer1(truth)
+            l2_hits += labels.overlaps_layer2(truth)
+        assert abs(covered / trials - DNB.coverage_nontech) < 0.04
+        assert abs(l1_hits / covered - DNB.l1_recall_nontech) < 0.05
+        assert abs(l2_hits / covered - DNB.l2_recall_nontech) < 0.05
+
+    def test_layer1_only_truth_emits_within_layer1(self):
+        from repro.taxonomy import Label
+
+        rng = random.Random(2)
+        truth = LabelSet([Label(layer1="finance")])
+        for _ in range(30):
+            emitted = emit_layer2_slugs(rng, truth, DNB)
+            if emitted is None:
+                continue
+            labels = LabelSet.from_layer2_slugs(emitted)
+            assert labels.layer1_slugs() == {"finance"}

@@ -1,0 +1,334 @@
+"""Tests for the external data-source simulators."""
+
+import pytest
+
+from repro.datasources import (
+    SOURCE_CATALOG,
+    CaidaASClassification,
+    Clearbit,
+    Crunchbase,
+    DunBradstreet,
+    IPinfo,
+    PeeringDB,
+    Query,
+    ZoomInfo,
+    Zvelo,
+)
+from repro.datasources.caida import CAIDA_CLASSES, caida_class_for_truth
+from repro.taxonomy import LabelSet
+
+
+@pytest.fixture(scope="module")
+def sources(medium_world):
+    world = medium_world
+    return {
+        "dnb": DunBradstreet(world),
+        "crunchbase": Crunchbase(world),
+        "zoominfo": ZoomInfo(world),
+        "clearbit": Clearbit(world),
+        "zvelo": Zvelo(world),
+        "peeringdb": PeeringDB(world),
+        "ipinfo": IPinfo(world),
+    }
+
+
+def _coverage(world, source):
+    orgs = list(world.iter_organizations())
+    covered = sum(
+        1
+        for org in orgs
+        if (m := source.lookup_by_org(org.org_id)) is not None and m.labels
+    )
+    return covered / len(orgs)
+
+
+def _l1_recall(world, source):
+    hits = total = 0
+    for org in world.iter_organizations():
+        match = source.lookup_by_org(org.org_id)
+        if match is None or not match.labels:
+            continue
+        total += 1
+        hits += match.labels.overlaps_layer1(org.truth)
+    return hits / total if total else 0.0
+
+
+class TestCoverageCalibration:
+    """Coverage bands around Table 3 (wide to absorb sampling noise)."""
+
+    @pytest.mark.parametrize(
+        "name,low,high",
+        [
+            ("dnb", 0.72, 0.92),        # 82%
+            ("crunchbase", 0.27, 0.50), # 37%
+            ("zoominfo", 0.56, 0.80),   # 68%
+            ("clearbit", 0.45, 0.72),   # 61%
+            ("zvelo", 0.70, 0.95),      # 93%
+            ("peeringdb", 0.08, 0.22),  # 15%
+            ("ipinfo", 0.20, 0.40),     # 30%
+        ],
+    )
+    def test_coverage_bands(self, medium_world, sources, name, low, high):
+        assert low <= _coverage(medium_world, sources[name]) <= high
+
+    def test_networking_sources_skew_tech(self, medium_world, sources):
+        for name in ("peeringdb", "ipinfo"):
+            source = sources[name]
+            tech = nontech = tech_n = nontech_n = 0
+            for org in medium_world.iter_organizations():
+                covered = source.lookup_by_org(org.org_id) is not None
+                if org.is_tech:
+                    tech_n += 1
+                    tech += covered
+                else:
+                    nontech_n += 1
+                    nontech += covered
+            assert tech / tech_n > nontech / nontech_n
+
+
+class TestRecallCalibration:
+    def test_dnb_l1_recall_high(self, medium_world, sources):
+        assert _l1_recall(medium_world, sources["dnb"]) >= 0.90  # 96%
+
+    def test_clearbit_l1_recall_poor(self, medium_world, sources):
+        assert _l1_recall(medium_world, sources["clearbit"]) <= 0.50  # 34%
+
+    def test_hosting_recall_poor_everywhere_but_ipinfo(
+        self, medium_world, sources
+    ):
+        # Table 4: "All data sources, except IPinfo, do poorly when
+        # classifying hosting providers ... correctness less than 63%."
+        for name in ("dnb", "crunchbase", "zvelo", "peeringdb"):
+            source = sources[name]
+            hits = total = 0
+            for org in medium_world.iter_organizations():
+                if "hosting" not in org.truth.layer2_slugs():
+                    continue
+                match = source.lookup_by_org(org.org_id)
+                if match is None or not match.labels.has_layer2:
+                    continue
+                total += 1
+                hits += match.labels.overlaps_layer2(org.truth)
+            if total >= 8:
+                assert hits / total <= 0.70, name
+
+    def test_peeringdb_hosting_recall_zero(self, medium_world, sources):
+        source = sources["peeringdb"]
+        for org in medium_world.iter_organizations():
+            if org.truth.layer2_slugs() != {"hosting"}:
+                continue
+            match = source.lookup_by_org(org.org_id)
+            if match is not None:
+                assert "hosting" not in match.labels.layer2_slugs()
+
+    def test_ipinfo_isp_recall_high(self, medium_world, sources):
+        source = sources["ipinfo"]
+        hits = total = 0
+        for org in medium_world.iter_organizations():
+            if "isp" not in org.truth.layer2_slugs():
+                continue
+            match = source.lookup_by_org(org.org_id)
+            if match is None or not match.labels.has_layer2:
+                continue
+            total += 1
+            hits += match.labels.overlaps_layer2(org.truth)
+        assert hits / total >= 0.70  # 81%
+
+
+class TestDnbMatching:
+    def test_confidence_code_in_range(self, medium_world, sources):
+        dnb = sources["dnb"]
+        for org in list(medium_world.iter_organizations())[:50]:
+            match = dnb.lookup(Query(name=org.name, domain=org.domain))
+            if match is not None:
+                assert 1 <= match.confidence <= 10
+
+    def test_lookup_deterministic(self, medium_world, sources):
+        dnb = sources["dnb"]
+        org = next(medium_world.iter_organizations())
+        query = Query(name=org.name, domain=org.domain)
+        a = dnb.lookup(query)
+        b = dnb.lookup(query)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.entry.entity_id == b.entry.entity_id
+            assert a.confidence == b.confidence
+
+    def test_high_confidence_more_accurate(self, medium_world, sources):
+        dnb = sources["dnb"]
+        buckets = {"low": [0, 0], "high": [0, 0]}
+        for org in medium_world.iter_organizations():
+            match = dnb.lookup(Query(name=org.name, domain=org.domain,
+                                     address=org.address))
+            if match is None:
+                continue
+            bucket = buckets["high" if match.confidence >= 6 else "low"]
+            bucket[1] += 1
+            bucket[0] += match.entry.org_id == org.org_id
+        high_acc = buckets["high"][0] / max(buckets["high"][1], 1)
+        low_acc = buckets["low"][0] / max(buckets["low"][1], 1)
+        assert high_acc > low_acc
+        assert high_acc >= 0.80  # Figure 2
+
+    def test_wrong_matches_return_real_entries(self, medium_world, sources):
+        dnb = sources["dnb"]
+        wrong = [
+            match
+            for org in medium_world.iter_organizations()
+            if (match := dnb.lookup(Query(name=org.name))) is not None
+            and match.entry.org_id != org.org_id
+        ]
+        assert wrong  # entity disagreement exists
+        for match in wrong[:5]:
+            assert match.entry.org_id in medium_world.organizations
+
+
+class TestCrunchbaseMatching:
+    def test_domain_match_always_correct(self, medium_world, sources):
+        cb = sources["crunchbase"]
+        for org in medium_world.iter_organizations():
+            if org.domain is None:
+                continue
+            match = cb.lookup(Query(domain=org.domain))
+            if match is not None and match.via == "domain":
+                # Domains are unique in the directory, so 100% accuracy
+                # unless two orgs share a domain (they don't).
+                assert match.entry.domain == org.domain
+
+    def test_name_match_mostly_correct(self, medium_world, sources):
+        cb = sources["crunchbase"]
+        hits = total = 0
+        for org in medium_world.iter_organizations():
+            match = cb.lookup(Query(name=org.name))
+            if match is None:
+                continue
+            total += 1
+            hits += match.entry.org_id == org.org_id
+        assert total > 0
+        assert hits / total >= 0.85  # Table 5: 95%
+
+    def test_no_identifiers_no_match(self, sources):
+        assert sources["crunchbase"].lookup(Query()) is None
+
+
+class TestZvelo:
+    def test_requires_domain(self, sources):
+        assert sources["zvelo"].lookup(Query(name="Acme")) is None
+
+    def test_unreachable_domain_unclassified(self, sources):
+        assert sources["zvelo"].lookup(Query(domain="no.such.example")) is None
+
+    def test_classification_deterministic(self, medium_world, sources):
+        zvelo = sources["zvelo"]
+        org = next(
+            o for o in medium_world.iter_organizations()
+            if o.domain and o.has_website
+        )
+        a = zvelo.classify_domain(org.domain)
+        b = zvelo.classify_domain(org.domain)
+        assert a == b
+
+    def test_classify_text_empty(self, sources):
+        assert sources["zvelo"].classify_text("") is None
+
+    def test_classify_text_below_threshold(self, sources):
+        assert sources["zvelo"].classify_text("xyzzy plugh") is None
+
+    def test_bank_text_classified_banking(self, sources):
+        text = " ".join(["bank", "loan", "mortgage", "deposit", "credit",
+                         "savings", "branch"] * 3)
+        assert sources["zvelo"].classify_text(text) in (
+            "banking", "investing"
+        )
+
+
+class TestASNKeyedSources:
+    def test_lookup_requires_asn(self, sources):
+        for name in ("peeringdb", "ipinfo"):
+            assert sources[name].lookup(Query(name="Acme")) is None
+
+    def test_asn_lookup_never_wrong_entity(self, medium_world, sources):
+        for name in ("peeringdb", "ipinfo"):
+            source = sources[name]
+            for asn in medium_world.asns():
+                match = source.lookup(Query(asn=asn))
+                if match is not None:
+                    expected = medium_world.ases[asn].org_id
+                    assert match.entry.org_id == expected
+
+    def test_peeringdb_isps_always_correct(self, medium_world, sources):
+        # Section 3.3: PeeringDB classifies ISPs with a 100% TPR.
+        pdb = sources["peeringdb"]
+        for asn in medium_world.asns():
+            org = medium_world.org_of_asn(asn)
+            if "isp" not in org.truth.layer2_slugs():
+                continue
+            match = pdb.lookup(Query(asn=asn))
+            if match is not None:
+                assert "isp" in match.labels.layer2_slugs()
+
+    def test_ipinfo_domain_hint_mostly_right(self, medium_world, sources):
+        ipinfo = sources["ipinfo"]
+        hits = total = 0
+        for asn in medium_world.asns():
+            hint = ipinfo.domain_hint(asn)
+            if hint is None:
+                continue
+            total += 1
+            hits += hint == medium_world.org_of_asn(asn).domain
+        assert total > 0
+        assert 0.70 <= hits / total <= 0.97  # Table 5: 86%
+
+
+class TestCaida:
+    def test_three_classes(self, medium_world):
+        caida = CaidaASClassification(medium_world)
+        for asn in medium_world.asns():
+            label = caida.classify(asn)
+            assert label is None or label in CAIDA_CLASSES
+
+    def test_coverage_near_72(self, medium_world):
+        caida = CaidaASClassification(medium_world)
+        coverage = caida.coverage_count() / len(medium_world.asns())
+        assert 0.62 <= coverage <= 0.82
+
+    def test_content_class_fully_decayed(self, medium_world):
+        # Section 2: 0% accuracy for the content class.
+        caida = CaidaASClassification(medium_world)
+        for asn in medium_world.asns():
+            org = medium_world.org_of_asn(asn)
+            if caida_class_for_truth(org.truth) != "content":
+                continue
+            label = caida.classify(asn)
+            if label is not None:
+                assert label != "content"
+
+    def test_class_mapping(self):
+        assert caida_class_for_truth(
+            LabelSet.from_layer2_slugs(["isp"])
+        ) == "transit/access"
+        assert caida_class_for_truth(
+            LabelSet.from_layer2_slugs(["hosting"])
+        ) == "content"
+        assert caida_class_for_truth(
+            LabelSet.from_layer2_slugs(["banks"])
+        ) == "enterprise"
+
+
+class TestCatalog:
+    def test_seven_candidate_sources(self):
+        assert len(SOURCE_CATALOG) == 7
+
+    def test_asdb_uses_five(self):
+        used = [attrs.name for attrs in SOURCE_CATALOG if attrs.used_by_asdb]
+        assert sorted(used) == [
+            "crunchbase", "dnb", "ipinfo", "peeringdb", "zvelo",
+        ]
+
+    def test_naics_sources(self):
+        naics = {
+            attrs.name
+            for attrs in SOURCE_CATALOG
+            if attrs.industry_scheme.startswith("NAICS")
+        }
+        assert naics == {"dnb", "zoominfo", "clearbit"}

@@ -1,0 +1,205 @@
+"""Tests for labelers, gold standards, metrics, and baselines."""
+
+import random
+
+import pytest
+
+from repro.datasources import CaidaASClassification, DunBradstreet
+from repro.evaluation import (
+    BaumannFabianClassifier,
+    Labeler,
+    build_gold_standard,
+    build_test_set,
+    build_uniform_gold_standard,
+    coarse_class_of_labels,
+    evaluate_caida,
+    evaluate_source,
+    figure1_agreement,
+    peeringdb_coarse_class,
+    resolve_pair,
+)
+from repro.evaluation.metrics import Fraction
+from repro.taxonomy import LabelSet, naicslite
+
+
+class TestLabeler:
+    def test_judgments_deterministic(self, medium_world):
+        labeler = Labeler("r1", seed=3)
+        org = next(medium_world.iter_organizations())
+        assert labeler.label_naics(org) == labeler.label_naics(org)
+        assert labeler.label_naicslite(org) == labeler.label_naicslite(org)
+
+    def test_naics_judgment_codes_valid(self, medium_world):
+        labeler = Labeler("r1")
+        for org in list(medium_world.iter_organizations())[:40]:
+            judgment = labeler.label_naics(org)
+            for code in judgment.codes:
+                assert len(code) == 6 and code.isdigit()
+
+    def test_naicslite_judgment_mostly_truthful(self, medium_world):
+        labeler = Labeler("r1")
+        hits = total = 0
+        for org in medium_world.iter_organizations():
+            judgment = labeler.label_naicslite(org)
+            if not judgment.labels:
+                continue
+            total += 1
+            hits += judgment.labels.overlaps_layer2(org.truth)
+        assert hits / total >= 0.80
+
+    def test_resolve_pair_verifies_against_truth(self, medium_world):
+        rng = random.Random(0)
+        a, b = Labeler("a"), Labeler("b")
+        for org in list(medium_world.iter_organizations())[:60]:
+            resolved = resolve_pair(
+                a.label_naicslite(org), b.label_naicslite(org), org, rng
+            )
+            if resolved.has_layer2:
+                assert resolved.overlaps_layer2(org.truth)
+
+
+class TestFigure1Agreement:
+    def test_naicslite_agrees_more_than_naics(self, medium_world):
+        naics_stats, lite_stats = figure1_agreement(medium_world, n=150)
+        assert lite_stats.low_complete > naics_stats.low_complete
+        assert lite_stats.top_complete > naics_stats.top_complete
+        assert lite_stats.low_overlap > naics_stats.low_overlap
+
+    def test_disagreement_roughly_halved(self, medium_world):
+        # "NAICSlite decreases disagreement ... by a factor of two."
+        naics_stats, lite_stats = figure1_agreement(medium_world, n=150)
+        naics_disagree = 1.0 - naics_stats.low_complete
+        lite_disagree = 1.0 - lite_stats.low_complete
+        assert lite_disagree <= naics_disagree / 1.5
+
+    def test_overlap_at_least_complete(self, medium_world):
+        for stats in figure1_agreement(medium_world, n=100):
+            assert stats.top_overlap >= stats.top_complete
+            assert stats.low_overlap >= stats.low_complete
+
+
+class TestGoldStandards:
+    def test_gold_standard_size(self, medium_world):
+        gs = build_gold_standard(medium_world, size=150, seed=0)
+        assert len(gs) == 150
+        # ~148/150 labelable, ~142 with layer 2 labels.
+        assert len(gs.labeled_entries()) >= 140
+        assert len(gs.layer2_entries()) >= 130
+
+    def test_gold_standard_deterministic(self, medium_world):
+        a = build_gold_standard(medium_world, seed=4)
+        b = build_gold_standard(medium_world, seed=4)
+        assert a.asns() == b.asns()
+        assert [e.labels for e in a] == [e.labels for e in b]
+
+    def test_test_set_disjoint_from_gold(self, medium_world):
+        gs = build_gold_standard(medium_world, seed=0)
+        ts = build_test_set(medium_world, seed=1, exclude=gs.asns())
+        assert not (set(gs.asns()) & set(ts.asns()))
+
+    def test_uniform_sample_spans_categories(self, medium_world):
+        ugs = build_uniform_gold_standard(medium_world, per_category=5)
+        covered = set()
+        for entry in ugs.labeled_entries():
+            covered |= medium_world.truth(entry.asn).layer1_slugs()
+        # Nearly all 16 sampleable layer 1 categories present.
+        assert len(covered & {
+            c.slug for c in naicslite.sampleable_layer1()
+        }) >= 12
+
+    def test_uniform_sample_no_duplicates(self, medium_world):
+        ugs = build_uniform_gold_standard(medium_world, per_category=5)
+        assert len(ugs.asns()) == len(set(ugs.asns()))
+
+    def test_labels_match_world_truth_layer1(self, medium_world):
+        gs = build_gold_standard(medium_world, seed=0)
+        agree = total = 0
+        for entry in gs.labeled_entries():
+            total += 1
+            agree += entry.labels.overlaps_layer1(
+                medium_world.truth(entry.asn)
+            )
+        assert agree / total >= 0.90
+
+
+class TestFraction:
+    def test_str_format(self):
+        assert str(Fraction(93, 121)) == "93/121 (77%)"
+
+    def test_empty_denominator(self):
+        assert Fraction(0, 0).value == 0.0
+
+
+class TestEvaluateSource:
+    def test_dnb_evaluation_bands(self, medium_world):
+        gs = build_gold_standard(medium_world, seed=0)
+        dnb = DunBradstreet(medium_world)
+        ev = evaluate_source(dnb, medium_world, gs)
+        assert 0.70 <= ev.coverage.value <= 0.95          # 82%
+        assert ev.l1_recall.value >= 0.85                 # 96%
+        assert ev.l2_recall.value <= ev.l1_recall.value
+        if ev.l2_recall_hosting.total >= 5:
+            assert ev.l2_recall_hosting.value <= 0.75     # 45%
+
+    def test_tech_plus_nontech_partition(self, medium_world):
+        gs = build_gold_standard(medium_world, seed=0)
+        dnb = DunBradstreet(medium_world)
+        ev = evaluate_source(dnb, medium_world, gs)
+        assert (
+            ev.coverage_tech.total + ev.coverage_nontech.total
+            == ev.coverage.total
+        )
+
+
+class TestCoarseMapping:
+    def test_hosting_wins_over_isp(self):
+        labels = LabelSet.from_layer2_slugs(["isp", "hosting"])
+        assert coarse_class_of_labels(labels) == "hosting"
+
+    def test_education_layer1(self):
+        assert coarse_class_of_labels(
+            LabelSet.from_layer2_slugs(["university"])
+        ) == "education"
+
+    def test_everything_else_business(self):
+        assert coarse_class_of_labels(
+            LabelSet.from_layer2_slugs(["banks"])
+        ) == "business"
+
+    def test_empty_is_none(self):
+        assert coarse_class_of_labels(LabelSet()) is None
+
+    def test_peeringdb_mapping(self):
+        assert peeringdb_coarse_class("Content") == "hosting"
+        assert peeringdb_coarse_class("Enterprise") == "business"
+        assert peeringdb_coarse_class("Non-profit") == "business"
+        assert peeringdb_coarse_class("Education/Research") == "education"
+        assert peeringdb_coarse_class("Cable/DSL/ISP") == "isp"
+        assert peeringdb_coarse_class("Network Service Provider") == "isp"
+
+
+class TestBaselines:
+    def test_caida_spot_check_shape(self, medium_world):
+        gs = build_gold_standard(medium_world, seed=0)
+        caida = CaidaASClassification(medium_world)
+        ev = evaluate_caida(caida, medium_world, gs)
+        assert 0.55 <= ev.coverage <= 0.90                # 72%
+        assert ev.per_class_accuracy["content"] <= 0.10   # 0%
+        assert ev.per_class_accuracy["enterprise"] >= 0.50  # 75%
+
+    def test_bf_classifier_keywords(self, medium_world):
+        bf = BaumannFabianClassifier(medium_world)
+        assert bf.classify_keywords("First National Bank") == "finance"
+        assert bf.classify_keywords("Valley Power Cooperative") == "utilities"
+        assert bf.classify_keywords("zzz qqq") is None
+
+    def test_bf_partial_coverage(self, medium_world):
+        bf = BaumannFabianClassifier(medium_world)
+        gs = build_gold_standard(medium_world, seed=0)
+        coverage = bf.coverage(gs.asns())
+        # Keyword analysis covers a fraction, far below ASdb's 96%.
+        assert 0.10 <= coverage <= 0.75
+
+    def test_bf_sec_index_unambiguous(self, medium_world):
+        bf = BaumannFabianClassifier(medium_world)
+        assert bf.sec_index_size > 0

@@ -1,0 +1,143 @@
+"""Unit tests for the per-experiment harness functions."""
+
+import pytest
+
+from repro import SystemConfig, build_asdb
+from repro.evaluation import (
+    build_gold_standard,
+    category_accuracy_rows,
+    figure2_dnb_confidence,
+    pairwise_precision_rows,
+    table5_entity_resolution,
+    table7_coarse_f1,
+)
+from repro.evaluation.metrics import Fraction, evaluate_stages
+from repro.taxonomy import LabelSet
+
+
+@pytest.fixture(scope="module")
+def setup(medium_world):
+    gold = build_gold_standard(medium_world, size=100, seed=5)
+    built = build_asdb(
+        medium_world,
+        SystemConfig(seed=2,
+                     exclude_asns_from_training=tuple(gold.asns())),
+    )
+    dataset = built.asdb.classify_all()
+    return medium_world, gold, built, dataset
+
+
+class TestFigure2Harness:
+    def test_buckets_sorted_and_bounded(self, setup):
+        world, gold, built, _ = setup
+        buckets = figure2_dnb_confidence(built.dnb, world, gold)
+        codes = [bucket.code for bucket in buckets]
+        assert codes == sorted(codes)
+        for bucket in buckets:
+            assert 1 <= bucket.code <= 10
+            assert 0.0 <= bucket.accuracy.value <= 1.0
+
+
+class TestTable5Harness:
+    def test_rows_complete(self, setup):
+        world, gold, built, _ = setup
+        rows = table5_entity_resolution(
+            world, gold, built.dnb, built.crunchbase, built.ipinfo,
+            built.frequency_index,
+        )
+        targets = {(row.target, row.algorithm) for row in rows}
+        assert ("D&B", "Conf >=1") in targets
+        assert ("D&B", "Conf >=6") in targets
+        assert ("Crunchbase", "Domain") in targets
+        assert ("Domain", "Most Similar") in targets
+        assert ("Domain", "IPinfo") in targets
+
+    def test_outcome_fractions_sum_to_one(self, setup):
+        world, gold, built, _ = setup
+        rows = table5_entity_resolution(
+            world, gold, built.dnb, built.crunchbase, built.ipinfo,
+            built.frequency_index,
+        )
+        for row in rows:
+            total = row.correct + row.incorrect + row.missing
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTable7Harness:
+    def test_all_classes_reported(self, setup):
+        world, gold, built, dataset = setup
+        result = table7_coarse_f1(
+            dataset, built.ipinfo, built.peeringdb, gold
+        )
+        assert set(result) == {"business", "isp", "hosting", "education"}
+        for scores in result.values():
+            for system in ("asdb", "ipinfo", "peeringdb"):
+                assert 0.0 <= scores[system] <= 1.0
+
+    def test_counts_cover_dataset(self, setup):
+        world, gold, built, dataset = setup
+        result = table7_coarse_f1(
+            dataset, built.ipinfo, built.peeringdb, gold
+        )
+        total = sum(scores["n"] for scores in result.values())
+        assert total == len(gold.labeled_entries())
+
+
+class TestCategoryRows:
+    def test_fractions_keyed_by_expert_layer1(self, setup):
+        world, gold, _, dataset = setup
+        rows = category_accuracy_rows(
+            world,
+            gold,
+            lambda asn: (
+                dataset.get(asn).labels if dataset.get(asn) else LabelSet()
+            ),
+        )
+        for slug, fraction in rows.items():
+            assert isinstance(fraction, Fraction)
+            assert fraction.hits <= fraction.total
+
+    def test_empty_classifier_yields_nothing(self, setup):
+        world, gold, _, _ = setup
+        rows = category_accuracy_rows(
+            world, gold, lambda asn: LabelSet()
+        )
+        assert rows == {}
+
+
+class TestPairwiseRows:
+    def test_pairs_and_triple_present(self, setup):
+        world, gold, built, _ = setup
+        sources = {
+            "dnb": built.dnb,
+            "zvelo": built.zvelo,
+            "crunchbase": built.crunchbase,
+        }
+        rows = pairwise_precision_rows(world, gold, sources)
+        assert ("dnb",) in rows
+        assert ("dnb", "zvelo") in rows
+        assert ("crunchbase", "dnb", "zvelo") in rows
+
+    def test_pair_coverage_never_exceeds_single(self, setup):
+        world, gold, built, _ = setup
+        sources = {"dnb": built.dnb, "zvelo": built.zvelo}
+        rows = pairwise_precision_rows(world, gold, sources)
+        assert rows[("dnb", "zvelo")].total <= rows[("dnb",)].total
+        assert rows[("dnb", "zvelo")].total <= rows[("zvelo",)].total
+
+
+class TestEvaluateStagesEdgeCases:
+    def test_missing_records_do_not_crash(self, setup):
+        from repro.core import ASdbDataset
+
+        world, gold, _, _ = setup
+        breakdown = evaluate_stages(ASdbDataset(), gold)
+        assert breakdown.overall_l1_coverage.hits == 0
+        assert breakdown.overall_l1_accuracy.total == 0
+
+    def test_coverage_denominator_is_labeled_entries(self, setup):
+        world, gold, _, dataset = setup
+        breakdown = evaluate_stages(dataset, gold)
+        assert breakdown.overall_l1_coverage.total == len(
+            gold.labeled_entries()
+        )

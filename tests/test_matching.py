@@ -1,0 +1,240 @@
+"""Tests for similarity, domain selection, and entity resolution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datasources import Crunchbase, DunBradstreet, Zvelo
+from repro.matching import (
+    DomainFrequencyIndex,
+    EntityResolver,
+    choose_domain,
+    jaccard,
+    lcs_ratio,
+    name_similarity,
+    select_least_common,
+    select_most_similar,
+    select_random,
+)
+from repro.web import Page, WebUniverse, Website
+
+
+class TestSimilarity:
+    def test_jaccard_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_jaccard_empty(self):
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_lcs_identical(self):
+        assert lcs_ratio("fiberlink", "fiberlink") == 1.0
+
+    def test_lcs_empty(self):
+        assert lcs_ratio("", "abc") == 0.0
+
+    def test_name_similarity_reordered_tokens(self):
+        assert name_similarity(
+            "Communications FiberLink", "FiberLink Communications"
+        ) == 1.0
+
+    def test_name_similarity_legal_suffix_ignored(self):
+        assert name_similarity("Acme Hosting LLC", "Acme Hosting Inc") == 1.0
+
+    def test_name_similarity_as_handle(self):
+        # AS handles concatenate and truncate; similarity stays high
+        # against the right org and low against an unrelated one.
+        right = name_similarity("FIBERLINK-AS", "FiberLink Communications")
+        wrong = name_similarity("FIBERLINK-AS", "First National Bank")
+        assert right > wrong
+
+    @given(st.text(max_size=25), st.text(max_size=25))
+    def test_similarity_bounded_and_symmetric(self, a, b):
+        score = name_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == pytest.approx(name_similarity(b, a))
+
+
+def _web_with_titles(titles):
+    web = WebUniverse()
+    for domain, title in titles.items():
+        web.add(Website(domain=domain, homepage=Page(title=title, text="")))
+    return web
+
+
+class TestDomainSelection:
+    CANDIDATES = ["acmehosting.com", "gmail.com", "bigisp.net"]
+
+    def test_email_providers_removed(self):
+        chosen = select_random(self.CANDIDATES, seed_material="x")
+        assert chosen != "gmail.com"
+
+    def test_all_providers_yields_none(self):
+        assert select_random(["gmail.com", "yahoo.com"]) is None
+        assert select_least_common(
+            ["gmail.com"], DomainFrequencyIndex()
+        ) is None
+
+    def test_random_deterministic_per_seed(self):
+        a = select_random(self.CANDIDATES, seed_material="AS1")
+        b = select_random(self.CANDIDATES, seed_material="AS1")
+        assert a == b
+
+    def test_least_common_prefers_rare(self):
+        index = DomainFrequencyIndex.from_candidates(
+            [["bigisp.net"]] * 150 + [["acmehosting.com"]]
+        )
+        chosen = select_least_common(
+            ["bigisp.net", "acmehosting.com"], index
+        )
+        assert chosen == "acmehosting.com"
+
+    def test_most_similar_uses_homepage_title(self):
+        web = _web_with_titles(
+            {
+                "acmehosting.com": "Acme Hosting - Home",
+                "bigisp.net": "BigISP Networks - Home",
+            }
+        )
+        chosen = select_most_similar(
+            ["acmehosting.com", "bigisp.net"], "ACME-HOSTING-AS", web
+        )
+        assert chosen == "acmehosting.com"
+
+    def test_most_similar_falls_back_to_domain_string(self):
+        # Unreachable sites: the domain itself is compared (Table 5).
+        web = WebUniverse()
+        chosen = select_most_similar(
+            ["acmehosting.com", "unrelated.org"], "ACME-HOSTING-AS", web
+        )
+        assert chosen == "acmehosting.com"
+
+    def test_choose_domain_full_algorithm(self):
+        web = _web_with_titles(
+            {"acmehosting.com": "Acme Hosting - Home"}
+        )
+        index = DomainFrequencyIndex.from_candidates(
+            [["bigisp.net"]] * 150 + [["acmehosting.com"]] * 2
+        )
+        chosen = choose_domain(
+            ["gmail.com", "bigisp.net", "acmehosting.com"],
+            "ACME-HOSTING-AS",
+            web,
+            index,
+        )
+        assert chosen == "acmehosting.com"
+
+    def test_choose_domain_keeps_common_when_no_rare(self):
+        # Step 3 only filters when at least one rare candidate exists.
+        web = WebUniverse()
+        index = DomainFrequencyIndex.from_candidates(
+            [["bigisp.net"]] * 150
+        )
+        assert choose_domain(
+            ["bigisp.net"], "BIGISP-AS", web, index
+        ) == "bigisp.net"
+
+    def test_choose_domain_empty(self):
+        assert choose_domain([], "X-AS", WebUniverse()) is None
+
+
+class TestResolver:
+    @pytest.fixture(scope="class")
+    def resolver(self, medium_world):
+        world = medium_world
+        index = DomainFrequencyIndex.from_candidates(
+            world.registry.contact(asn).candidate_domains
+            for asn in world.asns()
+        )
+        sources = [
+            DunBradstreet(world),
+            Crunchbase(world),
+            Zvelo(world),
+        ]
+        return EntityResolver(world.web, index, sources)
+
+    def test_resolution_accuracy(self, medium_world, resolver):
+        """Most-similar domain selection should be ~91% accurate among
+        ASes whose org domain appears in WHOIS (Table 5)."""
+        world = medium_world
+        hits = total = 0
+        for asn in world.asns():
+            org = world.org_of_asn(asn)
+            contact = world.registry.contact(asn)
+            if org.domain is None:
+                continue
+            if org.domain not in contact.candidate_domains:
+                continue
+            total += 1
+            chosen = resolver.choose_domain(
+                contact, world.ases[asn].as_name
+            )
+            hits += chosen == org.domain
+        assert total > 100
+        assert hits / total >= 0.85
+
+    def test_resolve_produces_matches(self, medium_world, resolver):
+        world = medium_world
+        resolved_counts = []
+        for asn in world.asns()[:100]:
+            contact = world.registry.contact(asn)
+            resolved = resolver.resolve(
+                contact, world.ases[asn].as_name
+            )
+            resolved_counts.append(len(resolved.matches))
+        assert max(resolved_counts) >= 2  # multiple sources match
+
+    def test_low_confidence_dnb_rejected(self, medium_world):
+        world = medium_world
+        index = DomainFrequencyIndex()
+        dnb = DunBradstreet(world)
+        strict = EntityResolver(
+            world.web, index, [dnb], dnb_confidence_threshold=10
+        )
+        lax = EntityResolver(
+            world.web, index, [dnb], dnb_confidence_threshold=1
+        )
+        strict_matches = lax_matches = 0
+        for asn in world.asns()[:200]:
+            contact = world.registry.contact(asn)
+            as_name = world.ases[asn].as_name
+            strict_matches += bool(
+                strict.resolve(contact, as_name).matches
+            )
+            lax_matches += bool(lax.resolve(contact, as_name).matches)
+        assert strict_matches < lax_matches
+
+    def test_domain_mismatch_rejection_reduces_entity_disagreement(
+        self, medium_world
+    ):
+        world = medium_world
+        index = DomainFrequencyIndex.from_candidates(
+            world.registry.contact(asn).candidate_domains
+            for asn in world.asns()
+        )
+        sources = [DunBradstreet(world), Crunchbase(world)]
+        with_reject = EntityResolver(world.web, index, sources)
+        without_reject = EntityResolver(
+            world.web, index, sources, reject_domain_mismatch=False
+        )
+
+        def wrong_entity_rate(resolver):
+            wrong = total = 0
+            for asn in world.asns():
+                org = world.org_of_asn(asn)
+                contact = world.registry.contact(asn)
+                resolved = resolver.resolve(
+                    contact, world.ases[asn].as_name
+                )
+                for match in resolved.matches.values():
+                    if not match.entry.org_id:
+                        continue
+                    total += 1
+                    wrong += match.entry.org_id != org.org_id
+            return wrong / max(total, 1)
+
+        assert wrong_entity_rate(with_reject) <= wrong_entity_rate(
+            without_reject
+        )

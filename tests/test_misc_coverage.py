@@ -1,0 +1,77 @@
+"""Remaining small-surface tests: reporting options, platform pool
+mechanics, stage display strings, registry iteration order."""
+
+import pytest
+
+from repro.core import Stage
+from repro.crowd import MTurkPlatform
+from repro.reporting import render_bars, render_table
+
+
+class TestReportingOptions:
+    def test_bars_raw_values(self):
+        text = render_bars(["a", "b"], [1.5, 3.0], as_percent=False)
+        assert "3.00" in text and "1.50" in text
+
+    def test_bars_zero_values(self):
+        text = render_bars(["a"], [0.0])
+        assert "0%" in text
+
+    def test_table_without_title(self):
+        text = render_table(["X"], [["y"]])
+        assert text.splitlines()[0] == "X"
+
+    def test_table_numeric_cells(self):
+        text = render_table(["N"], [[42]])
+        assert "42" in text
+
+
+class TestStageDisplay:
+    def test_all_stages_have_display(self):
+        for stage in Stage:
+            assert stage.display
+
+    def test_display_matches_table8_vocabulary(self):
+        assert Stage.MULTI_AGREE.display.startswith(">=2 Sources")
+        assert Stage.ZERO_SOURCES.display == "0 Sources Matched"
+
+
+class TestPlatformPool:
+    def test_worker_assignment_no_overlap_until_wrap(self, medium_world):
+        orgs = list(medium_world.iter_organizations())[:10]
+        platform = MTurkPlatform(seed=1, pool_size=100)
+        first = platform.run_batch(orgs, reward_cents=30)
+        second = platform.run_batch(orgs, reward_cents=30)
+        workers_first = {
+            response.worker_id
+            for task in first.tasks
+            for response in task.responses
+        }
+        workers_second = {
+            response.worker_id
+            for task in second.tasks
+            for response in task.responses
+        }
+        # 10 orgs x 3 workers = 30 per batch; pool of 100 -> disjoint.
+        assert not (workers_first & workers_second)
+
+    def test_pool_wraps_when_exhausted(self, medium_world):
+        orgs = list(medium_world.iter_organizations())[:10]
+        platform = MTurkPlatform(seed=1, pool_size=12)
+        batch = platform.run_batch(orgs, reward_cents=30)
+        workers = [
+            response.worker_id
+            for task in batch.tasks
+            for response in task.responses
+        ]
+        assert len(workers) == 30
+        assert len(set(workers)) == 12  # wrapped
+
+
+class TestRegistryIteration:
+    def test_world_asns_sorted(self, small_world):
+        asns = small_world.asns()
+        assert asns == sorted(asns)
+
+    def test_registry_and_world_agree(self, small_world):
+        assert small_world.registry.asns() == small_world.asns()

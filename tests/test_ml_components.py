@@ -1,0 +1,250 @@
+"""Unit tests for the from-scratch ML stack components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.ml import (
+    CountVectorizer,
+    SGDClassifier,
+    TfidfTransformer,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    roc_auc,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_min_length(self):
+        assert tokenize("a bb ccc") == ["bb", "ccc"]
+        assert tokenize("a bb ccc", min_length=3) == ["ccc"]
+
+    def test_numbers_kept(self):
+        assert "42" in tokenize("route 42")
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestCountVectorizer:
+    DOCS = [
+        "hosting cloud hosting server",
+        "bank loan bank",
+        "cloud bank",
+    ]
+
+    def test_fit_transform_shape(self):
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(self.DOCS)
+        assert matrix.shape == (3, len(vectorizer.vocabulary_))
+
+    def test_counts_correct(self):
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(self.DOCS).toarray()
+        hosting_col = vectorizer.vocabulary_["hosting"]
+        assert matrix[0, hosting_col] == 2
+        assert matrix[1, hosting_col] == 0
+
+    def test_min_df_prunes(self):
+        vectorizer = CountVectorizer(min_df=2)
+        vectorizer.fit(self.DOCS)
+        assert "loan" not in vectorizer.vocabulary_   # appears in 1 doc
+        assert "cloud" in vectorizer.vocabulary_      # appears in 2 docs
+
+    def test_max_features_caps(self):
+        vectorizer = CountVectorizer(max_features=2)
+        vectorizer.fit(self.DOCS)
+        assert len(vectorizer.vocabulary_) == 2
+        # Highest total counts win: bank(3), then the hosting/cloud tie
+        # (2 each) breaks lexicographically -> cloud.
+        assert set(vectorizer.vocabulary_) == {"bank", "cloud"}
+
+    def test_unknown_tokens_ignored_at_transform(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit(self.DOCS)
+        matrix = vectorizer.transform(["zebra quantum"])
+        assert matrix.nnz == 0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CountVectorizer().transform(["x"])
+
+    def test_feature_names_ordered(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit(self.DOCS)
+        names = vectorizer.feature_names()
+        assert [vectorizer.vocabulary_[n] for n in names] == list(
+            range(len(names))
+        )
+
+    def test_deterministic(self):
+        a = CountVectorizer().fit(self.DOCS).vocabulary_
+        b = CountVectorizer().fit(self.DOCS).vocabulary_
+        assert a == b
+
+
+class TestTfidf:
+    def test_common_words_downweighted(self):
+        docs = ["the cat", "the dog", "the fish"]
+        vectorizer = CountVectorizer()
+        counts = vectorizer.fit_transform(docs)
+        tfidf = TfidfTransformer(normalize=False)
+        weighted = tfidf.fit_transform(counts).toarray()
+        the_col = vectorizer.vocabulary_["the"]
+        cat_col = vectorizer.vocabulary_["cat"]
+        assert weighted[0, the_col] < weighted[0, cat_col]
+
+    def test_l2_normalized_rows(self):
+        docs = ["hosting cloud server", "bank loan"]
+        counts = CountVectorizer().fit_transform(docs)
+        weighted = TfidfTransformer().fit_transform(counts)
+        norms = np.sqrt(weighted.multiply(weighted).sum(axis=1)).A.ravel()
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-9)
+
+    def test_zero_row_survives_normalization(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit(["hosting cloud"])
+        counts = vectorizer.transform(["zebra"])
+        tfidf = TfidfTransformer()
+        tfidf.fit(vectorizer.transform(["hosting cloud"]))
+        weighted = tfidf.transform(counts)
+        assert weighted.nnz == 0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfTransformer().transform(sparse.csr_matrix((1, 1)))
+
+    def test_feature_mismatch_raises(self):
+        counts = CountVectorizer().fit_transform(["aa bb cc"])
+        tfidf = TfidfTransformer().fit(counts)
+        with pytest.raises(ValueError):
+            tfidf.transform(sparse.csr_matrix((1, counts.shape[1] + 3)))
+
+
+def _separable_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(float)
+    return sparse.csr_matrix(X), y
+
+
+class TestSGD:
+    @pytest.mark.parametrize("loss", ["hinge", "log"])
+    def test_learns_separable_data(self, loss):
+        X, y = _separable_data()
+        model = SGDClassifier(loss=loss, epochs=30, seed=1)
+        model.fit(X, y)
+        assert accuracy(y.astype(bool), model.predict(X)) >= 0.92
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError):
+            SGDClassifier(loss="squared")
+
+    def test_predict_before_fit_raises(self):
+        X, _ = _separable_data()
+        with pytest.raises(RuntimeError):
+            SGDClassifier().predict(X)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            SGDClassifier().fit(sparse.csr_matrix((0, 3)), [])
+
+    def test_sample_count_mismatch_raises(self):
+        X, y = _separable_data()
+        with pytest.raises(ValueError):
+            SGDClassifier().fit(X, y[:-1])
+
+    def test_proba_in_unit_interval(self):
+        X, y = _separable_data()
+        model = SGDClassifier(loss="log").fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(proba >= 0.0) and np.all(proba <= 1.0)
+
+    def test_deterministic_given_seed(self):
+        X, y = _separable_data()
+        a = SGDClassifier(seed=7).fit(X, y)
+        b = SGDClassifier(seed=7).fit(X, y)
+        np.testing.assert_array_equal(a.coef_, b.coef_)
+        assert a.intercept_ == b.intercept_
+
+    def test_balanced_class_weight_helps_minority_recall(self):
+        rng = np.random.default_rng(3)
+        n_majority, n_minority = 300, 15
+        X_majority = rng.normal(loc=0.0, size=(n_majority, 4))
+        X_minority = rng.normal(loc=1.2, size=(n_minority, 4))
+        X = sparse.csr_matrix(np.vstack([X_majority, X_minority]))
+        y = np.array([0.0] * n_majority + [1.0] * n_minority)
+        plain = SGDClassifier(seed=0).fit(X, y)
+        balanced = SGDClassifier(seed=0, class_weight="balanced").fit(X, y)
+        truth = y.astype(bool)
+        assert recall(truth, balanced.predict(X)) >= recall(
+            truth, plain.predict(X)
+        )
+
+
+class TestMetrics:
+    def test_confusion_matrix_counts(self):
+        cm = confusion_matrix(
+            [True, True, False, False], [True, False, True, False]
+        )
+        assert (cm.tp, cm.fn, cm.fp, cm.tn) == (1, 1, 1, 1)
+        assert cm.accuracy == 0.5
+        assert cm.false_positive_rate == 0.25
+        assert cm.false_negative_rate == 0.25
+
+    def test_precision_recall_f1(self):
+        truth = [True, True, True, False]
+        predicted = [True, True, False, False]
+        assert precision(truth, predicted) == 1.0
+        assert recall(truth, predicted) == pytest.approx(2 / 3)
+        assert f1_score(truth, predicted) == pytest.approx(0.8)
+
+    def test_empty_denominators(self):
+        assert precision([False], [False]) == 0.0
+        assert recall([False], [False]) == 0.0
+
+    def test_auc_perfect(self):
+        assert roc_auc([False, False, True, True], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_auc_inverted(self):
+        assert roc_auc([True, True, False, False], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_auc_random_ties(self):
+        assert roc_auc([True, False], [0.5, 0.5]) == 0.5
+
+    def test_auc_degenerate_single_class(self):
+        assert roc_auc([True, True], [0.1, 0.9]) == 0.5
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([True], [True, False])
+        with pytest.raises(ValueError):
+            roc_auc([True], [0.5, 0.6])
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.floats(0, 1)), min_size=2,
+            max_size=50,
+        )
+    )
+    def test_auc_bounded(self, pairs):
+        truth = [p[0] for p in pairs]
+        scores = [p[1] for p in pairs]
+        assert 0.0 <= roc_auc(truth, scores) <= 1.0
+
+    @given(
+        st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,
+                 max_size=50)
+    )
+    def test_accuracy_bounded(self, pairs):
+        truth = [p[0] for p in pairs]
+        predicted = [p[1] for p in pairs]
+        assert 0.0 <= accuracy(truth, predicted) <= 1.0

@@ -1,0 +1,192 @@
+"""Property-based robustness tests across the parsing/matching stack.
+
+The pipeline must survive arbitrary bulk-WHOIS garbage, adversarial
+names, and degenerate label sets without crashing - these tests feed it
+generated junk and assert only safety properties.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.consensus import (
+    majority_vote,
+    resolve_consensus,
+    single_best_source,
+)
+from repro.datasources.base import SourceEntry, SourceMatch
+from repro.matching.similarity import jaccard, lcs_ratio, name_similarity
+from repro.taxonomy import LabelSet, naicslite
+from repro.web.translate import detect_language, translate_to_english
+from repro.whois.parsers import parse_arin, parse_lacnic, parse_rpsl
+from repro.whois.records import RIR, RawWhoisObject
+
+LAYER2_SLUGS = [sub.slug for sub in naicslite.ALL_LAYER2]
+
+_text = st.text(max_size=400)
+
+
+class TestParserRobustness:
+    @given(text=_text)
+    @settings(max_examples=200)
+    def test_rpsl_parser_never_crashes(self, text):
+        parsed = parse_rpsl(
+            RawWhoisObject(rir=RIR.RIPE, asn=65000, text=text)
+        )
+        assert parsed.asn >= 0
+
+    @given(text=_text)
+    @settings(max_examples=200)
+    def test_arin_parser_never_crashes(self, text):
+        parsed = parse_arin(
+            RawWhoisObject(rir=RIR.ARIN, asn=65000, text=text)
+        )
+        assert parsed.rir is RIR.ARIN
+
+    @given(text=_text)
+    @settings(max_examples=200)
+    def test_lacnic_parser_never_crashes(self, text):
+        parsed = parse_lacnic(
+            RawWhoisObject(rir=RIR.LACNIC, asn=65000, text=text)
+        )
+        assert parsed.emails == ()
+
+    @given(
+        keys=st.lists(
+            st.sampled_from(
+                ["aut-num", "as-name", "descr", "org-name", "address",
+                 "country", "phone", "e-mail", "remarks", "bogus-key"]
+            ),
+            min_size=0,
+            max_size=20,
+        ),
+        values=st.lists(st.text(alphabet=st.characters(
+            blacklist_characters="\n\r"), max_size=40), min_size=0,
+            max_size=20),
+    )
+    def test_rpsl_arbitrary_key_value_soup(self, keys, values):
+        lines = [
+            f"{key}: {value}"
+            for key, value in zip(keys, values)
+        ]
+        parsed = parse_rpsl(
+            RawWhoisObject(
+                rir=RIR.APNIC, asn=1, text="\n".join(lines)
+            )
+        )
+        # Multi-valued fields stay deduplicated and ordered.
+        assert len(parsed.emails) == len(set(parsed.emails))
+
+
+class TestSimilarityProperties:
+    @given(st.sets(st.text(max_size=8), max_size=10))
+    def test_jaccard_self_is_one(self, tokens):
+        assert jaccard(tokens, tokens) == 1.0
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_lcs_ratio_bounded(self, a, b):
+        assert 0.0 <= lcs_ratio(a, b) <= 1.0
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_lcs_self_is_one(self, a):
+        assert lcs_ratio(a, a) == 1.0
+
+    @given(st.text(max_size=30), st.text(max_size=30),
+           st.text(max_size=30))
+    @settings(max_examples=60)
+    def test_name_similarity_no_crash_triple(self, a, b, c):
+        for pair in ((a, b), (b, c), (a, c)):
+            assert 0.0 <= name_similarity(*pair) <= 1.0
+
+
+def _match(source, slugs):
+    return SourceMatch(
+        source=source,
+        entry=SourceEntry(
+            entity_id=f"{source}-x",
+            org_id="org",
+            name="X",
+            domain=None,
+            native_categories=(),
+            labels=LabelSet.from_layer2_slugs(slugs),
+        ),
+    )
+
+
+_sources = st.sampled_from(
+    ["dnb", "crunchbase", "zvelo", "peeringdb", "ipinfo"]
+)
+_matches = st.dictionaries(
+    keys=_sources,
+    values=st.lists(st.sampled_from(LAYER2_SLUGS), min_size=0, max_size=4),
+    max_size=5,
+).map(
+    lambda d: {name: _match(name, slugs) for name, slugs in d.items()}
+)
+
+
+class TestConsensusProperties:
+    @given(matches=_matches)
+    def test_strategies_never_crash(self, matches):
+        for strategy in (resolve_consensus, single_best_source,
+                         majority_vote):
+            result = strategy(matches)
+            assert result.labels is not None
+
+    @given(matches=_matches)
+    def test_result_labels_come_from_inputs(self, matches):
+        result = resolve_consensus(matches)
+        available = set()
+        for match in matches.values():
+            available |= match.labels.layer2_slugs()
+        assert result.labels.layer2_slugs() <= available
+
+    @given(matches=_matches)
+    def test_trusted_sources_are_input_sources(self, matches):
+        result = resolve_consensus(matches)
+        assert set(result.trusted_sources) <= set(matches)
+
+    @given(matches=_matches)
+    def test_deterministic(self, matches):
+        a = resolve_consensus(matches)
+        b = resolve_consensus(dict(matches))
+        assert a.labels == b.labels
+        assert a.stage is b.stage
+
+    @given(slugs=st.lists(st.sampled_from(LAYER2_SLUGS), min_size=1,
+                          max_size=4))
+    def test_single_source_passthrough(self, slugs):
+        matches = {"dnb": _match("dnb", slugs)}
+        result = resolve_consensus(matches)
+        assert result.labels == matches["dnb"].labels
+
+
+class TestTranslationRobustness:
+    @given(text=_text)
+    @settings(max_examples=100)
+    def test_translate_never_crashes(self, text):
+        result = translate_to_english(text)
+        assert isinstance(result.text, str)
+        assert 0.0 <= result.translated_fraction <= 1.0
+
+    @given(text=_text)
+    @settings(max_examples=100)
+    def test_detection_total(self, text):
+        assert detect_language(text) is not None
+
+    @given(words=st.lists(st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10),
+        min_size=1, max_size=15))
+    def test_english_text_passes_through(self, words):
+        # Words that don't end in any cipher suffix must be untouched.
+        from repro.web.language import LANGUAGES
+
+        suffixes = tuple(l.suffix for l in LANGUAGES if not l.is_english)
+        clean = [w for w in words if not w.endswith(suffixes)]
+        if not clean:
+            return
+        text = " ".join(clean)
+        result = translate_to_english(text)
+        if result.detected.is_english:
+            assert result.text == text

@@ -1,0 +1,180 @@
+"""Tests for the scan substrate, reporting helpers, and maintenance."""
+
+import pytest
+
+from repro.core import (
+    Correction,
+    CorrectionQueue,
+    CorrectionStatus,
+    MaintenanceDaemon,
+    Stage,
+)
+from repro.reporting import format_fraction, render_bars, render_table
+from repro.scan import TELNET_PROPENSITY, TelnetScan
+from repro.taxonomy import LabelSet
+from repro.whois import WhoisFacts, render
+from repro.whois.records import RIR
+
+
+class TestTelnetScan:
+    def test_scan_covers_every_as(self, medium_world):
+        scan = TelnetScan(medium_world)
+        assert len(scan) == len(medium_world.asns())
+
+    def test_observation_fields(self, medium_world):
+        scan = TelnetScan(medium_world)
+        for observation in scan:
+            assert observation.hosts_sampled > 0
+            assert 0 <= observation.telnet_hosts <= observation.hosts_sampled
+
+    def test_deterministic(self, medium_world):
+        a = TelnetScan(medium_world, seed=4)
+        b = TelnetScan(medium_world, seed=4)
+        asn = medium_world.asns()[0]
+        assert a.observation(asn) == b.observation(asn)
+
+    def test_critical_infrastructure_exposes_more(self, medium_world):
+        # Section 6's headline: utilities/government/finance > tech.
+        scan = TelnetScan(medium_world)
+        rates = scan.telnet_rate_by_layer1(
+            lambda asn: medium_world.truth(asn).layer1_slugs()
+        )
+        tech_hits, tech_total = rates["computer_and_it"]
+        tech_rate = tech_hits / tech_total
+        for slug in ("utilities", "government", "finance"):
+            hits, total = rates.get(slug, (0, 0))
+            if total >= 5:
+                assert hits / total > tech_rate
+
+    def test_propensity_table_ordering(self):
+        assert TELNET_PROPENSITY["utilities"] > TELNET_PROPENSITY[
+            "computer_and_it"
+        ]
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["Source", "Coverage"],
+            [["D&B", "122/148 (82%)"], ["Zvelo", "138/148 (93%)"]],
+            title="Table 3",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 3"
+        assert "D&B" in text and "Zvelo" in text
+
+    def test_render_bars(self):
+        text = render_bars(["NAICS", "NAICSlite"], [0.31, 0.78])
+        assert "NAICS" in text
+        assert text.count("#") > 0
+
+    def test_render_bars_empty(self):
+        assert render_bars([], []) == ""
+
+    def test_format_fraction(self):
+        assert format_fraction(93, 121) == "93/121 (77%)"
+        assert format_fraction(0, 0) == "-"
+
+
+class TestMaintenance:
+    def _raw(self, asn, name):
+        facts = WhoisFacts(
+            asn=asn, as_name=f"AS{asn}", org_name=name,
+            emails=(f"abuse@org{asn}.example",), country="US",
+        )
+        return render(facts, RIR.ARIN)
+
+    def test_sweep_classifies_new_registrations(self):
+        from repro import SystemConfig, build_asdb
+        from repro.world import WorldConfig, generate_world
+
+        # A private world: the sweep mutates the registry.
+        world = generate_world(WorldConfig(n_orgs=60, seed=77))
+        built = build_asdb(world, SystemConfig(seed=1, train_ml=False))
+        daemon = MaintenanceDaemon(built.asdb)
+        first = daemon.sweep(current_day=0)
+        # Everything is "new" on the first sweep.
+        assert len(first.new_asns) == len(world.asns())
+        assert first.reclassified == len(world.asns())
+
+        # Register a fresh AS and update an existing one.
+        new_asn = max(world.asns()) + 10
+        world.registry.register(self._raw(new_asn, "Fresh Org"), day=5)
+        victim = world.asns()[0]
+        world.registry.update(world.registry.raw(victim), day=6)
+        second = daemon.sweep(current_day=7)
+        assert new_asn in second.new_asns
+        assert victim in second.updated_asns
+        assert second.reclassified == len(second.new_asns) + len(
+            second.updated_asns
+        )
+
+    def test_updates_per_week(self):
+        from repro.core.maintenance import SweepReport
+
+        report = SweepReport(
+            since_day=0, through_day=7,
+            new_asns=tuple(range(100)),
+            updated_asns=tuple(range(100, 140)),
+            reclassified=140,
+        )
+        assert report.updates_per_week == pytest.approx(140.0)
+
+
+class TestCorrections:
+    @pytest.fixture()
+    def asdb(self, medium_world):
+        from repro import SystemConfig, build_asdb
+
+        built = build_asdb(medium_world, SystemConfig(seed=1,
+                                                      train_ml=False))
+        for asn in medium_world.asns()[:20]:
+            built.asdb.classify(asn)
+        return built.asdb
+
+    def test_submit_review_approve(self, asdb, medium_world):
+        queue = CorrectionQueue(asdb)
+        asn = medium_world.asns()[0]
+        proposed = LabelSet.from_layer2_slugs(["banks"])
+        ticket = queue.submit(
+            Correction(asn=asn, proposed=proposed, submitter="alice")
+        )
+        assert len(queue.pending()) == 1
+        correction = queue.review(ticket, approve=True)
+        assert correction.status is CorrectionStatus.APPROVED
+        assert asdb.dataset.get(asn).labels == proposed
+        assert "community" in asdb.dataset.get(asn).sources
+
+    def test_reject_leaves_dataset_untouched(self, asdb, medium_world):
+        queue = CorrectionQueue(asdb)
+        asn = medium_world.asns()[1]
+        before = asdb.dataset.get(asn).labels
+        ticket = queue.submit(
+            Correction(
+                asn=asn,
+                proposed=LabelSet.from_layer2_slugs(["gambling"]),
+                submitter="mallory",
+            )
+        )
+        queue.review(ticket, approve=False)
+        assert asdb.dataset.get(asn).labels == before
+
+    def test_empty_proposal_rejected(self, asdb):
+        queue = CorrectionQueue(asdb)
+        with pytest.raises(ValueError):
+            queue.submit(
+                Correction(asn=1, proposed=LabelSet(), submitter="x")
+            )
+
+    def test_double_review_rejected(self, asdb, medium_world):
+        queue = CorrectionQueue(asdb)
+        ticket = queue.submit(
+            Correction(
+                asn=medium_world.asns()[2],
+                proposed=LabelSet.from_layer2_slugs(["banks"]),
+                submitter="alice",
+            )
+        )
+        queue.review(ticket, approve=True)
+        with pytest.raises(ValueError):
+            queue.review(ticket, approve=True)

@@ -1,0 +1,74 @@
+"""Tests for the system factory (repro.system)."""
+
+import pytest
+
+from repro import SystemConfig, build_asdb
+from repro.system import build_sources
+
+
+class TestBuildSources:
+    def test_five_sources(self, small_world):
+        sources = build_sources(small_world)
+        names = [source.name for source in sources]
+        assert names == ["dnb", "crunchbase", "zvelo", "peeringdb",
+                         "ipinfo"]
+
+    def test_seed_changes_directories(self, small_world):
+        a = build_sources(small_world, seed=1)[0]
+        b = build_sources(small_world, seed=2)[0]
+        # Different seeds change which orgs are covered.
+        coverage_a = {
+            org.org_id
+            for org in small_world.iter_organizations()
+            if a.lookup_by_org(org.org_id)
+        }
+        coverage_b = {
+            org.org_id
+            for org in small_world.iter_organizations()
+            if b.lookup_by_org(org.org_id)
+        }
+        assert coverage_a != coverage_b
+
+
+class TestBuildAsdb:
+    def test_components_wired(self, small_world):
+        built = build_asdb(small_world, SystemConfig(seed=1))
+        assert built.asdb is not None
+        assert built.ml_pipeline is not None
+        assert built.ml_pipeline.fitted
+        assert built.frequency_index.count  # has the method, is built
+
+    def test_train_ml_false_omits_pipeline(self, small_world):
+        built = build_asdb(
+            small_world, SystemConfig(seed=1, train_ml=False)
+        )
+        assert built.ml_pipeline is None
+
+    def test_frequency_index_counts_whois_domains(self, small_world):
+        built = build_asdb(
+            small_world, SystemConfig(seed=1, train_ml=False)
+        )
+        # Some domain observed in WHOIS must be indexed.
+        counted = 0
+        for asn in small_world.asns():
+            for domain in small_world.registry.contact(
+                asn
+            ).candidate_domains:
+                counted += built.frequency_index.count(domain) > 0
+        assert counted > 0
+
+    def test_exclusion_keeps_eval_orgs_out_of_training(self, small_world):
+        held_out = tuple(small_world.asns()[:30])
+        built = build_asdb(
+            small_world,
+            SystemConfig(seed=1, exclude_asns_from_training=held_out),
+        )
+        assert built.ml_pipeline is not None  # still trains on the rest
+
+    def test_same_config_same_classification(self, small_world):
+        a = build_asdb(small_world, SystemConfig(seed=3))
+        b = build_asdb(small_world, SystemConfig(seed=3))
+        for asn in small_world.asns()[:40]:
+            assert a.asdb.classify(asn).labels == b.asdb.classify(
+                asn
+            ).labels

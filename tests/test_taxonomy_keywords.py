@@ -1,0 +1,51 @@
+"""Tests for per-category keyword profiles."""
+
+from repro.taxonomy import keywords, naicslite
+
+
+class TestKeywordProfiles:
+    def test_every_layer2_has_keywords(self):
+        for sub in naicslite.ALL_LAYER2:
+            profile = keywords.keywords_for_layer2(sub.slug)
+            assert len(profile) >= 3, sub.slug
+
+    def test_keywords_are_lowercase_tokens(self):
+        for slug, words in keywords.KEYWORDS_LAYER2.items():
+            for word in words:
+                assert word == word.lower(), (slug, word)
+                assert " " not in word, (slug, word)
+
+    def test_isp_hosting_profiles_overlap(self):
+        # Deliberate overlap (e.g. "bandwidth", "network") drives realistic
+        # classifier confusion between ISPs and hosting providers.
+        isp = set(keywords.keywords_for_layer2("isp"))
+        hosting = set(keywords.keywords_for_layer2("hosting"))
+        assert isp & hosting
+
+    def test_distant_profiles_are_mostly_disjoint(self):
+        banks = set(keywords.keywords_for_layer2("banks"))
+        isp = set(keywords.keywords_for_layer2("isp"))
+        assert len(banks & isp) <= 1
+
+    def test_layer1_union(self):
+        union = set(keywords.keywords_for_layer1("computer_and_it"))
+        assert "broadband" in union   # from isp
+        assert "colocation" in union  # from hosting
+        assert "firewall" in union    # from security
+
+    def test_layer1_union_preserves_order_dedupes(self):
+        union = keywords.keywords_for_layer1("computer_and_it")
+        assert len(union) == len(set(union))
+
+    def test_scraper_keywords_match_figure3(self):
+        # The paper's Figure 3 lists the link keywords the scraper follows.
+        for word in ("service", "about", "company", "network", "coverage",
+                     "history"):
+            assert word in keywords.SCRAPER_LINK_KEYWORDS
+
+    def test_generic_words_not_category_specific(self):
+        # Generic web filler must not include high-signal category terms.
+        generic = set(keywords.GENERIC_WEB_WORDS)
+        assert "broadband" not in generic
+        assert "hosting" not in generic
+        assert "bank" not in generic

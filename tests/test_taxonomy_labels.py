@@ -1,0 +1,142 @@
+"""Tests for Label / LabelSet match semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.taxonomy import Label, LabelSet, naicslite
+
+LAYER2_SLUGS = [sub.slug for sub in naicslite.ALL_LAYER2]
+LAYER1_SLUGS = [cat.slug for cat in naicslite.ALL_LAYER1]
+
+
+class TestLabel:
+    def test_from_layer2_fills_layer1(self):
+        label = Label.from_layer2("hosting")
+        assert label.layer1 == "computer_and_it"
+        assert label.layer2 == "hosting"
+
+    def test_layer1_only_label(self):
+        label = Label(layer1="finance")
+        assert label.layer2 is None
+        assert not label.has_layer2
+
+    def test_mismatched_layers_rejected(self):
+        with pytest.raises(ValueError):
+            Label(layer1="finance", layer2="hosting")
+
+    def test_unknown_layer1_rejected(self):
+        with pytest.raises(KeyError):
+            Label(layer1="not_a_category")
+
+    def test_is_tech(self):
+        assert Label.from_layer2("isp").is_tech
+        assert not Label.from_layer2("banks").is_tech
+
+    def test_code(self):
+        assert Label.from_layer2("isp").code == "1.1"
+        assert Label(layer1="computer_and_it").code == "1"
+
+    def test_labels_hashable_and_equal(self):
+        assert Label.from_layer2("isp") == Label(
+            layer1="computer_and_it", layer2="isp"
+        )
+        assert len({Label.from_layer2("isp"), Label.from_layer2("isp")}) == 1
+
+
+class TestLabelSet:
+    def test_empty_set_falsy(self):
+        assert not LabelSet()
+        assert len(LabelSet()) == 0
+
+    def test_layer1_overlap(self):
+        a = LabelSet.from_layer2_slugs(["isp"])
+        b = LabelSet.from_layer2_slugs(["hosting"])
+        assert a.overlaps_layer1(b)  # both computer_and_it
+        assert not a.overlaps_layer2(b)
+
+    def test_layer2_overlap(self):
+        a = LabelSet.from_layer2_slugs(["isp", "banks"])
+        b = LabelSet.from_layer2_slugs(["banks"])
+        assert a.overlaps_layer2(b)
+
+    def test_no_overlap(self):
+        a = LabelSet.from_layer2_slugs(["banks"])
+        b = LabelSet.from_layer2_slugs(["hospitals"])
+        assert not a.overlaps_layer1(b)
+        assert not a.overlaps_layer2(b)
+
+    def test_strict_equals_layer2(self):
+        a = LabelSet.from_layer2_slugs(["isp", "hosting"])
+        b = LabelSet.from_layer2_slugs(["hosting", "isp"])
+        c = LabelSet.from_layer2_slugs(["isp"])
+        assert a.strict_equals_layer2(b)
+        assert not a.strict_equals_layer2(c)
+
+    def test_union(self):
+        a = LabelSet.from_layer2_slugs(["isp"])
+        b = LabelSet.from_layer2_slugs(["banks"])
+        assert len(a.union(b)) == 2
+
+    def test_intersection_layer2(self):
+        a = LabelSet.from_layer2_slugs(["isp", "banks"])
+        b = LabelSet.from_layer2_slugs(["banks", "hospitals"])
+        inter = a.intersection_layer2(b)
+        assert inter.layer2_slugs() == {"banks"}
+
+    def test_restrict_to_layer1(self):
+        a = LabelSet.from_layer2_slugs(["isp", "hosting", "banks"])
+        restricted = a.restrict_to_layer1()
+        assert restricted.layer1_slugs() == {"computer_and_it", "finance"}
+        assert not restricted.has_layer2
+
+    def test_layer1_only_labels_do_not_contribute_layer2(self):
+        mixed = LabelSet(
+            [Label(layer1="finance"), Label.from_layer2("isp")]
+        )
+        assert mixed.layer2_slugs() == {"isp"}
+        assert mixed.layer1_slugs() == {"finance", "computer_and_it"}
+
+    def test_is_tech(self):
+        assert LabelSet.from_layer2_slugs(["isp", "banks"]).is_tech
+        assert not LabelSet.from_layer2_slugs(["banks"]).is_tech
+
+    def test_equality_and_hash(self):
+        a = LabelSet.from_layer2_slugs(["isp"])
+        b = LabelSet.from_layer2_slugs(["isp"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iteration_sorted_deterministic(self):
+        a = LabelSet.from_layer2_slugs(["banks", "isp", "hospitals"])
+        assert list(a) == sorted(a.labels, key=lambda l: l.sort_key)
+
+
+@given(st.lists(st.sampled_from(LAYER2_SLUGS), min_size=0, max_size=8))
+def test_union_with_self_is_idempotent(slugs):
+    labels = LabelSet.from_layer2_slugs(slugs)
+    assert labels.union(labels) == labels
+
+
+@given(
+    st.lists(st.sampled_from(LAYER2_SLUGS), min_size=1, max_size=8),
+    st.lists(st.sampled_from(LAYER2_SLUGS), min_size=1, max_size=8),
+)
+def test_overlap_is_symmetric(slugs_a, slugs_b):
+    a = LabelSet.from_layer2_slugs(slugs_a)
+    b = LabelSet.from_layer2_slugs(slugs_b)
+    assert a.overlaps_layer1(b) == b.overlaps_layer1(a)
+    assert a.overlaps_layer2(b) == b.overlaps_layer2(a)
+
+
+@given(st.lists(st.sampled_from(LAYER2_SLUGS), min_size=1, max_size=8))
+def test_layer2_overlap_implies_layer1_overlap(slugs):
+    a = LabelSet.from_layer2_slugs(slugs)
+    b = LabelSet.from_layer2_slugs([slugs[0]])
+    if a.overlaps_layer2(b):
+        assert a.overlaps_layer1(b)
+
+
+@given(st.lists(st.sampled_from(LAYER2_SLUGS), min_size=0, max_size=8))
+def test_restrict_to_layer1_preserves_layer1_slugs(slugs):
+    labels = LabelSet.from_layer2_slugs(slugs)
+    assert labels.restrict_to_layer1().layer1_slugs() == labels.layer1_slugs()

@@ -1,0 +1,108 @@
+"""Tests for the NAICSlite taxonomy (paper Appendix C)."""
+
+import pytest
+
+from repro.taxonomy import naicslite
+
+
+class TestTaxonomyShape:
+    def test_17_layer1_categories(self):
+        assert naicslite.NUM_LAYER1 == 17
+
+    def test_95_layer2_categories(self):
+        assert naicslite.NUM_LAYER2 == 95
+
+    def test_at_most_ten_layer2_per_layer1(self):
+        # Appendix C: "up to 9 lower-layer categories per top level" plus
+        # the residual Other; CIT has exactly 10.
+        for cat in naicslite.ALL_LAYER1:
+            assert 1 <= len(cat.layer2) <= 10
+
+    def test_layer1_codes_are_1_to_17(self):
+        assert [cat.code for cat in naicslite.ALL_LAYER1] == list(range(1, 18))
+
+    def test_layer2_codes_dotted_and_sequential(self):
+        for cat in naicslite.ALL_LAYER1:
+            for index, sub in enumerate(cat.layer2, start=1):
+                assert sub.code == f"{cat.code}.{index}"
+                assert sub.layer1_code == cat.code
+
+    def test_slugs_unique(self):
+        l1_slugs = [cat.slug for cat in naicslite.ALL_LAYER1]
+        assert len(set(l1_slugs)) == len(l1_slugs)
+        l2_slugs = [sub.slug for sub in naicslite.ALL_LAYER2]
+        assert len(set(l2_slugs)) == len(l2_slugs)
+
+    def test_no_slug_shared_between_layers(self):
+        l1 = {cat.slug for cat in naicslite.ALL_LAYER1}
+        l2 = {sub.slug for sub in naicslite.ALL_LAYER2}
+        assert not (l1 & l2)
+
+
+class TestKnownCategories:
+    def test_tech_category_contents(self):
+        cit = naicslite.layer1_by_slug("computer_and_it")
+        slugs = [sub.slug for sub in cit.layer2]
+        assert slugs == [
+            "isp", "phone_provider", "hosting", "security", "software",
+            "tech_consulting", "satellite", "search_engine", "ixp",
+            "it_other",
+        ]
+
+    def test_isp_name(self):
+        assert (
+            naicslite.layer2_by_name("isp").name
+            == "Internet Service Provider (ISP)"
+        )
+
+    def test_hosting_is_tech(self):
+        assert naicslite.layer2_by_name("hosting").layer1.tech
+
+    def test_finance_is_not_tech(self):
+        assert not naicslite.layer1_by_slug("finance").tech
+
+    def test_exactly_one_tech_layer1(self):
+        techs = [cat for cat in naicslite.ALL_LAYER1 if cat.tech]
+        assert len(techs) == 1
+        assert techs[0].slug == "computer_and_it"
+
+    def test_utilities_excludes_internet(self):
+        assert "Excluding Internet Service" in (
+            naicslite.layer1_by_slug("utilities").name
+        )
+
+
+class TestLookups:
+    def test_layer1_by_code_roundtrip(self):
+        for cat in naicslite.ALL_LAYER1:
+            assert naicslite.layer1_by_code(cat.code) is cat
+
+    def test_layer1_by_name_case_insensitive(self):
+        cat = naicslite.layer1_by_name("finance and insurance")
+        assert cat.slug == "finance"
+
+    def test_layer2_by_code_roundtrip(self):
+        for sub in naicslite.ALL_LAYER2:
+            assert naicslite.layer2_by_code(sub.code) is sub
+
+    def test_layer2_by_name_unknown_raises(self):
+        with pytest.raises(KeyError):
+            naicslite.layer2_by_name("nonexistent_slug")
+
+    def test_layer1_child_lookup(self):
+        cit = naicslite.layer1_by_slug("computer_and_it")
+        assert cit.layer2_by_slug("ixp").name == "Internet Exchange Point (IXP)"
+        with pytest.raises(KeyError):
+            cit.layer2_by_slug("banks")
+
+
+class TestSampleable:
+    def test_16_sampleable_without_other(self):
+        # Section 3.3: the Uniform Gold Standard samples across "all 16
+        # NAICSlite Layer 1 categories" - everything but the Other bucket.
+        cats = naicslite.sampleable_layer1()
+        assert len(cats) == 16
+        assert all(cat.slug != "other" for cat in cats)
+
+    def test_17_with_other(self):
+        assert len(naicslite.sampleable_layer1(include_other=True)) == 17

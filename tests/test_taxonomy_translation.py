@@ -1,0 +1,137 @@
+"""Tests for NAICS codes and the NAICS -> NAICSlite translation layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.taxonomy import naics, naicslite, translation
+
+
+class TestNAICSSubset:
+    def test_lookup_known_code(self):
+        entry = naics.lookup("517311")
+        assert entry.title == "Wired Telecommunications Carriers"
+        assert entry.sector == "51"
+        assert entry.subsector == "517"
+        assert entry.industry_group == "5173"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            naics.lookup("000000")
+
+    def test_exists(self):
+        assert naics.exists("518210")
+        assert not naics.exists("999999")
+
+    def test_all_codes_are_six_digits(self):
+        for entry in naics.ALL_CODES:
+            assert len(entry.code) == 6
+            assert entry.code.isdigit()
+
+    def test_all_codes_unique(self):
+        codes = [entry.code for entry in naics.ALL_CODES]
+        assert len(set(codes)) == len(codes)
+
+    def test_all_sectors_have_titles(self):
+        for entry in naics.ALL_CODES:
+            assert entry.sector in naics.SECTOR_TITLES
+
+    def test_codes_in_sector(self):
+        info = naics.codes_in_sector("51")
+        assert all(entry.sector == "51" for entry in info)
+        assert naics.lookup("517311") in info
+
+    def test_paper_example_codes_present(self):
+        # AS56885 (SUMIDA Romania) was labeled 335911 and 334416 by the two
+        # gold-standard labelers (Section 3.2).
+        assert naics.exists("335911")
+        assert naics.exists("334416")
+
+
+class TestTranslation:
+    def test_every_subset_code_translates(self):
+        for entry in naics.ALL_CODES:
+            labels = translation.translate_naics(entry.code)
+            assert labels, f"{entry.code} produced no NAICSlite labels"
+
+    def test_ambiguous_codes_are_multivalued(self):
+        # Section 3.3: D&B uses these three codes interchangeably for both
+        # ISPs and hosting providers.
+        for code in translation.AMBIGUOUS_TECH_CODES:
+            labels = translation.translate_naics(code)
+            slugs = labels.layer2_slugs()
+            assert "isp" in slugs
+            assert "hosting" in slugs
+
+    def test_hosting_and_data_processing_share_518210(self):
+        # NAICS makes "data processing" and "hosting provider" one code.
+        labels = translation.translate_naics("518210")
+        assert "hosting" in labels.layer2_slugs()
+
+    def test_isp_and_phone_share_a_code(self):
+        # NAICS combines ISPs and phone providers (517919 reaches both).
+        labels = translation.translate_naics("517919")
+        slugs = labels.layer2_slugs()
+        assert "isp" in slugs and "phone_provider" in slugs
+
+    def test_unambiguous_nontech_codes(self):
+        assert translation.translate_naics("522110").layer2_slugs() == {
+            "banks"
+        }
+        assert translation.translate_naics("611310").layer2_slugs() == {
+            "university"
+        }
+        assert translation.translate_naics("221122").layer2_slugs() == {
+            "electric"
+        }
+
+    def test_prefix_fallback_industry_group(self):
+        # 517399 isn't in the exact table; the 5173 prefix rule catches it.
+        labels = translation.translate_naics("517399")
+        assert "isp" in labels.layer2_slugs()
+
+    def test_prefix_fallback_subsector(self):
+        # 522390 "Other Activities Related to Credit Intermediation".
+        labels = translation.translate_naics("522390")
+        assert "banks" in labels.layer2_slugs()
+
+    def test_sector_fallback_layer1_only(self):
+        # 541921 "Photography Studios" has no exact/prefix rule; falls back
+        # to sector 54 -> service (layer 1 only).
+        labels = translation.translate_naics("541921")
+        assert labels.layer1_slugs() == {"service"}
+        assert not labels.has_layer2
+
+    def test_unknown_sector_yields_empty(self):
+        assert not translation.translate_naics("990000")
+
+    def test_multi_code_union(self):
+        labels = translation.translate_naics_codes(["522110", "611310"])
+        assert labels.layer2_slugs() == {"banks", "university"}
+
+    def test_all_layer2_reachable_from_some_naics_code(self):
+        reachable = set()
+        for entry in naics.ALL_CODES:
+            reachable |= translation.translate_naics(
+                entry.code
+            ).layer2_slugs()
+        all_slugs = {sub.slug for sub in naicslite.ALL_LAYER2}
+        missing = all_slugs - reachable
+        # Residual "other" buckets without their own NAICS codes are OK.
+        assert all(slug.endswith("other") or slug in {
+            "edu_software", "streaming", "ixp", "security", "search_engine",
+        } or not missing for slug in missing), missing
+
+    def test_candidates_for_layer2_inverse(self):
+        for slug in ("isp", "hosting", "banks", "university", "electric"):
+            for code in translation.naics_candidates_for_layer2(slug):
+                assert slug in translation.translate_naics(
+                    code
+                ).layer2_slugs()
+
+
+@given(st.text(alphabet="0123456789", min_size=6, max_size=6))
+def test_translation_never_crashes_on_any_code(code):
+    labels = translation.translate_naics(code)
+    for label in labels:
+        # Every produced label refers to a real NAICSlite category.
+        naicslite.layer1_by_slug(label.layer1)

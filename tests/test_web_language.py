@@ -1,0 +1,122 @@
+"""Tests for synthetic languages, detection, and translation."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.web import (
+    ENGLISH,
+    LANGUAGES,
+    by_code,
+    category_text,
+    detect_language,
+    encode_text,
+    translate_to_english,
+)
+
+NON_ENGLISH = [lang for lang in LANGUAGES if not lang.is_english]
+_word = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+
+
+class TestLanguageCipher:
+    @pytest.mark.parametrize("lang", NON_ENGLISH, ids=lambda l: l.code)
+    def test_encode_decode_roundtrip(self, lang):
+        for word in ("hosting", "broadband", "university", "a"):
+            assert lang.decode_word(lang.encode_word(word)) == word
+
+    def test_english_is_identity(self):
+        assert ENGLISH.encode_word("hosting") == "hosting"
+        assert ENGLISH.decode_word("hosting") == "hosting"
+
+    def test_decode_rejects_foreign_words(self):
+        xa = by_code("xa")
+        xb = by_code("xb")
+        assert xb.decode_word(xa.encode_word("hosting")) is None
+
+    def test_suffixes_unambiguous(self):
+        # No language's suffix may be a suffix of another's.
+        for a in NON_ENGLISH:
+            for b in NON_ENGLISH:
+                if a is not b:
+                    assert not a.suffix.endswith(b.suffix)
+
+    @given(word=_word, lang=st.sampled_from(NON_ENGLISH))
+    def test_roundtrip_property(self, word, lang):
+        assert lang.decode_word(lang.encode_word(word)) == word
+
+
+class TestDetection:
+    @pytest.mark.parametrize("lang", NON_ENGLISH, ids=lambda l: l.code)
+    def test_detects_each_language(self, lang):
+        text = encode_text("hosting cloud server datacenter uptime", lang)
+        assert detect_language(text) is lang
+
+    def test_detects_english(self):
+        assert detect_language("hosting cloud server uptime").is_english
+
+    def test_empty_text_is_english(self):
+        assert detect_language("").is_english
+
+
+class TestTranslation:
+    @pytest.mark.parametrize("lang", NON_ENGLISH, ids=lambda l: l.code)
+    def test_full_roundtrip(self, lang):
+        original = "hosting cloud server datacenter colocation uptime"
+        result = translate_to_english(encode_text(original, lang))
+        assert result.text == original
+        assert result.detected is lang
+        assert result.translated_fraction == 1.0
+
+    def test_english_passthrough(self):
+        result = translate_to_english("plain english text")
+        assert result.text == "plain english text"
+        assert result.detected.is_english
+
+    def test_mixed_text_partially_translated(self):
+        lang = by_code("xa")
+        mixed = encode_text("hosting cloud server uptime", lang) + " Acme123"
+        result = translate_to_english(mixed)
+        assert "hosting" in result.text
+        assert result.translated_fraction < 1.0
+
+    @given(
+        words=st.lists(_word, min_size=3, max_size=20),
+        lang=st.sampled_from(NON_ENGLISH),
+    )
+    def test_translation_restores_cipher_text(self, words, lang):
+        original = " ".join(words)
+        encoded = encode_text(original, lang)
+        result = translate_to_english(encoded)
+        if result.detected is lang:
+            assert result.text == original
+
+
+class TestCorpus:
+    def test_category_text_contains_keywords(self):
+        rng = random.Random(7)
+        text = category_text(rng, "isp", 400, keyword_weight=0.5)
+        tokens = set(text.split())
+        assert tokens & {"broadband", "fiber", "internet", "bandwidth"}
+
+    def test_category_text_word_count(self):
+        rng = random.Random(7)
+        assert len(category_text(rng, "banks", 50).split()) == 50
+
+    def test_none_category_has_no_keywords(self):
+        rng = random.Random(7)
+        text = category_text(rng, None, 300, keyword_weight=0.9)
+        assert "broadband" not in text.split()
+
+    def test_extra_keywords_injected(self):
+        rng = random.Random(7)
+        text = category_text(
+            rng, "research", 400, keyword_weight=0.6,
+            extra_keywords=("cloud", "computing"),
+        )
+        assert "cloud" in text.split()
+
+    def test_deterministic_given_seed(self):
+        a = category_text(random.Random(1), "isp", 100)
+        b = category_text(random.Random(1), "isp", 100)
+        assert a == b

@@ -1,0 +1,115 @@
+"""Tests for bulk WHOIS dump serialization and loading."""
+
+import io
+
+import pytest
+
+from repro.whois import WhoisFacts, WhoisRegistry, render
+from repro.whois.dump import iter_dump_objects, read_dump, write_dump
+from repro.whois.records import RIR
+
+
+def _registry(n=5):
+    registry = WhoisRegistry()
+    rirs = list(RIR)
+    for index in range(n):
+        facts = WhoisFacts(
+            asn=65000 + index,
+            as_name=f"ORG{index}-AS",
+            org_name=f"Org {index} Inc",
+            emails=(f"abuse@org{index}.example",),
+            country="US",
+            city="Springfield",
+        )
+        registry.register(render(facts, rirs[index % len(rirs)]))
+    return registry
+
+
+class TestRoundTrip:
+    def test_write_read_preserves_everything(self):
+        original = _registry()
+        buffer = io.StringIO()
+        count = write_dump(original, buffer)
+        assert count == len(original)
+        restored = read_dump(io.StringIO(buffer.getvalue()))
+        assert restored.asns() == original.asns()
+        for asn in original.asns():
+            assert restored.raw(asn).rir is original.raw(asn).rir
+            assert (
+                restored.parsed(asn).org_name
+                == original.parsed(asn).org_name
+            )
+
+    def test_extraction_survives_round_trip(self):
+        original = _registry()
+        buffer = io.StringIO()
+        write_dump(original, buffer)
+        restored = read_dump(io.StringIO(buffer.getvalue()))
+        for asn in original.asns():
+            assert (
+                restored.contact(asn).candidate_domains
+                == original.contact(asn).candidate_domains
+            )
+
+
+class TestHeaderlessDumps:
+    def test_arin_dialect_detected(self):
+        text = (
+            "ASNumber:       701\n"
+            "ASName:         UUNET\n"
+            "OrgName:        Verizon Business\n"
+            "Country:        US\n"
+        )
+        objects = list(iter_dump_objects(io.StringIO(text)))
+        assert len(objects) == 1
+        assert objects[0].rir is RIR.ARIN
+        assert objects[0].asn == 701
+
+    def test_rpsl_dialect_default(self):
+        text = (
+            "aut-num:        AS3320\n"
+            "as-name:        DTAG\n"
+            "descr:          Deutsche Telekom AG\n"
+        )
+        objects = list(iter_dump_objects(io.StringIO(text)))
+        assert objects[0].asn == 3320
+        assert objects[0].rir in (RIR.RIPE, RIR.APNIC, RIR.AFRINIC)
+
+    def test_multiple_objects_blank_line_separated(self):
+        text = (
+            "aut-num: AS1\nas-name: ONE\n"
+            "\n"
+            "aut-num: AS2\nas-name: TWO\n"
+        )
+        objects = list(iter_dump_objects(io.StringIO(text)))
+        assert [obj.asn for obj in objects] == [1, 2]
+
+    def test_object_without_asn_skipped(self):
+        text = "descr: floating text\nremarks: nothing here\n"
+        assert list(iter_dump_objects(io.StringIO(text))) == []
+
+    def test_empty_stream(self):
+        assert list(iter_dump_objects(io.StringIO(""))) == []
+
+    def test_duplicate_asns_keep_first(self):
+        text = (
+            "aut-num: AS1\nas-name: FIRST\n"
+            "\n"
+            "aut-num: AS1\nas-name: SECOND\n"
+        )
+        registry = read_dump(io.StringIO(text))
+        assert registry.parsed(1).as_name == "FIRST"
+
+
+class TestWorldScaleDump:
+    def test_world_registry_round_trips(self, small_world):
+        buffer = io.StringIO()
+        write_dump(small_world.registry, buffer)
+        restored = read_dump(io.StringIO(buffer.getvalue()))
+        assert restored.asns() == small_world.registry.asns()
+        # Spot check extraction equivalence on a sample.
+        for asn in small_world.asns()[:20]:
+            assert (
+                restored.contact(asn).name
+                == small_world.registry.contact(asn).name
+            )

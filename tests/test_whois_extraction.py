@@ -1,0 +1,161 @@
+"""Tests for Appendix-A field extraction and the WHOIS registry."""
+
+import pytest
+
+from repro.whois import (
+    RIR,
+    ParsedWhois,
+    WhoisFacts,
+    WhoisRegistry,
+    extract,
+    extract_domains,
+    parse,
+    render,
+)
+from repro.whois.extraction import domain_of_email
+
+
+def _parsed(**kwargs):
+    defaults = dict(asn=65000, rir=RIR.RIPE, as_name="TEST-AS")
+    defaults.update(kwargs)
+    return ParsedWhois(**defaults)
+
+
+class TestNamePreference:
+    def test_org_name_preferred(self):
+        record = _parsed(
+            org_name="Acme Corp", description="acme backbone"
+        )
+        contact = extract(record)
+        assert contact.name == "Acme Corp"
+        assert contact.name_source == "org"
+
+    def test_description_second(self):
+        record = _parsed(description="Acme backbone\nline two")
+        contact = extract(record)
+        assert contact.name == "Acme backbone"
+        assert contact.name_source == "description"
+
+    def test_as_name_last_resort(self):
+        contact = extract(_parsed())
+        assert contact.name == "TEST-AS"
+        assert contact.name_source == "as-name"
+
+
+class TestDomainExtraction:
+    def test_domain_of_email(self):
+        assert domain_of_email("abuse@Example.NET") == "example.net"
+        assert domain_of_email("not-an-email") is None
+
+    def test_domains_from_emails(self):
+        record = _parsed(emails=("abuse@acme.com", "noc@acme.com"))
+        assert extract_domains(record) == ("acme.com",)
+
+    def test_domains_from_remarks_url(self):
+        record = _parsed(remarks=("see http://www.acme.org for details",))
+        assert "acme.org" in extract_domains(record)
+
+    def test_domains_from_bare_url_in_remarks(self):
+        record = _parsed(remarks=("website: acme.co.uk",))
+        assert "acme.co.uk" in extract_domains(record)
+
+    def test_remark_version_numbers_not_domains(self):
+        record = _parsed(remarks=("policy v1.2 applies",))
+        assert extract_domains(record) == ()
+
+    def test_lacnic_yields_no_domains(self):
+        record = _parsed(
+            rir=RIR.LACNIC, emails=(), remarks=()
+        )
+        assert extract_domains(record) == ()
+
+    def test_order_preserving_dedup(self):
+        record = _parsed(
+            emails=("a@one.com", "b@two.com", "c@one.com"),
+            remarks=("http://two.com",),
+        )
+        assert extract_domains(record) == ("one.com", "two.com")
+
+
+class TestAddressExtraction:
+    def test_ripe_uses_description(self):
+        record = _parsed(description="1 Square, Paris")
+        assert extract(record).address == "1 Square, Paris"
+
+    def test_obfuscated_parts_removed(self):
+        record = _parsed(
+            rir=RIR.AFRINIC,
+            address_lines=("****, Nairobi", "Kenya"),
+        )
+        contact = extract(record)
+        assert "****" not in (contact.address or "")
+        assert "Nairobi" in contact.address
+
+    def test_fully_obfuscated_address_is_none(self):
+        record = _parsed(rir=RIR.AFRINIC, address_lines=("****", "*****"))
+        assert extract(record).address is None
+
+
+class TestRegistry:
+    def _raw(self, asn, name="Org Inc", day=0):
+        facts = WhoisFacts(
+            asn=asn,
+            as_name=f"AS{asn}-NAME",
+            org_name=name,
+            emails=(f"abuse@org{asn}.net",),
+            country="US",
+        )
+        return render(facts, RIR.ARIN)
+
+    def test_register_and_lookup(self):
+        registry = WhoisRegistry()
+        registry.register(self._raw(65010))
+        assert 65010 in registry
+        assert registry.parsed(65010).org_name == "Org Inc"
+        assert registry.contact(65010).candidate_domains == ("org65010.net",)
+
+    def test_register_duplicate_raises(self):
+        registry = WhoisRegistry()
+        registry.register(self._raw(65010))
+        with pytest.raises(ValueError):
+            registry.register(self._raw(65010))
+
+    def test_update_bumps_version(self):
+        registry = WhoisRegistry()
+        registry.register(self._raw(65010), day=0)
+        registry.update(self._raw(65010, name="New Owner"), day=30)
+        entry = registry.entry(65010)
+        assert entry.version == 2
+        assert entry.registered_day == 0
+        assert entry.updated_day == 30
+        assert registry.parsed(65010).org_name == "New Owner"
+
+    def test_update_unknown_raises(self):
+        registry = WhoisRegistry()
+        with pytest.raises(KeyError):
+            registry.update(self._raw(65010))
+
+    def test_changed_since(self):
+        registry = WhoisRegistry()
+        registry.register(self._raw(1), day=0)
+        registry.register(self._raw(2), day=10)
+        registry.update(self._raw(1, name="X"), day=20)
+        assert registry.changed_since(5) == [1, 2]
+        assert registry.changed_since(15) == [1]
+        assert registry.changed_since(25) == []
+
+    def test_iter_parsed_in_asn_order(self):
+        registry = WhoisRegistry()
+        for asn in (30, 10, 20):
+            registry.register(self._raw(asn))
+        assert [p.asn for p in registry.iter_parsed()] == [10, 20, 30]
+
+    def test_field_availability(self):
+        registry = WhoisRegistry()
+        registry.register(self._raw(1))
+        stats = registry.field_availability()
+        assert stats["name"] == 1.0
+        assert stats["domain"] == 1.0
+
+    def test_field_availability_empty(self):
+        assert WhoisRegistry().field_availability() == {}

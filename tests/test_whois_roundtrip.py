@@ -1,0 +1,132 @@
+"""Round-trip tests: render -> parse for every RIR dialect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.whois import RIR, WhoisFacts, parse, render
+
+FULL_FACTS = WhoisFacts(
+    asn=64500,
+    as_name="EXAMPLENET-AS",
+    org_name="Example Networks LLC",
+    description="Example Networks backbone",
+    address_lines=("1 Main Street, Springfield",),
+    city="Springfield",
+    country="US",
+    phone="+1-555-0100",
+    emails=("abuse@example.net", "noc@example.net"),
+    remark_urls=("http://www.example.net",),
+)
+
+
+@pytest.mark.parametrize("rir", list(RIR))
+def test_roundtrip_asn_and_name(rir):
+    parsed = parse(render(FULL_FACTS, rir))
+    assert parsed.asn == 64500
+    assert parsed.rir is rir
+    # Some form of name always survives (Section 3.1: 100%).
+    assert parsed.has_some_name
+
+
+@pytest.mark.parametrize("rir", [RIR.RIPE, RIR.APNIC, RIR.AFRINIC, RIR.ARIN])
+def test_roundtrip_org_name(rir):
+    parsed = parse(render(FULL_FACTS, rir))
+    assert parsed.org_name == "Example Networks LLC"
+
+
+def test_lacnic_owner_becomes_org_name():
+    parsed = parse(render(FULL_FACTS, RIR.LACNIC))
+    assert parsed.org_name == "Example Networks LLC"
+
+
+@pytest.mark.parametrize("rir", [RIR.RIPE, RIR.APNIC, RIR.AFRINIC, RIR.ARIN])
+def test_roundtrip_emails(rir):
+    parsed = parse(render(FULL_FACTS, rir))
+    assert "abuse@example.net" in parsed.emails
+
+
+def test_lacnic_has_no_emails():
+    parsed = parse(render(FULL_FACTS, RIR.LACNIC))
+    assert parsed.emails == ()
+
+
+def test_lacnic_has_city_and_country_only():
+    parsed = parse(render(FULL_FACTS, RIR.LACNIC))
+    assert parsed.city == "Springfield"
+    assert parsed.country == "US"
+    assert parsed.address_lines == ()
+
+
+@pytest.mark.parametrize("rir", [RIR.ARIN, RIR.APNIC])
+def test_phone_present_for_arin_apnic(rir):
+    parsed = parse(render(FULL_FACTS, rir))
+    assert parsed.phone == "+1-555-0100"
+
+
+@pytest.mark.parametrize("rir", [RIR.RIPE, RIR.AFRINIC, RIR.LACNIC])
+def test_phone_absent_elsewhere(rir):
+    # Appendix A: only APNIC and ARIN provide phone numbers.
+    parsed = parse(render(FULL_FACTS, rir))
+    assert parsed.phone is None
+
+
+def test_ripe_has_no_address_field():
+    parsed = parse(render(FULL_FACTS, RIR.RIPE))
+    assert parsed.address_lines == ()
+    assert parsed.description is not None
+
+
+def test_apnic_has_address():
+    parsed = parse(render(FULL_FACTS, RIR.APNIC))
+    assert any("Main Street" in line for line in parsed.address_lines)
+
+
+def test_afrinic_obfuscation():
+    facts = WhoisFacts(
+        asn=37100,
+        as_name="AFNET-AS",
+        org_name="African Networks Ltd",
+        address_lines=("22 Harbor Road, Lagos",),
+        city="Lagos",
+        country="NG",
+        emails=("abuse@afnet.example",),
+        obfuscate_address=True,
+    )
+    parsed = parse(render(facts, RIR.AFRINIC))
+    joined = " ".join(parsed.address_lines)
+    assert "Harbor Road" not in joined
+    assert "*" in joined
+
+
+def test_remark_urls_survive():
+    parsed = parse(render(FULL_FACTS, RIR.RIPE))
+    assert any("example.net" in remark for remark in parsed.remarks)
+
+
+def test_minimal_facts_parse_cleanly():
+    facts = WhoisFacts(asn=65001, as_name="BARE-AS")
+    for rir in RIR:
+        parsed = parse(render(facts, rir))
+        assert parsed.asn == 65001
+        assert parsed.has_some_name
+
+
+_name_strategy = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" -."
+    ),
+    min_size=1,
+    max_size=40,
+).map(lambda s: s.strip()).filter(bool)
+
+
+@given(
+    asn=st.integers(min_value=1, max_value=4_000_000_000),
+    as_name=_name_strategy,
+    org_name=st.one_of(st.none(), _name_strategy),
+    rir=st.sampled_from(list(RIR)),
+)
+def test_parse_never_crashes(asn, as_name, org_name, rir):
+    facts = WhoisFacts(asn=asn, as_name=as_name, org_name=org_name)
+    parsed = parse(render(facts, rir))
+    assert parsed.asn == asn

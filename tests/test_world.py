@@ -1,0 +1,163 @@
+"""Tests for the synthetic world generator and ground-truth model."""
+
+import collections
+import random
+
+import pytest
+
+from repro.taxonomy import LabelSet
+from repro.world import ASInfo, Organization, World, WorldConfig, generate_world
+from repro.world import distributions, names
+from repro.whois.records import RIR
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(n_orgs=600, seed=42))
+
+
+class TestWorldStructure:
+    def test_every_as_has_an_owner(self, world):
+        for asn in world.asns():
+            org = world.org_of_asn(asn)
+            assert org.truth
+
+    def test_truth_matches_owner(self, world):
+        asn = world.asns()[0]
+        assert world.truth(asn) == world.org_of_asn(asn).truth
+
+    def test_some_orgs_own_multiple_ases(self, world):
+        counts = collections.Counter(
+            info.org_id for info in world.ases.values()
+        )
+        assert any(count > 1 for count in counts.values())
+
+    def test_asns_of_org_inverse(self, world):
+        for asn in world.asns()[:50]:
+            org_id = world.ases[asn].org_id
+            assert asn in world.asns_of_org(org_id)
+
+    def test_registry_covers_every_as(self, world):
+        for asn in world.asns():
+            assert asn in world.registry
+
+    def test_duplicate_org_rejected(self):
+        world = World()
+        org = Organization(
+            org_id="x", name="X", truth=LabelSet.from_layer2_slugs(["isp"]),
+            country="US", city="Y", address="1 St", phone="+1",
+        )
+        world.add_organization(org)
+        with pytest.raises(ValueError):
+            world.add_organization(org)
+
+    def test_as_requires_known_org(self):
+        world = World()
+        with pytest.raises(KeyError):
+            world.add_as(ASInfo(asn=1, org_id="nope", rir=RIR.ARIN,
+                                as_name="X-AS"))
+
+
+class TestCalibration:
+    def test_tech_fraction_near_64_percent(self, world):
+        orgs = list(world.iter_organizations())
+        tech = sum(1 for org in orgs if org.is_tech)
+        assert 0.55 <= tech / len(orgs) <= 0.73
+
+    def test_isp_is_the_dominant_category(self, world):
+        counts = collections.Counter()
+        for org in world.iter_organizations():
+            for slug in org.truth.layer2_slugs():
+                counts[slug] += 1
+        assert counts.most_common(1)[0][0] == "isp"
+
+    def test_field_availability_close_to_paper(self, world):
+        stats = world.registry.field_availability()
+        assert stats["name"] == 1.0                  # 100%
+        assert stats["country"] >= 0.98              # 99.7%
+        assert 0.75 <= stats["domain"] <= 0.95       # 87.1%
+        assert 0.30 <= stats["phone"] <= 0.60        # 45%
+        assert 0.45 <= stats["address"] <= 0.75      # 61.7%
+
+    def test_hosting_lacks_domains_more_often(self, world):
+        def no_domain_rate(predicate):
+            orgs = [o for o in world.iter_organizations() if predicate(o)]
+            return sum(1 for o in orgs if o.domain is None) / len(orgs)
+
+        hosting = no_domain_rate(
+            lambda o: "hosting" in o.truth.layer2_slugs()
+        )
+        other = no_domain_rate(
+            lambda o: "hosting" not in o.truth.layer2_slugs()
+        )
+        assert hosting > other
+
+    def test_some_multi_service_tech_orgs(self, world):
+        multi = [
+            org for org in world.iter_organizations()
+            if len(org.truth.layer2_slugs()) > 1
+        ]
+        assert multi
+        assert all(org.is_tech or True for org in multi)
+
+    def test_some_non_english_websites(self, world):
+        languages = collections.Counter(
+            site.language_code
+            for domain in world.web.domains()
+            if (site := world.web.fetch(domain)) is not None
+        )
+        non_english = sum(
+            count for code, count in languages.items() if code != "en"
+        )
+        total = sum(languages.values())
+        assert 0.35 <= non_english / total <= 0.62  # paper: 49%
+
+    def test_some_sites_down(self, world):
+        down = [d for d in world.web.domains() if world.web.is_down(d)]
+        assert down
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = generate_world(WorldConfig(n_orgs=50, seed=7))
+        b = generate_world(WorldConfig(n_orgs=50, seed=7))
+        assert a.asns() == b.asns()
+        for asn in a.asns():
+            assert a.registry.raw(asn).text == b.registry.raw(asn).text
+            assert a.truth(asn) == b.truth(asn)
+
+    def test_different_seed_different_world(self):
+        a = generate_world(WorldConfig(n_orgs=50, seed=7))
+        b = generate_world(WorldConfig(n_orgs=50, seed=8))
+        assert any(
+            a.registry.raw(x).text != b.registry.raw(y).text
+            for x, y in zip(a.asns(), b.asns())
+        )
+
+
+class TestNames:
+    def test_tokenize_strips_legal_suffixes(self):
+        assert names.tokenize_name("Acme Hosting LLC") == ["acme", "hosting"]
+        assert names.tokenize_name("The FiberLink Group Inc") == ["fiberlink"]
+
+    def test_as_handle_derives_from_name(self):
+        rng = random.Random(1)
+        handle = names.as_handle_for("FiberLink Communications", rng)
+        assert "FIBERLINK" in handle
+
+    def test_domain_for_uses_country_tld(self):
+        rng = random.Random(2)
+        domain = names.domain_for("Acme Hosting", "DE", rng)
+        assert domain.startswith("acmehosting.")
+
+    def test_org_names_unique(self):
+        rng = random.Random(3)
+        gen = names.NameGenerator(rng)
+        generated = [gen.org_name("isp") for _ in range(100)]
+        assert len(set(generated)) == 100
+
+    def test_sample_layer2_distribution_valid(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            slug = distributions.sample_layer2(rng)
+            assert slug in distributions.LAYER2_WEIGHTS
