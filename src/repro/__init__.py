@@ -37,10 +37,12 @@ Package map:
 ``repro.evaluation``   Gold standards, metrics, baselines, harness
 ``repro.scan``         Synthetic LZR-style scan for the Telnet analysis
 ``repro.reporting``    Table / figure renderers for the benchmarks
+``repro.obs``          Metrics, per-AS tracing, source instrumentation
+
 =================  ========================================================
 """
 
-from . import core, datasources, matching, ml, system, taxonomy, web, whois, world
+from . import core, datasources, matching, ml, obs, system, taxonomy, web, whois, world
 from .core import ASdb, ASdbDataset, ASdbRecord, Stage
 from .system import BuiltSystem, SystemConfig, build_asdb
 from .taxonomy import Label, LabelSet
@@ -67,6 +69,7 @@ __all__ = [
     "datasources",
     "matching",
     "ml",
+    "obs",
     "core",
     "system",
     "__version__",

@@ -6,23 +6,38 @@ Subcommands::
     python -m repro lookup    --asn 64512 --n-orgs 300 --seed 9
     python -m repro evaluate  --n-orgs 800 --seed 33
     python -m repro taxonomy  [--layer1 finance]
+    python -m repro stats     --n-orgs 200 --format summary
 
 ``classify`` builds a world, runs the full pipeline, and writes the
 dataset (CSV or JSON by extension).  ``lookup`` narrates one AS through
 the pipeline.  ``evaluate`` reproduces the gold-standard evaluation.
-``taxonomy`` prints the NAICSlite category system.
+``taxonomy`` prints the NAICSlite category system.  ``stats`` runs a
+classification pass and prints the collected pipeline metrics.
+
+Observability flags (``classify`` and ``lookup``):
+
+``--metrics-out FILE``
+    Write the run's metrics snapshot to FILE after classification —
+    Prometheus text exposition format, or JSON when FILE ends in
+    ``.json``.
+``--trace``
+    Record a per-stage span trace for every AS.  ``lookup --trace``
+    prints the narrated spans (stage, wall time, verdict, per-source
+    decisions); ``classify --trace`` prints an aggregate per-stage
+    timing table.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from . import SystemConfig, WorldConfig, build_asdb, generate_world
 from .core.persistence import dataset_to_json
 from .evaluation import build_gold_standard, evaluate_stages
-from .reporting import render_table
+from .obs import MetricsRegistry, format_seconds, narrate_trace
+from .reporting import render_metrics_summary, render_table
 from .taxonomy import naicslite
 
 __all__ = ["main", "build_parser"]
@@ -46,12 +61,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the ML pipeline stage")
     classify.add_argument("--out", default=None,
                           help="write the dataset to a .csv or .json file")
+    _add_obs_flags(classify)
 
     lookup = sub.add_parser("lookup", help="classify and explain one AS")
     lookup.add_argument("--asn", type=int, default=None,
                         help="ASN to look up (default: first with domain)")
     lookup.add_argument("--n-orgs", type=int, default=300)
     lookup.add_argument("--seed", type=int, default=9)
+    _add_obs_flags(lookup)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a classification pass and print pipeline metrics",
+    )
+    stats.add_argument("--n-orgs", type=int, default=200)
+    stats.add_argument("--seed", type=int, default=42)
+    stats.add_argument("--no-ml", action="store_true",
+                       help="skip the ML pipeline stage")
+    stats.add_argument("--format", default="summary",
+                       choices=("summary", "prometheus", "json"),
+                       help="metrics output format (default: summary table)")
 
     evaluate = sub.add_parser(
         "evaluate", help="gold-standard evaluation of the full system"
@@ -77,10 +106,61 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace", action="store_true",
+        help="record a per-stage span trace for every AS",
+    )
+    subparser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metrics snapshot to FILE (Prometheus text, or "
+        "JSON when FILE ends in .json)",
+    )
+
+
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    payload = (
+        registry.to_json() if path.endswith(".json")
+        else registry.to_prometheus()
+    )
+    with open(path, "w") as handle:
+        handle.write(payload)
+    print(f"wrote metrics snapshot to {path}")
+
+
+def _print_stage_timings(dataset) -> None:
+    """Aggregate traced span wall time per pipeline stage."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for record in dataset:
+        if record.trace is None:
+            continue
+        for span in record.trace.spans:
+            count, seconds = totals.get(span.name, (0, 0.0))
+            totals[span.name] = (count + 1, seconds + span.duration)
+    if not totals:
+        return
+    rows = [
+        [name, str(count), format_seconds(seconds),
+         format_seconds(seconds / count)]
+        for name, (count, seconds) in sorted(
+            totals.items(), key=lambda item: -item[1][1]
+        )
+    ]
+    print(render_table(["Span", "Calls", "Total", "Mean"], rows,
+                       title="Per-stage wall time"))
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
     world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
     built = build_asdb(
-        world, SystemConfig(seed=args.seed, train_ml=not args.no_ml)
+        world,
+        SystemConfig(
+            seed=args.seed,
+            train_ml=not args.no_ml,
+            metrics=registry,
+            trace=args.trace,
+        ),
     )
     dataset = built.asdb.classify_all()
     print(f"classified {len(dataset)} ASes "
@@ -89,6 +169,14 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         dataset.stage_counts().items(), key=lambda item: -item[1]
     ):
         print(f"  {stage.display:40s} {count:5d}")
+    cache = built.asdb.cache
+    print(f"cache hit rate: {cache.hit_rate:.1%} "
+          f"({cache.hits} hits, {cache.misses} misses, "
+          f"{cache.none_keys} keyless)")
+    if args.trace:
+        _print_stage_timings(dataset)
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     if args.out:
         if args.out.endswith(".json"):
             payload = dataset_to_json(dataset)
@@ -105,8 +193,12 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_lookup(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
     world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
-    built = build_asdb(world, SystemConfig(seed=args.seed))
+    built = build_asdb(
+        world,
+        SystemConfig(seed=args.seed, metrics=registry, trace=args.trace),
+    )
     asn = args.asn
     if asn is None:
         asn = next(
@@ -128,6 +220,32 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
     print(f"  sources: {'|'.join(record.sources) or '-'}")
     correct = record.labels.overlaps_layer1(org.truth)
     print(f"  layer-1 correct: {correct}")
+    if args.trace and record.trace is not None:
+        print()
+        print(narrate_trace(record.trace))
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    built = build_asdb(
+        world,
+        SystemConfig(
+            seed=args.seed, train_ml=not args.no_ml, metrics=registry
+        ),
+    )
+    dataset = built.asdb.classify_all()
+    if args.format == "prometheus":
+        print(registry.to_prometheus(), end="")
+    elif args.format == "json":
+        print(registry.to_json())
+    else:
+        print(f"classified {len(dataset)} ASes "
+              f"(coverage {dataset.coverage():.1%})")
+        print(render_metrics_summary(registry))
     return 0
 
 
@@ -204,5 +322,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "taxonomy": _cmd_taxonomy,
         "dump": _cmd_dump,
+        "stats": _cmd_stats,
     }
     return handlers[args.command](args)

@@ -43,11 +43,17 @@ class OrganizationCache(Generic[T]):
         self._store: Dict[str, T] = {}
         self.hits = 0
         self.misses = 0
+        self.none_keys = 0
 
     def get(self, key: Optional[str]) -> Optional[T]:
-        """Cached record for a key (None misses; None key never hits)."""
+        """Cached record for a key (None misses; None key never hits).
+
+        A None key means the AS had no usable organization identity;
+        it is tracked as ``none_keys`` rather than a miss so it does
+        not pollute :attr:`hit_rate`.
+        """
         if key is None:
-            self.misses += 1
+            self.none_keys += 1
             return None
         record = self._store.get(key)
         if record is None:
@@ -71,6 +77,7 @@ class OrganizationCache(Generic[T]):
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache."""
+        """Fraction of keyed lookups served from cache (None-key
+        lookups are excluded: no key could ever have hit)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

@@ -13,6 +13,7 @@ import io
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs.trace import ClassificationTrace
 from ..taxonomy import LabelSet, naicslite
 from .stages import Stage
 
@@ -53,6 +54,9 @@ class ASdbRecord:
         cache_keys: Every cache key the record was stored under (the
             name-derived key plus the domain-derived one); reclassification
             invalidates all of them.
+        trace: Per-stage span trace, when the pipeline ran with tracing
+            enabled (excluded from equality/repr: two records with the
+            same answer are the same record).
     """
 
     asn: int
@@ -62,6 +66,9 @@ class ASdbRecord:
     sources: Tuple[str, ...] = ()
     org_key: Optional[str] = None
     cache_keys: Tuple[str, ...] = ()
+    trace: Optional[ClassificationTrace] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def classified(self) -> bool:

@@ -19,16 +19,26 @@ Pipeline per AS, upon receipt of WHOIS data:
 6. **Consensus** - union of agreeing sources, else the accuracy-ranked
    auto-choose heuristic; the ML verdict wins unless at least two
    agreeing sources contradict it.
+
+Observability: pass a :class:`~repro.obs.MetricsRegistry` to meter every
+stage (latency histograms, stage counters, cache hit rate, per-source
+lookup outcomes), and ``trace=True`` to attach a per-AS
+:class:`~repro.obs.ClassificationTrace` (one span per stage above) to
+each :class:`ASdbRecord`.  With neither configured the pipeline runs
+exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..datasources.base import DataSource, Query, SourceMatch
 from ..matching.resolver import EntityResolver
 from ..ml.pipeline import ClassifierVerdict, WebClassificationPipeline
+from ..obs.instrument import instrument_source
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.trace import trace_builder
 from ..taxonomy import Label, LabelSet
 from ..whois.registry import WhoisRegistry
 from .cache import OrganizationCache, org_cache_key
@@ -54,6 +64,9 @@ class ASdb:
         consensus_strategy: Consensus function (ablation knob; defaults to
             the paper's union-on-overlap + accuracy-ranked fallback).
         use_cache: Organization-level caching (ablation knob).
+        metrics: Metrics registry to emit counters/histograms into
+            (None = no-op instruments, zero behavior change).
+        trace: Attach a per-stage span trace to every record.
     """
 
     def __init__(
@@ -65,22 +78,56 @@ class ASdb:
         ml_pipeline: Optional[WebClassificationPipeline] = None,
         consensus_strategy: ConsensusStrategy = resolve_consensus,
         use_cache: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: bool = False,
     ) -> None:
         self._registry = registry
         self._resolver = resolver
-        self._peeringdb = peeringdb
-        self._ipinfo = ipinfo
+        self._peeringdb = instrument_source(peeringdb, metrics)
+        self._ipinfo = instrument_source(ipinfo, metrics)
         self._ml = ml_pipeline
         self._consensus = consensus_strategy
         self._use_cache = use_cache
+        self._trace_enabled = trace
+        self.metrics = metrics or NULL_REGISTRY
         self.cache: OrganizationCache[ASdbRecord] = OrganizationCache()
         self.dataset = ASdbDataset()
+
+        self._m_classify_seconds = self.metrics.histogram(
+            "asdb_classify_seconds",
+            "End-to-end classification latency per AS.",
+        )
+        self._m_stage_total = self.metrics.counter(
+            "asdb_stage_total",
+            "Classified records by producing pipeline stage.",
+            ("stage",),
+        )
+        for stage in Stage:
+            self._m_stage_total.inc(0, stage=stage.value)
+        self._m_cache_lookups = self.metrics.counter(
+            "asdb_cache_lookups_total",
+            "Organization-cache lookups by outcome.",
+            ("outcome",),
+        )
+        for outcome in ("hit", "miss", "none_key"):
+            self._m_cache_lookups.inc(0, outcome=outcome)
+        self._m_cache_hit_rate = self.metrics.gauge(
+            "asdb_cache_hit_rate",
+            "Organization-cache hit rate over keyed lookups.",
+        )
 
     # -- public API ---------------------------------------------------------
 
     def classify(self, asn: int) -> ASdbRecord:
         """Classify one AS, updating the dataset and cache."""
-        record = self._classify(asn)
+        builder = trace_builder(asn, self._trace_enabled)
+        with self._m_classify_seconds.time():
+            record = self._classify(asn, builder)
+        self._m_stage_total.inc(1, stage=record.stage.value)
+        self._m_cache_hit_rate.set(self.cache.hit_rate)
+        trace = builder.finish()
+        if trace is not None:
+            record = replace(record, trace=trace)
         self.dataset.add(record)
         return record
 
@@ -102,7 +149,7 @@ class ASdb:
 
     # -- pipeline -----------------------------------------------------------
 
-    def _classify(self, asn: int) -> ASdbRecord:
+    def _classify(self, asn: int, tb) -> ASdbRecord:
         parsed = self._registry.parsed(asn)
         contact = self._registry.contact(asn)
         as_name = parsed.as_name or contact.name
@@ -110,7 +157,16 @@ class ASdb:
         # Stage 0: organization cache (pre-domain key uses the name).
         name_key = org_cache_key(contact, domain=None)
         if self._use_cache:
-            cached = self.cache.get(name_key)
+            with tb.span("cache") as span:
+                cached = self.cache.get(name_key)
+                outcome = (
+                    "none_key" if name_key is None
+                    else "hit" if cached is not None
+                    else "miss"
+                )
+                self._m_cache_lookups.inc(1, outcome=outcome)
+                span.set_status(outcome)
+                span.note(key=name_key)
             if cached is not None:
                 return ASdbRecord(
                     asn=asn,
@@ -123,10 +179,19 @@ class ASdb:
                 )
 
         # Stage 1: ASN-keyed lookups.
-        asn_query = Query(asn=asn)
-        pdb_match = self._peeringdb.lookup(asn_query)
-        ipinfo_match = self._ipinfo.lookup(asn_query)
-        if self._is_high_confidence(pdb_match):
+        with tb.span("asn_match") as span:
+            asn_query = Query(asn=asn)
+            pdb_match = self._peeringdb.lookup(asn_query)
+            ipinfo_match = self._ipinfo.lookup(asn_query)
+            high_confidence = self._is_high_confidence(pdb_match)
+            span.note(
+                peeringdb="match" if pdb_match is not None else "miss",
+                ipinfo="match" if ipinfo_match is not None else "miss",
+            )
+            span.set_status(
+                "high_confidence" if high_confidence else "no_high_confidence"
+            )
+        if high_confidence:
             return self._finish(
                 asn,
                 contact,
@@ -138,54 +203,93 @@ class ASdb:
             )
 
         # Stage 2: domain extraction with ASN-source hints.
-        hints: List[str] = []
-        for match in (pdb_match, ipinfo_match):
-            if match is not None and match.entry.domain:
-                hints.append(match.entry.domain)
-        resolved = self._resolver.resolve(contact, as_name, hints)
-        domain = resolved.chosen_domain
+        with tb.span("domain_choice") as span:
+            hints: List[str] = []
+            for match in (pdb_match, ipinfo_match):
+                if match is not None and match.entry.domain:
+                    hints.append(match.entry.domain)
+            domain = self._resolver.choose_domain(contact, as_name, hints)
+            span.set_status("chosen" if domain else "none")
+            span.note(
+                domain=domain,
+                candidates=len(contact.candidate_domains),
+                hints=tuple(hints),
+            )
 
         # Stage 3: ML classification of the chosen domain.
         verdict: Optional[ClassifierVerdict] = None
-        if self._ml is not None and domain is not None:
-            verdict = self._ml.classify_domain(domain)
+        with tb.span("ml") as span:
+            if self._ml is None:
+                span.set_status("disabled")
+            elif domain is None:
+                span.set_status("no_domain")
+            else:
+                verdict = self._ml.classify_domain(domain)
+                if not verdict.scraped:
+                    span.set_status("unscraped")
+                else:
+                    span.set_status(
+                        self._verdict_slug(verdict.is_isp, verdict.is_hosting)
+                    )
+                    span.note(
+                        isp_score=verdict.isp_score,
+                        hosting_score=verdict.hosting_score,
+                    )
+                span.note(domain=domain)
 
-        # Stage 4: consensus pool = identifier-keyed matches + ASN-keyed
+        # Stage 4: identifier-keyed source matching.
+        with tb.span("source_match") as span:
+            resolved = self._resolver.match_sources(contact, domain)
+            span.set_status(f"{len(resolved.matches)} accepted")
+            for name in sorted(resolved.matches):
+                span.note(**{name: "accepted"})
+            for name, reason in sorted(resolved.rejected_reasons.items()):
+                span.note(**{name: f"rejected ({reason})"})
+
+        # Stage 5: consensus pool = identifier-keyed matches + ASN-keyed
         # matches that carry NAICSlite information.
-        pool: Dict[str, SourceMatch] = dict(resolved.matches)
-        for match in (pdb_match, ipinfo_match):
-            if match is not None and match.labels:
-                pool[match.source] = match
+        with tb.span("consensus") as span:
+            pool: Dict[str, SourceMatch] = dict(resolved.matches)
+            for match in (pdb_match, ipinfo_match):
+                if match is not None and match.labels:
+                    pool[match.source] = match
 
-        consensus = self._consensus(pool)
+            consensus = self._consensus(pool)
 
-        ml_labels = self._ml_labels(verdict)
-        if ml_labels:
-            if consensus.stage is Stage.MULTI_AGREE and not (
-                consensus.labels.overlaps_layer2(ml_labels)
-            ):
-                # At least two agreeing sources contradict the classifier:
-                # the sources win (Section 5.2's hosting post-mortem).
-                return self._finish(
-                    asn, contact, consensus.labels, consensus.stage,
-                    domain, consensus.trusted_sources, name_key,
-                )
-            # The classifier's label, unioned with whatever the agreeing
-            # sources add to it.
-            labels = ml_labels
-            supporters: List[str] = ["classifier"]
-            for name, match in sorted(pool.items()):
-                if match.labels.overlaps_layer2(ml_labels):
-                    labels = labels.union(match.labels)
-                    supporters.append(name)
-            return self._finish(
-                asn, contact, labels, Stage.CLASSIFIER, domain,
-                tuple(supporters), name_key,
+            final_labels = consensus.labels
+            final_stage = consensus.stage
+            final_sources = consensus.trusted_sources
+            ml_labels = self._ml_labels(verdict)
+            if ml_labels:
+                if final_stage is Stage.MULTI_AGREE and not (
+                    final_labels.overlaps_layer2(ml_labels)
+                ):
+                    # At least two agreeing sources contradict the
+                    # classifier: the sources win (Section 5.2's hosting
+                    # post-mortem).
+                    span.note(decision="sources_overrule_classifier")
+                else:
+                    # The classifier's label, unioned with whatever the
+                    # agreeing sources add to it.
+                    labels = ml_labels
+                    supporters: List[str] = ["classifier"]
+                    for name, match in sorted(pool.items()):
+                        if match.labels.overlaps_layer2(ml_labels):
+                            labels = labels.union(match.labels)
+                            supporters.append(name)
+                    final_labels = labels
+                    final_stage = Stage.CLASSIFIER
+                    final_sources = tuple(supporters)
+            span.set_status(final_stage.value)
+            span.note(
+                pool=tuple(sorted(pool)),
+                trusted=final_sources,
+                labels=tuple(str(label) for label in final_labels),
             )
 
         return self._finish(
-            asn, contact, consensus.labels, consensus.stage, domain,
-            consensus.trusted_sources, name_key,
+            asn, contact, final_labels, final_stage, domain,
+            final_sources, name_key,
         )
 
     # -- helpers ---------------------------------------------------------------
@@ -198,6 +302,16 @@ class ASdb:
             and match.source == "peeringdb"
             and "isp" in match.labels.layer2_slugs()
         )
+
+    @staticmethod
+    def _verdict_slug(is_isp: bool, is_hosting: bool) -> str:
+        if is_isp and is_hosting:
+            return "isp+hosting"
+        if is_isp:
+            return "isp"
+        if is_hosting:
+            return "hosting"
+        return "negative"
 
     @staticmethod
     def _ml_labels(verdict: Optional[ClassifierVerdict]) -> LabelSet:

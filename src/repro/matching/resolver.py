@@ -6,14 +6,21 @@ identifier-keyed external sources.  To reduce entity disagreement, matches
 whose returned domain contradicts the chosen domain are rejected
 (Section 5.1), and D&B matches below a confidence threshold are dropped
 (Figure 2 shows accuracy collapses below code 6).
+
+The two halves are exposed separately (:meth:`EntityResolver.choose_domain`
+and :meth:`EntityResolver.match_sources`) so the pipeline can time and
+trace them as the distinct Figure-4 stages they are;
+:meth:`EntityResolver.resolve` remains the one-call convenience.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datasources.base import DataSource, Query, SourceMatch
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..web.site import WebUniverse
 from ..whois.extraction import ExtractedContact
 from .domains import DomainFrequencyIndex, choose_domain
@@ -23,6 +30,10 @@ __all__ = ["ResolvedSources", "EntityResolver"]
 #: D&B confidence codes below this are discarded (Table 5: thresholding at
 #: 6 trades 8 points of coverage for 7 points of matching accuracy).
 DEFAULT_DNB_CONFIDENCE_THRESHOLD = 6
+
+#: Rejection reason slugs (also the ``outcome`` metric label values).
+REASON_LOW_CONFIDENCE = "low_confidence"
+REASON_DOMAIN_MISMATCH = "domain_mismatch"
 
 
 @dataclass(frozen=True)
@@ -35,12 +46,15 @@ class ResolvedSources:
         matches: Accepted matches keyed by source name.
         rejected: Source names whose match was rejected (low confidence or
             domain contradiction) - kept for evaluation breakdowns.
+        rejected_reasons: Source name -> why its match was rejected
+            (``low_confidence`` or ``domain_mismatch``).
     """
 
     asn: int
     chosen_domain: Optional[str]
     matches: Dict[str, SourceMatch] = field(default_factory=dict)
     rejected: Tuple[str, ...] = ()
+    rejected_reasons: Dict[str, str] = field(default_factory=dict)
 
 
 class EntityResolver:
@@ -55,6 +69,8 @@ class EntityResolver:
         dnb_confidence_threshold: Minimum accepted D&B confidence code.
         reject_domain_mismatch: Drop matches whose entry domain disagrees
             with the chosen domain (ablation knob).
+        metrics: Optional metrics registry; emits domain-choice latency
+            and per-source accept/reject decision counters.
     """
 
     def __init__(
@@ -64,12 +80,28 @@ class EntityResolver:
         sources: Sequence[DataSource],
         dnb_confidence_threshold: int = DEFAULT_DNB_CONFIDENCE_THRESHOLD,
         reject_domain_mismatch: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._web = web
         self._index = frequency_index
         self._sources = list(sources)
         self._dnb_threshold = dnb_confidence_threshold
         self._reject_mismatch = reject_domain_mismatch
+        registry = metrics or NULL_REGISTRY
+        self._m_choice_seconds = registry.histogram(
+            "asdb_domain_choice_seconds",
+            "Most-likely-domain selection latency per AS.",
+        )
+        self._m_decisions = registry.counter(
+            "asdb_source_match_decisions_total",
+            "Accept/reject decisions on source matches.",
+            ("source", "outcome"),
+        )
+        for source in self._sources:
+            for outcome in (
+                "accepted", REASON_LOW_CONFIDENCE, REASON_DOMAIN_MISMATCH
+            ):
+                self._m_decisions.inc(0, source=source.name, outcome=outcome)
 
     def choose_domain(
         self,
@@ -79,20 +111,21 @@ class EntityResolver:
     ) -> Optional[str]:
         """Pool WHOIS candidates with ASN-source hints; run the Figure-4
         domain-extraction algorithm."""
+        start = time.perf_counter()
         pool: List[str] = list(contact.candidate_domains)
         for hint in hint_domains:
             if hint and hint not in pool:
                 pool.append(hint)
-        return choose_domain(pool, as_name, self._web, self._index)
+        chosen = choose_domain(pool, as_name, self._web, self._index)
+        self._m_choice_seconds.observe(time.perf_counter() - start)
+        return chosen
 
-    def resolve(
+    def match_sources(
         self,
         contact: ExtractedContact,
-        as_name: str,
-        hint_domains: Sequence[str] = (),
+        domain: Optional[str],
     ) -> ResolvedSources:
-        """Choose a domain, then match into every configured source."""
-        domain = self.choose_domain(contact, as_name, hint_domains)
+        """Match into every configured source with a known domain."""
         query = Query(
             name=contact.name,
             domain=domain,
@@ -102,25 +135,44 @@ class EntityResolver:
         )
         matches: Dict[str, SourceMatch] = {}
         rejected: List[str] = []
+        reasons: Dict[str, str] = {}
         for source in self._sources:
             match = source.lookup(query)
             if match is None:
                 continue
-            if not self._accept(match, domain):
+            reason = self._reject_reason(match, domain)
+            if reason is not None:
                 rejected.append(source.name)
+                reasons[source.name] = reason
+                self._m_decisions.inc(1, source=source.name, outcome=reason)
                 continue
             matches[source.name] = match
+            self._m_decisions.inc(1, source=source.name, outcome="accepted")
         return ResolvedSources(
             asn=contact.asn,
             chosen_domain=domain,
             matches=matches,
             rejected=tuple(rejected),
+            rejected_reasons=reasons,
         )
 
-    def _accept(self, match: SourceMatch, domain: Optional[str]) -> bool:
+    def resolve(
+        self,
+        contact: ExtractedContact,
+        as_name: str,
+        hint_domains: Sequence[str] = (),
+    ) -> ResolvedSources:
+        """Choose a domain, then match into every configured source."""
+        domain = self.choose_domain(contact, as_name, hint_domains)
+        return self.match_sources(contact, domain)
+
+    def _reject_reason(
+        self, match: SourceMatch, domain: Optional[str]
+    ) -> Optional[str]:
+        """Why a match must be dropped, or None to accept it."""
         if match.source == "dnb" and match.confidence is not None:
             if match.confidence < self._dnb_threshold:
-                return False
+                return REASON_LOW_CONFIDENCE
         if (
             self._reject_mismatch
             and domain is not None
@@ -129,5 +181,9 @@ class EntityResolver:
         ):
             # The source believes this organization lives at a different
             # domain: likely an entity disagreement (Section 3.5).
-            return False
-        return True
+            return REASON_DOMAIN_MISMATCH
+        return None
+
+    def _accept(self, match: SourceMatch, domain: Optional[str]) -> bool:
+        """Backwards-compatible boolean form of :meth:`_reject_reason`."""
+        return self._reject_reason(match, domain) is None

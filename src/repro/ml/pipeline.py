@@ -10,11 +10,13 @@ business databases misclassify the most (Section 4.1).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..web.scraper import Scraper
 from .sgd import SGDClassifier
 from .tfidf import TfidfTransformer
@@ -90,6 +92,8 @@ class WebClassificationPipeline:
         use_tfidf: Disable to feed raw counts to the classifiers (ablation).
         seed: Training seed.
         decision_threshold: Probability above which a flag is set.
+        metrics: Optional metrics registry; emits per-domain
+            classification latency and verdict-outcome counters.
     """
 
     def __init__(
@@ -100,8 +104,23 @@ class WebClassificationPipeline:
         use_tfidf: bool = True,
         seed: int = 0,
         decision_threshold: float = 0.5,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._scraper = scraper
+        registry = metrics or NULL_REGISTRY
+        self._m_classify_seconds = registry.histogram(
+            "asdb_ml_classify_seconds",
+            "Scrape+classify latency per domain.",
+        )
+        self._m_verdicts = registry.counter(
+            "asdb_ml_verdicts_total",
+            "ML pipeline verdicts by outcome.",
+            ("outcome",),
+        )
+        for outcome in (
+            "unscraped", "isp", "hosting", "isp+hosting", "negative"
+        ):
+            self._m_verdicts.inc(0, outcome=outcome)
         self._vectorizer = CountVectorizer(
             min_df=2, max_features=max_features
         )
@@ -173,7 +192,24 @@ class WebClassificationPipeline:
 
     def classify_domain(self, domain: str) -> ClassifierVerdict:
         """Scrape then classify one domain."""
+        start = time.perf_counter()
         result = self._scraper.scrape(domain)
         if result.empty:
-            return ClassifierVerdict(domain=domain, scraped=False)
-        return self.classify_text(domain, result.text)
+            verdict = ClassifierVerdict(domain=domain, scraped=False)
+        else:
+            verdict = self.classify_text(domain, result.text)
+        self._m_classify_seconds.observe(time.perf_counter() - start)
+        self._m_verdicts.inc(1, outcome=self._verdict_outcome(verdict))
+        return verdict
+
+    @staticmethod
+    def _verdict_outcome(verdict: ClassifierVerdict) -> str:
+        if not verdict.scraped:
+            return "unscraped"
+        if verdict.is_isp and verdict.is_hosting:
+            return "isp+hosting"
+        if verdict.is_isp:
+            return "isp"
+        if verdict.is_hosting:
+            return "hosting"
+        return "negative"

@@ -1,0 +1,60 @@
+"""Observability layer: metrics, per-AS tracing, source instrumentation.
+
+Everything here is dependency-free and opt-in.  Components accept an
+optional :class:`MetricsRegistry`; with none configured the shared
+:data:`NULL_REGISTRY` makes every emission a no-op, so the zero-config
+pipeline behaves exactly as before.
+
+Quickstart::
+
+    from repro import SystemConfig, WorldConfig, build_asdb, generate_world
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    world = generate_world(WorldConfig(n_orgs=200))
+    built = build_asdb(world, SystemConfig(metrics=registry, trace=True))
+    built.asdb.classify_all()
+    print(registry.to_prometheus())            # scrapeable snapshot
+    record = built.asdb.dataset.get(world.asns()[0])
+    from repro.obs import narrate_trace
+    print(narrate_trace(record.trace))         # per-stage span story
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from .trace import (
+    ClassificationTrace,
+    NullTraceBuilder,
+    Span,
+    TraceBuilder,
+    trace_builder,
+)
+from .instrument import InstrumentedSource, instrument_source, timed
+from .narrate import format_seconds, narrate_trace
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "ClassificationTrace",
+    "Span",
+    "TraceBuilder",
+    "NullTraceBuilder",
+    "trace_builder",
+    "InstrumentedSource",
+    "instrument_source",
+    "timed",
+    "format_seconds",
+    "narrate_trace",
+]

@@ -1,0 +1,105 @@
+"""Instrumentation adapters between pipeline components and metrics.
+
+:class:`InstrumentedSource` decorates any ``DataSource`` so every
+``lookup`` emits ``asdb_source_lookups_total{source, outcome}`` and an
+``asdb_source_lookup_seconds{source}`` latency observation — without the
+source (or its callers) knowing a registry exists.
+
+:func:`timed` is the generic timing helper the rest of the pipeline
+uses; with a null-registry histogram it degrades to a bare call.
+
+The wrapper duck-types the ``DataSource`` contract (``name``,
+``lookup``, ``lookup_by_org``, ``coverage_count``) rather than
+importing it: ``repro.obs`` stays a leaf package every layer can
+depend on without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
+
+__all__ = ["InstrumentedSource", "instrument_source", "timed"]
+
+#: Metric family names the wrapper emits (shared with tests and docs).
+SOURCE_LOOKUPS_TOTAL = "asdb_source_lookups_total"
+SOURCE_LOOKUP_SECONDS = "asdb_source_lookup_seconds"
+
+
+@contextmanager
+def timed(histogram, **labels: object) -> Iterator[None]:
+    """Observe the wall time of the wrapped block into ``histogram``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        histogram.observe(time.perf_counter() - start, **labels)
+
+
+class InstrumentedSource:
+    """A ``DataSource`` decorator that meters every lookup.
+
+    Delegates the full contract (``name``, ``lookup``, ``lookup_by_org``,
+    ``coverage_count``) to the wrapped source, so it is a drop-in
+    anywhere a source is accepted, including consensus ranking by name.
+    """
+
+    def __init__(self, inner, registry: MetricsRegistry) -> None:
+        self._inner = inner
+        self.name = inner.name
+        self.registry = registry
+        self._lookups = registry.counter(
+            SOURCE_LOOKUPS_TOTAL,
+            "Data-source lookups by source and outcome.",
+            ("source", "outcome"),
+        )
+        self._seconds = registry.histogram(
+            SOURCE_LOOKUP_SECONDS,
+            "Data-source lookup latency in seconds.",
+            ("source",),
+        )
+        # Register both outcome series up front so exporters show a
+        # source that has, say, never missed.
+        for outcome in ("match", "miss"):
+            self._lookups.inc(0, source=self.name, outcome=outcome)
+
+    @property
+    def inner(self):
+        """The wrapped source."""
+        return self._inner
+
+    def lookup(self, query):
+        start = time.perf_counter()
+        match = self._inner.lookup(query)
+        self._seconds.observe(
+            time.perf_counter() - start, source=self.name
+        )
+        self._lookups.inc(
+            1,
+            source=self.name,
+            outcome="match" if match is not None else "miss",
+        )
+        return match
+
+    def lookup_by_org(self, org_id: str):
+        return self._inner.lookup_by_org(org_id)
+
+    def coverage_count(self) -> int:
+        return self._inner.coverage_count()
+
+
+def instrument_source(source, registry: Optional[MetricsRegistry]):
+    """Wrap ``source`` for metering, idempotently.
+
+    Returns the source unchanged when there is nothing to meter into
+    (no registry, or a :class:`NullRegistry`) or when it is already
+    wrapped — so factories can instrument unconditionally.
+    """
+    if registry is None or isinstance(registry, NullRegistry):
+        return source
+    if isinstance(source, InstrumentedSource):
+        return source
+    return InstrumentedSource(source, registry)

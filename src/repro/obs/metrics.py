@@ -1,0 +1,498 @@
+"""Dependency-free metrics primitives for the ASdb pipeline.
+
+A :class:`MetricsRegistry` owns named :class:`Counter`, :class:`Gauge`,
+and :class:`Histogram` instruments, each optionally labeled (e.g.
+``source_lookups_total{source="dnb", outcome="match"}``).  Snapshots
+export either as a JSON-able dict or in the Prometheus text exposition
+format, so a deployment can scrape the classifier like any other
+service.
+
+Instrumented code never checks whether observability is enabled: the
+module-level :data:`NULL_REGISTRY` hands out no-op instruments, keeping
+the zero-config hot path identical to an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Log-scale latency buckets (seconds): 10us to 10s in 1-2.5-5 decades.
+#: Wide enough for a dictionary probe and a full scrape+train pass alike.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_labels(labelnames: Sequence[str], values: LabelValues) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _format_float(value: float) -> str:
+    """Prometheus-style number formatting (integers without the dot)."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared naming/label bookkeeping for all instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: Dict[str, object]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (>= 0) to the series selected by ``labels``.
+
+        ``inc(0, ...)`` registers a series so exporters show it even
+        before the first real event (e.g. a stage that never fired).
+        """
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of one labeled series (0.0 if never touched)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every labeled series."""
+        return sum(self._values.values())
+
+    def series(self) -> Dict[LabelValues, float]:
+        """Label-values tuple -> value, for exporters and tests."""
+        return dict(self._values)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (e.g. a hit rate)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> Dict[LabelValues, float]:
+        return dict(self._values)
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class _TimerContext:
+    """Context manager observing elapsed wall time into a histogram."""
+
+    __slots__ = ("_histogram", "_labels", "_start")
+
+    def __init__(self, histogram: "Histogram", labels: Dict[str, object]):
+        self._histogram = histogram
+        self._labels = labels
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(
+            time.perf_counter() - self._start, **self._labels
+        )
+
+
+class Histogram(_Metric):
+    """Distribution over fixed buckets (Prometheus-style cumulative)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+        self._series: Dict[LabelValues, _HistogramSeries] = {}
+
+    def _series_for(self, labels: Dict[str, object]) -> _HistogramSeries:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        return series
+
+    def observe(self, value: float, **labels: object) -> None:
+        series = self._series_for(labels)
+        series.sum += value
+        series.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[index] += 1
+
+    def time(self, **labels: object) -> _TimerContext:
+        """``with histogram.time(...):`` observes the block's wall time."""
+        return _TimerContext(self, labels)
+
+    def count(self, **labels: object) -> int:
+        key = self._key(labels)
+        series = self._series.get(key)
+        return series.count if series else 0
+
+    def sum(self, **labels: object) -> float:
+        key = self._key(labels)
+        series = self._series.get(key)
+        return series.sum if series else 0.0
+
+    def mean(self, **labels: object) -> float:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None or series.count == 0:
+            return 0.0
+        return series.sum / series.count
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket containing the q-th observation; the top bucket bound
+        when the mass lies beyond the last finite bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None or series.count == 0:
+            return 0.0
+        rank = q * series.count
+        for index, bound in enumerate(self.buckets):
+            if series.bucket_counts[index] >= rank:
+                return bound
+        return self.buckets[-1]
+
+    def series(self) -> Dict[LabelValues, _HistogramSeries]:
+        return dict(self._series)
+
+
+class MetricsRegistry:
+    """Named instrument store with idempotent get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(
+        self, cls, name: str, help: str, labelnames: Sequence[str], **kwargs
+    ):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The registered instrument for ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- exporters ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-able snapshot: {kind: {name: {...}}}."""
+        counters: Dict[str, Dict] = {}
+        gauges: Dict[str, Dict] = {}
+        histograms: Dict[str, Dict] = {}
+        for metric in self:
+            if isinstance(metric, Counter):
+                counters[metric.name] = {
+                    "help": metric.help,
+                    "labelnames": list(metric.labelnames),
+                    "series": [
+                        {"labels": list(key), "value": value}
+                        for key, value in sorted(metric.series().items())
+                    ],
+                }
+            elif isinstance(metric, Gauge):
+                gauges[metric.name] = {
+                    "help": metric.help,
+                    "labelnames": list(metric.labelnames),
+                    "series": [
+                        {"labels": list(key), "value": value}
+                        for key, value in sorted(metric.series().items())
+                    ],
+                }
+            elif isinstance(metric, Histogram):
+                histograms[metric.name] = {
+                    "help": metric.help,
+                    "labelnames": list(metric.labelnames),
+                    "buckets": list(metric.buckets),
+                    "series": [
+                        {
+                            "labels": list(key),
+                            "count": series.count,
+                            "sum": series.sum,
+                            "bucket_counts": list(series.bucket_counts),
+                        }
+                        for key, series in sorted(metric.series().items())
+                    ],
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in self:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, (Counter, Gauge)):
+                for key, value in sorted(metric.series().items()):
+                    labels = _format_labels(metric.labelnames, key)
+                    lines.append(
+                        f"{metric.name}{labels} {_format_float(value)}"
+                    )
+            elif isinstance(metric, Histogram):
+                for key, series in sorted(metric.series().items()):
+                    # bucket_counts are stored cumulatively (Prometheus
+                    # ``le`` semantics), so they export verbatim.
+                    for bound, in_bucket in zip(
+                        metric.buckets, series.bucket_counts
+                    ):
+                        le_labels = _format_labels(
+                            metric.labelnames + ("le",),
+                            key + (_format_float(bound),),
+                        )
+                        lines.append(
+                            f"{metric.name}_bucket{le_labels} {in_bucket}"
+                        )
+                    inf_labels = _format_labels(
+                        metric.labelnames + ("le",), key + ("+Inf",)
+                    )
+                    lines.append(
+                        f"{metric.name}_bucket{inf_labels} {series.count}"
+                    )
+                    plain = _format_labels(metric.labelnames, key)
+                    lines.append(
+                        f"{metric.name}_sum{plain} "
+                        f"{_format_float(series.sum)}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{plain} {series.count}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        return None
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+    def total(self) -> float:
+        return 0.0
+
+    def series(self) -> Dict[LabelValues, float]:
+        return {}
+
+
+class _NullGauge(_NullCounter):
+    def set(self, value: float, **labels: object) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    buckets: Tuple[float, ...] = ()
+
+    def observe(self, value: float, **labels: object) -> None:
+        return None
+
+    def time(self, **labels: object) -> _NullTimer:
+        return _NULL_TIMER
+
+    def count(self, **labels: object) -> int:
+        return 0
+
+    def sum(self, **labels: object) -> float:
+        return 0.0
+
+    def mean(self, **labels: object) -> float:
+        return 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        return 0.0
+
+    def series(self) -> Dict[LabelValues, _HistogramSeries]:
+        return {}
+
+
+_NULL_TIMER = _NullTimer()
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: instruments accept every call and record nothing.
+
+    The default for every instrumented component, so uninstrumented
+    deployments pay only an attribute lookup and a no-op call.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name, help="", labelnames=()):  # type: ignore[override]
+        return _NULL_COUNTER
+
+    def gauge(self, name, help="", labelnames=()):  # type: ignore[override]
+        return _NULL_GAUGE
+
+    def histogram(  # type: ignore[override]
+        self, name, help="", labelnames=(), buckets=DEFAULT_LATENCY_BUCKETS
+    ):
+        return _NULL_HISTOGRAM
+
+
+#: Shared no-op registry; ``metrics or NULL_REGISTRY`` is the idiom.
+NULL_REGISTRY = NullRegistry()

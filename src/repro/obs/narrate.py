@@ -1,0 +1,69 @@
+"""Human-readable narration of a :class:`ClassificationTrace`.
+
+Turns the spans the pipeline actually recorded into the per-stage story
+``repro lookup --trace`` prints::
+
+    AS64512 classified in 1.84 ms
+      cache          0.01 ms  miss            key=name:acme networks
+      asn_match      0.52 ms  no_high_conf    peeringdb=miss ipinfo=match
+      domain_choice  0.30 ms  chosen          domain=acme.net hints=1
+      ...
+
+The narration is derived purely from the trace, so it never disagrees
+with what the pipeline did.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .trace import ClassificationTrace, Span
+
+__all__ = ["narrate_trace", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Adaptive duration formatting (us / ms / s)."""
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+def _format_attribute(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, (list, tuple)):
+        return ",".join(str(item) for item in value) or "-"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def _span_lines(span: Span, name_width: int) -> List[str]:
+    duration = format_seconds(span.duration).rjust(9)
+    head = (
+        f"  {span.name.ljust(name_width)}  {duration}  "
+        f"{span.status or '-'}"
+    )
+    lines = [head.rstrip()]
+    for key in sorted(span.attributes):
+        lines.append(
+            f"  {' ' * name_width}  {' ' * 9}    "
+            f"{key}={_format_attribute(span.attributes[key])}"
+        )
+    return lines
+
+
+def narrate_trace(trace: ClassificationTrace) -> str:
+    """Render one AS's trace as an indented per-stage narration."""
+    lines = [
+        f"AS{trace.asn} classified in "
+        f"{format_seconds(trace.total_seconds)} "
+        f"({len(trace.spans)} stages)"
+    ]
+    name_width = max((len(span.name) for span in trace.spans), default=0)
+    for span in trace.spans:
+        lines.extend(_span_lines(span, name_width))
+    return "\n".join(lines)

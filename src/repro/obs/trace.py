@@ -1,0 +1,197 @@
+"""Per-AS pipeline tracing: one span per Figure-4 stage.
+
+A :class:`TraceBuilder` records spans while :class:`~repro.core.pipeline.ASdb`
+walks an AS through the pipeline; :meth:`TraceBuilder.finish` freezes the
+result into a :class:`ClassificationTrace` that travels on the
+``ASdbRecord``.  Each span carries wall time, a short ``status`` verdict
+(``hit``/``miss``/``matched``/...), and free-form attributes (the chosen
+domain, per-source match/reject reasons, the consensus decision).
+
+The module deliberately imports nothing from the rest of ``repro`` —
+spans store plain strings and scalars — so any layer can depend on it.
+A :class:`NullTraceBuilder` keeps the untraced hot path allocation-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "ClassificationTrace",
+    "TraceBuilder",
+    "NullTraceBuilder",
+    "trace_builder",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed pipeline stage inside a trace.
+
+    Attributes:
+        name: Stage name (``cache``, ``asn_match``, ``domain_choice``,
+            ``ml``, ``source_match``, ``consensus``).
+        start_offset: Seconds from the start of the trace.
+        duration: Wall time the stage took, in seconds.
+        status: Short outcome verdict (stage-specific vocabulary).
+        attributes: Stage detail, stringly keyed and JSON-able.
+    """
+
+    name: str
+    start_offset: float
+    duration: float
+    status: str = ""
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ClassificationTrace:
+    """Everything observed while classifying one AS.
+
+    Attributes:
+        asn: The AS traced.
+        spans: Completed stage spans, in execution order.
+        total_seconds: End-to-end wall time.
+    """
+
+    asn: int
+    spans: Tuple[Span, ...]
+    total_seconds: float
+
+    def span(self, name: str) -> Optional[Span]:
+        """The first span with a given stage name, or None."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Stage name -> wall seconds (summed over repeated spans)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation for export alongside the dataset."""
+        return {
+            "asn": self.asn,
+            "total_seconds": self.total_seconds,
+            "spans": [
+                {
+                    "name": span.name,
+                    "start_offset": span.start_offset,
+                    "duration": span.duration,
+                    "status": span.status,
+                    "attributes": dict(span.attributes),
+                }
+                for span in self.spans
+            ],
+        }
+
+
+class _SpanRecorder:
+    """Mutable in-flight span; frozen into a :class:`Span` on exit."""
+
+    __slots__ = ("_builder", "name", "status", "attributes", "_start")
+
+    def __init__(self, builder: "TraceBuilder", name: str) -> None:
+        self._builder = builder
+        self.name = name
+        self.status = ""
+        self.attributes: Dict[str, object] = {}
+
+    def set_status(self, status: str) -> "_SpanRecorder":
+        self.status = status
+        return self
+
+    def note(self, **attributes: object) -> "_SpanRecorder":
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "_SpanRecorder":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        self._builder._record(
+            Span(
+                name=self.name,
+                start_offset=self._start - self._builder._origin,
+                duration=end - self._start,
+                status=self.status,
+                attributes=self.attributes,
+            )
+        )
+
+
+class TraceBuilder:
+    """Collects spans for one AS classification."""
+
+    def __init__(self, asn: int) -> None:
+        self.asn = asn
+        self._origin = time.perf_counter()
+        self._spans: List[Span] = []
+
+    def span(self, name: str) -> _SpanRecorder:
+        """``with builder.span("ml") as span: ...`` records one stage."""
+        return _SpanRecorder(self, name)
+
+    def _record(self, span: Span) -> None:
+        self._spans.append(span)
+
+    def finish(self) -> ClassificationTrace:
+        """Freeze the collected spans into a trace."""
+        return ClassificationTrace(
+            asn=self.asn,
+            spans=tuple(self._spans),
+            total_seconds=time.perf_counter() - self._origin,
+        )
+
+
+class _NullSpanRecorder:
+    __slots__ = ()
+
+    name = ""
+    status = ""
+
+    def set_status(self, status: str) -> "_NullSpanRecorder":
+        return self
+
+    def note(self, **attributes: object) -> "_NullSpanRecorder":
+        return self
+
+    def __enter__(self) -> "_NullSpanRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanRecorder()
+
+
+class NullTraceBuilder:
+    """Accepts the full builder API and records nothing."""
+
+    __slots__ = ()
+
+    asn = -1
+
+    def span(self, name: str) -> _NullSpanRecorder:
+        return _NULL_SPAN
+
+    def finish(self) -> None:
+        return None
+
+
+_NULL_BUILDER = NullTraceBuilder()
+
+
+def trace_builder(asn: int, enabled: bool):
+    """A real :class:`TraceBuilder` when enabled, else the shared no-op."""
+    return TraceBuilder(asn) if enabled else _NULL_BUILDER

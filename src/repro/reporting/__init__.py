@@ -1,5 +1,15 @@
 """Rendering helpers for the benchmark harness (tables and ASCII bars)."""
 
-from .tables import format_fraction, render_bars, render_table
+from .tables import (
+    format_fraction,
+    render_bars,
+    render_metrics_summary,
+    render_table,
+)
 
-__all__ = ["render_table", "render_bars", "format_fraction"]
+__all__ = [
+    "render_table",
+    "render_bars",
+    "format_fraction",
+    "render_metrics_summary",
+]

@@ -1,14 +1,24 @@
 """Plain-text table and bar-chart rendering for the benchmark harness.
 
 Benchmarks print the same rows/series the paper's tables and figures
-report; these helpers keep the output aligned and consistent.
+report; these helpers keep the output aligned and consistent.  The CLI's
+``stats`` subcommand renders a :class:`~repro.obs.MetricsRegistry` with
+:func:`render_metrics_summary`.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["render_table", "render_bars", "format_fraction"]
+from ..obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from ..obs.narrate import format_seconds
+
+__all__ = [
+    "render_table",
+    "render_bars",
+    "format_fraction",
+    "render_metrics_summary",
+]
 
 
 def render_table(
@@ -66,3 +76,47 @@ def format_fraction(hits: int, total: int) -> str:
     if total == 0:
         return "-"
     return f"{hits}/{total} ({hits / total:.0%})"
+
+
+def _series_name(name: str, labelnames: Sequence[str], key) -> str:
+    if not labelnames:
+        return name
+    pairs = ",".join(
+        f"{label}={value}" for label, value in zip(labelnames, key)
+    )
+    return f"{name}{{{pairs}}}"
+
+
+def render_metrics_summary(
+    registry: MetricsRegistry, title: Optional[str] = "Metrics summary"
+) -> str:
+    """One row per metric series: counters/gauges show the value,
+    histograms show count, mean, and bucket-estimated p50/p95."""
+    rows: List[List[str]] = []
+    for metric in registry:
+        if isinstance(metric, Histogram):
+            for key in sorted(metric.series()):
+                labels = dict(zip(metric.labelnames, key))
+                rows.append([
+                    _series_name(metric.name, metric.labelnames, key),
+                    metric.kind,
+                    (
+                        f"n={metric.count(**labels)}"
+                        f"  mean={format_seconds(metric.mean(**labels))}"
+                        f"  p50={format_seconds(metric.quantile(0.5, **labels))}"
+                        f"  p95={format_seconds(metric.quantile(0.95, **labels))}"
+                    ),
+                ])
+        elif isinstance(metric, (Counter, Gauge)):
+            for key, value in sorted(metric.series().items()):
+                shown = (
+                    str(int(value))
+                    if float(value).is_integer()
+                    else f"{value:.4f}"
+                )
+                rows.append([
+                    _series_name(metric.name, metric.labelnames, key),
+                    metric.kind,
+                    shown,
+                ])
+    return render_table(["Metric", "Type", "Value"], rows, title=title)

@@ -22,6 +22,8 @@ from .matching.domains import DomainFrequencyIndex
 from .matching.resolver import EntityResolver
 from .ml.pipeline import WebClassificationPipeline
 from .ml.training import build_training_examples
+from .obs.instrument import instrument_source
+from .obs.metrics import MetricsRegistry
 from .web.scraper import Scraper
 from .world.organization import World
 
@@ -40,6 +42,10 @@ class SystemConfig:
         dnb_confidence_threshold: Minimum accepted D&B confidence code.
         use_cache: Organization-level caching.
         reject_domain_mismatch: Entity-disagreement rejection.
+        metrics: Metrics registry threaded through every component
+            (sources, resolver, scraper, ML, pipeline); None disables
+            metering with zero behavior change.
+        trace: Attach a per-stage span trace to every record.
     """
 
     seed: int = 0
@@ -48,6 +54,8 @@ class SystemConfig:
     dnb_confidence_threshold: int = 6
     use_cache: bool = True
     reject_domain_mismatch: bool = True
+    metrics: Optional[MetricsRegistry] = None
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -90,9 +98,15 @@ def build_asdb(
     resolver = EntityResolver(
         world.web,
         frequency_index,
-        sources=[dnb, crunchbase, zvelo],
+        # instrument_source is a no-op without a registry, so the
+        # uninstrumented wiring is byte-identical to before.
+        sources=[
+            instrument_source(source, config.metrics)
+            for source in (dnb, crunchbase, zvelo)
+        ],
         dnb_confidence_threshold=config.dnb_confidence_threshold,
         reject_domain_mismatch=config.reject_domain_mismatch,
+        metrics=config.metrics,
     )
     ml_pipeline: Optional[WebClassificationPipeline] = None
     if config.train_ml:
@@ -104,7 +118,9 @@ def build_asdb(
             exclude_asns=config.exclude_asns_from_training,
         )
         ml_pipeline = WebClassificationPipeline(
-            Scraper(world.web), seed=config.seed
+            Scraper(world.web, metrics=config.metrics),
+            seed=config.seed,
+            metrics=config.metrics,
         ).fit(examples)
     asdb = ASdb(
         registry=world.registry,
@@ -114,6 +130,8 @@ def build_asdb(
         ml_pipeline=ml_pipeline,
         consensus_strategy=resolve_consensus,
         use_cache=config.use_cache,
+        metrics=config.metrics,
+        trace=config.trace,
     )
     return BuiltSystem(
         asdb=asdb,

@@ -16,9 +16,11 @@ This implementation mirrors that design against the synthetic
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..taxonomy.keywords import SCRAPER_LINK_KEYWORDS
 from .site import WebUniverse
 from .translate import translate_to_english
@@ -69,6 +71,8 @@ class Scraper:
         max_internal_pages: Cap on internal pages per site.
         translate: Whether to run the translation stage (the ML ablation
             bench turns this off).
+        metrics: Optional metrics registry; emits scrape latency and
+            per-outcome scrape counters.
     """
 
     def __init__(
@@ -78,15 +82,40 @@ class Scraper:
         max_internal_pages: int = MAX_INTERNAL_PAGES,
         translate: bool = True,
         follow_internal_links: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._universe = universe
         self._link_keywords = tuple(kw.lower() for kw in link_keywords)
         self._max_internal_pages = max_internal_pages
         self._translate = translate
         self._follow_internal_links = follow_internal_links
+        registry = metrics or NULL_REGISTRY
+        self._m_scrape_seconds = registry.histogram(
+            "asdb_scrape_seconds",
+            "Site scrape latency (fetch, link-follow, translate).",
+        )
+        self._m_scrapes = registry.counter(
+            "asdb_scrapes_total",
+            "Scrape attempts by outcome.",
+            ("outcome",),
+        )
+        for outcome in ("ok", "empty", "unreachable"):
+            self._m_scrapes.inc(0, outcome=outcome)
 
     def scrape(self, domain: str) -> ScrapeResult:
         """Scrape one domain: root page plus keyword-selected inner pages."""
+        start = time.perf_counter()
+        result = self._scrape(domain)
+        self._m_scrape_seconds.observe(time.perf_counter() - start)
+        outcome = (
+            "unreachable" if not result.reachable
+            else "empty" if result.empty
+            else "ok"
+        )
+        self._m_scrapes.inc(1, outcome=outcome)
+        return result
+
+    def _scrape(self, domain: str) -> ScrapeResult:
         site = self._universe.fetch(domain)
         if site is None:
             return ScrapeResult(domain=domain, reachable=False, text="")

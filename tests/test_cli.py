@@ -94,6 +94,105 @@ class TestLookupCommand:
         )
         assert code == 2
 
+    def test_lookup_trace_narrates_spans(self, capsys):
+        code = main(
+            ["lookup", "--n-orgs", "60", "--seed", "9", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classified in" in out
+        assert "cache" in out
+        assert "asn_match" in out
+        assert "consensus" in out
+
+
+class TestObservabilityFlags:
+    def test_classify_prints_cache_hit_rate(self, capsys):
+        code = main(
+            ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate:" in out
+        assert "keyless" in out
+
+    def test_classify_metrics_out_prometheus(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.txt"
+        code = main(
+            ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml",
+             "--metrics-out", str(metrics_file)]
+        )
+        assert code == 0
+        text = metrics_file.read_text()
+        # Stage counters: one series per Stage value.
+        from repro.core import Stage
+
+        for stage in Stage:
+            assert f'asdb_stage_total{{stage="{stage.value}"}}' in text
+        # Per-source lookup counters with outcome labels.
+        assert 'asdb_source_lookups_total{source="peeringdb"' in text
+        assert 'outcome="match"' in text and 'outcome="miss"' in text
+        # Latency histograms with cumulative buckets.
+        assert "asdb_classify_seconds_bucket" in text
+        assert "asdb_source_lookup_seconds_bucket" in text
+        assert "asdb_domain_choice_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        # Cache hit-rate gauge.
+        assert "asdb_cache_hit_rate" in text
+
+    def test_classify_metrics_out_json(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        code = main(
+            ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml",
+             "--metrics-out", str(metrics_file)]
+        )
+        assert code == 0
+        document = json.loads(metrics_file.read_text())
+        assert "asdb_stage_total" in document["counters"]
+        assert "asdb_cache_hit_rate" in document["gauges"]
+        assert "asdb_classify_seconds" in document["histograms"]
+
+    def test_classify_trace_prints_timing_table(self, capsys):
+        code = main(
+            ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml",
+             "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-stage wall time" in out
+        assert "cache" in out
+
+
+class TestStatsCommand:
+    def test_summary_table(self, capsys):
+        code = main(
+            ["stats", "--n-orgs", "40", "--seed", "5", "--no-ml"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Metrics summary" in out
+        assert "asdb_stage_total" in out
+        assert "asdb_classify_seconds" in out
+
+    def test_prometheus_format(self, capsys):
+        code = main(
+            ["stats", "--n-orgs", "40", "--seed", "5", "--no-ml",
+             "--format", "prometheus"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE asdb_stage_total counter" in out
+        assert "# TYPE asdb_classify_seconds histogram" in out
+
+    def test_json_format(self, capsys):
+        code = main(
+            ["stats", "--n-orgs", "40", "--seed", "5", "--no-ml",
+             "--format", "json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counters"]["asdb_stage_total"]["series"]
+
 
 class TestEvaluateCommand:
     def test_evaluate_runs(self, capsys):

@@ -1,0 +1,60 @@
+"""Unit tests for the organization cache hit/miss/none-key accounting."""
+
+from repro.core.cache import OrganizationCache, org_cache_key
+from repro.whois.extraction import ExtractedContact
+
+
+def _contact(name):
+    return ExtractedContact(asn=64512, name=name, name_source="org")
+
+
+class TestOrgCacheKey:
+    def test_domain_beats_name(self):
+        key = org_cache_key(_contact("Acme Networks"), domain="acme.net")
+        assert key == "domain:acme.net"
+
+    def test_name_fallback_is_order_insensitive(self):
+        first = org_cache_key(_contact("Acme Networks"), domain=None)
+        second = org_cache_key(_contact("Networks Acme"), domain=None)
+        assert first == second
+        assert first.startswith("name:")
+
+    def test_nothing_usable_is_none(self):
+        assert org_cache_key(_contact(""), domain=None) is None
+
+
+class TestOrganizationCache:
+    def test_hit_and_miss_counts(self):
+        cache = OrganizationCache()
+        assert cache.get("domain:a.net") is None
+        cache.put("domain:a.net", "record")
+        assert cache.get("domain:a.net") == "record"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_none_key_counted_separately_not_as_miss(self):
+        cache = OrganizationCache()
+        cache.put("domain:a.net", "record")
+        cache.get("domain:a.net")
+        assert cache.get(None) is None
+        assert cache.get(None) is None
+        assert cache.none_keys == 2
+        assert cache.misses == 0
+        # None-key lookups must not dilute the hit rate.
+        assert cache.hit_rate == 1.0
+
+    def test_put_none_key_is_noop(self):
+        cache = OrganizationCache()
+        cache.put(None, "record")
+        assert len(cache) == 0
+
+    def test_invalidate(self):
+        cache = OrganizationCache()
+        cache.put("k", "record")
+        cache.invalidate("k")
+        cache.invalidate("k")  # idempotent
+        cache.invalidate(None)  # tolerated
+        assert cache.get("k") is None
+
+    def test_empty_hit_rate_is_zero(self):
+        assert OrganizationCache().hit_rate == 0.0

@@ -123,6 +123,76 @@ class TestCacheBehavior:
         assert again.stage is not Stage.CACHED
 
 
+class TestReclassifyInvalidation:
+    """Satellite coverage for ASdb.reclassify key invalidation."""
+
+    @staticmethod
+    def _classify_until_cached(asdb, world):
+        """Classify ASes in order until a sibling lands on the cache."""
+        for asn in world.asns():
+            record = asdb.classify(asn)
+            if record.stage is Stage.CACHED:
+                return record
+        pytest.fail("world produced no cached sibling record")
+
+    @pytest.fixture()
+    def fresh(self, medium_world):
+        return build_asdb(
+            medium_world, SystemConfig(seed=1, train_ml=False)
+        )
+
+    def test_every_cache_key_and_org_key_invalidated(
+        self, medium_world, fresh
+    ):
+        asdb = fresh.asdb
+        old = self._classify_until_cached(asdb, medium_world)
+        assert old.cache_keys, "cached record should carry its keys"
+        assert old.org_key is not None
+
+        invalidated = []
+        inherited = asdb.cache.invalidate
+
+        def recording_invalidate(key):
+            invalidated.append(key)
+            return inherited(key)
+
+        asdb.cache.invalidate = recording_invalidate
+        try:
+            asdb.reclassify(old.asn)
+        finally:
+            asdb.cache.invalidate = inherited
+
+        assert set(old.cache_keys) <= set(invalidated)
+        assert old.org_key in invalidated
+
+    def test_sibling_re_resolves_fresh_after_reclassify(
+        self, medium_world, fresh
+    ):
+        asdb = fresh.asdb
+        old = self._classify_until_cached(asdb, medium_world)
+        fresh_record = asdb.reclassify(old.asn)
+        assert fresh_record.stage is not Stage.CACHED
+        assert asdb.dataset.get(old.asn) is not old
+        assert asdb.dataset.get(old.asn).stage is fresh_record.stage
+
+    def test_cache_repopulated_after_reclassify(
+        self, medium_world, fresh
+    ):
+        asdb = fresh.asdb
+        old = self._classify_until_cached(asdb, medium_world)
+        fresh_record = asdb.reclassify(old.asn)
+        for key in fresh_record.cache_keys:
+            assert asdb.cache.get(key) is not None
+
+    def test_reclassify_unclassified_asn_just_classifies(
+        self, medium_world, fresh
+    ):
+        asdb = fresh.asdb
+        asn = medium_world.asns()[0]
+        record = asdb.reclassify(asn)
+        assert asdb.dataset.get(asn) == record
+
+
 class TestDatasetStore:
     def test_csv_export_shape(self, dataset):
         csv_text = dataset.to_csv()
