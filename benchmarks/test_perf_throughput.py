@@ -6,7 +6,9 @@ the from-scratch stack (single core) against the same workload shape.
 """
 
 import random
+import time
 
+from repro.core.pipeline import ASdb
 from repro.ml import WebClassificationPipeline, build_training_examples
 from repro.reporting import render_table
 from repro.web import Scraper
@@ -100,3 +102,71 @@ def test_perf_full_pipeline_throughput(
         ),
     )
     assert rate > 5  # sanity: the pipeline is not pathologically slow
+
+
+def test_perf_parallel_batch_speedup(bench_world, built_system, report):
+    """Sequential ``classify_all`` vs the 4-worker batch engine, plus the
+    batched 150-domain ML path vs the per-domain loop.
+
+    Timed manually (not via ``benchmark``) because the comparison needs
+    two systems over the same world within one test, and the batch run
+    must additionally prove byte-identical output.
+    """
+
+    def fresh_asdb():
+        # Reuse the session system's trained/wired components; fresh
+        # cache and dataset so both passes start cold.
+        return ASdb(
+            registry=bench_world.registry,
+            resolver=built_system.resolver,
+            peeringdb=built_system.peeringdb,
+            ipinfo=built_system.ipinfo,
+            ml_pipeline=built_system.ml_pipeline,
+        )
+
+    start = time.perf_counter()
+    sequential = fresh_asdb().classify_all()
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = fresh_asdb().classify_batch(workers=4)
+    batch_seconds = time.perf_counter() - start
+
+    assert batched.to_csv() == sequential.to_csv()
+    speedup = sequential_seconds / batch_seconds
+
+    pipeline = built_system.ml_pipeline
+    domains = [
+        org.domain
+        for org in bench_world.iter_organizations()
+        if org.domain is not None
+    ][:150]
+    start = time.perf_counter()
+    loop_verdicts = [pipeline.classify_domain(d) for d in domains]
+    ml_loop_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batch_verdicts = pipeline.classify_domains(domains)
+    ml_batch_seconds = time.perf_counter() - start
+    assert batch_verdicts == loop_verdicts
+
+    report(
+        "perf_parallel",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["ASes classified", len(sequential)],
+                ["sequential classify_all", f"{sequential_seconds:.2f}s"],
+                ["classify_batch(workers=4)", f"{batch_seconds:.2f}s"],
+                ["batch speedup", f"{speedup:.2f}x"],
+                ["output", "byte-identical CSV"],
+                ["ML 150-domain loop", f"{ml_loop_seconds:.2f}s"],
+                ["ML 150-domain batch", f"{ml_batch_seconds:.2f}s"],
+                ["ML batch speedup", f"{ml_loop_seconds / ml_batch_seconds:.2f}x"],
+            ],
+            title="Performance: parallel batch engine (4 workers)",
+        ),
+    )
+    # The batched ML path must never be slower than the per-domain loop
+    # (small tolerance for timer jitter on tiny workloads).
+    assert ml_batch_seconds <= ml_loop_seconds * 1.10
+    assert speedup >= 2.0

@@ -9,7 +9,8 @@ Subcommands::
     python -m repro stats     --n-orgs 200 --format summary
 
 ``classify`` builds a world, runs the full pipeline, and writes the
-dataset (CSV or JSON by extension).  ``lookup`` narrates one AS through
+dataset (CSV or JSON by extension); ``--workers N`` runs the pass
+through the parallel batch engine with byte-identical output.  ``lookup`` narrates one AS through
 the pipeline.  ``evaluate`` reproduces the gold-standard evaluation.
 ``taxonomy`` prints the NAICSlite category system.  ``stats`` runs a
 classification pass and prints the collected pipeline metrics.
@@ -59,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--seed", type=int, default=42)
     classify.add_argument("--no-ml", action="store_true",
                           help="skip the ML pipeline stage")
+    classify.add_argument("--workers", type=int, default=1,
+                          help="worker threads for the batch engine "
+                          "(output is byte-identical to --workers 1)")
     classify.add_argument("--out", default=None,
                           help="write the dataset to a .csv or .json file")
     _add_obs_flags(classify)
@@ -160,6 +164,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             train_ml=not args.no_ml,
             metrics=registry,
             trace=args.trace,
+            workers=args.workers,
         ),
     )
     dataset = built.asdb.classify_all()

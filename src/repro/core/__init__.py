@@ -1,6 +1,6 @@
 """ASdb core: the Figure-4 pipeline, consensus, cache, dataset, upkeep."""
 
-from .cache import OrganizationCache, org_cache_key
+from .cache import CacheStats, OrganizationCache, org_cache_key
 from .consensus import (
     ACCURACY_RANK,
     ConsensusResult,
@@ -16,6 +16,7 @@ from .maintenance import (
     MaintenanceDaemon,
     SweepReport,
 )
+from .parallel import Cluster, plan_clusters, run_batch
 from .persistence import dataset_from_csv, dataset_from_json, dataset_to_json
 from .pipeline import ASdb
 from .stages import Stage
@@ -30,7 +31,11 @@ __all__ = [
     "DatasetDiff",
     "Stage",
     "OrganizationCache",
+    "CacheStats",
     "org_cache_key",
+    "Cluster",
+    "plan_clusters",
+    "run_batch",
     "ConsensusResult",
     "resolve_consensus",
     "single_best_source",

@@ -9,12 +9,14 @@ exists, otherwise the normalized organization-name token set.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from typing import Dict, Generic, Optional, Tuple, TypeVar
 
 from ..whois.extraction import ExtractedContact
 from ..world.names import tokenize_name
 
-__all__ = ["org_cache_key", "OrganizationCache"]
+__all__ = ["org_cache_key", "CacheStats", "OrganizationCache"]
 
 T = TypeVar("T")
 
@@ -36,11 +38,40 @@ def org_cache_key(
     return None
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent point-in-time snapshot of the cache counters.
+
+    Taken under the cache lock, so ``hits`` and ``misses`` always come
+    from the same instant — a concurrent reader can never combine a
+    fresh hit count with a stale miss count into a torn hit rate.
+    """
+
+    hits: int
+    misses: int
+    none_keys: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of keyed lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class OrganizationCache(Generic[T]):
-    """Maps organization keys to classification records."""
+    """Maps organization keys to classification records.
+
+    Thread-safe: the batch classification engine shares one cache
+    across its worker pool, so store access and the hit/miss counters
+    are guarded by a lock.  The counter attributes remain public for
+    reporting; use :meth:`stats` when hits and misses must be read as
+    one consistent pair.
+    """
 
     def __init__(self) -> None:
         self._store: Dict[str, T] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.none_keys = 0
@@ -52,32 +83,61 @@ class OrganizationCache(Generic[T]):
         it is tracked as ``none_keys`` rather than a miss so it does
         not pollute :attr:`hit_rate`.
         """
-        if key is None:
-            self.none_keys += 1
-            return None
-        record = self._store.get(key)
-        if record is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return record
+        with self._lock:
+            if key is None:
+                self.none_keys += 1
+                return None
+            record = self._store.get(key)
+            if record is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return record
 
     def put(self, key: Optional[str], record: T) -> None:
         """Store a record (no-op for None keys)."""
         if key is not None:
-            self._store[key] = record
+            with self._lock:
+                self._store[key] = record
 
     def invalidate(self, key: Optional[str]) -> None:
         """Drop a key (used when ownership metadata churns)."""
         if key is not None:
-            self._store.pop(key, None)
+            with self._lock:
+                self._store.pop(key, None)
+
+    def invalidate_record(self, record: T) -> None:
+        """Drop every key still mapping to ``record``.
+
+        Reclassification's safety net: a superseded record may have been
+        cached under keys beyond those it lists (e.g. a community
+        correction stored under the org key alone), and none of them may
+        serve it again.
+        """
+        with self._lock:
+            stale = [
+                key for key, value in self._store.items() if value is record
+            ]
+            for key in stale:
+                del self._store[key]
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters (see
+        :class:`CacheStats`)."""
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                none_keys=self.none_keys,
+                size=len(self._store),
+            )
 
     @property
     def hit_rate(self) -> float:
         """Fraction of keyed lookups served from cache (None-key
         lookups are excluded: no key could ever have hit)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self.stats().hit_rate

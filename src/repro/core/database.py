@@ -98,6 +98,14 @@ class ASdbDataset:
         """The record for an ASN, or None."""
         return self._records.get(asn)
 
+    def remove(self, asn: int) -> Optional[ASdbRecord]:
+        """Drop and return one AS's record (None if absent).
+
+        Reclassification removes the superseded record *before* the new
+        pass runs, so no stale entry survives even if that pass fails.
+        """
+        return self._records.pop(asn, None)
+
     def __len__(self) -> int:
         return len(self._records)
 

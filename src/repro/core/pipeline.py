@@ -26,6 +26,18 @@ lookup outcomes), and ``trace=True`` to attach a per-AS
 :class:`~repro.obs.ClassificationTrace` (one span per stage above) to
 each :class:`ASdbRecord`.  With neither configured the pipeline runs
 exactly as before.
+
+Execution: :meth:`ASdb.classify` / :meth:`ASdb.classify_all` run the
+stages inline per AS.  :meth:`ASdb.classify_batch` hands the same
+per-AS stage logic to the :mod:`repro.core.parallel` engine, which
+groups organization siblings into clusters, fans cluster fronts over a
+thread pool, and serves the ML and source-match stages through the bulk
+endpoints — with output guaranteed byte-identical to the sequential
+ascending-ASN pass.  The two paths share one implementation: the stage
+sequence is a generator (:meth:`ASdb._classify_steps`) that *yields*
+each external request (ASN lookups, ML verdict, source matches) and is
+resumed with the answer, so the scalar driver and the batch engine
+cannot diverge on pipeline semantics.
 """
 
 from __future__ import annotations
@@ -50,6 +62,12 @@ __all__ = ["ASdb"]
 
 ConsensusStrategy = Callable[[Dict[str, SourceMatch]], ConsensusResult]
 
+#: Request kinds yielded by :meth:`ASdb._classify_steps` (the contract
+#: between the stage generator and its drivers).
+REQUEST_ASN_MATCH = "asn_match"
+REQUEST_ML = "ml"
+REQUEST_SOURCES = "sources"
+
 
 class ASdb:
     """The deployed classification system over pluggable components.
@@ -67,6 +85,8 @@ class ASdb:
         metrics: Metrics registry to emit counters/histograms into
             (None = no-op instruments, zero behavior change).
         trace: Attach a per-stage span trace to every record.
+        workers: Default worker count for :meth:`classify_all`; above 1
+            the whole-registry pass runs through the batch engine.
     """
 
     def __init__(
@@ -80,6 +100,7 @@ class ASdb:
         use_cache: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
+        workers: int = 1,
     ) -> None:
         self._registry = registry
         self._resolver = resolver
@@ -89,6 +110,7 @@ class ASdb:
         self._consensus = consensus_strategy
         self._use_cache = use_cache
         self._trace_enabled = trace
+        self._workers = max(1, workers)
         self.metrics = metrics or NULL_REGISTRY
         self.cache: OrganizationCache[ASdbRecord] = OrganizationCache()
         self.dataset = ASdbDataset()
@@ -120,36 +142,111 @@ class ASdb:
 
     def classify(self, asn: int) -> ASdbRecord:
         """Classify one AS, updating the dataset and cache."""
-        builder = trace_builder(asn, self._trace_enabled)
-        with self._m_classify_seconds.time():
-            record = self._classify(asn, builder)
-        self._m_stage_total.inc(1, stage=record.stage.value)
-        self._m_cache_hit_rate.set(self.cache.hit_rate)
-        trace = builder.finish()
-        if trace is not None:
-            record = replace(record, trace=trace)
+        record = self._classify_one(asn)
         self.dataset.add(record)
         return record
 
-    def classify_all(self) -> ASdbDataset:
-        """Classify every AS in the registry (ascending ASN order)."""
+    def classify_all(self, workers: Optional[int] = None) -> ASdbDataset:
+        """Classify every AS in the registry (ascending ASN order).
+
+        ``workers`` above 1 (or a constructor-level ``workers`` default
+        above 1) dispatches to :meth:`classify_batch`; the result is
+        byte-identical to the sequential pass.
+        """
+        effective = self._workers if workers is None else max(1, workers)
+        if effective > 1:
+            return self.classify_batch(workers=effective)
         for asn in self._registry.asns():
             self.classify(asn)
         return self.dataset
 
+    def classify_batch(
+        self,
+        asns: Optional[Sequence[int]] = None,
+        workers: int = 1,
+    ) -> ASdbDataset:
+        """Classify ``asns`` (default: the whole registry) through the
+        organization-clustered batch engine.
+
+        Organization siblings are grouped by their pre-domain cache key
+        so each organization is classified exactly once per batch;
+        cluster fronts fan out over ``workers`` threads and the ML /
+        source-match stages run through the bulk endpoints.  Output is
+        byte-identical to classifying the same ASNs sequentially in
+        ascending order (see :mod:`repro.core.parallel`).
+        """
+        from .parallel import run_batch
+
+        for record in run_batch(self, asns=asns, workers=workers):
+            self.dataset.add(record)
+        self._m_cache_hit_rate.set(self.cache.stats().hit_rate)
+        return self.dataset
+
     def reclassify(self, asn: int) -> ASdbRecord:
-        """Re-run classification for an AS whose metadata changed,
-        invalidating any cached organization entry first."""
-        old = self.dataset.get(asn)
+        """Re-run classification for an AS whose metadata changed.
+
+        The superseded record is removed from the dataset up front (so a
+        failing re-run cannot leave a stale entry behind) and every cache
+        key that could still serve it is invalidated — the keys the
+        record lists, plus any other key mapping to the record object
+        (e.g. a community correction stored under the org key alone).
+        """
+        old = self.dataset.remove(asn)
         if old is not None:
             for key in old.cache_keys:
                 self.cache.invalidate(key)
             self.cache.invalidate(old.org_key)
+            self.cache.invalidate_record(old)
         return self.classify(asn)
 
     # -- pipeline -----------------------------------------------------------
 
-    def _classify(self, asn: int, tb) -> ASdbRecord:
+    def _classify_one(self, asn: int) -> ASdbRecord:
+        """The scalar per-AS pass: drive the stage generator inline."""
+        builder = trace_builder(asn, self._trace_enabled)
+        with self._m_classify_seconds.time():
+            record = self._drive(asn, builder)
+        self._m_stage_total.inc(1, stage=record.stage.value)
+        self._m_cache_hit_rate.set(self.cache.stats().hit_rate)
+        trace = builder.finish()
+        if trace is not None:
+            record = replace(record, trace=trace)
+        return record
+
+    def _drive(self, asn: int, tb) -> ASdbRecord:
+        """Serve every request of one AS's stage generator, inline."""
+        steps = self._classify_steps(asn, tb)
+        try:
+            request = next(steps)
+            while True:
+                kind = request[0]
+                if kind == REQUEST_ASN_MATCH:
+                    query = Query(asn=request[1])
+                    reply: object = (
+                        self._peeringdb.lookup(query),
+                        self._ipinfo.lookup(query),
+                    )
+                elif kind == REQUEST_ML:
+                    reply = self._ml.classify_domain(request[1])
+                else:  # REQUEST_SOURCES
+                    reply = self._resolver.match_sources(
+                        request[1], request[2]
+                    )
+                request = steps.send(reply)
+        except StopIteration as stop:
+            return stop.value
+
+    def _classify_steps(self, asn: int, tb):
+        """The Figure-4 stage sequence for one AS, as a generator.
+
+        Yields a request tuple for every external call — ``(asn_match,
+        asn)``, ``(ml, domain)``, ``(sources, contact, domain)`` — and
+        expects to be resumed (``send``) with the answer.  The scalar
+        driver serves each request with the per-item call; the batch
+        engine suspends many generators at the same request kind and
+        serves them through one bulk call.  Because every stage decision
+        lives in here, the two execution modes cannot diverge.
+        """
         parsed = self._registry.parsed(asn)
         contact = self._registry.contact(asn)
         as_name = parsed.as_name or contact.name
@@ -180,9 +277,7 @@ class ASdb:
 
         # Stage 1: ASN-keyed lookups.
         with tb.span("asn_match") as span:
-            asn_query = Query(asn=asn)
-            pdb_match = self._peeringdb.lookup(asn_query)
-            ipinfo_match = self._ipinfo.lookup(asn_query)
+            pdb_match, ipinfo_match = yield (REQUEST_ASN_MATCH, asn)
             high_confidence = self._is_high_confidence(pdb_match)
             span.note(
                 peeringdb="match" if pdb_match is not None else "miss",
@@ -224,7 +319,7 @@ class ASdb:
             elif domain is None:
                 span.set_status("no_domain")
             else:
-                verdict = self._ml.classify_domain(domain)
+                verdict = yield (REQUEST_ML, domain)
                 if not verdict.scraped:
                     span.set_status("unscraped")
                 else:
@@ -239,7 +334,7 @@ class ASdb:
 
         # Stage 4: identifier-keyed source matching.
         with tb.span("source_match") as span:
-            resolved = self._resolver.match_sources(contact, domain)
+            resolved = yield (REQUEST_SOURCES, contact, domain)
             span.set_status(f"{len(resolved.matches)} accepted")
             for name in sorted(resolved.matches):
                 span.note(**{name: "accepted"})

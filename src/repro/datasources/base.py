@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..taxonomy import LabelSet
 
@@ -103,6 +103,19 @@ class DataSource(abc.ABC):
         This is the path the deployed pipeline uses; it is allowed to
         return the *wrong* entity, modeling real matching errors.
         """
+
+    def lookup_many(
+        self, queries: Sequence[Query]
+    ) -> List[Optional[SourceMatch]]:
+        """Bulk lookup: one result slot per query, in query order.
+
+        Contract: elementwise identical to calling :meth:`lookup` per
+        query — batching is purely a throughput optimization, never a
+        semantic one.  The default loops; sources with indexable
+        directories override with single-pass scans, and Zvelo overrides
+        with a batched fetch/translate/score pass.
+        """
+        return [self.lookup(query) for query in queries]
 
     def lookup_by_org(self, org_id: str) -> Optional[SourceMatch]:
         """Manual-verification lookup: the entry for a known organization.

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..taxonomy import translation
 from ..world.calibration import CONFUSION_L2, DNB, DNB_CONFIDENCE
@@ -151,11 +151,30 @@ class DunBradstreet(DataSource):
         The returned candidate may be the wrong company; callers can filter
         on ``confidence`` (Table 5's ``Conf >= 6`` row).
         """
+        return self._lookup_impl(query, self._intended_org)
+
+    def lookup_many(
+        self, queries: Sequence[Query]
+    ) -> List[Optional[SourceMatch]]:
+        """Bulk endpoint: index-only intended-org resolution per query.
+
+        Identical results to per-query :meth:`lookup`: the name index
+        holds every organization's lowered name with the same first-wins
+        collision policy as the scalar path's world scan, so the scan can
+        never find anything the index misses — the batch path just skips
+        paying O(world) for queries whose name matches nothing.
+        """
+        return [
+            self._lookup_impl(query, self._intended_org_indexed)
+            for query in queries
+        ]
+
+    def _lookup_impl(self, query: Query, intended_for) -> Optional[SourceMatch]:
         rng = self._query_rng(query)
         if rng.random() >= DNB_CONFIDENCE.response_rate:
             return None
 
-        intended = self._intended_org(query)
+        intended = intended_for(query)
         code = self._sample_confidence(rng, query)
         entry: Optional[SourceEntry] = None
         if intended is not None and intended in self._entries:
@@ -194,6 +213,19 @@ class DunBradstreet(DataSource):
             for org in self._world.iter_organizations():
                 if org.name.lower() == query.name.lower():
                     return org.org_id
+        return None
+
+    def _intended_org_indexed(self, query: Query) -> Optional[str]:
+        """Index-only :meth:`_intended_org` (the bulk endpoint's variant).
+
+        The name index is built from the same organization iteration
+        order with the same first-wins policy as the scalar fallback
+        scan, so the two resolutions agree on every query.
+        """
+        if query.domain and query.domain in self._domain_index:
+            return self._domain_index[query.domain]
+        if query.name:
+            return self._name_index.get(query.name.lower())
         return None
 
     def _sample_confidence(

@@ -12,7 +12,7 @@ recall of zero (Table 4).
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..world import calibration
 from ..world.organization import World
@@ -73,6 +73,22 @@ class PeeringDB(DataSource):
         if entry is None:
             return None
         return SourceMatch(source=self.name, entry=entry, via="asn")
+
+    def lookup_many(
+        self, queries: Sequence[Query]
+    ) -> List[Optional[SourceMatch]]:
+        """Single pass over the ASN index (no per-query dispatch)."""
+        entries = self._entries
+        results: List[Optional[SourceMatch]] = []
+        for query in queries:
+            entry = (
+                entries.get(query.asn) if query.asn is not None else None
+            )
+            results.append(
+                None if entry is None
+                else SourceMatch(source=self.name, entry=entry, via="asn")
+            )
+        return results
 
     def lookup_by_org(self, org_id: str) -> Optional[SourceMatch]:
         for asn in self._world.asns_of_org(org_id):

@@ -20,10 +20,10 @@ from __future__ import annotations
 import collections
 import random
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..taxonomy import keywords
-from ..web.translate import translate_to_english
+from ..web.translate import translate_many, translate_to_english
 from ..world.organization import World
 from . import schemes
 from .base import DataSource, Query, SourceEntry, SourceMatch
@@ -72,6 +72,60 @@ def _build_profiles() -> Dict[str, Tuple[str, ...]]:
     return profiles
 
 
+class _ProfileScorer:
+    """Inverted-index form of the profile scorer (the bulk endpoint).
+
+    Precomputes word -> category indices so scoring one text is
+    O(distinct words) instead of O(categories x profile words).  Score
+    arithmetic replicates :meth:`Zvelo.classify_text` operation for
+    operation — integer keyword-count sums, then ``score /= norm`` and
+    ``score *= weight`` in that order — so the floats, the sort, and the
+    tiebreak RNG draws are bit-identical to the scalar scorer.
+    """
+
+    def __init__(self, profiles: Dict[str, Tuple[str, ...]]) -> None:
+        self._categories: List[str] = sorted(profiles)
+        self._norms = [
+            max(1.0, len(profiles[category]) ** 0.25)
+            for category in self._categories
+        ]
+        self._weights = [
+            _CATEGORY_WEIGHTS.get(category, 1.0)
+            for category in self._categories
+        ]
+        self._word_index: Dict[str, Tuple[int, ...]] = {}
+        buckets: Dict[str, List[int]] = collections.defaultdict(list)
+        for index, category in enumerate(self._categories):
+            for word in profiles[category]:
+                buckets[word].append(index)
+        self._word_index = {
+            word: tuple(indices) for word, indices in buckets.items()
+        }
+
+    def classify(self, text: str, tiebreak_seed: str = "") -> Optional[str]:
+        counts = collections.Counter(text.lower().split())
+        if not counts:
+            return None
+        raw = [0] * len(self._categories)
+        for word, count in counts.items():
+            for index in self._word_index.get(word, ()):
+                raw[index] += count
+        scored: List[Tuple[float, str]] = []
+        for index, category in enumerate(self._categories):
+            score: float = raw[index]
+            score /= self._norms[index]
+            score *= self._weights[index]
+            if score > 0:
+                scored.append((score, category))
+        scored.sort(reverse=True)
+        if not scored or scored[0][0] < _MIN_SCORE:
+            return None
+        rng = random.Random(zlib.crc32(f"zvelo|{tiebreak_seed}".encode()))
+        if len(scored) > 1 and rng.random() < _SECOND_BEST_RATE:
+            return scored[1][1]
+        return scored[0][1]
+
+
 class Zvelo(DataSource):
     """The Zvelo website classifier over a synthetic world."""
 
@@ -80,6 +134,7 @@ class Zvelo(DataSource):
     def __init__(self, world: World, seed: int = 0) -> None:
         self._world = world
         self._profiles = _build_profiles()
+        self._scorer = _ProfileScorer(self._profiles)
         self._org_by_domain: Dict[str, str] = {}
         for org in world.iter_organizations():
             if org.domain:
@@ -134,6 +189,43 @@ class Zvelo(DataSource):
         text = translate_to_english(" ".join(chunks)).text
         return self.classify_text(text, tiebreak_seed=domain)
 
+    def classify_domains(
+        self, domains: Sequence[str]
+    ) -> List[Optional[str]]:
+        """Batch :meth:`classify_domain`: fetch all pages, translate the
+        texts in one pass, score with the inverted-index scorer.
+
+        Elementwise identical to the scalar path: page selection and the
+        joined raw text match :meth:`classify_domain` exactly, batch
+        translation is per-text deterministic, and the scorer replicates
+        the scalar arithmetic (see :class:`_ProfileScorer`).
+        """
+        raw_texts: List[Optional[str]] = []
+        for domain in domains:
+            site = self._world.web.fetch(domain)
+            if site is None:
+                raw_texts.append(None)
+                continue
+            pages = [site.homepage] + [
+                link.page for link in site.links[:2]
+            ]
+            chunks = [
+                page.scrapable_text for page in pages if page.scrapable_text
+            ]
+            raw_texts.append(" ".join(chunks) if chunks else None)
+        positions = [
+            index for index, text in enumerate(raw_texts) if text is not None
+        ]
+        translated = translate_many(
+            [raw_texts[index] for index in positions]
+        )
+        results: List[Optional[str]] = [None] * len(domains)
+        for index, result in zip(positions, translated):
+            results[index] = self._scorer.classify(
+                result.text, tiebreak_seed=domains[index]
+            )
+        return results
+
     # -- DataSource interface ---------------------------------------------------
 
     def coverage_count(self) -> int:
@@ -148,6 +240,31 @@ class Zvelo(DataSource):
             return None
         return self._match_for_domain(query.domain)
 
+    def lookup_many(
+        self, queries: Sequence[Query]
+    ) -> List[Optional[SourceMatch]]:
+        """Bulk endpoint: classify each distinct domain once, batched.
+
+        Classification is deterministic per domain, so deduplicating
+        before the (expensive) fetch/translate/score pass cannot change
+        any per-query result.
+        """
+        unique = list(dict.fromkeys(
+            query.domain for query in queries if query.domain
+        ))
+        categories = dict(zip(unique, self.classify_domains(unique)))
+        results: List[Optional[SourceMatch]] = []
+        for query in queries:
+            if not query.domain:
+                results.append(None)
+                continue
+            results.append(
+                self._match_from_category(
+                    query.domain, categories[query.domain]
+                )
+            )
+        return results
+
     def lookup_by_org(self, org_id: str) -> Optional[SourceMatch]:
         """Manual mode: researchers supply the correct org domain."""
         org = self._world.organizations[org_id]
@@ -156,7 +273,11 @@ class Zvelo(DataSource):
         return self._match_for_domain(org.domain)
 
     def _match_for_domain(self, domain: str) -> Optional[SourceMatch]:
-        category = self.classify_domain(domain)
+        return self._match_from_category(domain, self.classify_domain(domain))
+
+    def _match_from_category(
+        self, domain: str, category: Optional[str]
+    ) -> Optional[SourceMatch]:
         if category is None:
             return None
         labels = schemes.zvelo_to_naicslite(category)

@@ -156,6 +156,60 @@ class EntityResolver:
             rejected_reasons=reasons,
         )
 
+    def match_sources_many(
+        self,
+        items: Sequence[Tuple[ExtractedContact, Optional[str]]],
+    ) -> List[ResolvedSources]:
+        """Batch :meth:`match_sources` over ``(contact, domain)`` pairs.
+
+        Calls each source's bulk endpoint once for the whole batch
+        instead of once per AS.  Accept/reject logic, its ordering
+        within an item, and the decision counters are the scalar path's
+        exactly — lookups are deterministic per query, so results are
+        elementwise identical to ``[match_sources(c, d) for c, d in
+        items]``.
+        """
+        queries = [
+            Query(
+                name=contact.name,
+                domain=domain,
+                address=contact.address,
+                phone=contact.phone,
+                asn=contact.asn,
+            )
+            for contact, domain in items
+        ]
+        matches: List[Dict[str, SourceMatch]] = [{} for _ in items]
+        rejected: List[List[str]] = [[] for _ in items]
+        reasons: List[Dict[str, str]] = [{} for _ in items]
+        for source in self._sources:
+            results = source.lookup_many(queries)
+            for index, match in enumerate(results):
+                if match is None:
+                    continue
+                reason = self._reject_reason(match, items[index][1])
+                if reason is not None:
+                    rejected[index].append(source.name)
+                    reasons[index][source.name] = reason
+                    self._m_decisions.inc(
+                        1, source=source.name, outcome=reason
+                    )
+                    continue
+                matches[index][source.name] = match
+                self._m_decisions.inc(
+                    1, source=source.name, outcome="accepted"
+                )
+        return [
+            ResolvedSources(
+                asn=contact.asn,
+                chosen_domain=domain,
+                matches=matches[index],
+                rejected=tuple(rejected[index]),
+                rejected_reasons=reasons[index],
+            )
+            for index, (contact, domain) in enumerate(items)
+        ]
+
     def resolve(
         self,
         contact: ExtractedContact,

@@ -27,6 +27,7 @@ __all__ = ["InstrumentedSource", "instrument_source", "timed"]
 #: Metric family names the wrapper emits (shared with tests and docs).
 SOURCE_LOOKUPS_TOTAL = "asdb_source_lookups_total"
 SOURCE_LOOKUP_SECONDS = "asdb_source_lookup_seconds"
+SOURCE_BATCH_SECONDS = "asdb_source_batch_seconds"
 
 
 @contextmanager
@@ -61,6 +62,11 @@ class InstrumentedSource:
             "Data-source lookup latency in seconds.",
             ("source",),
         )
+        self._batch_seconds = registry.histogram(
+            SOURCE_BATCH_SECONDS,
+            "Bulk data-source lookup latency per batch, in seconds.",
+            ("source",),
+        )
         # Register both outcome series up front so exporters show a
         # source that has, say, never missed.
         for outcome in ("match", "miss"):
@@ -83,6 +89,23 @@ class InstrumentedSource:
             outcome="match" if match is not None else "miss",
         )
         return match
+
+    def lookup_many(self, queries):
+        """Meter a bulk lookup: one latency observation per batch, the
+        same per-query outcome counters as the scalar path."""
+        queries = list(queries)
+        start = time.perf_counter()
+        matches = self._inner.lookup_many(queries)
+        self._batch_seconds.observe(
+            time.perf_counter() - start, source=self.name
+        )
+        for match in matches:
+            self._lookups.inc(
+                1,
+                source=self.name,
+                outcome="match" if match is not None else "miss",
+            )
+        return matches
 
     def lookup_by_org(self, org_id: str):
         return self._inner.lookup_by_org(org_id)

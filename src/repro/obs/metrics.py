@@ -15,6 +15,7 @@ the zero-config hot path identical to an uninstrumented one.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -68,7 +69,13 @@ def _format_float(value: float) -> str:
 
 
 class _Metric:
-    """Shared naming/label bookkeeping for all instrument kinds."""
+    """Shared naming/label bookkeeping for all instrument kinds.
+
+    Every instrument carries its own lock: the batch classification
+    engine updates shared counters and histograms from worker threads,
+    and unsynchronized read-modify-write on the series dicts would drop
+    increments or publish torn snapshots.
+    """
 
     kind = "untyped"
 
@@ -78,6 +85,7 @@ class _Metric:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
 
     def _key(self, labels: Dict[str, object]) -> LabelValues:
         if set(labels) != set(self.labelnames):
@@ -108,19 +116,24 @@ class Counter(_Metric):
         if amount < 0:
             raise ValueError("counters can only increase")
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         """Current value of one labeled series (0.0 if never touched)."""
-        return self._values.get(self._key(labels), 0.0)
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
 
     def total(self) -> float:
         """Sum across every labeled series."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def series(self) -> Dict[LabelValues, float]:
         """Label-values tuple -> value, for exporters and tests."""
-        return dict(self._values)
+        with self._lock:
+            return dict(self._values)
 
 
 class Gauge(_Metric):
@@ -135,20 +148,26 @@ class Gauge(_Metric):
         self._values: Dict[LabelValues, float] = {}
 
     def set(self, value: float, **labels: object) -> None:
-        self._values[self._key(labels)] = float(value)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: object) -> None:
         self.inc(-amount, **labels)
 
     def value(self, **labels: object) -> float:
-        return self._values.get(self._key(labels), 0.0)
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
 
     def series(self) -> Dict[LabelValues, float]:
-        return dict(self._values)
+        with self._lock:
+            return dict(self._values)
 
 
 class _HistogramSeries:
@@ -205,12 +224,13 @@ class Histogram(_Metric):
         return series
 
     def observe(self, value: float, **labels: object) -> None:
-        series = self._series_for(labels)
-        series.sum += value
-        series.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                series.bucket_counts[index] += 1
+        with self._lock:
+            series = self._series_for(labels)
+            series.sum += value
+            series.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[index] += 1
 
     def time(self, **labels: object) -> _TimerContext:
         """``with histogram.time(...):`` observes the block's wall time."""
@@ -218,20 +238,23 @@ class Histogram(_Metric):
 
     def count(self, **labels: object) -> int:
         key = self._key(labels)
-        series = self._series.get(key)
-        return series.count if series else 0
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series else 0
 
     def sum(self, **labels: object) -> float:
         key = self._key(labels)
-        series = self._series.get(key)
-        return series.sum if series else 0.0
+        with self._lock:
+            series = self._series.get(key)
+            return series.sum if series else 0.0
 
     def mean(self, **labels: object) -> float:
         key = self._key(labels)
-        series = self._series.get(key)
-        if series is None or series.count == 0:
-            return 0.0
-        return series.sum / series.count
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or series.count == 0:
+                return 0.0
+            return series.sum / series.count
 
     def quantile(self, q: float, **labels: object) -> float:
         """Bucket-resolution quantile estimate (upper bound of the
@@ -240,17 +263,28 @@ class Histogram(_Metric):
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         key = self._key(labels)
-        series = self._series.get(key)
-        if series is None or series.count == 0:
-            return 0.0
-        rank = q * series.count
-        for index, bound in enumerate(self.buckets):
-            if series.bucket_counts[index] >= rank:
-                return bound
-        return self.buckets[-1]
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or series.count == 0:
+                return 0.0
+            rank = q * series.count
+            for index, bound in enumerate(self.buckets):
+                if series.bucket_counts[index] >= rank:
+                    return bound
+            return self.buckets[-1]
 
     def series(self) -> Dict[LabelValues, _HistogramSeries]:
-        return dict(self._series)
+        # Deep-copy each series so exporters never see a half-applied
+        # observation (sum bumped, bucket not yet).
+        with self._lock:
+            out: Dict[LabelValues, _HistogramSeries] = {}
+            for key, series in self._series.items():
+                copy = _HistogramSeries(len(self.buckets))
+                copy.bucket_counts = list(series.bucket_counts)
+                copy.sum = series.sum
+                copy.count = series.count
+                out[key] = copy
+            return out
 
 
 class MetricsRegistry:
@@ -258,26 +292,28 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self._registry_lock = threading.Lock()
 
     def _get_or_create(
         self, cls, name: str, help: str, labelnames: Sequence[str], **kwargs
     ):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, not {cls.kind}"
-                )
-            if existing.labelnames != tuple(labelnames):
-                raise ValueError(
-                    f"metric {name!r} already registered with labels "
-                    f"{existing.labelnames}"
-                )
-            return existing
-        metric = cls(name, help, labelnames, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._registry_lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(
         self, name: str, help: str = "", labelnames: Sequence[str] = ()

@@ -46,6 +46,9 @@ class SystemConfig:
             (sources, resolver, scraper, ML, pipeline); None disables
             metering with zero behavior change.
         trace: Attach a per-stage span trace to every record.
+        workers: Default worker count for ``classify_all``; above 1 the
+            whole-registry pass runs through the batch engine (output
+            stays byte-identical to the sequential pass).
     """
 
     seed: int = 0
@@ -56,6 +59,7 @@ class SystemConfig:
     reject_domain_mismatch: bool = True
     metrics: Optional[MetricsRegistry] = None
     trace: bool = False
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -132,6 +136,7 @@ def build_asdb(
         use_cache=config.use_cache,
         metrics=config.metrics,
         trace=config.trace,
+        workers=config.workers,
     )
     return BuiltSystem(
         asdb=asdb,

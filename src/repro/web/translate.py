@@ -11,11 +11,16 @@ nouns) pass through untranslated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .language import ENGLISH, LANGUAGES, Language
 
-__all__ = ["TranslationResult", "detect_language", "translate_to_english"]
+__all__ = [
+    "TranslationResult",
+    "detect_language",
+    "translate_to_english",
+    "translate_many",
+]
 
 #: Minimum fraction of tokens matching a language's suffix for detection.
 _DETECTION_THRESHOLD = 0.3
@@ -60,11 +65,47 @@ def detect_language(text: str) -> Language:
 def translate_to_english(text: str) -> TranslationResult:
     """Translate ``text`` to English, auto-detecting the source language."""
     language = detect_language(text)
+    return _decode_as(text.split(), text, language)
+
+
+def _detect_fast(words: Sequence[str]) -> Language:
+    """Detection over pre-split words, skipping per-word decoding.
+
+    ``decode_word(w) is not None`` holds exactly when ``w`` ends with the
+    language's suffix and is strictly longer than it, so counting with
+    ``str.endswith`` visits the same words in the same language order and
+    picks the same winner as :func:`detect_language` — without building
+    the reversed decode of every matching word just to discard it.
+    """
+    if not words:
+        return ENGLISH
+    total = len(words)
+    best, best_fraction = ENGLISH, 0.0
+    for language in LANGUAGES:
+        if language.is_english:
+            continue
+        suffix = language.suffix
+        floor = len(suffix)
+        hits = sum(
+            1 for word in words
+            if word.endswith(suffix) and len(word) > floor
+        )
+        fraction = hits / total
+        if fraction > best_fraction:
+            best, best_fraction = language, fraction
+    if best_fraction >= _DETECTION_THRESHOLD:
+        return best
+    return ENGLISH
+
+
+def _decode_as(
+    words: Sequence[str], text: str, language: Language
+) -> TranslationResult:
+    """The shared decode pass once the source language is known."""
     if language.is_english:
         return TranslationResult(
             text=text, detected=ENGLISH, translated_fraction=1.0
         )
-    words = text.split()
     out: List[str] = []
     translated = 0
     for word in words:
@@ -78,3 +119,18 @@ def translate_to_english(text: str) -> TranslationResult:
     return TranslationResult(
         text=" ".join(out), detected=language, translated_fraction=fraction
     )
+
+
+def translate_many(texts: Sequence[str]) -> List[TranslationResult]:
+    """Batch translation: elementwise equal to :func:`translate_to_english`.
+
+    Each text is detected and decoded independently (translation has no
+    cross-document state), so results are identical to the scalar call;
+    the batch entry point exists so bulk callers (the batch scraper and
+    Zvelo's bulk endpoint) go through the fast suffix-count detector.
+    """
+    results: List[TranslationResult] = []
+    for text in texts:
+        words = text.split()
+        results.append(_decode_as(words, text, _detect_fast(words)))
+    return results
