@@ -26,6 +26,17 @@ Observability flags (``classify`` and ``lookup``):
     prints the narrated spans (stage, wall time, verdict, per-source
     decisions); ``classify --trace`` prints an aggregate per-stage
     timing table.
+
+Resilience flags (``classify``):
+
+``--inject-faults [RATE]``
+    Wrap every source in deterministic fault injection (outages, rate
+    limits, malformed entries, latency spikes) at the given rate
+    (default 0.15) and run the pipeline through the retry/circuit-
+    breaker layer; sources that stay down are recorded on each
+    record's ``degraded_sources`` instead of crashing the run.
+``--retry N``
+    Retries per source lookup under ``--inject-faults`` (default 2).
 """
 
 from __future__ import annotations
@@ -36,6 +47,8 @@ from typing import Dict, List, Optional, Tuple
 
 from . import SystemConfig, WorldConfig, build_asdb, generate_world
 from .core.persistence import dataset_to_json
+from .core.resilience import RetryPolicy
+from .datasources.faults import FaultPlan
 from .evaluation import build_gold_standard, evaluate_stages
 from .obs import MetricsRegistry, format_seconds, narrate_trace
 from .reporting import render_metrics_summary, render_table
@@ -65,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "(output is byte-identical to --workers 1)")
     classify.add_argument("--out", default=None,
                           help="write the dataset to a .csv or .json file")
+    classify.add_argument("--inject-faults", nargs="?", const=0.15,
+                          type=float, default=None, metavar="RATE",
+                          help="inject deterministic source faults "
+                          "(outages, rate limits, malformed entries, "
+                          "latency spikes) at RATE (default 0.15) and "
+                          "classify through the resilience layer")
+    classify.add_argument("--retry", type=int, default=2, metavar="N",
+                          help="retries per source lookup under "
+                          "--inject-faults (default 2)")
     _add_obs_flags(classify)
 
     lookup = sub.add_parser("lookup", help="classify and explain one AS")
@@ -157,6 +179,15 @@ def _print_stage_timings(dataset) -> None:
 def _cmd_classify(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    faults = retry = None
+    if args.inject_faults is not None:
+        faults = FaultPlan.uniform(args.inject_faults, seed=args.seed)
+        # backoff_base=0 keeps chaos runs fast: retries still happen,
+        # they just don't sleep between attempts.
+        retry = RetryPolicy(
+            seed=args.seed, max_retries=max(0, args.retry),
+            backoff_base=0.0,
+        )
     built = build_asdb(
         world,
         SystemConfig(
@@ -165,11 +196,22 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             metrics=registry,
             trace=args.trace,
             workers=args.workers,
+            faults=faults,
+            retry=retry,
         ),
     )
     dataset = built.asdb.classify_all()
     print(f"classified {len(dataset)} ASes "
           f"(coverage {dataset.coverage():.1%})")
+    if faults is not None:
+        degraded = sum(
+            1 for record in dataset if record.degraded_sources
+        )
+        errors = registry.counter(
+            "asdb_source_errors_total", labelnames=("source", "kind")
+        ).total()
+        print(f"fault injection: {degraded} records with degraded "
+              f"sources, {errors:.0f} source errors absorbed")
     for stage, count in sorted(
         dataset.stage_counts().items(), key=lambda item: -item[1]
     ):
@@ -300,8 +342,13 @@ def _cmd_dump(args: argparse.Namespace) -> int:
     from .whois import read_dump, write_dump
 
     if args.parse:
-        with open(args.parse) as handle:
-            registry = read_dump(handle)
+        try:
+            with open(args.parse) as handle:
+                registry = read_dump(handle)
+        except OSError as exc:
+            print(f"error: cannot read {args.parse}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
         print(f"parsed {len(registry)} AS objects from {args.parse}")
         stats = registry.field_availability()
         for fieldname, value in sorted(stats.items()):

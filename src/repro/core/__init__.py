@@ -19,6 +19,12 @@ from .maintenance import (
 from .parallel import Cluster, plan_clusters, run_batch
 from .persistence import dataset_from_csv, dataset_from_json, dataset_to_json
 from .pipeline import ASdb
+from .resilience import (
+    CircuitBreaker,
+    LookupOutcome,
+    ResilientSource,
+    RetryPolicy,
+)
 from .stages import Stage
 
 __all__ = [
@@ -36,6 +42,10 @@ __all__ = [
     "Cluster",
     "plan_clusters",
     "run_batch",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilientSource",
+    "LookupOutcome",
     "ConsensusResult",
     "resolve_consensus",
     "single_best_source",

@@ -54,6 +54,10 @@ class ASdbRecord:
         cache_keys: Every cache key the record was stored under (the
             name-derived key plus the domain-derived one); reclassification
             invalidates all of them.
+        degraded_sources: Sources that could not answer while this AS
+            was classified (outage, rate limit, retry exhaustion,
+            breaker open) — the record was produced from the remaining
+            stages.  Empty on a healthy run.
         trace: Per-stage span trace, when the pipeline ran with tracing
             enabled (excluded from equality/repr: two records with the
             same answer are the same record).
@@ -66,6 +70,7 @@ class ASdbRecord:
     sources: Tuple[str, ...] = ()
     org_key: Optional[str] = None
     cache_keys: Tuple[str, ...] = ()
+    degraded_sources: Tuple[str, ...] = ()
     trace: Optional[ClassificationTrace] = field(
         default=None, compare=False, repr=False
     )

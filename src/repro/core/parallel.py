@@ -204,18 +204,34 @@ def run_batch(
             for cluster in clusters
         ]
 
-        # Phase: leader fronts (cache probe, WHOIS parse) on the pool.
-        with m_phase_seconds.time(phase="front"):
-            list(pool.map(_LeaderState.advance, leaders))
+        try:
+            # Phase: leader fronts (cache probe, WHOIS parse) on the pool.
+            with m_phase_seconds.time(phase="front"):
+                list(pool.map(_LeaderState.advance, leaders))
 
-        # Phases: serve suspended requests through the bulk endpoints
-        # until every leader generator has returned.
-        pending = [state for state in leaders if state.request is not None]
-        while pending:
-            _serve_round(asdb, pool, pending, m_phase_seconds)
+            # Phases: serve suspended requests through the bulk endpoints
+            # until every leader generator has returned.
             pending = [
-                state for state in pending if state.request is not None
+                state for state in leaders if state.request is not None
             ]
+            while pending:
+                _serve_round(asdb, pool, pending, m_phase_seconds)
+                pending = [
+                    state for state in pending if state.request is not None
+                ]
+        except BaseException as exc:
+            for state in leaders:
+                if state.record is None:
+                    state.tb.fail(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            # A bulk call that raised leaves other leaders suspended
+            # mid-stage; closing their generators unwinds the open
+            # ``tb.span`` blocks so no span (or half-mutated cache
+            # write) leaks past the failed batch.
+            for state in leaders:
+                if state.record is None:
+                    state.gen.close()
 
         for state in leaders:
             records.append(_finalize_leader(asdb, state))
@@ -258,9 +274,7 @@ def _serve_round(asdb, pool, pending, m_phase_seconds) -> None:
     if waiting:
         with m_phase_seconds.time(phase="asn_match"):
             queries = [Query(asn=state.request[1]) for state in waiting]
-            pdb = asdb._peeringdb.lookup_many(queries)
-            ipinfo = asdb._ipinfo.lookup_many(queries)
-            replies.extend(zip(waiting, zip(pdb, ipinfo)))
+            replies.extend(zip(waiting, _asn_lookup_many(asdb, queries)))
 
     waiting = by_kind.get(REQUEST_ML, ())
     if waiting:
@@ -282,6 +296,33 @@ def _serve_round(asdb, pool, pending, m_phase_seconds) -> None:
         list(pool.map(
             lambda pair: pair[0].advance(pair[1]), replies
         ))
+
+
+def _asn_lookup_many(asdb, queries: Sequence[Query]) -> List[Tuple]:
+    """Bulk form of the scalar driver's stage-1 reply: one
+    ``(peeringdb, ipinfo, degraded names)`` triple per query,
+    elementwise identical to :meth:`~repro.core.pipeline.ASdb._asn_lookup`.
+    """
+    per_source: List[List[Tuple]] = []
+    for source in (asdb._peeringdb, asdb._ipinfo):
+        if hasattr(source, "try_lookup_many"):
+            per_source.append([
+                (outcome.match, outcome.failed)
+                for outcome in source.try_lookup_many(queries)
+            ])
+        else:
+            per_source.append([
+                (match, False) for match in source.lookup_many(queries)
+            ])
+    replies: List[Tuple] = []
+    for (pdb_match, pdb_failed), (ip_match, ip_failed) in zip(*per_source):
+        degraded: List[str] = []
+        if pdb_failed:
+            degraded.append(asdb._peeringdb.name)
+        if ip_failed:
+            degraded.append(asdb._ipinfo.name)
+        replies.append((pdb_match, ip_match, tuple(degraded)))
+    return replies
 
 
 def _finalize_leader(asdb, state: _LeaderState) -> ASdbRecord:

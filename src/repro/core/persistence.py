@@ -86,19 +86,22 @@ def dataset_to_json(dataset: ASdbDataset) -> str:
     """Serialize a dataset to a JSON document (lossless)."""
     records = []
     for record in dataset:
-        records.append(
-            {
-                "asn": record.asn,
-                "labels": [
-                    {"layer1": label.layer1, "layer2": label.layer2}
-                    for label in record.labels
-                ],
-                "stage": record.stage.value,
-                "domain": record.domain,
-                "sources": list(record.sources),
-                "org_key": record.org_key,
-            }
-        )
+        item = {
+            "asn": record.asn,
+            "labels": [
+                {"layer1": label.layer1, "layer2": label.layer2}
+                for label in record.labels
+            ],
+            "stage": record.stage.value,
+            "domain": record.domain,
+            "sources": list(record.sources),
+            "org_key": record.org_key,
+        }
+        # Only emitted when a source actually degraded, so documents
+        # from healthy runs stay byte-identical to the previous format.
+        if record.degraded_sources:
+            item["degraded_sources"] = list(record.degraded_sources)
+        records.append(item)
     return json.dumps({"format": "asdb-repro/1", "records": records},
                       indent=2)
 
@@ -124,6 +127,7 @@ def dataset_from_json(text: str) -> ASdbDataset:
                 domain=item.get("domain"),
                 sources=tuple(item.get("sources", ())),
                 org_key=item.get("org_key"),
+                degraded_sources=tuple(item.get("degraded_sources", ())),
             )
         )
     return dataset

@@ -111,7 +111,7 @@ class ASdb:
         self._use_cache = use_cache
         self._trace_enabled = trace
         self._workers = max(1, workers)
-        self.metrics = metrics or NULL_REGISTRY
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.cache: OrganizationCache[ASdbRecord] = OrganizationCache()
         self.dataset = ASdbDataset()
 
@@ -214,18 +214,21 @@ class ASdb:
         return record
 
     def _drive(self, asn: int, tb) -> ASdbRecord:
-        """Serve every request of one AS's stage generator, inline."""
+        """Serve every request of one AS's stage generator, inline.
+
+        A served call that raises aborts this AS only: the error lands
+        on the trace builder and the suspended generator is *closed* in
+        the ``finally`` — its ``with tb.span(...)`` blocks unwind, so
+        no span is left open and no half-mutated cache entry survives
+        behind an exception.
+        """
         steps = self._classify_steps(asn, tb)
         try:
             request = next(steps)
             while True:
                 kind = request[0]
                 if kind == REQUEST_ASN_MATCH:
-                    query = Query(asn=request[1])
-                    reply: object = (
-                        self._peeringdb.lookup(query),
-                        self._ipinfo.lookup(query),
-                    )
+                    reply: object = self._asn_lookup(Query(asn=request[1]))
                 elif kind == REQUEST_ML:
                     reply = self._ml.classify_domain(request[1])
                 else:  # REQUEST_SOURCES
@@ -235,6 +238,32 @@ class ASdb:
                 request = steps.send(reply)
         except StopIteration as stop:
             return stop.value
+        except BaseException as exc:
+            tb.fail(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            steps.close()
+
+    def _asn_lookup(
+        self, query: Query
+    ) -> Tuple[Optional[SourceMatch], Optional[SourceMatch], Tuple[str, ...]]:
+        """Stage 1's reply: (peeringdb, ipinfo, degraded source names).
+
+        Sources wrapped by the resilience layer report failures as
+        degraded names; bare sources keep the original semantics (a
+        raising lookup propagates).
+        """
+        matches: List[Optional[SourceMatch]] = []
+        degraded: List[str] = []
+        for source in (self._peeringdb, self._ipinfo):
+            if hasattr(source, "try_lookup"):
+                outcome = source.try_lookup(query)
+                if outcome.failed:
+                    degraded.append(source.name)
+                matches.append(outcome.match)
+            else:
+                matches.append(source.lookup(query))
+        return matches[0], matches[1], tuple(degraded)
 
     def _classify_steps(self, asn: int, tb):
         """The Figure-4 stage sequence for one AS, as a generator.
@@ -273,16 +302,19 @@ class ASdb:
                     sources=cached.sources,
                     org_key=cached.org_key,
                     cache_keys=cached.cache_keys,
+                    degraded_sources=cached.degraded_sources,
                 )
 
         # Stage 1: ASN-keyed lookups.
         with tb.span("asn_match") as span:
-            pdb_match, ipinfo_match = yield (REQUEST_ASN_MATCH, asn)
+            pdb_match, ipinfo_match, degraded = yield (REQUEST_ASN_MATCH, asn)
             high_confidence = self._is_high_confidence(pdb_match)
             span.note(
                 peeringdb="match" if pdb_match is not None else "miss",
                 ipinfo="match" if ipinfo_match is not None else "miss",
             )
+            if degraded:
+                span.note(degraded=degraded)
             span.set_status(
                 "high_confidence" if high_confidence else "no_high_confidence"
             )
@@ -295,6 +327,7 @@ class ASdb:
                 domain=pdb_match.entry.domain,
                 sources=("peeringdb",),
                 name_key=name_key,
+                degraded=degraded,
             )
 
         # Stage 2: domain extraction with ASN-source hints.
@@ -340,6 +373,11 @@ class ASdb:
                 span.note(**{name: "accepted"})
             for name, reason in sorted(resolved.rejected_reasons.items()):
                 span.note(**{name: f"rejected ({reason})"})
+            if resolved.degraded:
+                span.note(degraded=resolved.degraded)
+            degraded = degraded + tuple(
+                name for name in resolved.degraded if name not in degraded
+            )
 
         # Stage 5: consensus pool = identifier-keyed matches + ASN-keyed
         # matches that carry NAICSlite information.
@@ -384,7 +422,7 @@ class ASdb:
 
         return self._finish(
             asn, contact, final_labels, final_stage, domain,
-            final_sources, name_key,
+            final_sources, name_key, degraded=degraded,
         )
 
     # -- helpers ---------------------------------------------------------------
@@ -428,6 +466,7 @@ class ASdb:
         domain: Optional[str],
         sources: Tuple[str, ...],
         name_key: Optional[str],
+        degraded: Tuple[str, ...] = (),
     ) -> ASdbRecord:
         domain_key = org_cache_key(contact, domain)
         keys = tuple(
@@ -441,6 +480,7 @@ class ASdb:
             sources=sources,
             org_key=domain_key or name_key,
             cache_keys=keys,
+            degraded_sources=degraded,
         )
         if self._use_cache and labels:
             for key in keys:

@@ -17,6 +17,15 @@ from .caida import CaidaASClassification
 from .clearbit import Clearbit
 from .crunchbase import Crunchbase
 from .dnb import DunBradstreet
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultySource,
+    RateLimited,
+    SourceFault,
+    SourceOutage,
+    is_malformed_match,
+)
 from .ipinfo import IPinfo
 from .peeringdb import PeeringDB
 from .zoominfo import ZoomInfo
@@ -37,4 +46,11 @@ __all__ = [
     "PeeringDB",
     "IPinfo",
     "CaidaASClassification",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultySource",
+    "SourceFault",
+    "SourceOutage",
+    "RateLimited",
+    "is_malformed_match",
 ]

@@ -128,7 +128,9 @@ class DataSource(abc.ABC):
         Sources that cannot be indexed by organization (e.g. pure website
         classifiers) override this with their own semantics.
         """
-        raise NotImplementedError
+        raise NotImplementedError(
+            f"data source {self.name!r} is not indexable by organization"
+        )
 
     def coverage_count(self) -> int:
         """Number of classified entries in the directory (0 if unknown)."""

@@ -372,7 +372,12 @@ def pairwise_precision_rows(
         org = world.org_of_asn(entry.asn)
         matched: Dict[str, LabelSet] = {}
         for name in names:
-            match = sources[name].lookup_by_org(org.org_id)
+            try:
+                match = sources[name].lookup_by_org(org.org_id)
+            except NotImplementedError:
+                # Source not indexable by organization: it simply never
+                # participates in an agreement combination.
+                continue
             if match is not None and match.labels:
                 matched[name] = match.labels
         for combo in combos:

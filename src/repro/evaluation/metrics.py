@@ -99,7 +99,12 @@ def evaluate_source(
 
     for entry in dataset.labeled_entries():
         org = world.org_of_asn(entry.asn)
-        match = source.lookup_by_org(org.org_id)
+        try:
+            match = source.lookup_by_org(org.org_id)
+        except NotImplementedError:
+            # Source not indexable by organization (e.g. a pure website
+            # classifier): counts as no coverage, not a harness crash.
+            match = None
         covered = match is not None and bool(match.labels)
         tech = entry.is_tech
         coverage_pairs.append((True, covered))

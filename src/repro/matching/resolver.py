@@ -48,6 +48,9 @@ class ResolvedSources:
             domain contradiction) - kept for evaluation breakdowns.
         rejected_reasons: Source name -> why its match was rejected
             (``low_confidence`` or ``domain_mismatch``).
+        degraded: Sources that could not answer at all (outage, retry
+            exhaustion, breaker open) — only populated when the sources
+            are wrapped by the resilience layer.
     """
 
     asn: int
@@ -55,6 +58,7 @@ class ResolvedSources:
     matches: Dict[str, SourceMatch] = field(default_factory=dict)
     rejected: Tuple[str, ...] = ()
     rejected_reasons: Dict[str, str] = field(default_factory=dict)
+    degraded: Tuple[str, ...] = ()
 
 
 class EntityResolver:
@@ -87,7 +91,7 @@ class EntityResolver:
         self._sources = list(sources)
         self._dnb_threshold = dnb_confidence_threshold
         self._reject_mismatch = reject_domain_mismatch
-        registry = metrics or NULL_REGISTRY
+        registry = metrics if metrics is not None else NULL_REGISTRY
         self._m_choice_seconds = registry.histogram(
             "asdb_domain_choice_seconds",
             "Most-likely-domain selection latency per AS.",
@@ -136,8 +140,16 @@ class EntityResolver:
         matches: Dict[str, SourceMatch] = {}
         rejected: List[str] = []
         reasons: Dict[str, str] = {}
+        degraded: List[str] = []
         for source in self._sources:
-            match = source.lookup(query)
+            if hasattr(source, "try_lookup"):
+                outcome = source.try_lookup(query)
+                if outcome.failed:
+                    degraded.append(source.name)
+                    continue
+                match = outcome.match
+            else:
+                match = source.lookup(query)
             if match is None:
                 continue
             reason = self._reject_reason(match, domain)
@@ -154,6 +166,7 @@ class EntityResolver:
             matches=matches,
             rejected=tuple(rejected),
             rejected_reasons=reasons,
+            degraded=tuple(degraded),
         )
 
     def match_sources_many(
@@ -182,8 +195,16 @@ class EntityResolver:
         matches: List[Dict[str, SourceMatch]] = [{} for _ in items]
         rejected: List[List[str]] = [[] for _ in items]
         reasons: List[Dict[str, str]] = [{} for _ in items]
+        degraded: List[List[str]] = [[] for _ in items]
         for source in self._sources:
-            results = source.lookup_many(queries)
+            if hasattr(source, "try_lookup_many"):
+                results = [
+                    outcome.match for outcome in self._note_degraded(
+                        source, source.try_lookup_many(queries), degraded
+                    )
+                ]
+            else:
+                results = source.lookup_many(queries)
             for index, match in enumerate(results):
                 if match is None:
                     continue
@@ -206,9 +227,19 @@ class EntityResolver:
                 matches=matches[index],
                 rejected=tuple(rejected[index]),
                 rejected_reasons=reasons[index],
+                degraded=tuple(degraded[index]),
             )
             for index, (contact, domain) in enumerate(items)
         ]
+
+    @staticmethod
+    def _note_degraded(source, outcomes, degraded: List[List[str]]):
+        """Record failed slots of a bulk resilient lookup, pass the
+        outcomes through unchanged."""
+        for index, outcome in enumerate(outcomes):
+            if outcome.failed:
+                degraded[index].append(source.name)
+        return outcomes
 
     def resolve(
         self,

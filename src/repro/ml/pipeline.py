@@ -107,7 +107,7 @@ class WebClassificationPipeline:
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._scraper = scraper
-        registry = metrics or NULL_REGISTRY
+        registry = metrics if metrics is not None else NULL_REGISTRY
         self._m_classify_seconds = registry.histogram(
             "asdb_ml_classify_seconds",
             "Scrape+classify latency per domain.",

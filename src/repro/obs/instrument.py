@@ -48,6 +48,13 @@ class InstrumentedSource:
     anywhere a source is accepted, including consensus ranking by name.
     """
 
+    #: Marks the source as already carrying lookup metering, so
+    #: :func:`instrument_source` leaves it alone.  Duck-typed (rather
+    #: than isinstance) so outer wrappers from higher layers — e.g.
+    #: ``repro.core.resilience.ResilientSource`` — can claim it too
+    #: without this leaf package importing them.
+    already_metered = True
+
     def __init__(self, inner, registry: MetricsRegistry) -> None:
         self._inner = inner
         self.name = inner.name
@@ -123,6 +130,6 @@ def instrument_source(source, registry: Optional[MetricsRegistry]):
     """
     if registry is None or isinstance(registry, NullRegistry):
         return source
-    if isinstance(source, InstrumentedSource):
+    if getattr(source, "already_metered", False):
         return source
     return InstrumentedSource(source, registry)

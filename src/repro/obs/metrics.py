@@ -530,5 +530,7 @@ class NullRegistry(MetricsRegistry):
         return _NULL_HISTOGRAM
 
 
-#: Shared no-op registry; ``metrics or NULL_REGISTRY`` is the idiom.
+#: Shared no-op registry.  Substitute it with an explicit ``is not None``
+#: check — ``metrics if metrics is not None else NULL_REGISTRY`` — never
+#: with ``or``: an empty MetricsRegistry has ``len() == 0`` and is falsy.
 NULL_REGISTRY = NullRegistry()

@@ -66,4 +66,6 @@ def narrate_trace(trace: ClassificationTrace) -> str:
     name_width = max((len(span.name) for span in trace.spans), default=0)
     for span in trace.spans:
         lines.extend(_span_lines(span, name_width))
+    if trace.error is not None:
+        lines.append(f"  aborted: {trace.error}")
     return "\n".join(lines)

@@ -55,11 +55,16 @@ class ClassificationTrace:
         asn: The AS traced.
         spans: Completed stage spans, in execution order.
         total_seconds: End-to-end wall time.
+        error: Why classification aborted, when it did (None on the
+            normal path).  Set via :meth:`TraceBuilder.fail` by the
+            drivers' error handling, so an aborted AS still leaves a
+            finished, inspectable trace.
     """
 
     asn: int
     spans: Tuple[Span, ...]
     total_seconds: float
+    error: Optional[str] = None
 
     def span(self, name: str) -> Optional[Span]:
         """The first span with a given stage name, or None."""
@@ -77,7 +82,7 @@ class ClassificationTrace:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-able representation for export alongside the dataset."""
-        return {
+        document: Dict[str, object] = {
             "asn": self.asn,
             "total_seconds": self.total_seconds,
             "spans": [
@@ -91,6 +96,9 @@ class ClassificationTrace:
                 for span in self.spans
             ],
         }
+        if self.error is not None:
+            document["error"] = self.error
+        return document
 
 
 class _SpanRecorder:
@@ -136,10 +144,16 @@ class TraceBuilder:
         self.asn = asn
         self._origin = time.perf_counter()
         self._spans: List[Span] = []
+        self._error: Optional[str] = None
 
     def span(self, name: str) -> _SpanRecorder:
         """``with builder.span("ml") as span: ...`` records one stage."""
         return _SpanRecorder(self, name)
+
+    def fail(self, message: str) -> None:
+        """Mark the classification as aborted; the first error sticks."""
+        if self._error is None:
+            self._error = message
 
     def _record(self, span: Span) -> None:
         self._spans.append(span)
@@ -150,6 +164,7 @@ class TraceBuilder:
             asn=self.asn,
             spans=tuple(self._spans),
             total_seconds=time.perf_counter() - self._origin,
+            error=self._error,
         )
 
 
@@ -184,6 +199,9 @@ class NullTraceBuilder:
 
     def span(self, name: str) -> _NullSpanRecorder:
         return _NULL_SPAN
+
+    def fail(self, message: str) -> None:
+        return None
 
     def finish(self) -> None:
         return None

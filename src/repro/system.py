@@ -17,7 +17,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from .core.pipeline import ASdb
 from .core.consensus import resolve_consensus
+from .core.resilience import ResilientSource, RetryPolicy
 from .datasources import Crunchbase, DunBradstreet, IPinfo, PeeringDB, Zvelo
+from .datasources.faults import FaultPlan, FaultySource
 from .matching.domains import DomainFrequencyIndex
 from .matching.resolver import EntityResolver
 from .ml.pipeline import WebClassificationPipeline
@@ -49,6 +51,13 @@ class SystemConfig:
         workers: Default worker count for ``classify_all``; above 1 the
             whole-registry pass runs through the batch engine (output
             stays byte-identical to the sequential pass).
+        faults: Fault-injection plan applied to every source (testing /
+            chaos runs); None leaves the sources untouched.
+        retry: Retry/breaker policy wrapped around every source.  None
+            means no resilience wrapping *unless* ``faults`` is set, in
+            which case a default policy seeded from ``seed`` is used —
+            injecting faults without a degradation path would just
+            crash the run.
     """
 
     seed: int = 0
@@ -60,6 +69,8 @@ class SystemConfig:
     metrics: Optional[MetricsRegistry] = None
     trace: bool = False
     workers: int = 1
+    faults: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
 
 
 @dataclass(frozen=True)
@@ -88,6 +99,28 @@ def build_sources(world: World, seed: int = 0):
     )
 
 
+def _harden_source(source, config: SystemConfig):
+    """Apply the configured observability + resilience wrapping.
+
+    Innermost to outermost: metering -> fault injection -> retry/breaker,
+    so injected faults are retried exactly like real ones.  With neither
+    ``faults`` nor ``retry`` configured this reduces to the plain
+    instrumented source and the pipeline behaves byte-identically to an
+    unwrapped build.
+    """
+    wrapped = instrument_source(source, config.metrics)
+    if config.faults is not None:
+        wrapped = FaultySource(wrapped, config.faults,
+                               source_name=source.name)
+    if config.faults is not None or config.retry is not None:
+        policy = (
+            config.retry if config.retry is not None
+            else RetryPolicy(seed=config.seed)
+        )
+        wrapped = ResilientSource(wrapped, policy, metrics=config.metrics)
+    return wrapped
+
+
 def build_asdb(
     world: World, config: SystemConfig = SystemConfig()
 ) -> BuiltSystem:
@@ -102,10 +135,10 @@ def build_asdb(
     resolver = EntityResolver(
         world.web,
         frequency_index,
-        # instrument_source is a no-op without a registry, so the
-        # uninstrumented wiring is byte-identical to before.
+        # _harden_source is a no-op without a registry/faults/retry, so
+        # the default wiring is byte-identical to before.
         sources=[
-            instrument_source(source, config.metrics)
+            _harden_source(source, config)
             for source in (dnb, crunchbase, zvelo)
         ],
         dnb_confidence_threshold=config.dnb_confidence_threshold,
@@ -129,8 +162,8 @@ def build_asdb(
     asdb = ASdb(
         registry=world.registry,
         resolver=resolver,
-        peeringdb=peeringdb,
-        ipinfo=ipinfo,
+        peeringdb=_harden_source(peeringdb, config),
+        ipinfo=_harden_source(ipinfo, config),
         ml_pipeline=ml_pipeline,
         consensus_strategy=resolve_consensus,
         use_cache=config.use_cache,

@@ -89,7 +89,7 @@ class Scraper:
         self._max_internal_pages = max_internal_pages
         self._translate = translate
         self._follow_internal_links = follow_internal_links
-        registry = metrics or NULL_REGISTRY
+        registry = metrics if metrics is not None else NULL_REGISTRY
         self._m_scrape_seconds = registry.histogram(
             "asdb_scrape_seconds",
             "Site scrape latency (fetch, link-follow, translate).",
