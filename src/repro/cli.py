@@ -7,6 +7,9 @@ Subcommands::
     python -m repro evaluate  --n-orgs 800 --seed 33
     python -m repro taxonomy  [--layer1 finance]
     python -m repro stats     --n-orgs 200 --format summary
+    python -m repro snapshot  --store releases --n-orgs 200 --seed 42
+    python -m repro refresh   --store releases --days 90
+    python -m repro diff      --store releases --from 1 --to 2
 
 ``classify`` builds a world, runs the full pipeline, and writes the
 dataset (CSV or JSON by extension); ``--workers N`` runs the pass
@@ -14,6 +17,16 @@ through the parallel batch engine with byte-identical output.  ``lookup`` narrat
 the pipeline.  ``evaluate`` reproduces the gold-standard evaluation.
 ``taxonomy`` prints the NAICSlite category system.  ``stats`` runs a
 classification pass and prints the collected pipeline metrics.
+
+Release maintenance (Section 5.3): ``snapshot`` classifies a fresh
+world through a baseline maintenance sweep and stores release v1 in a
+versioned snapshot store (with world provenance in the manifest).
+``refresh`` reopens a store, replays its recorded churn history,
+simulates ``--days`` more days of registrations/metadata churn, and
+runs one *incremental* sweep — only the changed ASNs are reclassified
+(through the batch engine) and stored as a delta-encoded version.
+``diff`` reports added/removed/relabeled/stage-changed ASNs between
+any two stored versions.
 
 Observability flags (``classify`` and ``lookup``):
 
@@ -42,17 +55,21 @@ Resilience flags (``classify``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional, Tuple
 
 from . import SystemConfig, WorldConfig, build_asdb, generate_world
+from .core.maintenance import MaintenanceDaemon
 from .core.persistence import dataset_to_json
 from .core.resilience import RetryPolicy
+from .core.snapshots import SnapshotError, SnapshotStore
 from .datasources.faults import FaultPlan
 from .evaluation import build_gold_standard, evaluate_stages
-from .obs import MetricsRegistry, format_seconds, narrate_trace
+from .obs import MetricsRegistry, format_seconds, narrate_sweep, narrate_trace
 from .reporting import render_metrics_summary, render_table
 from .taxonomy import naicslite
+from .world import simulate_churn
 
 __all__ = ["main", "build_parser"]
 
@@ -118,6 +135,55 @@ def build_parser() -> argparse.ArgumentParser:
     taxonomy = sub.add_parser("taxonomy", help="print NAICSlite")
     taxonomy.add_argument("--layer1", default=None,
                           help="restrict to one layer 1 slug")
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="classify a fresh world and store release v1 in a "
+        "versioned snapshot store",
+    )
+    snapshot.add_argument("--store", required=True, metavar="DIR",
+                          help="snapshot store directory (created if "
+                          "missing; must not already hold versions)")
+    snapshot.add_argument("--n-orgs", type=int, default=200)
+    snapshot.add_argument("--seed", type=int, default=42)
+    snapshot.add_argument("--no-ml", action="store_true",
+                          help="skip the ML pipeline stage")
+    snapshot.add_argument("--workers", type=int, default=1,
+                          help="worker threads for the batch engine")
+    snapshot.add_argument("--trace", action="store_true",
+                          help="record per-phase sweep spans")
+    snapshot.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="write the sweep metrics snapshot to FILE")
+
+    refresh = sub.add_parser(
+        "refresh",
+        help="simulate churn and incrementally refresh a snapshot store",
+    )
+    refresh.add_argument("--store", required=True, metavar="DIR")
+    refresh.add_argument("--days", type=int, required=True,
+                         help="days of registration/metadata churn to "
+                         "simulate before the sweep")
+    refresh.add_argument("--churn-seed", type=int, default=None,
+                         help="seed for this churn epoch (default: the "
+                         "epoch number)")
+    refresh.add_argument("--workers", type=int, default=1,
+                         help="worker threads for the sweep's batch pass")
+    refresh.add_argument("--trace", action="store_true",
+                         help="record per-phase sweep spans")
+    refresh.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write the sweep metrics snapshot to FILE")
+
+    diff = sub.add_parser(
+        "diff", help="diff two stored dataset versions"
+    )
+    diff.add_argument("--store", required=True, metavar="DIR")
+    diff.add_argument("--from", dest="from_version", type=int,
+                      default=None, metavar="V",
+                      help="older version (default: latest - 1)")
+    diff.add_argument("--to", dest="to_version", type=int, default=None,
+                      metavar="V", help="newer version (default: latest)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the diff as a JSON document")
 
     dump = sub.add_parser(
         "dump",
@@ -338,6 +404,156 @@ def _cmd_taxonomy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.store)
+    if len(store):
+        print(f"error: {args.store} already holds {len(store)} "
+              f"version(s); use `repro refresh`", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    built = build_asdb(
+        world,
+        SystemConfig(
+            seed=args.seed,
+            train_ml=not args.no_ml,
+            metrics=registry,
+            trace=args.trace,
+            workers=args.workers,
+            snapshot_dir=args.store,
+        ),
+    )
+    report = built.daemon.sweep(current_day=0)
+    built.snapshots.set_meta({
+        "n_orgs": args.n_orgs,
+        "world_seed": args.seed,
+        "train_ml": not args.no_ml,
+        "last_day": 0,
+        "epochs": [],
+    })
+    print(narrate_sweep(report))
+    info = built.snapshots.latest()
+    print(f"store {args.store}: v{info.version} ({info.kind}, "
+          f"{info.record_count} records)")
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+    return 0
+
+
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    probe = SnapshotStore(args.store)
+    if not len(probe):
+        print(f"error: {args.store} holds no versions; run "
+              f"`repro snapshot` first", file=sys.stderr)
+        return 2
+    meta = dict(probe.meta)
+    if "n_orgs" not in meta or "world_seed" not in meta:
+        print(f"error: {args.store} has no world provenance; was it "
+              f"created by `repro snapshot`?", file=sys.stderr)
+        return 2
+    if args.days < 0:
+        print("error: --days must be >= 0", file=sys.stderr)
+        return 2
+
+    registry = MetricsRegistry()
+    world = generate_world(
+        WorldConfig(n_orgs=int(meta["n_orgs"]),
+                    seed=int(meta["world_seed"]))
+    )
+    # Replay the recorded churn history so the registry reaches the
+    # state the latest snapshot was swept from.
+    epochs = list(meta.get("epochs", []))
+    for epoch in epochs:
+        simulate_churn(world, days=int(epoch["days"]),
+                       seed=int(epoch["seed"]),
+                       start_day=int(epoch["start_day"]))
+    built = build_asdb(
+        world,
+        SystemConfig(
+            seed=int(meta["world_seed"]),
+            train_ml=bool(meta.get("train_ml", True)),
+            metrics=registry,
+            trace=args.trace,
+            workers=args.workers,
+            snapshot_dir=args.store,
+        ),
+    )
+    store = built.snapshots
+    built.asdb.dataset = store.load()
+
+    last_day = int(meta.get("last_day", 0))
+    epoch_seed = (
+        args.churn_seed if args.churn_seed is not None else len(epochs) + 1
+    )
+    stats = simulate_churn(world, days=args.days, seed=epoch_seed,
+                           start_day=last_day + 1)
+    daemon = MaintenanceDaemon(
+        built.asdb, workers=args.workers, snapshots=store,
+        last_day=last_day,
+    )
+    report = daemon.sweep(last_day + args.days)
+    meta["epochs"] = epochs + [{
+        "start_day": last_day + 1, "days": args.days, "seed": epoch_seed,
+    }]
+    meta["last_day"] = last_day + args.days
+    store.set_meta(meta)
+
+    print(narrate_sweep(report))
+    exact = report.changed_asns == stats.changed_asns
+    print(f"reclassified {report.reclassified} ASes "
+          f"({len(report.new_asns)} new, "
+          f"{len(report.updated_asns)} updated)")
+    print(f"reclassified exactly the churned set: {exact}")
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+    return 0 if exact else 1
+
+
+def _format_asns(asns: Tuple[int, ...], limit: int = 12) -> str:
+    shown = ", ".join(f"AS{asn}" for asn in asns[:limit])
+    extra = len(asns) - limit
+    return shown + (f", (+{extra} more)" if extra > 0 else "")
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.store)
+    old = args.from_version
+    new = args.to_version
+    if new is None:
+        new = len(store)
+    if old is None:
+        old = new - 1
+    try:
+        diff = store.diff(old, new)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "from": old,
+            "to": new,
+            "added": list(diff.added),
+            "removed": list(diff.removed),
+            "relabeled": list(diff.relabeled),
+            "stage_changed": list(diff.stage_changed),
+        }, indent=2))
+        return 0
+    print(f"v{old} -> v{new}: {len(diff.added)} added, "
+          f"{len(diff.removed)} removed, {len(diff.relabeled)} "
+          f"relabeled, {len(diff.stage_changed)} stage-changed")
+    for title, asns in (
+        ("added", diff.added),
+        ("removed", diff.removed),
+        ("relabeled", diff.relabeled),
+        ("stage-changed", diff.stage_changed),
+    ):
+        if asns:
+            print(f"  {title}: {_format_asns(asns)}")
+    if diff.empty:
+        print("  (datasets are classification-identical)")
+    return 0
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     from .whois import read_dump, write_dump
 
@@ -375,5 +591,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "taxonomy": _cmd_taxonomy,
         "dump": _cmd_dump,
         "stats": _cmd_stats,
+        "snapshot": _cmd_snapshot,
+        "refresh": _cmd_refresh,
+        "diff": _cmd_diff,
     }
     return handlers[args.command](args)

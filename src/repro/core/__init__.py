@@ -11,13 +11,28 @@ from .consensus import (
 from .database import ASdbDataset, ASdbRecord, DatasetDiff
 from .maintenance import (
     Correction,
+    CorrectionError,
     CorrectionQueue,
     CorrectionStatus,
     MaintenanceDaemon,
     SweepReport,
+    TicketAlreadyReviewedError,
+    UnknownTicketError,
 )
 from .parallel import Cluster, plan_clusters, run_batch
-from .persistence import dataset_from_csv, dataset_from_json, dataset_to_json
+from .persistence import (
+    dataset_from_csv,
+    dataset_from_json,
+    dataset_to_json,
+    record_from_item,
+    record_to_item,
+)
+from .snapshots import (
+    SnapshotCorruption,
+    SnapshotError,
+    SnapshotInfo,
+    SnapshotStore,
+)
 from .pipeline import ASdb
 from .resilience import (
     CircuitBreaker,
@@ -56,4 +71,13 @@ __all__ = [
     "Correction",
     "CorrectionQueue",
     "CorrectionStatus",
+    "CorrectionError",
+    "UnknownTicketError",
+    "TicketAlreadyReviewedError",
+    "SnapshotStore",
+    "SnapshotInfo",
+    "SnapshotError",
+    "SnapshotCorruption",
+    "record_to_item",
+    "record_from_item",
 ]

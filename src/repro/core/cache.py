@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Generic, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Iterable, Optional, Tuple, TypeVar
 
 from ..whois.extraction import ExtractedContact
 from ..world.names import tokenize_name
@@ -105,6 +105,18 @@ class OrganizationCache(Generic[T]):
         if key is not None:
             with self._lock:
                 self._store.pop(key, None)
+
+    def invalidate_keys(self, keys: Iterable[Optional[str]]) -> None:
+        """Drop many keys under one lock hold (Nones are ignored).
+
+        Maintenance sweeps purge every alias of every touched record
+        before reclassifying; doing it in one critical section keeps a
+        concurrent batch from observing a half-purged organization.
+        """
+        with self._lock:
+            for key in keys:
+                if key is not None:
+                    self._store.pop(key, None)
 
     def invalidate_record(self, record: T) -> None:
         """Drop every key still mapping to ``record``.

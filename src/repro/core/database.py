@@ -28,16 +28,36 @@ class DatasetDiff:
         added: ASNs present only in the newer snapshot.
         removed: ASNs present only in the older snapshot.
         relabeled: ASNs whose label sets changed.
+        stage_changed: ASNs whose labels survived but whose producing
+            pipeline stage changed (e.g. a cache hit re-resolved from
+            sources after its sibling's metadata churned).  Disjoint
+            from ``relabeled``.
     """
 
     added: Tuple[int, ...]
     removed: Tuple[int, ...]
     relabeled: Tuple[int, ...]
+    stage_changed: Tuple[int, ...] = ()
 
     @property
     def empty(self) -> bool:
-        """Whether the snapshots are label-identical."""
-        return not (self.added or self.removed or self.relabeled)
+        """Whether the snapshots are classification-identical."""
+        return not (
+            self.added or self.removed or self.relabeled
+            or self.stage_changed
+        )
+
+    @property
+    def changed_asns(self) -> Tuple[int, ...]:
+        """Every ASN the diff mentions, ascending, each once."""
+        return tuple(
+            sorted(
+                set(self.added)
+                | set(self.removed)
+                | set(self.relabeled)
+                | set(self.stage_changed)
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -172,10 +192,18 @@ class ASdbDataset:
             if asn in other._records
             and record.labels != other._records[asn].labels
         )
+        stage_changed = sorted(
+            asn
+            for asn, record in self._records.items()
+            if asn in other._records
+            and record.labels == other._records[asn].labels
+            and record.stage is not other._records[asn].stage
+        )
         return DatasetDiff(
             added=tuple(added),
             removed=tuple(removed),
             relabeled=tuple(relabeled),
+            stage_changed=tuple(stage_changed),
         )
 
     def to_csv(self) -> str:

@@ -5,11 +5,22 @@ per day (19 new organizations/day) and 4% of registered ASes changed their
 ownership metadata at least once, implying ~140 updates per week.  This
 module implements the machinery that keeps the dataset fresh:
 
-* :class:`MaintenanceDaemon` - periodically sweeps the WHOIS registry for
-  registrations/updates since the last sweep and (re)classifies them;
+* :class:`MaintenanceDaemon` - the incremental refresh engine: each
+  sweep collects the registry changes inside a *bounded* window
+  ``(last_day, current_day]``, purges every cache alias of every
+  touched organization, drives the changed ASNs through
+  :meth:`~repro.core.pipeline.ASdb.classify_batch` (so workers, retry,
+  circuit breakers, and graceful degradation all apply), and — when a
+  :class:`~repro.core.snapshots.SnapshotStore` is attached — records
+  the result as a new dataset version with the window as provenance;
 * :class:`CorrectionQueue` - the community-corrections workflow: anyone
   may submit a correction, a human reviewer verifies it, and only then is
   it integrated into the dataset.
+
+Sweeps are observable: counters/gauges/histograms land in the pipeline's
+:class:`~repro.obs.MetricsRegistry` (``asdb_sweep_*``), and with tracing
+enabled each :class:`SweepReport` carries a per-phase span trace
+(window -> purge -> classify -> snapshot).
 """
 
 from __future__ import annotations
@@ -18,9 +29,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import ClassificationTrace, trace_builder
 from ..taxonomy import LabelSet
 from .database import ASdbRecord
 from .pipeline import ASdb
+from .snapshots import SnapshotStore
 from .stages import Stage
 
 __all__ = [
@@ -28,6 +41,9 @@ __all__ = [
     "MaintenanceDaemon",
     "Correction",
     "CorrectionStatus",
+    "CorrectionError",
+    "UnknownTicketError",
+    "TicketAlreadyReviewedError",
     "CorrectionQueue",
 ]
 
@@ -37,11 +53,19 @@ class SweepReport:
     """Outcome of one maintenance sweep.
 
     Attributes:
-        since_day: Sweep covered changes strictly after this day.
-        through_day: ... up to and including this day.
+        since_day: Sweep covered changes strictly after this day (-1
+            marks the baseline sweep, which covers all of history from
+            day 0).
+        through_day: ... up to and including this day.  Changes dated
+            later are left for the next sweep.
         new_asns: ASNs first registered in the window.
         updated_asns: Previously known ASNs whose metadata changed.
         reclassified: Number of ASes re-run through the pipeline.
+        snapshot_version: Version the sweep stored, when the daemon has
+            a snapshot store attached.
+        trace: Per-phase span trace, when tracing is enabled (excluded
+            from equality: two sweeps with the same outcome are the
+            same sweep).
     """
 
     since_day: int
@@ -49,49 +73,199 @@ class SweepReport:
     new_asns: Tuple[int, ...]
     updated_asns: Tuple[int, ...]
     reclassified: int
+    snapshot_version: Optional[int] = None
+    trace: Optional[ClassificationTrace] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def is_baseline(self) -> bool:
+        """Whether this was the first sweep (full-history window)."""
+        return self.since_day < 0
+
+    @property
+    def window_days(self) -> int:
+        """Days the sweep window covers, with the first sweep explicit.
+
+        The baseline sweep covers days ``0..through_day`` inclusive —
+        ``through_day + 1`` days — rather than inheriting the sentinel
+        ``since_day=-1`` as if it were a real day.  A same-day
+        incremental sweep covers 0 days (and can have found nothing).
+        """
+        if self.is_baseline:
+            return self.through_day + 1
+        return self.through_day - self.since_day
+
+    @property
+    def changed_asns(self) -> Tuple[int, ...]:
+        """Every ASN the sweep touched, ascending."""
+        return tuple(sorted(self.new_asns + self.updated_asns))
 
     @property
     def updates_per_week(self) -> float:
-        """Average (new + updated) ASes per 7-day window."""
-        days = max(1, self.through_day - self.since_day)
+        """Average (new + updated) ASes per 7-day window.
+
+        An empty window (same-day sweep) reports 0.0 instead of
+        silently clamping the divisor to one day.
+        """
+        days = self.window_days
+        if days <= 0:
+            return 0.0
         total = len(self.new_asns) + len(self.updated_asns)
         return total * 7.0 / days
 
 
 class MaintenanceDaemon:
-    """Sweeps the registry and keeps the ASdb dataset current."""
+    """Sweeps the registry and keeps the ASdb dataset current.
 
-    def __init__(self, asdb: ASdb) -> None:
+    Args:
+        asdb: The pipeline whose dataset/cache the daemon maintains.
+        workers: Default worker count for each sweep's batch pass.
+        snapshots: Optional store; every sweep then records a dataset
+            version carrying the sweep window and provenance.
+        last_day: Day the previous sweep ran (-1 before the first);
+            pass a stored value to resume a release history across
+            processes.
+    """
+
+    def __init__(
+        self,
+        asdb: ASdb,
+        workers: int = 1,
+        snapshots: Optional[SnapshotStore] = None,
+        last_day: int = -1,
+    ) -> None:
         self._asdb = asdb
-        self._last_day = -1
+        self._workers = max(1, workers)
+        self._snapshots = snapshots
+        self._last_day = last_day
+
+        metrics = asdb.metrics
+        self._m_sweeps = metrics.counter(
+            "asdb_sweep_total", "Maintenance sweeps run."
+        )
+        self._m_changed = metrics.counter(
+            "asdb_sweep_changed_total",
+            "Registry changes collected by sweeps, by kind.",
+            ("kind",),
+        )
+        for kind in ("new", "updated"):
+            self._m_changed.inc(0, kind=kind)
+        self._m_reclassified = metrics.counter(
+            "asdb_sweep_reclassified_total",
+            "ASes re-run through the pipeline by sweeps.",
+        )
+        self._m_last_day = metrics.gauge(
+            "asdb_sweep_last_day", "Day the most recent sweep covered."
+        )
+        self._m_seconds = metrics.histogram(
+            "asdb_sweep_seconds", "Wall time per maintenance sweep."
+        )
+        self._m_snapshot_version = metrics.gauge(
+            "asdb_snapshot_version",
+            "Latest dataset version stored by a sweep.",
+        )
 
     @property
     def last_swept_day(self) -> int:
         """The day the previous sweep ran (-1 before the first sweep)."""
         return self._last_day
 
-    def sweep(self, current_day: int) -> SweepReport:
-        """Classify everything registered/updated since the last sweep."""
+    @property
+    def snapshots(self) -> Optional[SnapshotStore]:
+        """The attached snapshot store, if any."""
+        return self._snapshots
+
+    def sweep(
+        self, current_day: int, workers: Optional[int] = None
+    ) -> SweepReport:
+        """Reclassify everything that changed in ``(last_day,
+        current_day]``.
+
+        The window is bounded above: an AS registered *after*
+        ``current_day`` is not swept early (and then again), it simply
+        belongs to the next sweep.  Changed ASNs are purged from the
+        dataset and the organization cache first — stale sibling
+        aliases included — then classified in one batch pass.
+        """
+        if current_day < self._last_day:
+            raise ValueError(
+                f"sweep day {current_day} precedes the last swept day "
+                f"{self._last_day}"
+            )
+        effective = self._workers if workers is None else max(1, workers)
         registry = self._asdb._registry
-        changed = registry.changed_since(self._last_day)
-        new_asns: List[int] = []
-        updated_asns: List[int] = []
-        for asn in changed:
-            entry = registry.entry(asn)
-            if entry.registered_day > self._last_day:
-                new_asns.append(asn)
-            else:
-                updated_asns.append(asn)
-        reclassified = 0
-        for asn in changed:
-            self._asdb.reclassify(asn)
-            reclassified += 1
+        tb = trace_builder(current_day, self._asdb._trace_enabled)
+
+        with self._m_seconds.time():
+            with tb.span("window") as span:
+                changed = registry.changed_since(
+                    self._last_day, through=current_day
+                )
+                new_asns: List[int] = []
+                updated_asns: List[int] = []
+                for asn in changed:
+                    entry = registry.entry(asn)
+                    if entry.registered_day > self._last_day:
+                        new_asns.append(asn)
+                    else:
+                        updated_asns.append(asn)
+                span.set_status(f"{len(changed)} changed")
+                span.note(
+                    since_day=self._last_day,
+                    through_day=current_day,
+                    new=len(new_asns),
+                    updated=len(updated_asns),
+                )
+
+            # Purge before classifying: every touched organization's
+            # record and cache aliases go, so no reclassification can
+            # be served a stale sibling entry.
+            with tb.span("purge") as span:
+                purged = 0
+                for asn in changed:
+                    if self._asdb.forget(asn) is not None:
+                        purged += 1
+                span.set_status(f"{purged} purged")
+
+            with tb.span("classify") as span:
+                if changed:
+                    self._asdb.classify_batch(
+                        asns=changed, workers=effective
+                    )
+                span.set_status(f"{len(changed)} reclassified")
+                span.note(workers=effective)
+
+            version: Optional[int] = None
+            if self._snapshots is not None:
+                with tb.span("snapshot") as span:
+                    info = self._snapshots.save(
+                        self._asdb.dataset,
+                        window=(self._last_day, current_day),
+                        provenance={
+                            "new_asns": list(new_asns),
+                            "updated_asns": list(updated_asns),
+                            "reclassified": len(changed),
+                        },
+                    )
+                    version = info.version
+                    span.set_status(f"v{version} ({info.kind})")
+                self._m_snapshot_version.set(version)
+
+        self._m_sweeps.inc(1)
+        self._m_changed.inc(len(new_asns), kind="new")
+        self._m_changed.inc(len(updated_asns), kind="updated")
+        self._m_reclassified.inc(len(changed))
+        self._m_last_day.set(current_day)
+
         report = SweepReport(
             since_day=self._last_day,
             through_day=current_day,
             new_asns=tuple(new_asns),
             updated_asns=tuple(updated_asns),
-            reclassified=reclassified,
+            reclassified=len(changed),
+            snapshot_version=version,
+            trace=tb.finish(),
         )
         self._last_day = current_day
         return report
@@ -103,6 +277,18 @@ class CorrectionStatus(enum.Enum):
     PENDING = "pending"
     APPROVED = "approved"
     REJECTED = "rejected"
+
+
+class CorrectionError(ValueError):
+    """A corrections-workflow operation could not proceed."""
+
+
+class UnknownTicketError(CorrectionError):
+    """Review was requested for a ticket that was never issued."""
+
+
+class TicketAlreadyReviewedError(CorrectionError):
+    """Review was requested for a ticket a human already settled."""
 
 
 @dataclass
@@ -152,10 +338,24 @@ class CorrectionQueue:
         ]
 
     def review(self, ticket: int, approve: bool) -> Correction:
-        """Human review: approve integrates the correction."""
+        """Human review: approve integrates the correction.
+
+        Raises :class:`UnknownTicketError` for a ticket that was never
+        issued and :class:`TicketAlreadyReviewedError` for one already
+        settled — re-applying a reviewed correction could silently
+        overwrite a later reclassification.
+        """
+        if not 0 <= ticket < len(self._queue):
+            raise UnknownTicketError(
+                f"no correction ticket {ticket} "
+                f"({len(self._queue)} issued)"
+            )
         correction = self._queue[ticket]
         if correction.status is not CorrectionStatus.PENDING:
-            raise ValueError(f"ticket {ticket} already reviewed")
+            raise TicketAlreadyReviewedError(
+                f"ticket {ticket} already reviewed "
+                f"({correction.status.value})"
+            )
         if not approve:
             correction.status = CorrectionStatus.REJECTED
             return correction
@@ -169,6 +369,14 @@ class CorrectionQueue:
             sources=("community",),
             org_key=old.org_key if old else None,
         )
+        # The superseded record may be cached under several aliases
+        # (name key, domain key, bare org key); every one of them must
+        # stop serving the pre-correction answer.
+        if old is not None:
+            self._asdb.cache.invalidate_keys(
+                old.cache_keys + (old.org_key,)
+            )
+            self._asdb.cache.invalidate_record(old)
         self._asdb.dataset.add(record)
         if record.org_key is not None:
             self._asdb.cache.put(record.org_key, record)

@@ -190,6 +190,11 @@ def run_batch(
     for cluster in clusters:
         m_cluster_size.observe(len(cluster.members))
 
+    # An empty batch (e.g. a maintenance sweep over an unchanged
+    # registry) needs no thread pool.
+    if not clusters:
+        return []
+
     records: List[ASdbRecord] = []
     with ThreadPoolExecutor(max_workers=workers) as pool:
         leaders = [

@@ -19,7 +19,13 @@ from ..taxonomy import Label, LabelSet, naicslite
 from .database import ASdbDataset, ASdbRecord
 from .stages import Stage
 
-__all__ = ["dataset_from_csv", "dataset_to_json", "dataset_from_json"]
+__all__ = [
+    "dataset_from_csv",
+    "dataset_to_json",
+    "dataset_from_json",
+    "record_to_item",
+    "record_from_item",
+]
 
 _LAYER1_BY_NAME = {
     category.name: category for category in naicslite.ALL_LAYER1
@@ -49,12 +55,24 @@ def dataset_from_csv(text: str) -> ASdbDataset:
         if not asn_text.startswith("AS"):
             raise ValueError(f"bad ASN field {asn_text!r}")
         asn = int(asn_text[2:])
+        sources = tuple(sources_text.split("|")) if sources_text else ()
         slot = accumulated.setdefault(
             asn,
-            {"labels": set(), "sources": (), "stage": stage_text},
+            {"labels": set(), "sources": sources, "stage": stage_text},
         )
-        if sources_text:
-            slot["sources"] = tuple(sources_text.split("|"))
+        # Every row of a multi-label ASN must agree on the per-record
+        # fields; silently keeping one of the conflicting values would
+        # fabricate a record no exporter ever wrote.
+        if slot["stage"] != stage_text:
+            raise ValueError(
+                f"conflicting stages for AS{asn}: "
+                f"{slot['stage']!r} vs {stage_text!r}"
+            )
+        if slot["sources"] != sources:
+            raise ValueError(
+                f"conflicting sources for AS{asn}: "
+                f"{slot['sources']!r} vs {sources!r}"
+            )
         if layer1_name:
             layer1 = _LAYER1_BY_NAME.get(layer1_name)
             if layer1 is None:
@@ -82,26 +100,52 @@ def dataset_from_csv(text: str) -> ASdbDataset:
     return dataset
 
 
+def record_to_item(record: ASdbRecord) -> Dict[str, object]:
+    """The JSON-able item for one record (the document's unit shape).
+
+    A pure function of the record's released fields, so two records
+    that serialize equal *are* equal for snapshot/delta purposes; the
+    snapshot store's delta encoder compares items, not records, and
+    never diffs on fields the release format does not carry.
+    """
+    item: Dict[str, object] = {
+        "asn": record.asn,
+        "labels": [
+            {"layer1": label.layer1, "layer2": label.layer2}
+            for label in record.labels
+        ],
+        "stage": record.stage.value,
+        "domain": record.domain,
+        "sources": list(record.sources),
+        "org_key": record.org_key,
+    }
+    # Only emitted when a source actually degraded, so documents
+    # from healthy runs stay byte-identical to the previous format.
+    if record.degraded_sources:
+        item["degraded_sources"] = list(record.degraded_sources)
+    return item
+
+
+def record_from_item(item: Dict[str, object]) -> ASdbRecord:
+    """Rebuild one record from its :func:`record_to_item` shape."""
+    labels = LabelSet(
+        Label(layer1=entry["layer1"], layer2=entry.get("layer2"))
+        for entry in item["labels"]
+    )
+    return ASdbRecord(
+        asn=int(item["asn"]),
+        labels=labels,
+        stage=Stage(item["stage"]),
+        domain=item.get("domain"),
+        sources=tuple(item.get("sources", ())),
+        org_key=item.get("org_key"),
+        degraded_sources=tuple(item.get("degraded_sources", ())),
+    )
+
+
 def dataset_to_json(dataset: ASdbDataset) -> str:
     """Serialize a dataset to a JSON document (lossless)."""
-    records = []
-    for record in dataset:
-        item = {
-            "asn": record.asn,
-            "labels": [
-                {"layer1": label.layer1, "layer2": label.layer2}
-                for label in record.labels
-            ],
-            "stage": record.stage.value,
-            "domain": record.domain,
-            "sources": list(record.sources),
-            "org_key": record.org_key,
-        }
-        # Only emitted when a source actually degraded, so documents
-        # from healthy runs stay byte-identical to the previous format.
-        if record.degraded_sources:
-            item["degraded_sources"] = list(record.degraded_sources)
-        records.append(item)
+    records = [record_to_item(record) for record in dataset]
     return json.dumps({"format": "asdb-repro/1", "records": records},
                       indent=2)
 
@@ -115,19 +159,5 @@ def dataset_from_json(text: str) -> ASdbDataset:
         )
     dataset = ASdbDataset()
     for item in document["records"]:
-        labels = LabelSet(
-            Label(layer1=entry["layer1"], layer2=entry.get("layer2"))
-            for entry in item["labels"]
-        )
-        dataset.add(
-            ASdbRecord(
-                asn=int(item["asn"]),
-                labels=labels,
-                stage=Stage(item["stage"]),
-                domain=item.get("domain"),
-                sources=tuple(item.get("sources", ())),
-                org_key=item.get("org_key"),
-                degraded_sources=tuple(item.get("degraded_sources", ())),
-            )
-        )
+        dataset.add(record_from_item(item))
     return dataset

@@ -182,21 +182,25 @@ class ASdb:
         self._m_cache_hit_rate.set(self.cache.stats().hit_rate)
         return self.dataset
 
-    def reclassify(self, asn: int) -> ASdbRecord:
-        """Re-run classification for an AS whose metadata changed.
+    def forget(self, asn: int) -> Optional[ASdbRecord]:
+        """Drop an AS's record and every cache alias that could serve it.
 
         The superseded record is removed from the dataset up front (so a
         failing re-run cannot leave a stale entry behind) and every cache
         key that could still serve it is invalidated — the keys the
         record lists, plus any other key mapping to the record object
         (e.g. a community correction stored under the org key alone).
+        Returns the dropped record, or None if the AS was unknown.
         """
         old = self.dataset.remove(asn)
         if old is not None:
-            for key in old.cache_keys:
-                self.cache.invalidate(key)
-            self.cache.invalidate(old.org_key)
+            self.cache.invalidate_keys(old.cache_keys + (old.org_key,))
             self.cache.invalidate_record(old)
+        return old
+
+    def reclassify(self, asn: int) -> ASdbRecord:
+        """Re-run classification for an AS whose metadata changed."""
+        self.forget(asn)
         return self.classify(asn)
 
     # -- pipeline -----------------------------------------------------------

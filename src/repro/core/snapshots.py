@@ -1,0 +1,369 @@
+"""Versioned dataset snapshots with delta encoding (Section 5.3).
+
+The released ASdb is not one file but a *history*: quarterly releases,
+each produced by sweeping the registry for changes since the previous
+one.  "Back-to-the-Future Whois" makes the case that attribution
+datasets need point-in-time snapshots with diffable history;
+:class:`SnapshotStore` is that substrate for this system.
+
+Layout on disk (everything under one root directory)::
+
+    manifest.json        index of versions + free-form store metadata
+    v0001.full.json      version 1: dataset_to_json output, verbatim
+    v0002.delta.json     version 2: changed records + removed ASNs
+    ...
+
+Version 1 (and any version saved with ``full=True``) stores the
+complete lossless JSON document from
+:func:`~repro.core.persistence.dataset_to_json`, byte for byte.  Every
+other version is a *delta* against its parent: the
+:func:`~repro.core.persistence.record_to_item` items of records that
+changed, plus the ASNs that disappeared.  Loading a delta version
+replays the chain forward from the nearest full snapshot; a blake2b
+digest of the materialized document, recorded at save time, guards
+every reconstruction.
+
+Each version also records the maintenance-sweep window and provenance
+that produced it, so ``repro diff``/``repro refresh`` can answer "what
+changed between releases, and why".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .database import ASdbDataset, DatasetDiff
+from .persistence import (
+    dataset_from_json,
+    dataset_to_json,
+    record_from_item,
+    record_to_item,
+)
+
+__all__ = [
+    "SnapshotError",
+    "SnapshotCorruption",
+    "SnapshotInfo",
+    "SnapshotStore",
+]
+
+MANIFEST_FORMAT = "asdb-repro/snapshots/1"
+DELTA_FORMAT = "asdb-repro/delta/1"
+_MANIFEST = "manifest.json"
+
+
+class SnapshotError(ValueError):
+    """A snapshot-store operation could not proceed."""
+
+
+class SnapshotCorruption(SnapshotError):
+    """A stored document no longer matches its recorded digest."""
+
+
+def _digest(document: str) -> str:
+    return hashlib.blake2b(document.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Manifest entry for one stored version.
+
+    Attributes:
+        version: 1-based version number (dense, ascending).
+        kind: ``full`` (verbatim dataset JSON) or ``delta``.
+        parent: The version this delta applies to (None for fulls).
+        filename: Document file name inside the store root.
+        since_day: Sweep window lower bound (exclusive), when known.
+        through_day: Sweep window upper bound (inclusive), when known.
+        record_count: Records in the materialized dataset.
+        changed: Records added/replaced relative to the parent.
+        removed: ASNs dropped relative to the parent.
+        digest: blake2b-128 of the materialized full JSON document.
+        note: Free-form release note.
+        provenance: Sweep provenance (new/updated ASN lists, counts).
+    """
+
+    version: int
+    kind: str
+    parent: Optional[int]
+    filename: str
+    since_day: Optional[int]
+    through_day: Optional[int]
+    record_count: int
+    changed: int
+    removed: int
+    digest: str
+    note: str = ""
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    def to_manifest(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "kind": self.kind,
+            "parent": self.parent,
+            "filename": self.filename,
+            "since_day": self.since_day,
+            "through_day": self.through_day,
+            "record_count": self.record_count,
+            "changed": self.changed,
+            "removed": self.removed,
+            "digest": self.digest,
+            "note": self.note,
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_manifest(cls, item: Dict[str, object]) -> "SnapshotInfo":
+        return cls(
+            version=int(item["version"]),
+            kind=str(item["kind"]),
+            parent=item.get("parent"),
+            filename=str(item["filename"]),
+            since_day=item.get("since_day"),
+            through_day=item.get("through_day"),
+            record_count=int(item.get("record_count", 0)),
+            changed=int(item.get("changed", 0)),
+            removed=int(item.get("removed", 0)),
+            digest=str(item.get("digest", "")),
+            note=str(item.get("note", "")),
+            provenance=dict(item.get("provenance", {})),
+        )
+
+
+class SnapshotStore:
+    """An on-disk, append-only history of dataset releases."""
+
+    def __init__(self, root: str) -> None:
+        self._root = str(root)
+        self._versions: List[SnapshotInfo] = []
+        #: Free-form store metadata (the CLI records world provenance
+        #: here so ``refresh`` can rebuild the same world); persisted in
+        #: the manifest.  Mutate via :meth:`set_meta`.
+        self.meta: Dict[str, object] = {}
+        os.makedirs(self._root, exist_ok=True)
+        manifest_path = os.path.join(self._root, _MANIFEST)
+        if os.path.exists(manifest_path):
+            self._load_manifest(manifest_path)
+
+    # -- manifest -----------------------------------------------------------
+
+    def _load_manifest(self, path: str) -> None:
+        with open(path) as handle:
+            document = json.load(handle)
+        if document.get("format") != MANIFEST_FORMAT:
+            raise SnapshotError(
+                f"unsupported manifest format "
+                f"{document.get('format')!r} in {path}"
+            )
+        self._versions = [
+            SnapshotInfo.from_manifest(item)
+            for item in document.get("versions", ())
+        ]
+        for position, info in enumerate(self._versions, start=1):
+            if info.version != position:
+                raise SnapshotError(
+                    f"manifest versions are not dense: expected "
+                    f"v{position}, found v{info.version}"
+                )
+        self.meta = dict(document.get("meta", {}))
+
+    def _write_manifest(self) -> None:
+        document = {
+            "format": MANIFEST_FORMAT,
+            "meta": self.meta,
+            "versions": [info.to_manifest() for info in self._versions],
+        }
+        path = os.path.join(self._root, _MANIFEST)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(document, handle, indent=2)
+        os.replace(tmp, path)
+
+    def set_meta(self, meta: Dict[str, object]) -> None:
+        """Replace the store metadata and persist the manifest."""
+        self.meta = dict(meta)
+        self._write_manifest()
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    @property
+    def root(self) -> str:
+        """The store's root directory."""
+        return self._root
+
+    def versions(self) -> Tuple[SnapshotInfo, ...]:
+        """Manifest entries, ascending by version."""
+        return tuple(self._versions)
+
+    def latest(self) -> Optional[SnapshotInfo]:
+        """The newest version's manifest entry, or None when empty."""
+        return self._versions[-1] if self._versions else None
+
+    def info(self, version: int) -> SnapshotInfo:
+        """Manifest entry for one version (SnapshotError if absent)."""
+        if not 1 <= version <= len(self._versions):
+            raise SnapshotError(
+                f"no snapshot version {version} (store has "
+                f"{len(self._versions)})"
+            )
+        return self._versions[version - 1]
+
+    # -- writing ------------------------------------------------------------
+
+    def save(
+        self,
+        dataset: ASdbDataset,
+        window: Optional[Tuple[int, int]] = None,
+        provenance: Optional[Dict[str, object]] = None,
+        note: str = "",
+        full: bool = False,
+    ) -> SnapshotInfo:
+        """Record ``dataset`` as the next version.
+
+        The first version (or ``full=True``) stores the complete
+        :func:`dataset_to_json` document verbatim; later versions store
+        only the items whose serialized form changed since the parent,
+        plus removed ASNs.  ``window`` is the ``(since_day,
+        through_day]`` sweep window that produced the release.
+        """
+        document = dataset_to_json(dataset)
+        version = len(self._versions) + 1
+        since_day, through_day = window if window is not None else (None,
+                                                                    None)
+        if version == 1 or full:
+            filename = f"v{version:04d}.full.json"
+            payload = document
+            kind, parent = "full", None
+            changed = len(dataset)
+            removed: List[int] = []
+        else:
+            parent = version - 1
+            previous = self.load(parent)
+            old_items = {
+                record.asn: record_to_item(record) for record in previous
+            }
+            new_items = {
+                record.asn: record_to_item(record) for record in dataset
+            }
+            changed_items = [
+                item
+                for asn, item in sorted(new_items.items())
+                if old_items.get(asn) != item
+            ]
+            removed = sorted(set(old_items) - set(new_items))
+            filename = f"v{version:04d}.delta.json"
+            payload = json.dumps(
+                {
+                    "format": DELTA_FORMAT,
+                    "base": parent,
+                    "changed": changed_items,
+                    "removed": removed,
+                },
+                indent=2,
+            )
+            kind, changed = "delta", len(changed_items)
+        with open(os.path.join(self._root, filename), "w") as handle:
+            handle.write(payload)
+        info = SnapshotInfo(
+            version=version,
+            kind=kind,
+            parent=parent,
+            filename=filename,
+            since_day=since_day,
+            through_day=through_day,
+            record_count=len(dataset),
+            changed=changed,
+            removed=len(removed),
+            digest=_digest(document),
+            note=note,
+            provenance=dict(provenance or {}),
+        )
+        self._versions.append(info)
+        self._write_manifest()
+        return info
+
+    # -- reading ------------------------------------------------------------
+
+    def _read_file(self, info: SnapshotInfo) -> str:
+        path = os.path.join(self._root, info.filename)
+        try:
+            with open(path) as handle:
+                return handle.read()
+        except OSError as exc:
+            raise SnapshotCorruption(
+                f"cannot read v{info.version} document {path}: {exc}"
+            ) from exc
+
+    def load(self, version: Optional[int] = None) -> ASdbDataset:
+        """Materialize one version (default: the latest).
+
+        Walks back to the nearest full snapshot and replays the delta
+        chain forward; the result is verified against the version's
+        recorded digest before it is returned.
+        """
+        if version is None:
+            latest = self.latest()
+            if latest is None:
+                raise SnapshotError("snapshot store is empty")
+            version = latest.version
+        target = self.info(version)
+
+        chain: List[SnapshotInfo] = []
+        info = target
+        while info.kind != "full":
+            chain.append(info)
+            if info.parent is None:
+                raise SnapshotCorruption(
+                    f"delta v{info.version} has no parent"
+                )
+            info = self.info(info.parent)
+        dataset = dataset_from_json(self._read_file(info))
+        for delta_info in reversed(chain):
+            delta = json.loads(self._read_file(delta_info))
+            if delta.get("format") != DELTA_FORMAT:
+                raise SnapshotCorruption(
+                    f"v{delta_info.version}: unsupported delta format "
+                    f"{delta.get('format')!r}"
+                )
+            for asn in delta.get("removed", ()):
+                dataset.remove(int(asn))
+            for item in delta.get("changed", ()):
+                dataset.add(record_from_item(item))
+        if target.digest and _digest(dataset_to_json(dataset)) != (
+            target.digest
+        ):
+            raise SnapshotCorruption(
+                f"v{target.version}: materialized document does not "
+                f"match its recorded digest"
+            )
+        return dataset
+
+    def read_json(self, version: Optional[int] = None) -> str:
+        """The lossless JSON document for one version.
+
+        For full versions this is the stored file verbatim — byte
+        identical to the :func:`dataset_to_json` output at save time;
+        deltas are materialized first (which re-serializes through the
+        same encoder, so the bytes still match).
+        """
+        if version is None:
+            latest = self.latest()
+            if latest is None:
+                raise SnapshotError("snapshot store is empty")
+            version = latest.version
+        info = self.info(version)
+        if info.kind == "full":
+            return self._read_file(info)
+        return dataset_to_json(self.load(version))
+
+    def diff(self, old_version: int, new_version: int) -> DatasetDiff:
+        """What changed from ``old_version`` to ``new_version``."""
+        return self.load(new_version).diff(self.load(old_version))

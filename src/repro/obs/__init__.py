@@ -37,7 +37,7 @@ from .trace import (
     trace_builder,
 )
 from .instrument import InstrumentedSource, instrument_source, timed
-from .narrate import format_seconds, narrate_trace
+from .narrate import format_seconds, narrate_sweep, narrate_trace
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
@@ -57,4 +57,5 @@ __all__ = [
     "timed",
     "format_seconds",
     "narrate_trace",
+    "narrate_sweep",
 ]

@@ -19,7 +19,7 @@ from typing import List
 
 from .trace import ClassificationTrace, Span
 
-__all__ = ["narrate_trace", "format_seconds"]
+__all__ = ["narrate_trace", "narrate_sweep", "format_seconds"]
 
 
 def format_seconds(seconds: float) -> str:
@@ -54,6 +54,40 @@ def _span_lines(span: Span, name_width: int) -> List[str]:
             f"{key}={_format_attribute(span.attributes[key])}"
         )
     return lines
+
+
+def narrate_sweep(report) -> str:
+    """Render a maintenance :class:`~repro.core.SweepReport` as text.
+
+    Duck-typed on the report (this module imports nothing from
+    ``repro.core``): the window line, the change/reclassify summary,
+    and — when the sweep ran with tracing — the per-phase spans.
+    """
+    if report.is_baseline:
+        window = f"baseline through day {report.through_day}"
+    else:
+        window = (
+            f"window days {report.since_day + 1}..{report.through_day}"
+        )
+    lines = [
+        f"sweep {window} ({report.window_days} days): "
+        f"{len(report.new_asns)} new, "
+        f"{len(report.updated_asns)} updated, "
+        f"reclassified {report.reclassified}"
+    ]
+    if report.window_days > 0 and not report.is_baseline:
+        lines.append(
+            f"  change rate: {report.updates_per_week:.1f} ASes/week"
+        )
+    if report.snapshot_version is not None:
+        lines.append(f"  stored snapshot v{report.snapshot_version}")
+    if report.trace is not None:
+        name_width = max(
+            (len(span.name) for span in report.trace.spans), default=0
+        )
+        for span in report.trace.spans:
+            lines.extend(_span_lines(span, name_width))
+    return "\n".join(lines)
 
 
 def narrate_trace(trace: ClassificationTrace) -> str:

@@ -15,9 +15,11 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from .core.maintenance import MaintenanceDaemon
 from .core.pipeline import ASdb
 from .core.consensus import resolve_consensus
 from .core.resilience import ResilientSource, RetryPolicy
+from .core.snapshots import SnapshotStore
 from .datasources import Crunchbase, DunBradstreet, IPinfo, PeeringDB, Zvelo
 from .datasources.faults import FaultPlan, FaultySource
 from .matching.domains import DomainFrequencyIndex
@@ -58,6 +60,12 @@ class SystemConfig:
             which case a default policy seeded from ``seed`` is used —
             injecting faults without a degradation path would just
             crash the run.
+        snapshot_dir: Directory of a versioned
+            :class:`~repro.core.snapshots.SnapshotStore`.  When set,
+            the built system carries the store plus a
+            :class:`~repro.core.maintenance.MaintenanceDaemon` wired to
+            it (each sweep stores a dataset version); None leaves both
+            handles unset with zero behavior change.
     """
 
     seed: int = 0
@@ -71,6 +79,7 @@ class SystemConfig:
     workers: int = 1
     faults: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
+    snapshot_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -86,6 +95,8 @@ class BuiltSystem:
     resolver: EntityResolver
     ml_pipeline: Optional[WebClassificationPipeline]
     frequency_index: DomainFrequencyIndex
+    snapshots: Optional[SnapshotStore] = None
+    daemon: Optional[MaintenanceDaemon] = None
 
 
 def build_sources(world: World, seed: int = 0):
@@ -171,6 +182,12 @@ def build_asdb(
         trace=config.trace,
         workers=config.workers,
     )
+    snapshots = daemon = None
+    if config.snapshot_dir is not None:
+        snapshots = SnapshotStore(config.snapshot_dir)
+        daemon = MaintenanceDaemon(
+            asdb, workers=config.workers, snapshots=snapshots
+        )
     return BuiltSystem(
         asdb=asdb,
         dnb=dnb,
@@ -181,4 +198,6 @@ def build_asdb(
         resolver=resolver,
         ml_pipeline=ml_pipeline,
         frequency_index=frequency_index,
+        snapshots=snapshots,
+        daemon=daemon,
     )

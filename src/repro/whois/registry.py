@@ -98,12 +98,28 @@ class WhoisRegistry:
         for asn in self.asns():
             yield self.parsed(asn)
 
-    def changed_since(self, day: int) -> List[int]:
-        """ASNs registered or updated strictly after simulation ``day``."""
+    def changed_since(
+        self, day: int, through: Optional[int] = None
+    ) -> List[int]:
+        """ASNs registered or updated strictly after simulation ``day``.
+
+        ``through`` bounds the window from above (inclusive): a change
+        dated later than ``through`` is invisible, so a maintenance
+        sweep covering ``(day, through]`` never picks up registrations
+        dated after its own cutoff — those belong to the next sweep.
+        With ``through=None`` the window is unbounded (legacy shape).
+        """
+
+        def in_window(changed_day: int) -> bool:
+            return changed_day > day and (
+                through is None or changed_day <= through
+            )
+
         return sorted(
             asn
             for asn, entry in self._entries.items()
-            if entry.registered_day > day or entry.updated_day > day
+            if in_window(entry.registered_day)
+            or in_window(entry.updated_day)
         )
 
     def field_availability(self) -> Dict[str, float]:

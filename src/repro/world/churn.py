@@ -62,6 +62,12 @@ class ChurnStats:
         """New-organization rate."""
         return self.new_orgs / self.days if self.days else 0.0
 
+    @property
+    def changed_asns(self) -> Tuple[int, ...]:
+        """Every ASN the simulation touched, ascending — the exact set
+        a bounded maintenance sweep over the window must reclassify."""
+        return tuple(sorted(set(self.new_asns) | set(self.updated_asns)))
+
 
 def simulate_churn(
     world: World, days: int, seed: int = 0, start_day: int = 1
@@ -125,6 +131,8 @@ def simulate_churn(
             new_asns.append(asn)
 
     # Metadata churn over the window, scaled to the simulated days.
+    # Updates are dated across the window (not piled on its last day)
+    # so bounded sweep windows see a realistic change distribution.
     churn_fraction = METADATA_CHURN * days / CHURN_WINDOW_DAYS
     n_updates = round(churn_fraction * n_base)
     updated = rng.sample(base_asns, min(n_updates, n_base))
@@ -132,7 +140,8 @@ def simulate_churn(
         info = world.ases[asn]
         org = world.org_of_asn(asn)
         facts = _whois_facts(rng, org, asn, info.as_name, info.rir, ())
-        world.registry.update(render(facts, info.rir), day=day)
+        update_day = start_day + rng.randrange(days) if days else start_day
+        world.registry.update(render(facts, info.rir), day=update_day)
 
     return ChurnStats(
         days=days,

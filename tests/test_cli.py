@@ -220,3 +220,65 @@ class TestDumpCommand:
 
     def test_dump_requires_out_or_parse(self, capsys):
         assert main(["dump", "--n-orgs", "30"]) == 2
+
+
+class TestReleaseCommands:
+    """snapshot / refresh / diff drive the maintenance tentpole."""
+
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return str(tmp_path / "releases")
+
+    def _snapshot(self, store):
+        return main(
+            ["snapshot", "--store", store, "--n-orgs", "60",
+             "--seed", "11", "--no-ml", "--workers", "2"]
+        )
+
+    def test_snapshot_creates_v1(self, store, capsys):
+        assert self._snapshot(store) == 0
+        out = capsys.readouterr().out
+        assert "stored snapshot v1" in out
+        assert "baseline" in out
+
+    def test_snapshot_refuses_existing_store(self, store, capsys):
+        assert self._snapshot(store) == 0
+        assert self._snapshot(store) == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_refresh_then_diff(self, store, capsys):
+        assert self._snapshot(store) == 0
+        code = main(
+            ["refresh", "--store", store, "--days", "120",
+             "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reclassified exactly the churned set: True" in out
+        assert main(["diff", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "v1 -> v2:" in out
+
+    def test_refresh_requires_snapshot(self, store, capsys):
+        assert main(["refresh", "--store", store, "--days", "30"]) == 2
+
+    def test_diff_json_document(self, store, capsys):
+        assert self._snapshot(store) == 0
+        assert main(
+            ["refresh", "--store", store, "--days", "200"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["diff", "--store", store, "--from", "1", "--to", "2",
+             "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["from"] == 1 and document["to"] == 2
+        assert isinstance(document["added"], list)
+
+    def test_zero_day_refresh_reclassifies_nothing(self, store, capsys):
+        assert self._snapshot(store) == 0
+        assert main(
+            ["refresh", "--store", store, "--days", "0"]
+        ) == 0
+        assert "reclassified 0 ASes" in capsys.readouterr().out

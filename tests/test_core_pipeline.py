@@ -151,16 +151,24 @@ class TestReclassifyInvalidation:
 
         invalidated = []
         inherited = asdb.cache.invalidate
+        inherited_many = asdb.cache.invalidate_keys
 
         def recording_invalidate(key):
             invalidated.append(key)
             return inherited(key)
 
+        def recording_invalidate_keys(keys):
+            keys = tuple(keys)
+            invalidated.extend(keys)
+            return inherited_many(keys)
+
         asdb.cache.invalidate = recording_invalidate
+        asdb.cache.invalidate_keys = recording_invalidate_keys
         try:
             asdb.reclassify(old.asn)
         finally:
             asdb.cache.invalidate = inherited
+            asdb.cache.invalidate_keys = inherited_many
 
         assert set(old.cache_keys) <= set(invalidated)
         assert old.org_key in invalidated

@@ -88,6 +88,29 @@ class TestCsvRoundTrip:
                 "ASN,Layer1,Layer2,Sources,Stage\nAS1,too,few\n"
             )
 
+    def test_conflicting_stage_rows_rejected(self):
+        lines = _dataset().to_csv().strip().splitlines()
+        # AS64512 spans two label rows; corrupt the stage of the last.
+        index = max(
+            i for i, line in enumerate(lines)
+            if line.startswith("AS64512")
+        )
+        prefix, sources, _ = lines[index].rsplit(",", 2)
+        lines[index] = ",".join((prefix, sources, Stage.ONE_SOURCE.value))
+        with pytest.raises(ValueError, match="conflicting stages"):
+            dataset_from_csv("\n".join(lines))
+
+    def test_conflicting_source_rows_rejected(self):
+        lines = _dataset().to_csv().strip().splitlines()
+        index = max(
+            i for i, line in enumerate(lines)
+            if line.startswith("AS64512")
+        )
+        prefix, _, stage = lines[index].rsplit(",", 2)
+        lines[index] = ",".join((prefix, "dnb", stage))
+        with pytest.raises(ValueError, match="conflicting sources"):
+            dataset_from_csv("\n".join(lines))
+
     def test_real_pipeline_output_roundtrips(self, medium_world):
         from repro import SystemConfig, build_asdb
 
@@ -113,6 +136,23 @@ class TestJsonRoundTrip:
             assert twin.domain == record.domain
             assert twin.sources == record.sources
             assert twin.org_key == record.org_key
+
+    def test_degraded_sources_roundtrip(self):
+        original = ASdbDataset()
+        original.add(
+            ASdbRecord(
+                asn=64515,
+                labels=LabelSet.from_layer2_slugs(["isp"]),
+                stage=Stage.ONE_SOURCE,
+                sources=("peeringdb",),
+                degraded_sources=("dnb", "zvelo"),
+            )
+        )
+        restored = dataset_from_json(dataset_to_json(original))
+        assert restored.get(64515).degraded_sources == ("dnb", "zvelo")
+        # A record with no degradations omits the field entirely, so
+        # fault-free exports stay byte-identical to older releases.
+        assert "degraded_sources" not in dataset_to_json(_dataset())
 
     def test_format_marker_checked(self):
         with pytest.raises(ValueError):

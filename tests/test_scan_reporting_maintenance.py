@@ -8,6 +8,8 @@ from repro.core import (
     CorrectionStatus,
     MaintenanceDaemon,
     Stage,
+    TicketAlreadyReviewedError,
+    UnknownTicketError,
 )
 from repro.reporting import format_fraction, render_bars, render_table
 from repro.scan import TELNET_PROPENSITY, TelnetScan
@@ -176,5 +178,49 @@ class TestCorrections:
             )
         )
         queue.review(ticket, approve=True)
-        with pytest.raises(ValueError):
+        with pytest.raises(TicketAlreadyReviewedError):
             queue.review(ticket, approve=True)
+
+    def test_unknown_ticket_named_error(self, asdb):
+        queue = CorrectionQueue(asdb)
+        with pytest.raises(UnknownTicketError):
+            queue.review(0, approve=True)
+        queue.submit(
+            Correction(
+                asn=1,
+                proposed=LabelSet.from_layer2_slugs(["banks"]),
+                submitter="alice",
+            )
+        )
+        with pytest.raises(UnknownTicketError):
+            queue.review(5, approve=True)
+        with pytest.raises(UnknownTicketError):
+            queue.review(-1, approve=True)
+
+    def test_approved_correction_purges_org_cache(
+        self, asdb, medium_world
+    ):
+        # Pick an AS whose record actually landed on the org cache, so
+        # approval must purge every alias its siblings would hit.
+        target = next(
+            record for record in asdb.dataset
+            if record.org_key and asdb.cache.get(record.org_key)
+        )
+        assert asdb.cache.get(target.org_key) is not None
+        queue = CorrectionQueue(asdb)
+        ticket = queue.submit(
+            Correction(
+                asn=target.asn,
+                proposed=LabelSet.from_layer2_slugs(["banks"]),
+                submitter="alice",
+            )
+        )
+        queue.review(ticket, approve=True)
+        cached = asdb.cache.get(target.org_key)
+        # The stale classification is gone; the alias now serves the
+        # corrected labels to future sibling lookups.
+        assert cached is not None
+        assert cached.labels == LabelSet.from_layer2_slugs(["banks"])
+        for key in target.cache_keys:
+            stale = asdb.cache.get(key)
+            assert stale is None or stale.labels != target.labels

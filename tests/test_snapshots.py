@@ -1,0 +1,345 @@
+"""Tests for the versioned snapshot store and the incremental refresh
+engine (the Section-5.3 maintenance tentpole)."""
+
+import json
+
+import pytest
+
+from repro import SystemConfig, build_asdb
+from repro.core import (
+    ASdbDataset,
+    ASdbRecord,
+    SnapshotCorruption,
+    SnapshotError,
+    SnapshotStore,
+    Stage,
+    dataset_from_json,
+    dataset_to_json,
+)
+from repro.obs import MetricsRegistry, narrate_sweep
+from repro.taxonomy import LabelSet
+from repro.whois import WhoisFacts, render
+from repro.whois.records import RIR
+from repro.world import WorldConfig, generate_world, simulate_churn
+
+
+def _record(asn, slugs=("isp",), stage=Stage.ONE_SOURCE, **kwargs):
+    return ASdbRecord(
+        asn=asn,
+        labels=LabelSet.from_layer2_slugs(list(slugs)),
+        stage=stage,
+        **kwargs,
+    )
+
+
+def _dataset(*records):
+    dataset = ASdbDataset()
+    for record in records:
+        dataset.add(record)
+    return dataset
+
+
+def _raw(asn, name):
+    facts = WhoisFacts(
+        asn=asn, as_name=f"AS{asn}", org_name=name,
+        emails=(f"abuse@org{asn}.example",), country="US",
+    )
+    return render(facts, RIR.ARIN)
+
+
+class TestSnapshotStore:
+    def test_first_version_is_verbatim_full_json(self, tmp_path):
+        dataset = _dataset(_record(64512), _record(64513, ("hosting",)))
+        store = SnapshotStore(tmp_path / "store")
+        info = store.save(dataset, window=(-1, 0))
+        assert info.version == 1 and info.kind == "full"
+        # The stored document is byte-identical to dataset_to_json.
+        assert store.read_json(1) == dataset_to_json(dataset)
+        on_disk = (tmp_path / "store" / info.filename).read_text()
+        assert on_disk == dataset_to_json(dataset)
+
+    def test_second_version_is_a_delta(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.save(_dataset(_record(1), _record(2), _record(3)))
+        changed = _dataset(
+            _record(1),
+            _record(2, ("hosting",)),   # relabeled
+            _record(4),                  # added; 3 removed
+        )
+        info = store.save(changed, window=(0, 90))
+        assert info.kind == "delta" and info.parent == 1
+        assert info.changed == 2 and info.removed == 1
+        delta = json.loads(
+            (tmp_path / "store" / info.filename).read_text()
+        )
+        assert delta["removed"] == [3]
+        assert [item["asn"] for item in delta["changed"]] == [2, 4]
+
+    def test_every_version_reloads_exactly(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        v1 = _dataset(_record(1), _record(2))
+        v2 = _dataset(_record(1), _record(2, ("hosting",)), _record(3))
+        v3 = _dataset(_record(2, ("hosting",)), _record(3))
+        for dataset in (v1, v2, v3):
+            store.save(dataset)
+        for version, dataset in ((1, v1), (2, v2), (3, v3)):
+            assert store.read_json(version) == dataset_to_json(dataset)
+            reloaded = store.load(version)
+            assert [record for record in reloaded] == list(dataset)
+
+    def test_reopened_store_reads_history(self, tmp_path):
+        root = tmp_path / "store"
+        first = SnapshotStore(root)
+        first.save(_dataset(_record(1)))
+        first.save(_dataset(_record(1), _record(2)), window=(0, 30))
+        first.set_meta({"n_orgs": 5, "world_seed": 9})
+
+        reopened = SnapshotStore(root)
+        assert len(reopened) == 2
+        assert reopened.meta == {"n_orgs": 5, "world_seed": 9}
+        assert reopened.info(2).since_day == 0
+        assert reopened.info(2).through_day == 30
+        assert len(reopened.load(2)) == 2
+
+    def test_degraded_sources_survive_snapshots(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.save(_dataset(_record(1)))
+        store.save(
+            _dataset(_record(1, degraded_sources=("dnb", "zvelo")))
+        )
+        record = store.load(2).get(1)
+        assert record.degraded_sources == ("dnb", "zvelo")
+
+    def test_corrupted_document_detected(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        info = store.save(_dataset(_record(1)))
+        path = tmp_path / "store" / info.filename
+        document = json.loads(path.read_text())
+        document["records"][0]["stage"] = Stage.MULTI_AGREE.value
+        path.write_text(json.dumps(document, indent=2))
+        with pytest.raises(SnapshotCorruption):
+            store.load(1)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        with pytest.raises(SnapshotError):
+            store.load()
+        store.save(_dataset(_record(1)))
+        with pytest.raises(SnapshotError):
+            store.info(2)
+        with pytest.raises(SnapshotError):
+            store.diff(0, 1)
+
+    def test_diff_between_versions(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.save(_dataset(_record(1), _record(2), _record(5)))
+        store.save(
+            _dataset(
+                _record(1, ("hosting",)),
+                _record(2, ("isp",), stage=Stage.MULTI_AGREE),
+                _record(7),
+            )
+        )
+        diff = store.diff(1, 2)
+        assert diff.added == (7,)
+        assert diff.removed == (5,)
+        assert diff.relabeled == (1,)
+        assert diff.stage_changed == (2,)
+        assert diff.changed_asns == (1, 2, 5, 7)
+
+
+class TestIncrementalRefresh:
+    """The daemon + store against a churning world."""
+
+    @pytest.fixture()
+    def built(self, tmp_path):
+        world = generate_world(WorldConfig(n_orgs=60, seed=77))
+        built = build_asdb(
+            world,
+            SystemConfig(
+                seed=1,
+                train_ml=False,
+                workers=2,
+                snapshot_dir=str(tmp_path / "releases"),
+            ),
+        )
+        return world, built
+
+    def test_refresh_over_unchanged_registry_reclassifies_zero(
+        self, built
+    ):
+        world, system = built
+        daemon = system.daemon
+        baseline = daemon.sweep(current_day=0)
+        assert baseline.reclassified == len(world.asns())
+        snapshot = dataset_from_json(dataset_to_json(system.asdb.dataset))
+
+        second = daemon.sweep(current_day=90)
+        assert second.reclassified == 0
+        assert second.new_asns == () and second.updated_asns == ()
+        # Nothing changed on disk either: v2 is an empty delta.
+        assert system.snapshots.info(2).changed == 0
+        assert system.snapshots.info(2).removed == 0
+        assert system.snapshots.diff(1, 2).empty
+        assert system.asdb.dataset.diff(snapshot).empty
+
+    def test_churn_reclassifies_exactly_the_changed_set(self, built):
+        world, system = built
+        daemon = system.daemon
+        daemon.sweep(current_day=0)
+
+        stats = simulate_churn(world, days=200, seed=5, start_day=1)
+        assert stats.changed_asns, "churn produced no changes"
+        report = daemon.sweep(current_day=200)
+        assert report.changed_asns == stats.changed_asns
+        assert report.reclassified == len(stats.changed_asns)
+        assert tuple(sorted(report.new_asns)) == stats.new_asns
+        assert tuple(sorted(report.updated_asns)) == stats.updated_asns
+        # The stored delta touches only churned ASNs ...
+        diff = system.snapshots.diff(1, 2)
+        assert not diff.removed
+        assert set(diff.changed_asns) <= set(stats.changed_asns)
+        # ... and every genuinely new AS appears in it.
+        assert set(diff.added) == set(stats.new_asns)
+
+    def test_no_asn_reclassified_twice_across_sweeps(self, built):
+        """Regression for the unbounded sweep window: an AS registered
+        after the sweep's cutoff must wait for the next sweep instead
+        of being classified early *and* again."""
+        world, system = built
+        daemon = system.daemon
+        daemon.sweep(current_day=0)
+
+        future_asn = max(world.asns()) + 10
+        world.registry.register(_raw(future_asn, "Future Org"), day=15)
+        early = daemon.sweep(current_day=10)
+        assert future_asn not in early.changed_asns
+        assert future_asn not in system.asdb.dataset
+
+        late = daemon.sweep(current_day=20)
+        assert future_asn in late.new_asns
+        assert future_asn not in late.updated_asns
+
+        # Two-sweep churn scenario: windows partition the changes, so
+        # no ASN is reclassified in both sweeps.
+        first_churn = simulate_churn(world, days=30, seed=2,
+                                     start_day=21)
+        sweep_one = daemon.sweep(current_day=50)
+        second_churn = simulate_churn(world, days=30, seed=3,
+                                      start_day=51)
+        sweep_two = daemon.sweep(current_day=80)
+        assert sweep_one.changed_asns == first_churn.changed_asns
+        assert not (
+            set(sweep_one.changed_asns) - set(second_churn.changed_asns)
+        ) & set(sweep_two.changed_asns)
+
+    def test_sweep_day_cannot_go_backwards(self, built):
+        _, system = built
+        daemon = system.daemon
+        daemon.sweep(current_day=10)
+        with pytest.raises(ValueError):
+            daemon.sweep(current_day=5)
+
+    def test_sweep_metrics_exported(self, tmp_path):
+        registry = MetricsRegistry()
+        world = generate_world(WorldConfig(n_orgs=40, seed=8))
+        built = build_asdb(
+            world,
+            SystemConfig(
+                seed=1,
+                train_ml=False,
+                metrics=registry,
+                snapshot_dir=str(tmp_path / "releases"),
+            ),
+        )
+        baseline = built.daemon.sweep(current_day=0)
+        simulate_churn(world, days=300, seed=4, start_day=1)
+        report = built.daemon.sweep(current_day=300)
+        assert registry.counter("asdb_sweep_total").total() == 2
+        assert registry.counter(
+            "asdb_sweep_reclassified_total"
+        ).total() == baseline.reclassified + report.reclassified
+        assert registry.gauge("asdb_sweep_last_day").value() == 300
+        assert registry.gauge("asdb_snapshot_version").value() == 2
+        text = registry.to_prometheus()
+        assert "asdb_sweep_changed_total" in text
+
+    def test_traced_sweep_has_phase_spans_and_narration(self, tmp_path):
+        world = generate_world(WorldConfig(n_orgs=40, seed=8))
+        built = build_asdb(
+            world,
+            SystemConfig(
+                seed=1,
+                train_ml=False,
+                trace=True,
+                snapshot_dir=str(tmp_path / "releases"),
+            ),
+        )
+        report = built.daemon.sweep(current_day=0)
+        assert report.trace is not None
+        names = [span.name for span in report.trace.spans]
+        assert names == ["window", "purge", "classify", "snapshot"]
+        text = narrate_sweep(report)
+        assert "baseline through day 0" in text
+        assert "stored snapshot v1" in text
+
+    def test_fault_free_snapshot_json_matches_direct_export(
+        self, built
+    ):
+        world, system = built
+        system.daemon.sweep(current_day=0)
+        assert system.snapshots.read_json(1) == dataset_to_json(
+            system.asdb.dataset
+        )
+
+
+class TestSweepReportWindows:
+    def test_baseline_window_is_explicit(self):
+        from repro.core import SweepReport
+
+        report = SweepReport(
+            since_day=-1, through_day=13,
+            new_asns=tuple(range(28)), updated_asns=(), reclassified=28,
+        )
+        assert report.is_baseline
+        assert report.window_days == 14
+        assert report.updates_per_week == pytest.approx(14.0)
+
+    def test_same_day_sweep_reports_zero_rate(self):
+        from repro.core import SweepReport
+
+        report = SweepReport(
+            since_day=7, through_day=7,
+            new_asns=(), updated_asns=(), reclassified=0,
+        )
+        assert report.window_days == 0
+        assert report.updates_per_week == 0.0
+
+    def test_incremental_window(self):
+        from repro.core import SweepReport
+
+        report = SweepReport(
+            since_day=0, through_day=7,
+            new_asns=tuple(range(100)),
+            updated_asns=tuple(range(100, 140)),
+            reclassified=140,
+        )
+        assert not report.is_baseline
+        assert report.window_days == 7
+        assert report.updates_per_week == pytest.approx(140.0)
+
+
+class TestBoundedChangedSince:
+    def test_upper_bound_hides_future_changes(self):
+        from repro.whois.registry import WhoisRegistry
+
+        registry = WhoisRegistry()
+        registry.register(_raw(10, "Early Org"), day=1)
+        registry.register(_raw(20, "Late Org"), day=9)
+        registry.update(_raw(10, "Early Org Renamed"), day=8)
+
+        assert registry.changed_since(0, through=5) == [10]
+        assert registry.changed_since(5, through=8) == [10]
+        assert registry.changed_since(0) == [10, 20]
+        assert registry.changed_since(8, through=9) == [20]
+        assert registry.changed_since(9, through=9) == []
