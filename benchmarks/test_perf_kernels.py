@@ -1,0 +1,179 @@
+"""Performance: similarity kernels and the content-addressed score cache.
+
+Two acceptance gates for the PR-5 CPU pass, both measured against the
+reference implementations kept in :mod:`repro.matching.kernels`:
+
+* the batch similarity kernel (interned tokenization + trimmed LCS +
+  exact upper-bound prune) must select domains >= 3x faster than the
+  original per-candidate ``name_similarity`` loop, with identical
+  winners;
+* re-classifying 150 domains with a warm content cache must be >= 1.5x
+  faster than the cold pass, with identical verdicts.
+
+Results are appended to ``BENCH_kernels.json`` at the repo root so the
+perf trajectory is recorded commit over commit (CI uploads the file as
+an artifact).  Timed manually with ``time.perf_counter`` (best of
+``REPRO_BENCH_ROUNDS``) rather than via pytest-benchmark so the smoke
+job can assert the speedups and emit JSON in one pass.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.matching.kernels import (
+    KernelStats,
+    name_similarity_reference,
+    score_candidates,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
+
+#: ASes per similarity workload; enough that per-call timer noise is
+#: irrelevant even at 1 round.
+WORKLOAD_ASES = 600
+
+
+def _record(key, payload):
+    """Merge one benchmark's numbers into ``BENCH_kernels.json``."""
+    document = {}
+    if BENCH_PATH.exists():
+        document = json.loads(BENCH_PATH.read_text())
+    document[key] = payload
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(rounds, fn):
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_perf_similarity_kernel(bench_world, report):
+    """Domain-selection similarity scoring: kernel vs reference loop."""
+    registry = bench_world.registry
+    web = bench_world.web
+    workload = []
+    for asn in bench_world.asns()[:WORKLOAD_ASES]:
+        parsed = registry.parsed(asn)
+        contact = registry.contact(asn)
+        as_name = parsed.as_name or contact.name
+        ordered = sorted(set(contact.candidate_domains))
+        references = []
+        for domain in ordered:
+            title = web.homepage_title(domain)
+            references.append(title if title is not None else domain)
+        if references:
+            workload.append((as_name, references))
+    pairs = sum(len(references) for _, references in workload)
+
+    def run_reference():
+        winners = []
+        for as_name, references in workload:
+            best_index, best_score = -1, -1.0
+            for index, reference in enumerate(references):
+                score = name_similarity_reference(as_name, reference)
+                if score > best_score:
+                    best_index, best_score = index, score
+            winners.append(best_index)
+        return winners
+
+    stats = KernelStats()
+
+    def run_kernel():
+        return [
+            score_candidates(as_name, references, stats=stats)[0]
+            for as_name, references in workload
+        ]
+
+    # Warm the name-interning caches first so the measurement isolates
+    # the steady-state kernel (the caches persist per process anyway).
+    run_kernel()
+    reference_seconds, reference_winners = _best_of(
+        BENCH_ROUNDS, run_reference
+    )
+    kernel_seconds, kernel_winners = _best_of(BENCH_ROUNDS, run_kernel)
+    assert kernel_winners == reference_winners
+    speedup = reference_seconds / kernel_seconds
+
+    payload = {
+        "ases": len(workload),
+        "candidate_pairs": pairs,
+        "reference_seconds": round(reference_seconds, 6),
+        "kernel_seconds": round(kernel_seconds, 6),
+        "speedup": round(speedup, 2),
+        "pruned_fraction": round(
+            stats.pruned / stats.candidates if stats.candidates else 0.0, 4
+        ),
+    }
+    _record("similarity_kernel", payload)
+    report(
+        "perf_similarity_kernel",
+        "\n".join(
+            [
+                "Performance: similarity kernel vs reference",
+                f"  ASes scored          {payload['ases']}",
+                f"  candidate pairs      {payload['candidate_pairs']}",
+                f"  reference loop       {reference_seconds * 1e3:.1f} ms",
+                f"  batch kernel         {kernel_seconds * 1e3:.1f} ms",
+                f"  speedup              {speedup:.1f}x (gate: >= 3x)",
+                f"  pruned candidates    {payload['pruned_fraction']:.1%}",
+            ]
+        ),
+    )
+    assert speedup >= 3.0
+
+
+def test_perf_featcache_warm_reclassification(built_system, bench_world, report):
+    """150-domain re-classification: warm content cache vs cold pass."""
+    pipeline = built_system.ml_pipeline
+    domains = [
+        org.domain
+        for org in bench_world.iter_organizations()
+        if org.domain is not None
+    ][:150]
+    assert len(domains) == 150
+
+    def run_cold():
+        pipeline.feature_cache.clear()
+        return pipeline.classify_domains(domains)
+
+    def run_warm():
+        return pipeline.classify_domains(domains)
+
+    cold_seconds, cold_verdicts = _best_of(BENCH_ROUNDS, run_cold)
+    # run_cold left the cache populated: every warm round is all hits.
+    warm_seconds, warm_verdicts = _best_of(BENCH_ROUNDS, run_warm)
+    assert warm_verdicts == cold_verdicts
+    speedup = cold_seconds / warm_seconds
+    cache_stats = pipeline.feature_cache.stats()
+
+    payload = {
+        "domains": len(domains),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(speedup, 2),
+        "cache_entries": cache_stats.size,
+    }
+    _record("featcache_warm_reclassification", payload)
+    report(
+        "perf_featcache",
+        "\n".join(
+            [
+                "Performance: warm-cache re-classification (150 domains)",
+                f"  cold pass            {cold_seconds * 1e3:.1f} ms",
+                f"  warm pass            {warm_seconds * 1e3:.1f} ms",
+                f"  speedup              {speedup:.1f}x (gate: >= 1.5x)",
+                f"  cache entries        {cache_stats.size}",
+                "  verdicts             identical cold vs warm",
+            ]
+        ),
+    )
+    assert speedup >= 1.5

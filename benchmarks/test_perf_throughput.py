@@ -5,6 +5,7 @@ requires about 1 second to classify 150 domains."  These benches time
 the from-scratch stack (single core) against the same workload shape.
 """
 
+import os
 import random
 import time
 
@@ -12,6 +13,10 @@ from repro.core.pipeline import ASdb
 from repro.ml import WebClassificationPipeline, build_training_examples
 from repro.reporting import render_table
 from repro.web import Scraper
+
+#: CI smoke runs set this to 1 to keep the job fast; the statistics are
+#: then indicative only, which is fine for a smoke signal.
+BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
 
 
 def test_perf_ml_training(benchmark, bench_world, built_system, report):
@@ -23,7 +28,7 @@ def test_perf_ml_training(benchmark, bench_world, built_system, report):
             Scraper(bench_world.web), seed=1
         ).fit(examples)
 
-    pipeline = benchmark.pedantic(_train, rounds=3, iterations=1)
+    pipeline = benchmark.pedantic(_train, rounds=BENCH_ROUNDS, iterations=1)
     assert pipeline.fitted
     stats = benchmark.stats.stats
     report(
@@ -54,9 +59,12 @@ def test_perf_classify_150_domains(
     assert len(domains) == 150
 
     def _classify():
+        # Cold-path measurement: drop memoized scores so every round
+        # pays for translation + featurization + scoring.
+        pipeline.feature_cache.clear()
         return [pipeline.classify_domain(domain) for domain in domains]
 
-    verdicts = benchmark.pedantic(_classify, rounds=3, iterations=1)
+    verdicts = benchmark.pedantic(_classify, rounds=BENCH_ROUNDS, iterations=1)
     assert len(verdicts) == 150
     stats = benchmark.stats.stats
     report(
@@ -86,7 +94,9 @@ def test_perf_full_pipeline_throughput(
             built_system.asdb.reclassify(asn)
         return len(sample)
 
-    count = benchmark.pedantic(_classify_all, rounds=2, iterations=1)
+    count = benchmark.pedantic(
+        _classify_all, rounds=min(2, BENCH_ROUNDS), iterations=1
+    )
     stats = benchmark.stats.stats
     rate = count / stats.mean
     report(
@@ -124,10 +134,14 @@ def test_perf_parallel_batch_speedup(bench_world, built_system, report):
             ml_pipeline=built_system.ml_pipeline,
         )
 
+    pipeline = built_system.ml_pipeline
+
+    pipeline.feature_cache.clear()
     start = time.perf_counter()
     sequential = fresh_asdb().classify_all()
     sequential_seconds = time.perf_counter() - start
 
+    pipeline.feature_cache.clear()
     start = time.perf_counter()
     batched = fresh_asdb().classify_batch(workers=4)
     batch_seconds = time.perf_counter() - start
@@ -135,26 +149,29 @@ def test_perf_parallel_batch_speedup(bench_world, built_system, report):
     assert batched.to_csv() == sequential.to_csv()
     speedup = sequential_seconds / batch_seconds
 
-    pipeline = built_system.ml_pipeline
     domains = [
         org.domain
         for org in bench_world.iter_organizations()
         if org.domain is not None
     ][:150]
+    pipeline.feature_cache.clear()
     start = time.perf_counter()
     loop_verdicts = [pipeline.classify_domain(d) for d in domains]
     ml_loop_seconds = time.perf_counter() - start
+    pipeline.feature_cache.clear()
     start = time.perf_counter()
     batch_verdicts = pipeline.classify_domains(domains)
     ml_batch_seconds = time.perf_counter() - start
     assert batch_verdicts == loop_verdicts
 
+    cores = os.cpu_count() or 1
     report(
         "perf_parallel",
         render_table(
             ["Metric", "Value"],
             [
                 ["ASes classified", len(sequential)],
+                ["CPU cores", cores],
                 ["sequential classify_all", f"{sequential_seconds:.2f}s"],
                 ["classify_batch(workers=4)", f"{batch_seconds:.2f}s"],
                 ["batch speedup", f"{speedup:.2f}x"],
@@ -169,4 +186,11 @@ def test_perf_parallel_batch_speedup(bench_world, built_system, report):
     # The batched ML path must never be slower than the per-domain loop
     # (small tolerance for timer jitter on tiny workloads).
     assert ml_batch_seconds <= ml_loop_seconds * 1.10
-    assert speedup >= 2.0
+    # Core-aware speedup gate: 4 workers can only deliver a 2x wall-time
+    # win when the machine actually has cores to run them on.  On small
+    # CI runners (< 4 cores) the batch engine still must not *lose* to
+    # the sequential pass, but the 2x bar would be flaky or impossible.
+    if cores >= 4:
+        assert speedup >= 2.0
+    else:
+        assert speedup >= 1.0

@@ -39,6 +39,17 @@ Observability flags (``classify`` and ``lookup``):
     prints the narrated spans (stage, wall time, verdict, per-source
     decisions); ``classify --trace`` prints an aggregate per-stage
     timing table.
+``--profile [N]``
+    (``classify`` only) Print the top-N slowest pipeline stages
+    (default 5) aggregated from the run's trace spans; implies
+    ``--trace``.
+
+Performance flags (``classify``):
+
+``--executor {thread,process}``
+    Batch executor for ``--workers N``: ``process`` chunks the
+    CPU-bound ML scoring stage over a process pool; output is
+    byte-identical either way.
 
 Resilience flags (``classify``):
 
@@ -57,7 +68,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from . import SystemConfig, WorldConfig, build_asdb, generate_world
 from .core.maintenance import MaintenanceDaemon
@@ -66,7 +77,14 @@ from .core.resilience import RetryPolicy
 from .core.snapshots import SnapshotError, SnapshotStore
 from .datasources.faults import FaultPlan
 from .evaluation import build_gold_standard, evaluate_stages
-from .obs import MetricsRegistry, format_seconds, narrate_sweep, narrate_trace
+from .obs import (
+    MetricsRegistry,
+    aggregate_spans,
+    format_seconds,
+    narrate_profile,
+    narrate_sweep,
+    narrate_trace,
+)
 from .reporting import render_metrics_summary, render_table
 from .taxonomy import naicslite
 from .world import simulate_churn
@@ -93,6 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--workers", type=int, default=1,
                           help="worker threads for the batch engine "
                           "(output is byte-identical to --workers 1)")
+    classify.add_argument("--executor", default="thread",
+                          choices=("thread", "process"),
+                          help="batch executor: 'process' chunks the "
+                          "CPU-bound ML scoring over a process pool "
+                          "(output is byte-identical to 'thread')")
+    classify.add_argument("--profile", nargs="?", const=5, type=int,
+                          default=None, metavar="N",
+                          help="print the top-N slowest pipeline stages "
+                          "(default 5) aggregated from trace spans; "
+                          "implies --trace")
     classify.add_argument("--out", default=None,
                           help="write the dataset to a .csv or .json file")
     classify.add_argument("--inject-faults", nargs="?", const=0.15,
@@ -220,23 +248,21 @@ def _write_metrics(registry: MetricsRegistry, path: str) -> None:
     print(f"wrote metrics snapshot to {path}")
 
 
+def _record_traces(dataset):
+    return (
+        record.trace for record in dataset if record.trace is not None
+    )
+
+
 def _print_stage_timings(dataset) -> None:
     """Aggregate traced span wall time per pipeline stage."""
-    totals: Dict[str, Tuple[int, float]] = {}
-    for record in dataset:
-        if record.trace is None:
-            continue
-        for span in record.trace.spans:
-            count, seconds = totals.get(span.name, (0, 0.0))
-            totals[span.name] = (count + 1, seconds + span.duration)
+    totals = aggregate_spans(_record_traces(dataset))
     if not totals:
         return
     rows = [
         [name, str(count), format_seconds(seconds),
          format_seconds(seconds / count)]
-        for name, (count, seconds) in sorted(
-            totals.items(), key=lambda item: -item[1][1]
-        )
+        for name, count, seconds in totals
     ]
     print(render_table(["Span", "Calls", "Total", "Mean"], rows,
                        title="Per-stage wall time"))
@@ -254,14 +280,17 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             seed=args.seed, max_retries=max(0, args.retry),
             backoff_base=0.0,
         )
+    # --profile aggregates trace spans, so it needs them recorded.
+    trace = args.trace or args.profile is not None
     built = build_asdb(
         world,
         SystemConfig(
             seed=args.seed,
             train_ml=not args.no_ml,
             metrics=registry,
-            trace=args.trace,
+            trace=trace,
             workers=args.workers,
+            executor=args.executor,
             faults=faults,
             retry=retry,
         ),
@@ -288,6 +317,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
           f"{cache.none_keys} keyless)")
     if args.trace:
         _print_stage_timings(dataset)
+    if args.profile is not None:
+        print(narrate_profile(_record_traces(dataset), top=args.profile))
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
     if args.out:

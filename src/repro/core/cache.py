@@ -11,14 +11,29 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Generic, Iterable, Optional, Tuple, TypeVar
 
 from ..whois.extraction import ExtractedContact
-from ..world.names import tokenize_name
+from ..world.names import token_set
 
 __all__ = ["org_cache_key", "CacheStats", "OrganizationCache"]
 
 T = TypeVar("T")
+
+
+@lru_cache(maxsize=65536)
+def _name_cache_key(name: str) -> Optional[str]:
+    """The ``name:`` form of a key, memoized per distinct name string.
+
+    Cluster planning and the cache stage both derive this key for every
+    AS of every pass; organizations share names across sibling ASes, so
+    interning the sort/join saves a hot-path allocation per lookup.
+    """
+    tokens = token_set(name)
+    if tokens:
+        return "name:" + " ".join(sorted(tokens))
+    return None
 
 
 def org_cache_key(
@@ -32,10 +47,7 @@ def org_cache_key(
     """
     if domain:
         return f"domain:{domain}"
-    tokens = tokenize_name(contact.name)
-    if tokens:
-        return "name:" + " ".join(sorted(set(tokens)))
-    return None
+    return _name_cache_key(contact.name)
 
 
 @dataclass(frozen=True)

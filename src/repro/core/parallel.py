@@ -63,8 +63,9 @@ from ..obs.trace import trace_builder
 from .cache import org_cache_key
 from .database import ASdbRecord
 from .pipeline import REQUEST_ASN_MATCH, REQUEST_ML, REQUEST_SOURCES
+from .procpool import map_chunked
 
-__all__ = ["Cluster", "plan_clusters", "run_batch"]
+__all__ = ["Cluster", "plan_clusters", "run_batch", "map_chunked"]
 
 
 @dataclass(frozen=True)
@@ -220,7 +221,7 @@ def run_batch(
                 state for state in leaders if state.request is not None
             ]
             while pending:
-                _serve_round(asdb, pool, pending, m_phase_seconds)
+                _serve_round(asdb, pool, pending, m_phase_seconds, workers)
                 pending = [
                     state for state in pending if state.request is not None
                 ]
@@ -267,8 +268,14 @@ def _classify_chain(asdb, members: Sequence[int]) -> List[ASdbRecord]:
     return [asdb._classify_one(asn) for asn in members]
 
 
-def _serve_round(asdb, pool, pending, m_phase_seconds) -> None:
-    """Serve one round of suspended requests, one bulk call per kind."""
+def _serve_round(asdb, pool, pending, m_phase_seconds, workers=1) -> None:
+    """Serve one round of suspended requests, one bulk call per kind.
+
+    With the ``"process"`` executor configured on the system, the ML
+    bulk call chunks its CPU-bound scoring over ``workers`` processes
+    (see :mod:`repro.core.procpool`); every other stage stays on the
+    thread pool, where the I/O-shaped work already scales.
+    """
     by_kind: Dict[str, List] = {}
     for state in pending:
         by_kind.setdefault(state.request[0], []).append(state)
@@ -285,7 +292,10 @@ def _serve_round(asdb, pool, pending, m_phase_seconds) -> None:
     if waiting:
         with m_phase_seconds.time(phase="ml"):
             verdicts = asdb._ml.classify_domains(
-                [state.request[1] for state in waiting]
+                [state.request[1] for state in waiting],
+                process_workers=(
+                    workers if asdb._executor == "process" else 0
+                ),
             )
             replies.extend(zip(waiting, verdicts))
 

@@ -14,7 +14,7 @@ import zlib
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..world.calibration import CRUNCHBASE, MATCHING
-from ..world.names import tokenize_name
+from ..world.names import token_set, tokenize_name
 from ..world.organization import World
 from . import emission, schemes
 from .base import DataSource, Query, SourceEntry, SourceMatch
@@ -107,7 +107,7 @@ class Crunchbase(DataSource):
         return None
 
     def _lookup_by_name(self, query: Query) -> Optional[SourceMatch]:
-        tokens = frozenset(tokenize_name(query.name or ""))
+        tokens = token_set(query.name or "")
         if not tokens:
             return None
         # Exact tokenized-name match only.  Fuzzy superset matching was

@@ -13,6 +13,12 @@ from .domains import (
     select_most_similar,
     select_random,
 )
+from .kernels import (
+    KernelStats,
+    lcs_ratio_reference,
+    name_similarity_reference,
+    score_candidates,
+)
 from .resolver import EntityResolver, ResolvedSources
 from .similarity import jaccard, lcs_ratio, name_similarity
 
@@ -27,4 +33,8 @@ __all__ = [
     "jaccard",
     "lcs_ratio",
     "name_similarity",
+    "KernelStats",
+    "score_candidates",
+    "lcs_ratio_reference",
+    "name_similarity_reference",
 ]

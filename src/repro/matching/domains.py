@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..web.site import WebUniverse
 from ..world.calibration import MATCHING
-from .similarity import name_similarity
+from .kernels import KernelStats, score_candidates
 
 __all__ = [
     "DomainFrequencyIndex",
@@ -101,24 +101,27 @@ def select_most_similar(
     candidates: Sequence[str],
     as_name: str,
     web: WebUniverse,
+    stats: Optional[KernelStats] = None,
 ) -> Optional[str]:
     """Pick the candidate whose homepage title best matches the AS name.
 
     For unreachable sites the domain itself is compared instead, exactly
-    as Table 5 describes.
+    as Table 5 describes.  The AS name is tokenized once for the whole
+    selection and scored through the batch kernel
+    (:func:`~repro.matching.kernels.score_candidates`), whose exact
+    upper-bound prune preserves the first-max-wins tie-break; ``stats``
+    (when given) accumulates computed/pruned candidate counts.
     """
     pool = _strip_email_providers(candidates)
     if not pool:
         return None
-    best: Optional[str] = None
-    best_score = -1.0
-    for domain in sorted(set(pool)):
+    ordered = sorted(set(pool))
+    references = []
+    for domain in ordered:
         title = web.homepage_title(domain)
-        reference = title if title is not None else domain
-        score = name_similarity(as_name, reference)
-        if score > best_score:
-            best, best_score = domain, score
-    return best
+        references.append(title if title is not None else domain)
+    best_index, _ = score_candidates(as_name, references, stats=stats)
+    return ordered[best_index]
 
 
 def choose_domain(
@@ -126,6 +129,7 @@ def choose_domain(
     as_name: str,
     web: WebUniverse,
     index: Optional[DomainFrequencyIndex] = None,
+    stats: Optional[KernelStats] = None,
 ) -> Optional[str]:
     """The full Figure-4 domain-extraction algorithm.
 
@@ -139,4 +143,4 @@ def choose_domain(
         rare = [domain for domain in pool if not index.is_common(domain)]
         if rare:
             pool = rare
-    return select_most_similar(pool, as_name, web)
+    return select_most_similar(pool, as_name, web, stats=stats)

@@ -24,6 +24,7 @@ from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..web.site import WebUniverse
 from ..whois.extraction import ExtractedContact
 from .domains import DomainFrequencyIndex, choose_domain
+from .kernels import KernelStats
 
 __all__ = ["ResolvedSources", "EntityResolver"]
 
@@ -106,6 +107,15 @@ class EntityResolver:
                 "accepted", REASON_LOW_CONFIDENCE, REASON_DOMAIN_MISMATCH
             ):
                 self._m_decisions.inc(0, source=source.name, outcome=outcome)
+        self._m_kernel_candidates = registry.counter(
+            "asdb_kernel_candidates_total",
+            "Most-similar selection candidates by scoring outcome "
+            "(computed = paid for the LCS, pruned = skipped by the "
+            "exact upper bound).",
+            ("outcome",),
+        )
+        for outcome in ("computed", "pruned"):
+            self._m_kernel_candidates.inc(0, outcome=outcome)
 
     def choose_domain(
         self,
@@ -120,8 +130,20 @@ class EntityResolver:
         for hint in hint_domains:
             if hint and hint not in pool:
                 pool.append(hint)
-        chosen = choose_domain(pool, as_name, self._web, self._index)
+        # A fresh per-call stats object keeps the batch engine's
+        # concurrent choosers from racing on shared counters; deltas
+        # flush into the (thread-safe) metric afterwards.
+        stats = KernelStats()
+        chosen = choose_domain(
+            pool, as_name, self._web, self._index, stats=stats
+        )
         self._m_choice_seconds.observe(time.perf_counter() - start)
+        if stats.computed:
+            self._m_kernel_candidates.inc(
+                stats.computed, outcome="computed"
+            )
+        if stats.pruned:
+            self._m_kernel_candidates.inc(stats.pruned, outcome="pruned")
         return chosen
 
     def match_sources(

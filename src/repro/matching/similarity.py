@@ -10,9 +10,10 @@ Communications").
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import Set
 
-from ..world.names import tokenize_name
+from ..world.names import token_set
+from .kernels import joined_form, lcs_ratio
 
 __all__ = ["jaccard", "lcs_ratio", "name_similarity"]
 
@@ -26,33 +27,15 @@ def jaccard(a: Set[str], b: Set[str]) -> float:
     return len(a & b) / len(a | b)
 
 
-def lcs_ratio(a: str, b: str) -> float:
-    """Longest-common-subsequence length over max length, in [0, 1]."""
-    if not a or not b:
-        return 0.0
-    # Classic O(len(a) * len(b)) DP with two rows.
-    previous = [0] * (len(b) + 1)
-    for char_a in a:
-        current = [0]
-        for index, char_b in enumerate(b):
-            if char_a == char_b:
-                current.append(previous[index] + 1)
-            else:
-                current.append(max(previous[index + 1], current[-1]))
-        previous = current
-    return previous[-1] / max(len(a), len(b))
-
-
 def name_similarity(a: str, b: str) -> float:
     """Blended similarity of two organization/AS names, in [0, 1].
 
     Token-set Jaccard catches reordered words; LCS on the joined
-    lowercase forms catches concatenations and partial stems.
+    lowercase forms catches concatenations and partial stems.  Token
+    sets and joined forms are interned per name and the LCS runs on the
+    trimmed kernel (:mod:`repro.matching.kernels`); values are
+    bit-identical to the pre-kernel implementation.
     """
-    tokens_a = set(tokenize_name(a))
-    tokens_b = set(tokenize_name(b))
-    token_score = jaccard(tokens_a, tokens_b)
-    joined_a = "".join(sorted(tokens_a)) or a.lower().replace(" ", "")
-    joined_b = "".join(sorted(tokens_b)) or b.lower().replace(" ", "")
-    sequence_score = lcs_ratio(joined_a, joined_b)
+    token_score = jaccard(token_set(a), token_set(b))
+    sequence_score = lcs_ratio(joined_form(a), joined_form(b))
     return 0.5 * token_score + 0.5 * sequence_score

@@ -14,8 +14,10 @@ from .metrics import (
     recall,
     roc_auc,
 )
+from .featcache import FeatureCache, FeatureCacheStats, content_digest
 from .pipeline import (
     ClassifierVerdict,
+    TextScorer,
     TrainingExample,
     WebClassificationPipeline,
 )
@@ -39,6 +41,10 @@ __all__ = [
     "roc_auc",
     "TrainingExample",
     "ClassifierVerdict",
+    "TextScorer",
     "WebClassificationPipeline",
+    "FeatureCache",
+    "FeatureCacheStats",
+    "content_digest",
     "build_training_examples",
 ]

@@ -1,0 +1,94 @@
+"""Content-addressed score cache for the ML classification pipeline.
+
+Maintenance sweeps and `refresh` re-classify domains whose *metadata*
+churned even when the site content did not, and full passes re-score
+the same shared hosting page for every tenant.  The pipeline therefore
+memoizes by content: the blake2b digest of the raw (untranslated)
+scraped corpus keys the final ensemble scores, so a re-encounter of
+unchanged content skips translation, vectorization, TF-IDF weighting,
+and ensemble scoring entirely.
+
+Keying on the *raw* corpus is what makes the warm path cheap — the
+expensive translate stage sits between gathering and featurization, and
+translation is deterministic per text, so identical raw text implies
+identical translated text implies identical scores.  The cache stores
+only the two ensemble-mean floats (not feature rows): scores are the
+sole consumer of the features, and floats make the cache trivially
+small and picklable.
+
+The cache is cleared by ``fit`` (new model weights invalidate every
+memoized score) and is thread-safe because the batch engine calls
+``classify_domains`` from worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["content_digest", "FeatureCacheStats", "FeatureCache"]
+
+
+def content_digest(text: str) -> str:
+    """Stable content address of a scraped corpus (blake2b-128)."""
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class FeatureCacheStats:
+    """A consistent point-in-time snapshot of the cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FeatureCache:
+    """Maps content digests to ``(isp_score, hosting_score)`` pairs."""
+
+    def __init__(self) -> None:
+        self._store: Dict[str, Tuple[float, float]] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, digest: str) -> Optional[Tuple[float, float]]:
+        """Cached scores for a digest (None on miss; counters tick)."""
+        with self._lock:
+            scores = self._store.get(digest)
+            if scores is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return scores
+
+    def put(self, digest: str, scores: Tuple[float, float]) -> None:
+        """Store the scores computed for a digest."""
+        with self._lock:
+            self._store[digest] = scores
+
+    def clear(self) -> None:
+        """Drop every entry (model weights changed; counters survive)."""
+        with self._lock:
+            self._store.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def stats(self) -> FeatureCacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return FeatureCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._store),
+            )

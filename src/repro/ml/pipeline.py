@@ -17,12 +17,18 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
-from ..web.scraper import Scraper
+from ..web.scraper import RawScrape, Scraper
+from .featcache import FeatureCache, content_digest
 from .sgd import SGDClassifier
 from .tfidf import TfidfTransformer
 from .vectorize import CountVectorizer
 
-__all__ = ["TrainingExample", "ClassifierVerdict", "WebClassificationPipeline"]
+__all__ = [
+    "TrainingExample",
+    "ClassifierVerdict",
+    "TextScorer",
+    "WebClassificationPipeline",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +86,46 @@ class _BinaryEnsemble:
         return stacked.mean(axis=0)
 
 
+class TextScorer:
+    """The pipeline's frozen scoring head: translated text -> scores.
+
+    Holds only fitted model state (vocabulary dict, IDF vector, SGD
+    weights) — all plain dicts/ndarrays — so it pickles cheaply to the
+    process-pool workers.  Local and remote scoring run this same
+    ``score`` method, so scores are bit-identical regardless of where
+    they were computed.
+    """
+
+    __slots__ = ("_vectorizer", "_tfidf", "_isp", "_hosting")
+
+    def __init__(self, vectorizer, tfidf, isp, hosting) -> None:
+        self._vectorizer = vectorizer
+        self._tfidf = tfidf
+        self._isp = isp
+        self._hosting = hosting
+
+    def score(self, texts: Sequence[str]) -> List[Tuple[float, float]]:
+        """Per-text ``(isp_score, hosting_score)`` ensemble means."""
+        counts = self._vectorizer.transform(texts)
+        features = (
+            counts if self._tfidf is None else self._tfidf.transform(counts)
+        )
+        isp_scores = self._isp.scores(features)
+        hosting_scores = self._hosting.scores(features)
+        return [
+            (float(isp), float(hosting))
+            for isp, hosting in zip(isp_scores, hosting_scores)
+        ]
+
+
+def _score_chunk(
+    scorer: TextScorer, texts: Sequence[str]
+) -> List[Tuple[float, float]]:
+    """Module-level chunk job for :func:`repro.core.procpool.map_chunked`
+    (must be picklable by reference)."""
+    return scorer.score(texts)
+
+
 class WebClassificationPipeline:
     """End-to-end website classifier for ISPs and hosting providers.
 
@@ -130,6 +176,19 @@ class WebClassificationPipeline:
             "Domains per classify_domains call.",
             buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000),
         )
+        self._m_featcache = registry.counter(
+            "asdb_featcache_lookups_total",
+            "Content-addressed score-cache lookups by outcome.",
+            ("outcome",),
+        )
+        for outcome in ("hit", "miss"):
+            self._m_featcache.inc(0, outcome=outcome)
+        self._m_featcache_size = registry.gauge(
+            "asdb_featcache_size",
+            "Entries in the content-addressed score cache.",
+        )
+        self._featcache = FeatureCache()
+        self._scorer: Optional[TextScorer] = None
         self._vectorizer = CountVectorizer(
             min_df=2, max_features=max_features
         )
@@ -145,6 +204,18 @@ class WebClassificationPipeline:
     def fitted(self) -> bool:
         """Whether :meth:`fit` has completed."""
         return self._fitted
+
+    @property
+    def feature_cache(self) -> FeatureCache:
+        """The content-addressed score cache (hit/miss stats, clear)."""
+        return self._featcache
+
+    def export_scorer(self) -> TextScorer:
+        """The fitted scoring head (picklable; used by the process
+        executor and by anything wanting scores without scraping)."""
+        if not self._fitted:
+            raise RuntimeError("pipeline is not fitted")
+        return self._scorer
 
     def _featurize(self, texts: Sequence[str], fit: bool):
         if fit:
@@ -179,17 +250,25 @@ class WebClassificationPipeline:
         self._isp.fit(features, isp_labels)
         self._hosting.fit(features, hosting_labels)
         self._fitted = True
+        self._scorer = TextScorer(
+            self._vectorizer, self._tfidf, self._isp, self._hosting
+        )
+        # New weights invalidate every memoized score.
+        self._featcache.clear()
         return self
 
     def classify_text(self, domain: str, text: str) -> ClassifierVerdict:
-        """Classify already-scraped text."""
+        """Classify already-scraped (translated) text."""
         if not self._fitted:
             raise RuntimeError("pipeline is not fitted")
         if not text.strip():
             return ClassifierVerdict(domain=domain, scraped=False)
-        features = self._featurize([text], fit=False)
-        isp_score = float(self._isp.scores(features)[0])
-        hosting_score = float(self._hosting.scores(features)[0])
+        isp_score, hosting_score = self._scorer.score([text])[0]
+        return self._verdict(domain, isp_score, hosting_score)
+
+    def _verdict(
+        self, domain: str, isp_score: float, hosting_score: float
+    ) -> ClassifierVerdict:
         return ClassifierVerdict(
             domain=domain,
             scraped=True,
@@ -199,28 +278,85 @@ class WebClassificationPipeline:
             hosting_score=hosting_score,
         )
 
+    def _scores_for_raw(
+        self,
+        raws: Sequence[RawScrape],
+        process_workers: int = 0,
+    ) -> List[Tuple[float, float]]:
+        """Scores for non-empty raw scrapes, via the content cache.
+
+        Digest hits skip translation, featurization, and scoring
+        entirely; misses are translated and scored as one batch —
+        in-process, or chunked over ``process_workers`` processes when
+        asked.  Both paths run :meth:`TextScorer.score`, and every
+        transform is row/element independent, so the values are
+        bit-identical to scoring each text alone.
+        """
+        digests = [content_digest(raw.raw_text) for raw in raws]
+        scores: List[Optional[Tuple[float, float]]] = []
+        miss_positions: List[int] = []
+        hits = misses = 0
+        for digest in digests:
+            cached = self._featcache.get(digest)
+            if cached is None:
+                miss_positions.append(len(scores))
+                misses += 1
+            else:
+                hits += 1
+            scores.append(cached)
+        if miss_positions:
+            translated = self._scraper.translate_texts(
+                [raws[index].raw_text for index in miss_positions]
+            )
+            if process_workers > 1 and len(translated) > 1:
+                # Imported lazily: repro.core imports repro.ml at
+                # package-init time, not the other way around.
+                from ..core.procpool import map_chunked
+
+                computed = map_chunked(
+                    _score_chunk, self._scorer, translated, process_workers
+                )
+            else:
+                computed = self._scorer.score(translated)
+            for index, pair in zip(miss_positions, computed):
+                scores[index] = pair
+                self._featcache.put(digests[index], pair)
+        if hits:
+            self._m_featcache.inc(hits, outcome="hit")
+        if misses:
+            self._m_featcache.inc(misses, outcome="miss")
+        self._m_featcache_size.set(len(self._featcache))
+        return scores
+
     def classify_domain(self, domain: str) -> ClassifierVerdict:
-        """Scrape then classify one domain."""
+        """Scrape then classify one domain (content-cache aware)."""
         start = time.perf_counter()
-        result = self._scraper.scrape(domain)
-        if result.empty:
+        raw = self._scraper.gather(domain)
+        if raw.empty:
             verdict = ClassifierVerdict(domain=domain, scraped=False)
         else:
-            verdict = self.classify_text(domain, result.text)
+            if not self._fitted:
+                raise RuntimeError("pipeline is not fitted")
+            isp_score, hosting_score = self._scores_for_raw([raw])[0]
+            verdict = self._verdict(domain, isp_score, hosting_score)
         self._m_classify_seconds.observe(time.perf_counter() - start)
         self._m_verdicts.inc(1, outcome=self._verdict_outcome(verdict))
         return verdict
 
     def classify_domains(
-        self, domains: Sequence[str]
+        self,
+        domains: Sequence[str],
+        process_workers: int = 0,
     ) -> List[ClassifierVerdict]:
-        """Batch :meth:`classify_domain`: one scrape pass, one vectorizer
-        transform, one TF-IDF transform, one ensemble scoring call.
+        """Batch :meth:`classify_domain`: one raw-scrape pass, one
+        content-cache probe, then one translate + vectorizer + TF-IDF +
+        ensemble pass over the digest misses only.
 
         Elementwise identical to the scalar path: every transform in the
         stack (count vectorization, TF-IDF weighting with per-row L2
         normalization, SGD decision scores) is row-independent, so the
-        scores for a text do not depend on what else is in the batch.
+        scores for a text do not depend on what else is in the batch —
+        or, with ``process_workers > 1``, on which process scored it.
         Verdict-outcome counters tick per domain as in the scalar path;
         latency lands in ``asdb_ml_batch_seconds``.
         """
@@ -228,32 +364,25 @@ class WebClassificationPipeline:
             raise RuntimeError("pipeline is not fitted")
         domains = list(domains)
         start = time.perf_counter()
-        results = self._scraper.scrape_many(domains)
+        raws = self._scraper.gather_many(domains)
         verdicts: List[Optional[ClassifierVerdict]] = [None] * len(domains)
         positions: List[int] = []
-        texts: List[str] = []
-        for index, result in enumerate(results):
-            if result.empty:
+        pending: List[RawScrape] = []
+        for index, raw in enumerate(raws):
+            if raw.empty:
                 verdicts[index] = ClassifierVerdict(
                     domain=domains[index], scraped=False
                 )
             else:
                 positions.append(index)
-                texts.append(result.text)
-        if texts:
-            features = self._featurize(texts, fit=False)
-            isp_scores = self._isp.scores(features)
-            hosting_scores = self._hosting.scores(features)
-            for row, index in enumerate(positions):
-                isp_score = float(isp_scores[row])
-                hosting_score = float(hosting_scores[row])
-                verdicts[index] = ClassifierVerdict(
-                    domain=domains[index],
-                    scraped=True,
-                    is_isp=isp_score > self._threshold,
-                    is_hosting=hosting_score > self._threshold,
-                    isp_score=isp_score,
-                    hosting_score=hosting_score,
+                pending.append(raw)
+        if pending:
+            scores = self._scores_for_raw(
+                pending, process_workers=process_workers
+            )
+            for index, (isp_score, hosting_score) in zip(positions, scores):
+                verdicts[index] = self._verdict(
+                    domains[index], isp_score, hosting_score
                 )
         self._m_batch_seconds.observe(time.perf_counter() - start)
         self._m_batch_size.observe(len(domains))

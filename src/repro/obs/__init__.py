@@ -37,7 +37,13 @@ from .trace import (
     trace_builder,
 )
 from .instrument import InstrumentedSource, instrument_source, timed
-from .narrate import format_seconds, narrate_sweep, narrate_trace
+from .narrate import (
+    aggregate_spans,
+    format_seconds,
+    narrate_profile,
+    narrate_sweep,
+    narrate_trace,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
@@ -58,4 +64,6 @@ __all__ = [
     "format_seconds",
     "narrate_trace",
     "narrate_sweep",
+    "narrate_profile",
+    "aggregate_spans",
 ]

@@ -15,11 +15,17 @@ with what the pipeline did.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Tuple
 
 from .trace import ClassificationTrace, Span
 
-__all__ = ["narrate_trace", "narrate_sweep", "format_seconds"]
+__all__ = [
+    "narrate_trace",
+    "narrate_sweep",
+    "narrate_profile",
+    "aggregate_spans",
+    "format_seconds",
+]
 
 
 def format_seconds(seconds: float) -> str:
@@ -87,6 +93,59 @@ def narrate_sweep(report) -> str:
         )
         for span in report.trace.spans:
             lines.extend(_span_lines(span, name_width))
+    return "\n".join(lines)
+
+
+def aggregate_spans(
+    traces: Iterable[ClassificationTrace],
+) -> List[Tuple[str, int, float]]:
+    """Aggregate recorded spans across traces into per-stage totals.
+
+    Returns ``(stage_name, calls, total_seconds)`` rows sorted by
+    descending total wall time.  Pure aggregation over the spans the
+    pipeline already recorded — no new instrumentation.
+    """
+    totals: dict = {}
+    for trace in traces:
+        for span in trace.spans:
+            calls, seconds = totals.get(span.name, (0, 0.0))
+            totals[span.name] = (calls + 1, seconds + span.duration)
+    return sorted(
+        (
+            (name, calls, seconds)
+            for name, (calls, seconds) in totals.items()
+        ),
+        key=lambda row: -row[2],
+    )
+
+
+def narrate_profile(
+    traces: Iterable[ClassificationTrace], top: int = 5
+) -> str:
+    """The ``classify --profile`` report: top-N slowest pipeline stages.
+
+    Derived entirely from existing trace spans via
+    :func:`aggregate_spans`; percentages are of the total traced span
+    time, so they answer "where did the pass spend its time".
+    """
+    rows = aggregate_spans(traces)
+    if not rows:
+        return "no trace spans recorded"
+    grand_total = sum(seconds for _, _, seconds in rows)
+    shown = rows[: max(1, top)]
+    name_width = max(len(name) for name, _, _ in shown)
+    lines = [
+        f"slowest pipeline stages (top {len(shown)} of {len(rows)}, "
+        f"{format_seconds(grand_total)} traced):"
+    ]
+    for name, calls, seconds in shown:
+        share = seconds / grand_total if grand_total else 0.0
+        lines.append(
+            f"  {name.ljust(name_width)}  "
+            f"{format_seconds(seconds).rjust(9)}  "
+            f"{share:6.1%}  {calls:6d} calls  "
+            f"{format_seconds(seconds / calls)}/call"
+        )
     return "\n".join(lines)
 
 

@@ -53,6 +53,10 @@ class SystemConfig:
         workers: Default worker count for ``classify_all``; above 1 the
             whole-registry pass runs through the batch engine (output
             stays byte-identical to the sequential pass).
+        executor: ``"thread"`` (default) or ``"process"`` — the latter
+            chunks the batch engine's CPU-bound ML scoring over a
+            process pool of ``workers`` processes; output stays
+            byte-identical either way.
         faults: Fault-injection plan applied to every source (testing /
             chaos runs); None leaves the sources untouched.
         retry: Retry/breaker policy wrapped around every source.  None
@@ -77,6 +81,7 @@ class SystemConfig:
     metrics: Optional[MetricsRegistry] = None
     trace: bool = False
     workers: int = 1
+    executor: str = "thread"
     faults: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
     snapshot_dir: Optional[str] = None
@@ -181,6 +186,7 @@ def build_asdb(
         metrics=config.metrics,
         trace=config.trace,
         workers=config.workers,
+        executor=config.executor,
     )
     snapshots = daemon = None
     if config.snapshot_dir is not None:

@@ -25,10 +25,42 @@ from ..taxonomy.keywords import SCRAPER_LINK_KEYWORDS
 from .site import WebUniverse
 from .translate import translate_many, translate_to_english
 
-__all__ = ["ScrapeResult", "Scraper"]
+__all__ = ["ScrapeResult", "RawScrape", "Scraper"]
 
 #: Maximum internal pages visited per site (Figure 3: "up to five").
 MAX_INTERNAL_PAGES = 5
+
+
+@dataclass(frozen=True)
+class RawScrape:
+    """One domain's fetch *before* the translation stage.
+
+    The ML pipeline's content-addressed cache keys on this raw text, so
+    it gathers first, consults the cache, and only pays for translation
+    (via :meth:`Scraper.translate_texts`) on digest misses.
+
+    Attributes:
+        domain: The domain fetched.
+        reachable: Whether the site answered at all.
+        raw_text: Concatenated untranslated text from visited pages.
+        pages_visited: Titles of the pages visited, homepage first.
+    """
+
+    domain: str
+    reachable: bool
+    raw_text: str
+    pages_visited: Tuple[str, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """Whether nothing useful was fetched.
+
+        Translation of a non-empty text is never empty (and vice
+        versa), so this agrees with :attr:`ScrapeResult.empty` for the
+        same fetch — which is what keeps the outcome counters and the
+        pipeline's unscraped verdicts identical on the raw path.
+        """
+        return not self.raw_text.strip()
 
 
 @dataclass(frozen=True)
@@ -159,6 +191,67 @@ class Scraper:
         for result in results:
             self._m_scrapes.inc(1, outcome=self._outcome(result))
         return results
+
+    def gather(self, domain: str) -> RawScrape:
+        """Fetch one domain without translating (see :class:`RawScrape`).
+
+        Scrape latency and outcome counters tick exactly as for
+        :meth:`scrape` — the outcome of a fetch does not depend on
+        translation.
+        """
+        start = time.perf_counter()
+        reachable, raw, visited = self._gather(domain)
+        result = RawScrape(
+            domain=domain,
+            reachable=reachable,
+            raw_text=raw,
+            pages_visited=visited,
+        )
+        self._m_scrape_seconds.observe(time.perf_counter() - start)
+        self._m_scrapes.inc(1, outcome=self._raw_outcome(result))
+        return result
+
+    def gather_many(self, domains: Sequence[str]) -> List[RawScrape]:
+        """Batch :meth:`gather`; elementwise identical to the scalar
+        form.  Batch latency lands in ``asdb_scrape_batch_seconds`` and
+        outcome counters tick per domain, as in :meth:`scrape_many`."""
+        start = time.perf_counter()
+        results = []
+        for domain in domains:
+            reachable, raw, visited = self._gather(domain)
+            results.append(
+                RawScrape(
+                    domain=domain,
+                    reachable=reachable,
+                    raw_text=raw,
+                    pages_visited=visited,
+                )
+            )
+        self._m_batch_seconds.observe(time.perf_counter() - start)
+        for result in results:
+            self._m_scrapes.inc(1, outcome=self._raw_outcome(result))
+        return results
+
+    def translate_texts(self, texts: Sequence[str]) -> List[str]:
+        """Translate raw scraped texts exactly as :meth:`scrape_many`
+        would (elementwise deterministic); a no-op passthrough when the
+        scraper's translation stage is disabled."""
+        out = list(texts)
+        if not self._translate:
+            return out
+        positions = [index for index, text in enumerate(out) if text]
+        translations = translate_many([out[index] for index in positions])
+        for index, result in zip(positions, translations):
+            out[index] = result.text
+        return out
+
+    @staticmethod
+    def _raw_outcome(result: RawScrape) -> str:
+        return (
+            "unreachable" if not result.reachable
+            else "empty" if result.empty
+            else "ok"
+        )
 
     @staticmethod
     def _outcome(result: ScrapeResult) -> str:

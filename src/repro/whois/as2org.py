@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..world.calibration import MATCHING
-from ..world.names import tokenize_name
+from ..world.names import token_set
 from .extraction import ExtractedContact, extract
 from .registry import WhoisRegistry
 
@@ -140,7 +140,7 @@ class As2OrgInferrer:
         # Evidence 1: identical name token sets.
         by_name_key: Dict[str, List[int]] = defaultdict(list)
         for asn, contact in contacts.items():
-            key = " ".join(sorted(set(tokenize_name(contact.name))))
+            key = " ".join(sorted(token_set(contact.name)))
             if key:
                 by_name_key[key].append(asn)
         for members in by_name_key.values():
@@ -157,7 +157,7 @@ class As2OrgInferrer:
                     continue
                 by_domain[domain].append(asn)
                 domain_names[domain].add(
-                    " ".join(sorted(set(tokenize_name(contact.name))))
+                    " ".join(sorted(token_set(contact.name)))
                 )
         for domain, members in by_domain.items():
             if len(domain_names[domain]) >= self._provider_threshold:

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import random
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 __all__ = [
     "NameGenerator",
     "tokenize_name",
+    "token_set",
     "as_handle_for",
     "domain_for",
 ]
@@ -102,18 +104,42 @@ _STOPWORDS = {
 }
 
 
+@lru_cache(maxsize=65536)
+def _tokenize_interned(name: str) -> Tuple[str, ...]:
+    """Interned tokenization: the same AS/org name is tokenized once.
+
+    The registry reuses a small set of organization names across ASes,
+    WHOIS records, and homepage titles, so the matching hot path would
+    otherwise re-run the regex thousands of times per pass.  Tuples are
+    cached (immutable); :func:`tokenize_name` copies into a fresh list
+    so callers can keep mutating their result.
+    """
+    tokens = re.findall(r"[a-z0-9]+", name.lower())
+    return tuple(
+        token
+        for token in tokens
+        if token not in _STOPWORDS and len(token) > 1
+    )
+
+
 def tokenize_name(name: str) -> List[str]:
     """Lowercase alphanumeric tokens of a name, minus legal stopwords.
 
     Single-letter fragments (e.g. the "s"/"a" of "S.A.") are dropped so
     legal-form punctuation doesn't manufacture distinguishing tokens.
     """
-    tokens = re.findall(r"[a-z0-9]+", name.lower())
-    return [
-        token
-        for token in tokens
-        if token not in _STOPWORDS and len(token) > 1
-    ]
+    return list(_tokenize_interned(name))
+
+
+@lru_cache(maxsize=65536)
+def token_set(name: str) -> FrozenSet[str]:
+    """The name's token *set*, interned (== ``set(tokenize_name(name))``).
+
+    The similarity kernels take this form: set operations need no order,
+    and a shared frozenset per distinct name makes repeated Jaccard
+    comparisons allocation-free.
+    """
+    return frozenset(_tokenize_interned(name))
 
 
 def as_handle_for(name: str, rng: random.Random) -> str:

@@ -1,0 +1,212 @@
+"""Property tests: optimized similarity kernels vs reference implementations.
+
+The kernels in :mod:`repro.matching.kernels` (trimmed LCS, interned
+tokenization, pruned batch scoring) must be *exactly* equivalent to the
+straightforward reference code they replaced — same floats, same
+winners, same tie-breaks — not merely close.  These tests hammer that
+equivalence with seeded-random unicode workloads plus the adversarial
+shapes the optimizations exploit (empty strings, containment, shared
+prefixes/suffixes, duplicates).
+"""
+
+import random
+import string
+
+from repro.matching.kernels import (
+    KernelStats,
+    joined_form,
+    lcs_ratio,
+    lcs_ratio_reference,
+    name_similarity_reference,
+    score_candidates,
+    score_candidates_reference,
+)
+from repro.matching.similarity import name_similarity
+from repro.world.names import token_set, tokenize_name
+
+ALPHABETS = [
+    "ab",
+    "abc ",
+    string.ascii_lowercase + " ",
+    string.ascii_letters + string.digits + " -.",
+    "αβγδ εζη",
+    "ÅéÜß ñç",
+    "数据 网络 云",
+]
+
+ORG_NAMES = [
+    "",
+    "Acme Networks Inc",
+    "acme networks",
+    "ACME-NETWORKS LLC",
+    "Acme Networks Incorporated",
+    "Pacific Telecom Holdings",
+    "pacific-telecom.net",
+    "Société Générale des Réseaux",
+    "Übermensch Hosting GmbH",
+    "北京 数据 中心",
+    "a",
+    "aa",
+    "The Of And",  # stopwords only
+    "x" * 80,
+    "x" * 79 + "y",
+]
+
+
+def _random_string(rng, alphabet, max_len=40):
+    return "".join(
+        rng.choice(alphabet) for _ in range(rng.randrange(max_len))
+    )
+
+
+class TestLcsRatio:
+    def test_matches_reference_on_random_unicode(self):
+        rng = random.Random(20211102)
+        for trial in range(3000):
+            alphabet = rng.choice(ALPHABETS)
+            a = _random_string(rng, alphabet)
+            b = _random_string(rng, alphabet)
+            assert lcs_ratio(a, b) == lcs_ratio_reference(a, b), (a, b)
+
+    def test_adversarial_shapes(self):
+        # Each pair targets one fast path: empty, equal, containment,
+        # common prefix, common suffix, prefix+suffix overlap risk.
+        pairs = [
+            ("", ""),
+            ("", "abc"),
+            ("abc", ""),
+            ("abc", "abc"),
+            ("abc", "zabcz"),
+            ("zabcz", "abc"),
+            ("prefix-one", "prefix-two"),
+            ("one-suffix", "two-suffix"),
+            ("aaaa", "aaa"),  # prefix scan would cover the shorter fully
+            ("abab", "abab" * 5),
+            ("xay", "xby"),
+        ]
+        for a, b in pairs:
+            assert lcs_ratio(a, b) == lcs_ratio_reference(a, b), (a, b)
+
+    def test_concatenated_real_names(self):
+        forms = [joined_form(name) for name in ORG_NAMES]
+        for a in forms:
+            for b in forms:
+                assert lcs_ratio(a, b) == lcs_ratio_reference(a, b), (a, b)
+
+    def test_symmetry_and_bounds(self):
+        rng = random.Random(7)
+        for _ in range(500):
+            a = _random_string(rng, "abcd ", 20)
+            b = _random_string(rng, "abcd ", 20)
+            score = lcs_ratio(a, b)
+            assert score == lcs_ratio(b, a)
+            assert 0.0 <= score <= 1.0
+
+
+class TestNameSimilarity:
+    def test_matches_reference_on_org_names(self):
+        for a in ORG_NAMES:
+            for b in ORG_NAMES:
+                assert name_similarity(a, b) == name_similarity_reference(
+                    a, b
+                ), (a, b)
+
+    def test_matches_reference_on_random_names(self):
+        rng = random.Random(99)
+        vocabulary = [
+            "acme", "networks", "telecom", "pacific", "global", "data",
+            "the", "of", "hosting", "cloud", "inc", "llc", "数据",
+        ]
+        for _ in range(800):
+            a = " ".join(
+                rng.choice(vocabulary)
+                for _ in range(rng.randrange(6))
+            )
+            b = " ".join(
+                rng.choice(vocabulary)
+                for _ in range(rng.randrange(6))
+            )
+            assert name_similarity(a, b) == name_similarity_reference(
+                a, b
+            ), (a, b)
+
+
+class TestScoreCandidates:
+    def _random_workload(self, rng):
+        vocabulary = [
+            "acme", "networks", "telecom", "pacific", "global", "data",
+            "hosting", "cloud", "systems", "corp", "west", "east", "",
+        ]
+
+        def name():
+            return " ".join(
+                rng.choice(vocabulary)
+                for _ in range(rng.randrange(1, 5))
+            )
+
+        query = name()
+        candidates = [name() for _ in range(rng.randrange(1, 9))]
+        if rng.random() < 0.3 and candidates:
+            # Force ties: duplicate an existing candidate.
+            candidates.append(rng.choice(candidates))
+        return query, candidates
+
+    def test_matches_reference_including_ties(self):
+        rng = random.Random(20211102)
+        for trial in range(1500):
+            query, candidates = self._random_workload(rng)
+            assert score_candidates(query, candidates) == (
+                score_candidates_reference(query, candidates)
+            ), (query, candidates)
+
+    def test_first_max_wins_on_exact_duplicates(self):
+        index, score = score_candidates(
+            "acme networks", ["acme networks", "acme networks"]
+        )
+        assert index == 0
+        assert score == 1.0
+
+    def test_empty_candidate_list(self):
+        assert score_candidates("acme", []) == (-1, -1.0)
+
+    def test_stats_invariant_and_pruning_fires(self):
+        # First candidate is a perfect match, so every later candidate
+        # is prunable by the upper bound.
+        stats = KernelStats()
+        candidates = ["acme networks"] + [
+            f"unrelated hosting {index}" for index in range(20)
+        ]
+        index, score = score_candidates(
+            "acme networks", candidates, stats=stats
+        )
+        assert (index, score) == (0, 1.0)
+        assert stats.candidates == len(candidates)
+        assert stats.candidates == stats.computed + stats.pruned
+        assert stats.pruned > 0
+
+    def test_stats_accumulate_across_calls(self):
+        stats = KernelStats()
+        score_candidates("acme", ["acme", "other"], stats=stats)
+        first = stats.candidates
+        score_candidates("acme", ["acme", "other"], stats=stats)
+        assert stats.candidates == 2 * first
+        assert stats.candidates == stats.computed + stats.pruned
+
+
+class TestInternedTokenization:
+    def test_tokenize_name_returns_fresh_mutable_list(self):
+        first = tokenize_name("Acme Networks Inc")
+        first.append("mutated")
+        second = tokenize_name("Acme Networks Inc")
+        assert "mutated" not in second
+
+    def test_token_set_matches_tokenize_name(self):
+        for name in ORG_NAMES:
+            assert token_set(name) == frozenset(tokenize_name(name)), name
+
+    def test_joined_form_deterministic(self):
+        assert joined_form("Acme Networks") == joined_form(
+            "networks ACME"
+        )
+        # Stopword-only names fall back to the squashed lowercase form.
+        assert joined_form("The Of") == "theof"
