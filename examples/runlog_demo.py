@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Run ledger tour: persist a run, report on it, gate it with SLOs.
+
+Runs a full classification pass with a :class:`~repro.obs.RunLog`
+attached, then shows the three after-the-fact views the ledger
+enables — everything below is reconstructed from the NDJSON file
+alone, the way `repro report` / `repro health` would after the
+process is long gone:
+
+1. the raw event stream (what one ledger line looks like),
+2. the rendered run report (per-stage, per-source, per-executor),
+3. an SLO health evaluation, including a deliberately-breached budget.
+
+Run:
+    python examples/runlog_demo.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro import SystemConfig, WorldConfig, build_asdb, generate_world
+from repro.obs import (
+    MetricsRegistry,
+    RunLog,
+    evaluate_slos,
+    load_events,
+    load_slos,
+    render_health,
+    render_report,
+)
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="runlog-demo-")
+    ledger_path = os.path.join(workdir, "run.ndjson")
+
+    print("Classifying 150 organizations with a run ledger attached...")
+    registry = MetricsRegistry()
+    world = generate_world(WorldConfig(n_orgs=150, seed=7))
+    with RunLog(
+        ledger_path, kind="classify",
+        config={"n_orgs": 150, "seed": 7, "workers": 3},
+        world={"n_orgs": 150, "seed": 7},
+    ) as runlog:
+        built = build_asdb(
+            world,
+            SystemConfig(
+                seed=1, metrics=registry, trace=True, workers=3,
+                runlog=runlog,
+            ),
+        )
+        cache = built.asdb.cache
+        runlog.sample_resources(
+            {"cache": lambda: {"hits": cache.hits,
+                               "misses": cache.misses}},
+            phase="built",
+        )
+        dataset = built.asdb.classify_all()
+        runlog.sample_resources(
+            {"cache": lambda: {"hits": cache.hits,
+                               "misses": cache.misses}},
+            phase="classified",
+        )
+        runlog.finish(
+            status="ok", metrics=registry,
+            degraded={"records": 0, "total": len(dataset)},
+        )
+    print(f"  classified {len(dataset)} ASes -> {ledger_path}")
+
+    events = load_events(ledger_path)
+    print("\n--- 1. The event stream " + "-" * 39)
+    by_type = {}
+    for event in events:
+        by_type[event["event"]] = by_type.get(event["event"], 0) + 1
+    for name, count in sorted(by_type.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:16s} {count:5d} events")
+    worker_kinds = {
+        event["worker"]["kind"]
+        for event in events if event["event"] == "span"
+    }
+    print(f"  span-emitting executors: {sorted(worker_kinds)}")
+
+    print("\n--- 2. The run report " + "-" * 41)
+    print(render_report(events, ledger_path))
+
+    print("\n--- 3. SLO health " + "-" * 45)
+    slo_path = os.path.join(workdir, "slo.json")
+    with open(slo_path, "w") as handle:
+        json.dump({"slos": [
+            {"id": "wall", "kind": "max_run_seconds", "max": 300},
+            {"id": "degraded", "kind": "max_degraded_fraction",
+             "max": 0.05},
+            # Deliberately impossible: demonstrates a FAIL verdict.
+            {"id": "instant-ml", "kind": "max_stage_p99_seconds",
+             "stage": "ml", "max": 0.0},
+        ]}, handle)
+    results = evaluate_slos(events, load_slos(slo_path))
+    print(render_health(results))
+    breached = [result.rule.id for result in results if not result.ok]
+    print(f"\n  `repro health` would exit "
+          f"{1 if breached else 0} (breached: {breached})")
+
+
+if __name__ == "__main__":
+    main()

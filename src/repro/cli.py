@@ -42,7 +42,17 @@ Observability flags (``classify`` and ``lookup``):
 ``--profile [N]``
     (``classify`` only) Print the top-N slowest pipeline stages
     (default 5) aggregated from the run's trace spans; implies
-    ``--trace``.
+    ``--trace``.  The narration goes to *stderr* (or to
+    ``--profile-out FILE``) so piped CSV/JSON exports stay clean.
+``--runlog FILE``
+    (``classify``, ``snapshot``, ``refresh``) Persist a structured
+    NDJSON event ledger for the run — spans (including worker-side
+    spans from the thread/process pools), per-AS traces (implies
+    ``--trace``), resource samples, breaker transitions, and an
+    end-of-run summary embedding the full metrics registry.  Inspect
+    it later with ``repro report LEDGER``, diff two runs with ``repro
+    report --compare A B``, and gate on budgets with ``repro health
+    --slo slo.json LEDGER`` (exit 1 on SLO breach).
 
 Performance flags (``classify``):
 
@@ -78,12 +88,22 @@ from .core.snapshots import SnapshotError, SnapshotStore
 from .datasources.faults import FaultPlan
 from .evaluation import build_gold_standard, evaluate_stages
 from .obs import (
+    NULL_RUNLOG,
+    LedgerError,
     MetricsRegistry,
+    RunLog,
+    SloError,
     aggregate_spans,
+    evaluate_slos,
     format_seconds,
+    load_events,
+    load_slos,
     narrate_profile,
     narrate_sweep,
     narrate_trace,
+    render_compare,
+    render_health,
+    render_report,
 )
 from .reporting import render_metrics_summary, render_table
 from .taxonomy import naicslite
@@ -119,8 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--profile", nargs="?", const=5, type=int,
                           default=None, metavar="N",
                           help="print the top-N slowest pipeline stages "
-                          "(default 5) aggregated from trace spans; "
-                          "implies --trace")
+                          "(default 5) aggregated from trace spans to "
+                          "stderr; implies --trace")
+    classify.add_argument("--profile-out", default=None, metavar="FILE",
+                          help="write the --profile narration to FILE "
+                          "instead of stderr")
     classify.add_argument("--out", default=None,
                           help="write the dataset to a .csv or .json file")
     classify.add_argument("--inject-faults", nargs="?", const=0.15,
@@ -152,6 +175,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", default="summary",
                        choices=("summary", "prometheus", "json"),
                        help="metrics output format (default: summary table)")
+    stats.add_argument("--workers", type=int, default=1,
+                       help="worker threads for the classification pass")
 
     evaluate = sub.add_parser(
         "evaluate", help="gold-standard evaluation of the full system"
@@ -182,6 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="record per-phase sweep spans")
     snapshot.add_argument("--metrics-out", default=None, metavar="FILE",
                           help="write the sweep metrics snapshot to FILE")
+    snapshot.add_argument("--runlog", default=None, metavar="FILE",
+                          help="persist an NDJSON event ledger for the "
+                          "run (implies --trace)")
 
     refresh = sub.add_parser(
         "refresh",
@@ -200,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record per-phase sweep spans")
     refresh.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="write the sweep metrics snapshot to FILE")
+    refresh.add_argument("--runlog", default=None, metavar="FILE",
+                         help="persist an NDJSON event ledger for the "
+                         "run (implies --trace)")
 
     diff = sub.add_parser(
         "diff", help="diff two stored dataset versions"
@@ -212,6 +243,28 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="V", help="newer version (default: latest)")
     diff.add_argument("--json", action="store_true",
                       help="emit the diff as a JSON document")
+
+    report = sub.add_parser(
+        "report",
+        help="render a human-readable rollup from a run ledger",
+    )
+    report.add_argument("ledger", nargs="?", default=None,
+                        help="NDJSON run ledger written with --runlog")
+    report.add_argument("--compare", nargs=2, default=None,
+                        metavar=("A", "B"),
+                        help="diff two ledgers instead (BENCH-style "
+                        "regression table)")
+
+    health = sub.add_parser(
+        "health",
+        help="evaluate SLO budgets against a run ledger "
+        "(exit 1 on breach)",
+    )
+    health.add_argument("ledger",
+                        help="NDJSON run ledger written with --runlog")
+    health.add_argument("--slo", required=True, metavar="FILE",
+                        help="JSON SLO file (see docs/ARCHITECTURE.md "
+                        "section 12)")
 
     dump = sub.add_parser(
         "dump",
@@ -236,6 +289,80 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         help="write the metrics snapshot to FILE (Prometheus text, or "
         "JSON when FILE ends in .json)",
     )
+    subparser.add_argument(
+        "--runlog", default=None, metavar="FILE",
+        help="persist an NDJSON event ledger for the run (implies "
+        "--trace); inspect with `repro report` / `repro health`",
+    )
+
+
+def _open_runlog(args: argparse.Namespace, kind: str, world: dict):
+    """A real ledger when ``--runlog`` was passed, else the null one.
+
+    The run's config stanza is the parsed CLI arguments (minus the
+    ledger path itself — two otherwise-identical runs logging to
+    different files should share a config digest).
+    """
+    path = getattr(args, "runlog", None)
+    if not path:
+        return NULL_RUNLOG
+    config = {
+        key: value for key, value in sorted(vars(args).items())
+        if key != "runlog"
+    }
+    return RunLog(path, kind=kind, config=config, world=world)
+
+
+def _resource_providers(built, registry: MetricsRegistry):
+    """Stats stanzas for ``resource.sample`` events: org cache, string
+    kernels, and the ML feature cache."""
+    cache = built.asdb.cache
+    providers = {
+        "cache": lambda: {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "none_keys": cache.none_keys,
+            "hit_rate": cache.hit_rate,
+        },
+    }
+    kernels = registry.get("asdb_kernel_candidates_total")
+    if kernels is not None:
+        providers["kernels"] = lambda: {
+            "computed": kernels.value(outcome="computed"),
+            "pruned": kernels.value(outcome="pruned"),
+        }
+    if built.ml_pipeline is not None:
+        featcache = built.ml_pipeline.feature_cache
+        providers["featcache"] = lambda: {
+            "hits": featcache.stats().hits,
+            "misses": featcache.stats().misses,
+            "size": featcache.stats().size,
+            "hit_rate": featcache.stats().hit_rate,
+        }
+    return providers
+
+
+def _finish_runlog(
+    runlog, registry: MetricsRegistry, built, dataset=None,
+    **summary: object,
+) -> None:
+    """Emit the end-of-run summary: metrics snapshot, degraded-source
+    tally, and circuit-breaker states."""
+    if not runlog.enabled:
+        return
+    if dataset is not None:
+        summary["degraded"] = {
+            "records": sum(
+                1 for record in dataset if record.degraded_sources
+            ),
+            "total": len(dataset),
+        }
+    if built.resilient:
+        summary["breakers"] = {
+            source.name: source.breaker_state()
+            for source in built.resilient
+        }
+    runlog.finish(status="ok", metrics=registry, **summary)
 
 
 def _write_metrics(registry: MetricsRegistry, path: str) -> None:
@@ -269,6 +396,9 @@ def _print_stage_timings(dataset) -> None:
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
+    if args.out and not args.out.endswith((".csv", ".json")):
+        print("error: --out must end in .csv or .json", file=sys.stderr)
+        return 2
     registry = MetricsRegistry()
     world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
     faults = retry = None
@@ -280,8 +410,11 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             seed=args.seed, max_retries=max(0, args.retry),
             backoff_base=0.0,
         )
-    # --profile aggregates trace spans, so it needs them recorded.
-    trace = args.trace or args.profile is not None
+    runlog = _open_runlog(args, "classify",
+                          {"n_orgs": args.n_orgs, "seed": args.seed})
+    # --profile aggregates trace spans and the ledger embeds per-AS
+    # traces, so either implies recording them.
+    trace = args.trace or args.profile is not None or runlog.enabled
     built = build_asdb(
         world,
         SystemConfig(
@@ -293,9 +426,13 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             executor=args.executor,
             faults=faults,
             retry=retry,
+            runlog=runlog if runlog.enabled else None,
         ),
     )
+    providers = _resource_providers(built, registry)
+    runlog.sample_resources(providers, phase="built")
     dataset = built.asdb.classify_all()
+    runlog.sample_resources(providers, phase="classified")
     print(f"classified {len(dataset)} ASes "
           f"(coverage {dataset.coverage():.1%})")
     if faults is not None:
@@ -318,30 +455,45 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if args.trace:
         _print_stage_timings(dataset)
     if args.profile is not None:
-        print(narrate_profile(_record_traces(dataset), top=args.profile))
+        # Never to stdout: `classify --profile --out=-`-style piping and
+        # CSV redirects must not interleave with the narration.
+        narration = narrate_profile(_record_traces(dataset),
+                                    top=args.profile)
+        if args.profile_out:
+            with open(args.profile_out, "w") as handle:
+                handle.write(narration + "\n")
+            print(f"wrote profile narration to {args.profile_out}")
+        else:
+            print(narration, file=sys.stderr)
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
     if args.out:
         if args.out.endswith(".json"):
             payload = dataset_to_json(dataset)
-        elif args.out.endswith(".csv"):
-            payload = dataset.to_csv()
         else:
-            print("error: --out must end in .csv or .json",
-                  file=sys.stderr)
-            return 2
+            payload = dataset.to_csv()
         with open(args.out, "w") as handle:
             handle.write(payload)
         print(f"wrote {args.out}")
+    _finish_runlog(
+        runlog, registry, built, dataset,
+        asns=len(dataset), coverage=round(dataset.coverage(), 4),
+    )
     return 0
 
 
 def _cmd_lookup(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    runlog = _open_runlog(args, "lookup",
+                          {"n_orgs": args.n_orgs, "seed": args.seed})
     built = build_asdb(
         world,
-        SystemConfig(seed=args.seed, metrics=registry, trace=args.trace),
+        SystemConfig(
+            seed=args.seed, metrics=registry,
+            trace=args.trace or runlog.enabled,
+            runlog=runlog if runlog.enabled else None,
+        ),
     )
     asn = args.asn
     if asn is None:
@@ -352,6 +504,7 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
     if asn not in world.ases:
         print(f"error: AS{asn} is not registered in this world "
               f"(try one of {world.asns()[:5]}...)", file=sys.stderr)
+        runlog.finish(status="error: unknown ASN")
         return 2
     record = built.asdb.classify(asn)
     org = world.org_of_asn(asn)
@@ -369,7 +522,39 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
         print(narrate_trace(record.trace))
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
+    _finish_runlog(runlog, registry, built, asn=asn,
+                   stage=record.stage.display)
     return 0
+
+
+def _render_cache_layers(built, registry: MetricsRegistry) -> str:
+    """One row per work-avoidance layer: the org-record cache, the
+    string-kernel candidate pruner, and the ML feature cache."""
+    cache = built.asdb.cache
+    rows = [[
+        "org cache", str(cache.hits), str(cache.misses),
+        f"{cache.hit_rate:.1%}", f"{cache.none_keys} keyless lookups",
+    ]]
+    kernels = registry.get("asdb_kernel_candidates_total")
+    if kernels is not None:
+        pruned = kernels.value(outcome="pruned")
+        computed = kernels.value(outcome="computed")
+        total = pruned + computed
+        rows.append([
+            "string kernels", f"{pruned:.0f}", f"{computed:.0f}",
+            f"{pruned / total:.1%}" if total else "-",
+            "candidates pruned before scoring",
+        ])
+    if built.ml_pipeline is not None:
+        stats = built.ml_pipeline.feature_cache.stats()
+        rows.append([
+            "feature cache", str(stats.hits), str(stats.misses),
+            f"{stats.hit_rate:.1%}", f"{stats.size} entries",
+        ])
+    return render_table(
+        ["Layer", "Saved", "Computed", "Saved rate", "Notes"], rows,
+        title="Cache & pruning layers",
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -378,7 +563,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     built = build_asdb(
         world,
         SystemConfig(
-            seed=args.seed, train_ml=not args.no_ml, metrics=registry
+            seed=args.seed, train_ml=not args.no_ml, metrics=registry,
+            workers=args.workers,
         ),
     )
     dataset = built.asdb.classify_all()
@@ -390,6 +576,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"classified {len(dataset)} ASes "
               f"(coverage {dataset.coverage():.1%})")
         print(render_metrics_summary(registry))
+        print(_render_cache_layers(built, registry))
     return 0
 
 
@@ -443,18 +630,24 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         return 2
     registry = MetricsRegistry()
     world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
+    runlog = _open_runlog(args, "snapshot",
+                          {"n_orgs": args.n_orgs, "seed": args.seed})
     built = build_asdb(
         world,
         SystemConfig(
             seed=args.seed,
             train_ml=not args.no_ml,
             metrics=registry,
-            trace=args.trace,
+            trace=args.trace or runlog.enabled,
             workers=args.workers,
             snapshot_dir=args.store,
+            runlog=runlog if runlog.enabled else None,
         ),
     )
+    providers = _resource_providers(built, registry)
+    runlog.sample_resources(providers, phase="built")
     report = built.daemon.sweep(current_day=0)
+    runlog.sample_resources(providers, phase="swept")
     built.snapshots.set_meta({
         "n_orgs": args.n_orgs,
         "world_seed": args.seed,
@@ -468,6 +661,10 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
           f"{info.record_count} records)")
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
+    _finish_runlog(
+        runlog, registry, built, built.asdb.dataset,
+        reclassified=report.reclassified, snapshot_version=info.version,
+    )
     return 0
 
 
@@ -498,15 +695,20 @@ def _cmd_refresh(args: argparse.Namespace) -> int:
         simulate_churn(world, days=int(epoch["days"]),
                        seed=int(epoch["seed"]),
                        start_day=int(epoch["start_day"]))
+    runlog = _open_runlog(args, "refresh", {
+        "n_orgs": int(meta["n_orgs"]),
+        "seed": int(meta["world_seed"]),
+    })
     built = build_asdb(
         world,
         SystemConfig(
             seed=int(meta["world_seed"]),
             train_ml=bool(meta.get("train_ml", True)),
             metrics=registry,
-            trace=args.trace,
+            trace=args.trace or runlog.enabled,
             workers=args.workers,
             snapshot_dir=args.store,
+            runlog=runlog if runlog.enabled else None,
         ),
     )
     store = built.snapshots
@@ -522,7 +724,10 @@ def _cmd_refresh(args: argparse.Namespace) -> int:
         built.asdb, workers=args.workers, snapshots=store,
         last_day=last_day,
     )
+    providers = _resource_providers(built, registry)
+    runlog.sample_resources(providers, phase="churned")
     report = daemon.sweep(last_day + args.days)
+    runlog.sample_resources(providers, phase="swept")
     meta["epochs"] = epochs + [{
         "start_day": last_day + 1, "days": args.days, "seed": epoch_seed,
     }]
@@ -537,6 +742,10 @@ def _cmd_refresh(args: argparse.Namespace) -> int:
     print(f"reclassified exactly the churned set: {exact}")
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
+    _finish_runlog(
+        runlog, registry, built, built.asdb.dataset,
+        reclassified=report.reclassified, exact=exact,
+    )
     return 0 if exact else 1
 
 
@@ -585,6 +794,36 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.compare is None and args.ledger is None:
+        print("error: provide a LEDGER path or --compare A B",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.compare is not None:
+            a_path, b_path = args.compare
+            print(render_compare(load_events(a_path),
+                                 load_events(b_path), a_path, b_path))
+        else:
+            print(render_report(load_events(args.ledger), args.ledger))
+    except (OSError, LedgerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    try:
+        events = load_events(args.ledger)
+        rules = load_slos(args.slo)
+    except (OSError, LedgerError, SloError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = evaluate_slos(events, rules)
+    print(render_health(results))
+    return 1 if any(not result.ok for result in results) else 0
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     from .whois import read_dump, write_dump
 
@@ -625,5 +864,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "snapshot": _cmd_snapshot,
         "refresh": _cmd_refresh,
         "diff": _cmd_diff,
+        "report": _cmd_report,
+        "health": _cmd_health,
     }
     return handlers[args.command](args)

@@ -195,7 +195,18 @@ class MaintenanceDaemon:
             )
         effective = self._workers if workers is None else max(1, workers)
         registry = self._asdb._registry
+        runlog = self._asdb.runlog
         tb = trace_builder(current_day, self._asdb._trace_enabled)
+
+        # Provenance stamped on every per-AS trace this sweep produces
+        # (and thus on its ``as.trace`` ledger events): which sweep —
+        # window and run — caused the reclassification.
+        sweep_tags: Dict[str, object] = {
+            "sweep_since": self._last_day,
+            "sweep_through": current_day,
+        }
+        if runlog.enabled:
+            sweep_tags["run"] = runlog.run_id
 
         with self._m_seconds.time():
             with tb.span("window") as span:
@@ -230,9 +241,10 @@ class MaintenanceDaemon:
 
             with tb.span("classify") as span:
                 if changed:
-                    self._asdb.classify_batch(
-                        asns=changed, workers=effective
-                    )
+                    with self._asdb.tag_traces(**sweep_tags):
+                        self._asdb.classify_batch(
+                            asns=changed, workers=effective
+                        )
                 span.set_status(f"{len(changed)} reclassified")
                 span.note(workers=effective)
 
@@ -247,6 +259,7 @@ class MaintenanceDaemon:
                             "updated_asns": list(updated_asns),
                             "reclassified": len(changed),
                         },
+                        runlog=runlog if runlog.enabled else None,
                     )
                     version = info.version
                     span.set_status(f"v{version} ({info.kind})")
@@ -266,6 +279,15 @@ class MaintenanceDaemon:
             reclassified=len(changed),
             snapshot_version=version,
             trace=tb.finish(),
+        )
+        runlog.emit(
+            "sweep.report",
+            since_day=report.since_day,
+            through_day=report.through_day,
+            new=len(report.new_asns),
+            updated=len(report.updated_asns),
+            reclassified=report.reclassified,
+            snapshot_version=report.snapshot_version,
         )
         self._last_day = current_day
         return report

@@ -122,18 +122,29 @@ def plan_clusters(
 class _LeaderState:
     """One in-flight leader: its stage generator plus bookkeeping."""
 
-    __slots__ = ("asn", "gen", "tb", "request", "record", "active_seconds")
+    __slots__ = (
+        "asn", "gen", "tb", "request", "record", "active_seconds",
+        "runlog", "parent_id",
+    )
 
-    def __init__(self, asn: int, gen, tb) -> None:
+    def __init__(self, asn: int, gen, tb, runlog=None, parent_id=None) -> None:
         self.asn = asn
         self.gen = gen
         self.tb = tb
         self.request: Optional[Tuple] = None
         self.record: Optional[ASdbRecord] = None
         self.active_seconds = 0.0
+        self.runlog = runlog
+        self.parent_id = parent_id
 
     def advance(self, reply: object = None) -> None:
-        """Resume the generator until its next request (or its return)."""
+        """Resume the generator until its next request (or its return).
+
+        Runs on a pool thread; when the generator returns, the leader's
+        accumulated active time is emitted as a worker-side ledger span
+        (``batch.leader``) from that thread, so the ledger's causal tree
+        shows which thread classified which organization.
+        """
         start = time.perf_counter()
         try:
             if reply is None:
@@ -143,6 +154,18 @@ class _LeaderState:
         except StopIteration as stop:
             self.request = None
             self.record = stop.value
+            if self.runlog is not None and self.runlog.enabled:
+                self.runlog.emit(
+                    "span",
+                    span_id=f"leader-{self.asn}",
+                    parent_id=self.parent_id,
+                    name="batch.leader",
+                    duration=self.active_seconds
+                    + (time.perf_counter() - start),
+                    status="ok",
+                    attributes={"asn": self.asn},
+                    worker=self.runlog.worker_stanza(),
+                )
         finally:
             self.active_seconds += time.perf_counter() - start
 
@@ -196,86 +219,148 @@ def run_batch(
     if not clusters:
         return []
 
+    runlog = asdb.runlog
     records: List[ASdbRecord] = []
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        leaders = [
-            _LeaderState(
-                cluster.leader,
-                asdb._classify_steps(
+    with runlog.span("classify_batch") as batch_span:
+        batch_span.note(
+            workers=workers,
+            asns=sum(len(cluster.members) for cluster in clusters),
+            clusters=len(clusters),
+            executor=asdb._executor,
+        )
+        batch_id = batch_span.span_id
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            leaders = [
+                _LeaderState(
                     cluster.leader,
-                    tb := trace_builder(cluster.leader, asdb._trace_enabled),
-                ),
-                tb,
-            )
-            for cluster in clusters
-        ]
-
-        try:
-            # Phase: leader fronts (cache probe, WHOIS parse) on the pool.
-            with m_phase_seconds.time(phase="front"):
-                list(pool.map(_LeaderState.advance, leaders))
-
-            # Phases: serve suspended requests through the bulk endpoints
-            # until every leader generator has returned.
-            pending = [
-                state for state in leaders if state.request is not None
-            ]
-            while pending:
-                _serve_round(asdb, pool, pending, m_phase_seconds, workers)
-                pending = [
-                    state for state in pending if state.request is not None
-                ]
-        except BaseException as exc:
-            for state in leaders:
-                if state.record is None:
-                    state.tb.fail(f"{type(exc).__name__}: {exc}")
-            raise
-        finally:
-            # A bulk call that raised leaves other leaders suspended
-            # mid-stage; closing their generators unwinds the open
-            # ``tb.span`` blocks so no span (or half-mutated cache
-            # write) leaks past the failed batch.
-            for state in leaders:
-                if state.record is None:
-                    state.gen.close()
-
-        for state in leaders:
-            records.append(_finalize_leader(asdb, state))
-
-        # Phase: organization siblings ride the leaders' cache entries
-        # (scalar per-AS pass; nearly all are cache hits).  Members of
-        # one cluster run as an in-order chain on a single worker: a
-        # leader with an empty classification writes no cache entry, so
-        # a *later* member may be the one that populates the key its
-        # successors hit — exactly as in the sequential pass.  Chains
-        # of different clusters never share a name key, so they are
-        # free to run concurrently.
-        with m_phase_seconds.time(phase="siblings"):
-            chains = [
-                cluster.members[1:]
+                    asdb._classify_steps(
+                        cluster.leader,
+                        tb := (
+                            trace_builder(
+                                cluster.leader,
+                                asdb._trace_enabled,
+                                tags=asdb._trace_tags,
+                            )
+                            if asdb._trace_tags
+                            else trace_builder(
+                                cluster.leader, asdb._trace_enabled
+                            )
+                        ),
+                    ),
+                    tb,
+                    runlog=runlog,
+                    parent_id=batch_id,
+                )
                 for cluster in clusters
-                if len(cluster.members) > 1
             ]
-            for chain in pool.map(_classify_chain, [asdb] * len(chains), chains):
-                records.extend(chain)
+
+            try:
+                # Phase: leader fronts (cache probe, WHOIS parse) on the
+                # pool.
+                with m_phase_seconds.time(phase="front"), \
+                        runlog.span("batch.front", parent=batch_id):
+                    list(pool.map(_LeaderState.advance, leaders))
+
+                # Phases: serve suspended requests through the bulk
+                # endpoints until every leader generator has returned.
+                pending = [
+                    state for state in leaders if state.request is not None
+                ]
+                while pending:
+                    _serve_round(
+                        asdb, pool, pending, m_phase_seconds, workers,
+                        runlog=runlog, parent_id=batch_id,
+                    )
+                    pending = [
+                        state for state in pending
+                        if state.request is not None
+                    ]
+            except BaseException as exc:
+                for state in leaders:
+                    if state.record is None:
+                        state.tb.fail(f"{type(exc).__name__}: {exc}")
+                raise
+            finally:
+                # A bulk call that raised leaves other leaders suspended
+                # mid-stage; closing their generators unwinds the open
+                # ``tb.span`` blocks so no span (or half-mutated cache
+                # write) leaks past the failed batch.
+                for state in leaders:
+                    if state.record is None:
+                        state.gen.close()
+
+            for state in leaders:
+                records.append(_finalize_leader(asdb, state))
+
+            # Phase: organization siblings ride the leaders' cache
+            # entries (scalar per-AS pass; nearly all are cache hits).
+            # Members of one cluster run as an in-order chain on a
+            # single worker: a leader with an empty classification
+            # writes no cache entry, so a *later* member may be the one
+            # that populates the key its successors hit — exactly as in
+            # the sequential pass.  Chains of different clusters never
+            # share a name key, so they are free to run concurrently.
+            with m_phase_seconds.time(phase="siblings"), \
+                    runlog.span("batch.siblings", parent=batch_id):
+                chains = [
+                    cluster.members[1:]
+                    for cluster in clusters
+                    if len(cluster.members) > 1
+                ]
+                for chain in pool.map(
+                    _classify_chain,
+                    [asdb] * len(chains),
+                    chains,
+                    [batch_id] * len(chains),
+                ):
+                    records.extend(chain)
 
     records.sort(key=lambda record: record.asn)
     return records
 
 
-def _classify_chain(asdb, members: Sequence[int]) -> List[ASdbRecord]:
-    """Classify one cluster's non-leader members, in ascending order."""
-    return [asdb._classify_one(asn) for asn in members]
+def _classify_chain(
+    asdb, members: Sequence[int], parent_id=None
+) -> List[ASdbRecord]:
+    """Classify one cluster's non-leader members, in ascending order.
+
+    Runs on a pool thread; with a ledger configured the chain emits a
+    worker-side ``batch.chain`` span from that thread.
+    """
+    runlog = asdb.runlog
+    start = time.perf_counter()
+    chain = [asdb._classify_one(asn) for asn in members]
+    if runlog.enabled and members:
+        runlog.emit(
+            "span",
+            span_id=f"chain-{members[0]}",
+            parent_id=parent_id,
+            name="batch.chain",
+            duration=time.perf_counter() - start,
+            status="ok",
+            attributes={"members": len(members)},
+            worker=runlog.worker_stanza(),
+        )
+    return chain
 
 
-def _serve_round(asdb, pool, pending, m_phase_seconds, workers=1) -> None:
+def _serve_round(
+    asdb, pool, pending, m_phase_seconds, workers=1,
+    runlog=None, parent_id=None,
+) -> None:
     """Serve one round of suspended requests, one bulk call per kind.
 
     With the ``"process"`` executor configured on the system, the ML
     bulk call chunks its CPU-bound scoring over ``workers`` processes
     (see :mod:`repro.core.procpool`); every other stage stays on the
-    thread pool, where the I/O-shaped work already scales.
+    thread pool, where the I/O-shaped work already scales.  With a
+    ledger configured, each bulk phase emits a ``batch.<phase>`` span
+    under the batch span, and the ML phase threads a picklable span
+    context into the process pool so worker-side chunk spans land in
+    the same causal tree.
     """
+    if runlog is None:
+        runlog = asdb.runlog
     by_kind: Dict[str, List] = {}
     for state in pending:
         by_kind.setdefault(state.request[0], []).append(state)
@@ -284,24 +369,35 @@ def _serve_round(asdb, pool, pending, m_phase_seconds, workers=1) -> None:
 
     waiting = by_kind.get(REQUEST_ASN_MATCH, ())
     if waiting:
-        with m_phase_seconds.time(phase="asn_match"):
+        with m_phase_seconds.time(phase="asn_match"), \
+                runlog.span("batch.asn_match", parent=parent_id) as span:
+            span.note(queries=len(waiting))
             queries = [Query(asn=state.request[1]) for state in waiting]
             replies.extend(zip(waiting, _asn_lookup_many(asdb, queries)))
 
     waiting = by_kind.get(REQUEST_ML, ())
     if waiting:
-        with m_phase_seconds.time(phase="ml"):
+        with m_phase_seconds.time(phase="ml"), \
+                runlog.span("batch.ml", parent=parent_id) as span:
+            span.note(domains=len(waiting))
+            span_sink: List[Dict] = []
             verdicts = asdb._ml.classify_domains(
                 [state.request[1] for state in waiting],
                 process_workers=(
                     workers if asdb._executor == "process" else 0
                 ),
+                span_context=runlog.span_context(span.span_id),
+                span_sink=span_sink,
             )
+            for record in span_sink:
+                runlog.emit_span_record(record)
             replies.extend(zip(waiting, verdicts))
 
     waiting = by_kind.get(REQUEST_SOURCES, ())
     if waiting:
-        with m_phase_seconds.time(phase="source_match"):
+        with m_phase_seconds.time(phase="source_match"), \
+                runlog.span("batch.source_match", parent=parent_id) as span:
+            span.note(contacts=len(waiting))
             resolved = asdb._resolver.match_sources_many(
                 [(state.request[1], state.request[2]) for state in waiting]
             )

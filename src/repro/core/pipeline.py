@@ -42,6 +42,7 @@ cannot diverge on pipeline semantics.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +51,7 @@ from ..matching.resolver import EntityResolver
 from ..ml.pipeline import ClassifierVerdict, WebClassificationPipeline
 from ..obs.instrument import instrument_source
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.runlog import NULL_RUNLOG
 from ..obs.trace import trace_builder
 from ..taxonomy import Label, LabelSet
 from ..whois.registry import WhoisRegistry
@@ -92,6 +94,10 @@ class ASdb:
             CPU-bound ML scoring stage over a process pool of the same
             worker count (output stays byte-identical — see
             :mod:`repro.core.procpool`).
+        runlog: Optional :class:`~repro.obs.runlog.RunLog` event ledger;
+            every classification emits an ``as.trace`` event (when
+            tracing is on) and the batch engine emits phase/worker
+            spans into it.  None = the inert :data:`NULL_RUNLOG`.
     """
 
     def __init__(
@@ -107,6 +113,7 @@ class ASdb:
         trace: bool = False,
         workers: int = 1,
         executor: str = "thread",
+        runlog=None,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(
@@ -122,6 +129,8 @@ class ASdb:
         self._trace_enabled = trace
         self._workers = max(1, workers)
         self._executor = executor
+        self.runlog = runlog if runlog is not None else NULL_RUNLOG
+        self._trace_tags: Dict[str, object] = {}
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.cache: OrganizationCache[ASdbRecord] = OrganizationCache()
         self.dataset = ASdbDataset()
@@ -190,8 +199,28 @@ class ASdb:
 
         for record in run_batch(self, asns=asns, workers=workers):
             self.dataset.add(record)
+            if record.trace is not None:
+                self.runlog.emit("as.trace", **record.trace.to_dict())
         self._m_cache_hit_rate.set(self.cache.stats().hit_rate)
         return self.dataset
+
+    @contextmanager
+    def tag_traces(self, **tags: object):
+        """Stamp provenance tags on every trace built inside the block.
+
+        The maintenance daemon wraps each sweep's reclassification in
+        this so a record's trace says *which* sweep (day, window, run
+        id) produced it — the paper's §5.3 correction-queue story needs
+        that attribution after the fact.
+        """
+        previous = self._trace_tags
+        merged = dict(previous)
+        merged.update(tags)
+        self._trace_tags = merged
+        try:
+            yield self
+        finally:
+            self._trace_tags = previous
 
     def forget(self, asn: int) -> Optional[ASdbRecord]:
         """Drop an AS's record and every cache alias that could serve it.
@@ -218,7 +247,11 @@ class ASdb:
 
     def _classify_one(self, asn: int) -> ASdbRecord:
         """The scalar per-AS pass: drive the stage generator inline."""
-        builder = trace_builder(asn, self._trace_enabled)
+        builder = (
+            trace_builder(asn, self._trace_enabled, tags=self._trace_tags)
+            if self._trace_tags
+            else trace_builder(asn, self._trace_enabled)
+        )
         with self._m_classify_seconds.time():
             record = self._drive(asn, builder)
         self._m_stage_total.inc(1, stage=record.stage.value)
@@ -226,6 +259,7 @@ class ASdb:
         trace = builder.finish()
         if trace is not None:
             record = replace(record, trace=trace)
+            self.runlog.emit("as.trace", **trace.to_dict())
         return record
 
     def _drive(self, asn: int, tb) -> ASdbRecord:

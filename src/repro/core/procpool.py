@@ -19,9 +19,14 @@ touching the :mod:`repro.core` package cycle.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from itertools import repeat
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from typing import (
+    Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar,
+)
 
 __all__ = ["map_chunked"]
 
@@ -45,12 +50,61 @@ def _run_chunk(
     return job(_PAYLOAD, chunk)
 
 
+def _chunk_span_record(
+    context: Mapping[str, object],
+    index: int,
+    duration: float,
+    n_items: int,
+    status: str,
+) -> Dict[str, object]:
+    """A ledger-shaped ``span`` record for one timed chunk.
+
+    Plain dicts, not :mod:`repro.obs` types: workers cannot reach the
+    parent's ledger (or this module's dependency-free contract), so they
+    describe their span in the ledger's wire format and let the parent
+    emit it verbatim (``RunLog.emit_span_record``).  ``caller_pid`` in
+    the context distinguishes a true pool worker from the in-process
+    fallback path.
+    """
+    pid = os.getpid()
+    in_worker = pid != context.get("caller_pid")
+    return {
+        "span_id": f"pp-{pid}-{index}",
+        "parent_id": context.get("parent_id"),
+        "name": "procpool.chunk",
+        "duration": duration,
+        "status": status,
+        "attributes": {"items": n_items, "chunk": index},
+        "worker": {
+            "kind": "process" if in_worker else "main",
+            "name": multiprocessing.current_process().name,
+            "pid": pid,
+        },
+    }
+
+
+def _run_chunk_spanned(
+    job: Callable[[Any, Sequence[Item]], List[Result]],
+    chunk: Sequence[Item],
+    index: int,
+    context: Mapping[str, object],
+) -> Tuple[List[Result], Dict[str, object]]:
+    start = time.perf_counter()
+    results = job(_PAYLOAD, chunk)
+    record = _chunk_span_record(
+        context, index, time.perf_counter() - start, len(chunk), "ok"
+    )
+    return results, record
+
+
 def map_chunked(
     job: Callable[[Any, Sequence[Item]], List[Result]],
     payload: Any,
     items: Sequence[Item],
     workers: int,
     chunk_size: Optional[int] = None,
+    span_context: Optional[Mapping[str, object]] = None,
+    span_sink: Optional[List[Dict[str, object]]] = None,
 ) -> List[Result]:
     """Run ``job(payload, chunk)`` over ``items`` on a process pool.
 
@@ -58,12 +112,29 @@ def map_chunked(
     ``workers <= 1`` (or a single-item batch) the job runs in-process —
     same code path as the workers, so results cannot depend on where
     they were computed.
+
+    When ``span_context`` (a picklable mapping, usually
+    ``RunLog.span_context(parent_id)``) is given, every chunk — pooled
+    or in-process — is timed worker-side and its ledger-shaped span
+    record is appended to ``span_sink``; the caller emits those records
+    into the run ledger, stitching process-pool work under the parent
+    run id.
     """
     items = list(items)
     if not items:
         return []
+    spanned = span_context is not None and span_sink is not None
+    if spanned:
+        context: Dict[str, object] = dict(span_context)
+        context.setdefault("caller_pid", os.getpid())
     workers = max(1, min(int(workers), len(items)))
     if workers == 1:
+        if spanned:
+            results, record = _run_chunk_spanned_inline(
+                job, payload, items, context
+            )
+            span_sink.append(record)
+            return results
         return list(job(payload, items))
     if chunk_size is None:
         chunk_size = -(-len(items) // workers)  # ceil division
@@ -77,6 +148,31 @@ def map_chunked(
         initargs=(payload,),
     ) as pool:
         merged: List[Result] = []
-        for part in pool.map(_run_chunk, repeat(job), chunks):
-            merged.extend(part)
+        if spanned:
+            for part, record in pool.map(
+                _run_chunk_spanned,
+                repeat(job),
+                chunks,
+                range(len(chunks)),
+                repeat(context),
+            ):
+                merged.extend(part)
+                span_sink.append(record)
+        else:
+            for part in pool.map(_run_chunk, repeat(job), chunks):
+                merged.extend(part)
     return merged
+
+
+def _run_chunk_spanned_inline(
+    job: Callable[[Any, Sequence[Item]], List[Result]],
+    payload: Any,
+    items: Sequence[Item],
+    context: Mapping[str, object],
+) -> Tuple[List[Result], Dict[str, object]]:
+    start = time.perf_counter()
+    results = list(job(payload, items))
+    record = _chunk_span_record(
+        context, 0, time.perf_counter() - start, len(items), "ok"
+    )
+    return results, record

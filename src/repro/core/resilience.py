@@ -56,6 +56,7 @@ from ..datasources.faults import (
     is_malformed_match,
 )
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.runlog import NULL_RUNLOG
 
 __all__ = [
     "RetryPolicy",
@@ -273,9 +274,11 @@ class ResilientSource(DataSource):
         breaker: Optional[CircuitBreaker] = None,
         metrics: Optional[MetricsRegistry] = None,
         sleep=time.sleep,
+        runlog=None,
     ) -> None:
         self._inner = inner
         self.name = inner.name
+        self._runlog = runlog if runlog is not None else NULL_RUNLOG
         self.policy = policy or RetryPolicy()
         if breaker is None and self.policy.breaker_enabled:
             breaker = CircuitBreaker(
@@ -470,4 +473,13 @@ class ResilientSource(DataSource):
         transitions = self.breaker.transitions
         for to in transitions[self._emitted_transitions:]:
             self._m_breaker_transitions.inc(1, source=self.name, to=to)
+            self._runlog.emit(
+                "breaker.transition", source=self.name, to=to
+            )
         self._emitted_transitions = len(transitions)
+
+    def breaker_state(self) -> str:
+        """The breaker's current state name (``closed`` without one)."""
+        return self.breaker.state if self.breaker is not None else (
+            BREAKER_CLOSED
+        )

@@ -225,6 +225,7 @@ class SnapshotStore:
         provenance: Optional[Dict[str, object]] = None,
         note: str = "",
         full: bool = False,
+        runlog=None,
     ) -> SnapshotInfo:
         """Record ``dataset`` as the next version.
 
@@ -232,7 +233,9 @@ class SnapshotStore:
         :func:`dataset_to_json` document verbatim; later versions store
         only the items whose serialized form changed since the parent,
         plus removed ASNs.  ``window`` is the ``(since_day,
-        through_day]`` sweep window that produced the release.
+        through_day]`` sweep window that produced the release.  With a
+        run ledger passed, the save emits one ``snapshot.saved`` event
+        carrying the new version's manifest facts.
         """
         document = dataset_to_json(dataset)
         version = len(self._versions) + 1
@@ -288,6 +291,18 @@ class SnapshotStore:
         )
         self._versions.append(info)
         self._write_manifest()
+        if runlog is not None:
+            runlog.emit(
+                "snapshot.saved",
+                version=info.version,
+                kind=info.kind,
+                records=info.record_count,
+                changed=info.changed,
+                removed=info.removed,
+                digest=info.digest,
+                since_day=info.since_day,
+                through_day=info.through_day,
+            )
         return info
 
     # -- reading ------------------------------------------------------------

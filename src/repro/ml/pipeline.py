@@ -282,6 +282,8 @@ class WebClassificationPipeline:
         self,
         raws: Sequence[RawScrape],
         process_workers: int = 0,
+        span_context=None,
+        span_sink=None,
     ) -> List[Tuple[float, float]]:
         """Scores for non-empty raw scrapes, via the content cache.
 
@@ -314,7 +316,8 @@ class WebClassificationPipeline:
                 from ..core.procpool import map_chunked
 
                 computed = map_chunked(
-                    _score_chunk, self._scorer, translated, process_workers
+                    _score_chunk, self._scorer, translated, process_workers,
+                    span_context=span_context, span_sink=span_sink,
                 )
             else:
                 computed = self._scorer.score(translated)
@@ -347,6 +350,8 @@ class WebClassificationPipeline:
         self,
         domains: Sequence[str],
         process_workers: int = 0,
+        span_context=None,
+        span_sink=None,
     ) -> List[ClassifierVerdict]:
         """Batch :meth:`classify_domain`: one raw-scrape pass, one
         content-cache probe, then one translate + vectorizer + TF-IDF +
@@ -378,7 +383,10 @@ class WebClassificationPipeline:
                 pending.append(raw)
         if pending:
             scores = self._scores_for_raw(
-                pending, process_workers=process_workers
+                pending,
+                process_workers=process_workers,
+                span_context=span_context,
+                span_sink=span_sink,
             )
             for index, (isp_score, hosting_score) in zip(positions, scores):
                 verdicts[index] = self._verdict(

@@ -44,6 +44,28 @@ from .narrate import (
     narrate_sweep,
     narrate_trace,
 )
+from .runlog import (
+    LEDGER_SCHEMA,
+    NULL_RUNLOG,
+    NullRunLog,
+    ResourceSampler,
+    RunLog,
+    config_digest,
+    read_ledger,
+    read_rss_kb,
+)
+from .health import (
+    LedgerError,
+    SloError,
+    SloResult,
+    SloRule,
+    evaluate_slos,
+    load_events,
+    load_slos,
+    render_compare,
+    render_health,
+    render_report,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
@@ -66,4 +88,22 @@ __all__ = [
     "narrate_sweep",
     "narrate_profile",
     "aggregate_spans",
+    "LEDGER_SCHEMA",
+    "RunLog",
+    "NullRunLog",
+    "NULL_RUNLOG",
+    "ResourceSampler",
+    "config_digest",
+    "read_ledger",
+    "read_rss_kb",
+    "LedgerError",
+    "SloError",
+    "SloRule",
+    "SloResult",
+    "load_events",
+    "load_slos",
+    "evaluate_slos",
+    "render_health",
+    "render_report",
+    "render_compare",
 ]

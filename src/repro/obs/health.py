@@ -1,0 +1,643 @@
+"""SLO health checks and post-hoc reports over run ledgers.
+
+Everything in this module works from a persisted NDJSON ledger alone
+(:mod:`repro.obs.runlog`) — no live process, no registry in memory —
+which is what makes the dataset lifecycle *operable*: ``repro report``
+answers "what did run N do and where did the time go" after the fact,
+``repro report --compare`` diffs two runs BENCH-style, and ``repro
+health`` evaluates declarative budgets and exits non-zero on breach so
+CI and cron jobs can gate on operational regressions.
+
+SLO file format (JSON)::
+
+    {"slos": [
+      {"id": "ml-tail",   "kind": "max_stage_p99_seconds",
+       "stage": "ml", "max": 0.5},
+      {"id": "degraded",  "kind": "max_degraded_fraction", "max": 0.1},
+      {"id": "cache",     "kind": "min_cache_hit_rate",    "min": 0.2},
+      {"id": "sweep",     "kind": "max_reclassified",      "max": 500},
+      {"id": "wall",      "kind": "max_run_seconds",       "max": 600}
+    ]}
+
+A rule whose input is absent from the ledger (e.g. ``max_reclassified``
+against a classify run that swept nothing) is *skipped*, not failed:
+budgets describe what must hold when the activity happens.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .narrate import aggregate_spans, format_seconds
+from .runlog import read_ledger
+from .trace import ClassificationTrace, Span
+
+__all__ = [
+    "LedgerError",
+    "SloError",
+    "SloRule",
+    "SloResult",
+    "load_events",
+    "traces_from_events",
+    "stage_durations",
+    "percentile",
+    "load_slos",
+    "evaluate_slos",
+    "render_health",
+    "render_report",
+    "render_compare",
+    "compare_document",
+]
+
+SLO_KINDS = (
+    "max_stage_p99_seconds",
+    "max_degraded_fraction",
+    "min_cache_hit_rate",
+    "max_reclassified",
+    "max_run_seconds",
+)
+
+
+class LedgerError(ValueError):
+    """A ledger file could not be read or is not a run ledger."""
+
+
+class SloError(ValueError):
+    """An SLO file is malformed."""
+
+
+# -- ledger access ----------------------------------------------------------
+
+
+def load_events(path: str) -> List[Dict[str, object]]:
+    """Read and sanity-check a ledger: must open with ``run.start``."""
+    try:
+        events = read_ledger(path)
+    except OSError as exc:
+        raise LedgerError(
+            f"cannot read ledger {path}: {exc.strerror or exc}"
+        ) from exc
+    if not events or events[0].get("event") != "run.start":
+        raise LedgerError(
+            f"{path} is not a run ledger (no run.start event)"
+        )
+    return events
+
+
+def _events_of(
+    events: Sequence[Mapping[str, object]], kind: str
+) -> List[Mapping[str, object]]:
+    return [event for event in events if event.get("event") == kind]
+
+
+def _end_event(
+    events: Sequence[Mapping[str, object]]
+) -> Optional[Mapping[str, object]]:
+    ends = _events_of(events, "run.end")
+    return ends[-1] if ends else None
+
+
+def traces_from_events(
+    events: Sequence[Mapping[str, object]]
+) -> List[ClassificationTrace]:
+    """Reconstruct per-AS traces from ``as.trace`` events.
+
+    The rebuilt traces are structurally identical to what the pipeline
+    recorded, so :func:`~repro.obs.narrate.aggregate_spans` and
+    :func:`~repro.obs.narrate.narrate_profile` work on them unchanged.
+    """
+    traces: List[ClassificationTrace] = []
+    for event in _events_of(events, "as.trace"):
+        spans = tuple(
+            Span(
+                name=str(span.get("name", "")),
+                start_offset=float(span.get("start_offset", 0.0)),
+                duration=float(span.get("duration", 0.0)),
+                status=str(span.get("status", "")),
+                attributes=dict(span.get("attributes", {})),
+            )
+            for span in event.get("spans", ())
+        )
+        traces.append(
+            ClassificationTrace(
+                asn=int(event.get("asn", -1)),
+                spans=spans,
+                total_seconds=float(event.get("total_seconds", 0.0)),
+                error=event.get("error"),
+                tags=dict(event.get("tags", {})),
+            )
+        )
+    return traces
+
+
+def stage_durations(
+    events: Sequence[Mapping[str, object]]
+) -> Dict[str, List[float]]:
+    """Stage name -> raw per-span durations, from the ``as.trace``
+    events (exact values, not histogram buckets)."""
+    durations: Dict[str, List[float]] = {}
+    for trace in traces_from_events(events):
+        for span in trace.spans:
+            durations.setdefault(span.name, []).append(span.duration)
+    return durations
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile (q in [0, 1]) over raw values."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _metrics(
+    events: Sequence[Mapping[str, object]]
+) -> Mapping[str, Mapping]:
+    end = _end_event(events)
+    if end is None:
+        return {}
+    return end.get("metrics", {}) or {}
+
+
+def _counter_series(
+    metrics: Mapping[str, Mapping], name: str
+) -> Dict[Tuple[str, ...], float]:
+    entry = metrics.get("counters", {}).get(name)
+    if not entry:
+        return {}
+    return {
+        tuple(series["labels"]): float(series["value"])
+        for series in entry.get("series", ())
+    }
+
+
+def _gauge_value(
+    metrics: Mapping[str, Mapping], name: str
+) -> Optional[float]:
+    entry = metrics.get("gauges", {}).get(name)
+    if not entry or not entry.get("series"):
+        return None
+    return float(entry["series"][0]["value"])
+
+
+# -- SLO engine -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative budget from an SLO file.
+
+    Attributes:
+        id: Human-readable rule identity (unique per file).
+        kind: One of :data:`SLO_KINDS`.
+        params: Kind-specific parameters (``stage``, ``max``, ``min``).
+    """
+
+    id: str
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """One evaluated budget.
+
+    ``ok`` is True for both passes and skips; ``skipped`` separates
+    "budget held" from "budget not applicable to this ledger".
+    """
+
+    rule: SloRule
+    ok: bool
+    observed: Optional[float] = None
+    limit: Optional[float] = None
+    skipped: bool = False
+    detail: str = ""
+
+
+def load_slos(path: str) -> List[SloRule]:
+    """Parse an SLO file; raises :class:`SloError` on malformed input."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise SloError(
+            f"cannot read SLO file {path}: {exc.strerror or exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise SloError(f"{path} is not valid JSON: {exc}") from exc
+    entries = document.get("slos")
+    if not isinstance(entries, list) or not entries:
+        raise SloError(f"{path} must contain a non-empty 'slos' list")
+    rules: List[SloRule] = []
+    seen = set()
+    for index, entry in enumerate(entries):
+        kind = entry.get("kind")
+        if kind not in SLO_KINDS:
+            raise SloError(
+                f"slo #{index}: unknown kind {kind!r} "
+                f"(one of {', '.join(SLO_KINDS)})"
+            )
+        rule_id = str(entry.get("id", f"{kind}-{index}"))
+        if rule_id in seen:
+            raise SloError(f"duplicate slo id {rule_id!r}")
+        seen.add(rule_id)
+        params = {
+            key: value for key, value in entry.items()
+            if key not in ("id", "kind")
+        }
+        rules.append(SloRule(id=rule_id, kind=kind, params=params))
+    return rules
+
+
+def _check_max(
+    rule: SloRule, observed: Optional[float], limit_key: str = "max"
+) -> SloResult:
+    limit = rule.params.get(limit_key)
+    if limit is None:
+        return SloResult(
+            rule, ok=False, detail=f"rule is missing {limit_key!r}"
+        )
+    if observed is None:
+        return SloResult(
+            rule, ok=True, skipped=True, limit=float(limit),
+            detail="no data in ledger",
+        )
+    return SloResult(
+        rule,
+        ok=observed <= float(limit),
+        observed=observed,
+        limit=float(limit),
+    )
+
+
+def _check_min(rule: SloRule, observed: Optional[float]) -> SloResult:
+    limit = rule.params.get("min")
+    if limit is None:
+        return SloResult(rule, ok=False, detail="rule is missing 'min'")
+    if observed is None:
+        return SloResult(
+            rule, ok=True, skipped=True, limit=float(limit),
+            detail="no data in ledger",
+        )
+    return SloResult(
+        rule,
+        ok=observed >= float(limit),
+        observed=observed,
+        limit=float(limit),
+    )
+
+
+def evaluate_slos(
+    events: Sequence[Mapping[str, object]], rules: Sequence[SloRule]
+) -> List[SloResult]:
+    """Evaluate every rule against one ledger's events."""
+    metrics = _metrics(events)
+    end = _end_event(events)
+    durations = stage_durations(events)
+    results: List[SloResult] = []
+    for rule in rules:
+        if rule.kind == "max_stage_p99_seconds":
+            stage = rule.params.get("stage")
+            if not stage:
+                results.append(SloResult(
+                    rule, ok=False, detail="rule is missing 'stage'"
+                ))
+                continue
+            values = durations.get(str(stage))
+            observed = percentile(values, 0.99) if values else None
+            results.append(_check_max(rule, observed))
+        elif rule.kind == "max_degraded_fraction":
+            degraded = (end or {}).get("degraded") or {}
+            total = degraded.get("total")
+            observed = (
+                float(degraded.get("records", 0)) / float(total)
+                if total else None
+            )
+            results.append(_check_max(rule, observed))
+        elif rule.kind == "min_cache_hit_rate":
+            observed = _gauge_value(metrics, "asdb_cache_hit_rate")
+            results.append(_check_min(rule, observed))
+        elif rule.kind == "max_reclassified":
+            sweeps = _events_of(events, "sweep.report")
+            observed = (
+                float(sum(
+                    int(sweep.get("reclassified", 0)) for sweep in sweeps
+                ))
+                if sweeps else None
+            )
+            results.append(_check_max(rule, observed))
+        elif rule.kind == "max_run_seconds":
+            observed = (
+                float(end["duration"])
+                if end is not None and "duration" in end else None
+            )
+            results.append(_check_max(rule, observed))
+    return results
+
+
+def render_health(results: Sequence[SloResult]) -> str:
+    """Render evaluated budgets, one PASS/FAIL/SKIP line per rule."""
+    if not results:
+        return "no SLO rules evaluated"
+    lines: List[str] = []
+    id_width = max(len(result.rule.id) for result in results)
+    breaches = 0
+    for result in results:
+        if result.skipped:
+            verdict = "SKIP"
+        elif result.ok:
+            verdict = "PASS"
+        else:
+            verdict = "FAIL"
+            breaches += 1
+        detail = result.detail
+        if result.observed is not None and result.limit is not None:
+            comparator = (
+                ">=" if result.rule.kind.startswith("min_") else "<="
+            )
+            detail = (
+                f"observed {result.observed:.6g} "
+                f"{comparator} {result.limit:.6g}"
+            )
+        lines.append(
+            f"  {verdict:4s}  {result.rule.id.ljust(id_width)}  "
+            f"{result.rule.kind}  {detail}".rstrip()
+        )
+    evaluated = sum(1 for result in results if not result.skipped)
+    header = (
+        f"SLO health: {breaches} breach(es) over {evaluated} "
+        f"evaluated budget(s) ({len(results) - evaluated} skipped)"
+    )
+    return "\n".join([header] + lines)
+
+
+# -- reports ----------------------------------------------------------------
+
+
+def _columns(rows: List[List[str]], indent: str = "  ") -> List[str]:
+    """Left-aligned column layout without importing repro.reporting
+    (which itself imports repro.obs)."""
+    if not rows:
+        return []
+    widths = [
+        max(len(row[index]) for row in rows)
+        for index in range(len(rows[0]))
+    ]
+    return [
+        indent + "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(row)
+        ).rstrip()
+        for row in rows
+    ]
+
+
+def _worker_rollup(
+    events: Sequence[Mapping[str, object]]
+) -> Dict[str, Tuple[int, float, int]]:
+    """Executor kind -> (spans, seconds, distinct workers)."""
+    rollup: Dict[str, Tuple[int, float, set]] = {}
+    for event in _events_of(events, "span"):
+        worker = event.get("worker") or {}
+        kind = str(worker.get("kind", "main"))
+        identity = worker.get("name") or worker.get("pid")
+        count, seconds, members = rollup.get(kind, (0, 0.0, set()))
+        members = set(members)
+        members.add(identity)
+        rollup[kind] = (
+            count + 1,
+            seconds + float(event.get("duration", 0.0)),
+            members,
+        )
+    return {
+        kind: (count, seconds, len(members))
+        for kind, (count, seconds, members) in rollup.items()
+    }
+
+
+def _source_rollup_rows(
+    metrics: Mapping[str, Mapping],
+    breakers: Mapping[str, str],
+) -> List[List[str]]:
+    lookups = _counter_series(metrics, "asdb_source_lookups_total")
+    errors = _counter_series(metrics, "asdb_source_errors_total")
+    degraded = _counter_series(metrics, "asdb_source_degraded_total")
+    sources = sorted(
+        {key[0] for key in lookups}
+        | {key[0] for key in errors}
+        | {key[0] for key in degraded}
+        | set(breakers)
+    )
+    if not sources:
+        return []
+    rows = [["source", "match", "miss", "errors", "degraded", "breaker"]]
+    for source in sources:
+        rows.append([
+            source,
+            f"{lookups.get((source, 'match'), 0):.0f}",
+            f"{lookups.get((source, 'miss'), 0):.0f}",
+            f"{sum(v for k, v in errors.items() if k[0] == source):.0f}",
+            f"{degraded.get((source,), 0):.0f}",
+            str(breakers.get(source, "-")),
+        ])
+    return rows
+
+
+def render_report(
+    events: Sequence[Mapping[str, object]], path: str = ""
+) -> str:
+    """The ``repro report`` document: run header, per-stage rollup,
+    worker-span rollup, per-source rollup, resources, sweeps."""
+    start = events[0]
+    end = _end_event(events)
+    metrics = _metrics(events)
+    traces = traces_from_events(events)
+    durations = stage_durations(events)
+
+    lines: List[str] = []
+    status = str((end or {}).get("status", "incomplete"))
+    duration = (end or {}).get("duration")
+    header = (
+        f"run {start.get('run', '?')} ({start.get('kind', '?')}) — "
+        f"{status}"
+    )
+    if duration is not None:
+        header += f" in {format_seconds(float(duration))}"
+    lines.append(header)
+    lines.append(
+        f"  config {start.get('config_digest', '?')}  "
+        f"world {start.get('world_digest', '?')}  "
+        f"events {len(events)}"
+        + (f"  ledger {path}" if path else "")
+    )
+
+    if traces:
+        lines.append("")
+        lines.append(f"per-stage rollup ({len(traces)} AS traces):")
+        rows = [["stage", "calls", "total", "mean", "p99"]]
+        for name, calls, seconds in aggregate_spans(traces):
+            rows.append([
+                name,
+                str(calls),
+                format_seconds(seconds),
+                format_seconds(seconds / calls),
+                format_seconds(percentile(durations[name], 0.99)),
+            ])
+        lines.extend(_columns(rows))
+        errors = sum(1 for trace in traces if trace.error)
+        if errors:
+            lines.append(f"  aborted classifications: {errors}")
+
+    workers = _worker_rollup(events)
+    if workers:
+        lines.append("")
+        lines.append("executor spans:")
+        rows = [["executor", "spans", "seconds", "workers"]]
+        for kind in sorted(workers):
+            count, seconds, members = workers[kind]
+            rows.append([
+                kind, str(count), format_seconds(seconds), str(members)
+            ])
+        lines.extend(_columns(rows))
+
+    breakers = dict((end or {}).get("breakers") or {})
+    source_rows = _source_rollup_rows(metrics, breakers)
+    if source_rows:
+        lines.append("")
+        lines.append("per-source rollup:")
+        lines.extend(_columns(source_rows))
+    degraded = (end or {}).get("degraded") or {}
+    if degraded.get("total"):
+        lines.append(
+            f"  degraded records: {degraded.get('records', 0)}"
+            f"/{degraded['total']}"
+        )
+
+    samples = _events_of(events, "resource.sample")
+    if samples:
+        lines.append("")
+        rss = [
+            int(sample["rss_kb"]) for sample in samples
+            if sample.get("rss_kb") is not None
+        ]
+        cpu = [
+            float(sample["cpu_seconds"]) for sample in samples
+            if sample.get("cpu_seconds") is not None
+        ]
+        peak = f"{max(rss) / 1024:.1f} MB" if rss else "unknown"
+        lines.append(
+            f"resources: {len(samples)} samples, peak rss {peak}, "
+            f"cpu {format_seconds(max(cpu) if cpu else 0.0)}"
+        )
+
+    for sweep in _events_of(events, "sweep.report"):
+        lines.append(
+            f"sweep days {sweep.get('since_day')}..{sweep.get('through_day')}: "
+            f"{sweep.get('reclassified', 0)} reclassified "
+            f"({sweep.get('new', 0)} new, {sweep.get('updated', 0)} updated)"
+            + (
+                f" -> snapshot v{sweep['snapshot_version']}"
+                if sweep.get("snapshot_version") is not None else ""
+            )
+        )
+    for snap in _events_of(events, "snapshot.saved"):
+        lines.append(
+            f"snapshot saved: v{snap.get('version')} ({snap.get('kind')}, "
+            f"{snap.get('records')} records)"
+        )
+    return "\n".join(lines)
+
+
+def compare_document(
+    a_events: Sequence[Mapping[str, object]],
+    b_events: Sequence[Mapping[str, object]],
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """BENCH-style comparison rows: metric -> {a, b, delta}.
+
+    ``delta`` is relative (b/a - 1) for durations and absolute for
+    rates/counts; None when either side lacks the metric.
+    """
+    def _row(
+        a: Optional[float], b: Optional[float], relative: bool
+    ) -> Dict[str, Optional[float]]:
+        delta: Optional[float] = None
+        if a is not None and b is not None:
+            delta = (b / a - 1.0) if (relative and a) else (b - a)
+        return {"a": a, "b": b, "delta": delta}
+
+    rows: Dict[str, Dict[str, Optional[float]]] = {}
+    a_end, b_end = _end_event(a_events), _end_event(b_events)
+    rows["run_seconds"] = _row(
+        float(a_end["duration"]) if a_end and "duration" in a_end else None,
+        float(b_end["duration"]) if b_end and "duration" in b_end else None,
+        relative=True,
+    )
+    a_stages = stage_durations(a_events)
+    b_stages = stage_durations(b_events)
+    for stage in sorted(set(a_stages) | set(b_stages)):
+        a_values, b_values = a_stages.get(stage), b_stages.get(stage)
+        rows[f"stage_total_seconds/{stage}"] = _row(
+            sum(a_values) if a_values else None,
+            sum(b_values) if b_values else None,
+            relative=True,
+        )
+        rows[f"stage_p99_seconds/{stage}"] = _row(
+            percentile(a_values, 0.99) if a_values else None,
+            percentile(b_values, 0.99) if b_values else None,
+            relative=True,
+        )
+    a_metrics, b_metrics = _metrics(a_events), _metrics(b_events)
+    rows["cache_hit_rate"] = _row(
+        _gauge_value(a_metrics, "asdb_cache_hit_rate"),
+        _gauge_value(b_metrics, "asdb_cache_hit_rate"),
+        relative=False,
+    )
+    a_degraded = (a_end or {}).get("degraded") or {}
+    b_degraded = (b_end or {}).get("degraded") or {}
+    rows["degraded_records"] = _row(
+        float(a_degraded.get("records", 0)) if a_end else None,
+        float(b_degraded.get("records", 0)) if b_end else None,
+        relative=False,
+    )
+    return rows
+
+
+def render_compare(
+    a_events: Sequence[Mapping[str, object]],
+    b_events: Sequence[Mapping[str, object]],
+    a_path: str = "A",
+    b_path: str = "B",
+) -> str:
+    """Human-readable regression diff between two ledgers."""
+    document = compare_document(a_events, b_events)
+    lines = [
+        f"run comparison: A={a_path} ({a_events[0].get('run', '?')})  "
+        f"B={b_path} ({b_events[0].get('run', '?')})"
+    ]
+    rows = [["metric", "A", "B", "delta"]]
+
+    def _fmt(name: str, value: Optional[float]) -> str:
+        if value is None:
+            return "-"
+        if "seconds" in name:
+            return format_seconds(value)
+        return f"{value:.4g}"
+
+    for name, row in document.items():
+        delta = row["delta"]
+        if delta is None:
+            shown = "-"
+        elif "seconds" in name:
+            shown = f"{delta:+.1%}"
+        else:
+            shown = f"{delta:+.4g}"
+        rows.append([
+            name, _fmt(name, row["a"]), _fmt(name, row["b"]), shown
+        ])
+    lines.extend(_columns(rows))
+    return "\n".join(lines)

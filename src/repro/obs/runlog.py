@@ -1,0 +1,505 @@
+"""The run ledger: one durable NDJSON event log per dataset run.
+
+PR 1's metrics and traces answer "what is the pipeline doing *right
+now*" — and evaporate when the process exits.  Operating the paper's
+Section-5.3 lifecycle (quarterly refreshes, bounded sweeps, correction
+queues) needs the after-the-fact question answered too: what did run N
+do, how long did each stage take, which sources degraded, did we stay
+inside the freshness/accuracy budget?  A :class:`RunLog` persists that
+history as newline-delimited JSON, one event per line, so ``repro
+report`` and ``repro health`` can reconstruct a run from the ledger
+alone, with no live process.
+
+Event envelope (every line)::
+
+    {"event": "<type>", "run": "<run id>", "seq": N, "t": <seconds>}
+
+``seq`` is a per-ledger monotone sequence number and ``t`` is wall
+seconds since the run started.  Core event types:
+
+``run.start``
+    Run id, kind (classify/sweep/refresh/snapshot), config + world
+    digests, schema version, pid.
+``span``
+    One completed operation: ``span_id``, ``parent_id``, ``name``,
+    ``duration``, ``status``, ``attributes``, and a ``worker`` stanza
+    (kind ``main``/``thread``/``process``, thread name or pid) so
+    events emitted from pool workers stitch into one causal tree under
+    the run id.
+``as.trace``
+    One AS's :class:`~repro.obs.trace.ClassificationTrace` (spans,
+    error, tags) — the per-stage substrate ``repro report`` aggregates.
+``resource.sample``
+    RSS / high-water mark (``/proc/self/status``, fallback-safe), CPU
+    and wall time, plus caller-provided stats snapshots (org cache,
+    kernels, feature cache).
+``run.end``
+    Status, duration, the full metrics-registry JSON snapshot, degraded
+    source tallies, and circuit-breaker states.
+
+Span identity crosses executors as a plain picklable mapping
+(:meth:`RunLog.span_context`); process-pool workers time their chunk
+against it and the parent emits the returned record verbatim
+(:func:`repro.core.procpool.map_chunked`).  Thread-pool workers write
+through the (lock-protected) ledger directly.
+
+Like every ``repro.obs`` facility the ledger is opt-in and inert by
+default: :data:`NULL_RUNLOG` accepts the full API and records nothing,
+so a run without ``--runlog`` is byte-identical to one before this
+module existed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, IO, List, Mapping, Optional
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "RunLog",
+    "NullRunLog",
+    "NULL_RUNLOG",
+    "config_digest",
+    "read_ledger",
+    "read_rss_kb",
+    "ResourceSampler",
+]
+
+LEDGER_SCHEMA = "asdb-repro/runlog/1"
+
+
+def config_digest(document: Mapping[str, object]) -> str:
+    """Stable digest of a JSON-able mapping (sorted-key blake2b-64).
+
+    Used for both the config digest and the world digest in
+    ``run.start``: two runs with the same digest were launched with the
+    same knobs over the same world.
+    """
+    material = json.dumps(document, sort_keys=True, default=str)
+    return hashlib.blake2b(
+        material.encode("utf-8"), digest_size=8
+    ).hexdigest()
+
+
+def read_rss_kb() -> Dict[str, Optional[int]]:
+    """Current and peak resident set size in kilobytes, fallback-safe.
+
+    Prefers ``/proc/self/status`` (Linux); falls back to
+    ``resource.getrusage`` (POSIX; peak only); reports ``None`` fields
+    on platforms providing neither.  Never raises.
+    """
+    rss: Optional[int] = None
+    hwm: Optional[int] = None
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    rss = int(line.split()[1])
+                elif line.startswith("VmHWM:"):
+                    hwm = int(line.split()[1])
+    except OSError:
+        pass
+    if rss is None and hwm is None:
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            # ru_maxrss is KiB on Linux, bytes on macOS; either way it
+            # is a peak, not a current figure.
+            hwm = int(usage.ru_maxrss)
+        except Exception:
+            pass
+    return {"rss_kb": rss, "hwm_kb": hwm}
+
+
+class _RunSpan:
+    """In-flight ledger span; emits a ``span`` event on exit."""
+
+    __slots__ = (
+        "_log", "span_id", "parent_id", "name", "status",
+        "attributes", "_start",
+    )
+
+    def __init__(
+        self, log: "RunLog", span_id: str, parent_id: Optional[str],
+        name: str,
+    ) -> None:
+        self._log = log
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.status = ""
+        self.attributes: Dict[str, object] = {}
+
+    def set_status(self, status: str) -> "_RunSpan":
+        self.status = status
+        return self
+
+    def note(self, **attributes: object) -> "_RunSpan":
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "_RunSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and not self.status:
+            self.status = f"error: {type(exc).__name__}"
+        self._log.emit(
+            "span",
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            duration=time.perf_counter() - self._start,
+            status=self.status,
+            attributes=self.attributes,
+            worker=self._log.worker_stanza(),
+        )
+
+
+class RunLog:
+    """A structured, append-only event ledger for one run.
+
+    Args:
+        path: Ledger file to (over)write, NDJSON, one event per line.
+        kind: Run kind recorded in ``run.start`` (``classify``,
+            ``sweep``, ``refresh``, ``snapshot``, ...).
+        config: JSON-able run configuration; digested into
+            ``config_digest`` and embedded verbatim.
+        world: JSON-able world provenance (n_orgs, seed, ...); digested
+            into ``world_digest``.
+
+    Thread-safe: the batch engine's pool workers emit through the same
+    instance, serialized by one lock, each line flushed as written so a
+    crashed run still leaves a readable prefix.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        kind: str = "run",
+        config: Optional[Mapping[str, object]] = None,
+        world: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.path = path
+        self.kind = kind
+        config = dict(config or {})
+        world = dict(world or {})
+        self.run_id = hashlib.blake2b(
+            f"{kind}|{config_digest(config)}|{config_digest(world)}"
+            f"|{os.getpid()}|{time.time_ns()}".encode(),
+            digest_size=6,
+        ).hexdigest()
+        self._origin = time.perf_counter()
+        self._cpu_origin = time.process_time()
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._span_counter = 0
+        self._closed = False
+        self._sampler_thread: Optional[threading.Thread] = None
+        self._sampler_stop = threading.Event()
+        self._handle: IO[str] = open(path, "w")
+        self.emit(
+            "run.start",
+            schema=LEDGER_SCHEMA,
+            kind=kind,
+            config=config,
+            config_digest=config_digest(config),
+            world=world,
+            world_digest=config_digest(world),
+            pid=os.getpid(),
+        )
+
+    # -- emission -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Real ledgers record; the null ledger reports False."""
+        return True
+
+    def elapsed(self) -> float:
+        """Wall seconds since the run started."""
+        return time.perf_counter() - self._origin
+
+    def worker_stanza(self) -> Dict[str, object]:
+        """Identity of the emitting execution context."""
+        thread = threading.current_thread()
+        kind = "main" if thread is threading.main_thread() else "thread"
+        return {"kind": kind, "name": thread.name, "pid": os.getpid()}
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append one event line (no-op after :meth:`close`)."""
+        with self._lock:
+            if self._closed:
+                return
+            record: Dict[str, object] = {
+                "event": event,
+                "run": self.run_id,
+                "seq": self._seq,
+                "t": round(self.elapsed(), 6),
+            }
+            record.update(fields)
+            self._seq += 1
+            self._handle.write(
+                json.dumps(record, sort_keys=True, default=str) + "\n"
+            )
+            self._handle.flush()
+
+    def emit_span_record(self, record: Mapping[str, object]) -> None:
+        """Emit a worker-produced span record (e.g. from a process-pool
+        chunk) verbatim under the ``span`` event type."""
+        self.emit("span", **dict(record))
+
+    def span(
+        self, name: str, parent: Optional[str] = None
+    ) -> _RunSpan:
+        """``with runlog.span("classify") as span: ...`` — emits a
+        ``span`` event on exit; ``span.span_id`` parents children."""
+        with self._lock:
+            self._span_counter += 1
+            span_id = f"s{self._span_counter:04d}"
+        return _RunSpan(self, span_id, parent, name)
+
+    def span_context(self, parent: Optional[str]) -> Dict[str, object]:
+        """A picklable span context for cross-process propagation.
+
+        Process-pool workers cannot reach this ledger; they time their
+        work against this mapping and return span records the parent
+        emits with :meth:`emit_span_record`.
+        """
+        return {"run": self.run_id, "parent_id": parent}
+
+    # -- resource sampling --------------------------------------------------
+
+    def sample_resources(
+        self,
+        providers: Optional[
+            Mapping[str, Callable[[], Mapping[str, object]]]
+        ] = None,
+        phase: str = "",
+    ) -> None:
+        """Emit one ``resource.sample`` event.
+
+        ``providers`` maps a stanza name (``cache``, ``kernels``,
+        ``featcache``, ...) to a zero-argument callable returning a
+        JSON-able mapping; a provider that raises is recorded as an
+        error string rather than killing the run.
+        """
+        sample: Dict[str, object] = dict(read_rss_kb())
+        sample["cpu_seconds"] = round(
+            time.process_time() - self._cpu_origin, 6
+        )
+        sample["wall_seconds"] = round(self.elapsed(), 6)
+        if phase:
+            sample["phase"] = phase
+        for name, provider in (providers or {}).items():
+            try:
+                sample[name] = dict(provider())
+            except Exception as exc:  # ledger must not kill the run
+                sample[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        self.emit("resource.sample", **sample)
+
+    def start_sampling(
+        self,
+        interval_seconds: float,
+        providers: Optional[
+            Mapping[str, Callable[[], Mapping[str, object]]]
+        ] = None,
+    ) -> None:
+        """Start a daemon thread emitting ``resource.sample`` events
+        every ``interval_seconds`` until :meth:`stop_sampling`/close."""
+        if self._sampler_thread is not None:
+            return
+        self._sampler_stop.clear()
+
+        def _loop() -> None:
+            while not self._sampler_stop.wait(interval_seconds):
+                self.sample_resources(providers, phase="periodic")
+
+        self._sampler_thread = threading.Thread(
+            target=_loop, name="runlog-sampler", daemon=True
+        )
+        self._sampler_thread.start()
+
+    def stop_sampling(self) -> None:
+        """Stop the periodic sampler thread, if running."""
+        if self._sampler_thread is None:
+            return
+        self._sampler_stop.set()
+        self._sampler_thread.join(timeout=5.0)
+        self._sampler_thread = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def finish(
+        self,
+        status: str = "ok",
+        metrics=None,
+        **summary: object,
+    ) -> None:
+        """Emit the end-of-run summary and close the ledger.
+
+        ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry`
+        (duck-typed on ``snapshot``): its full JSON snapshot is embedded
+        so the ledger alone reconstructs every counter the run emitted.
+        Extra keyword stanzas (``degraded``, ``breakers``, ...) are
+        recorded verbatim.
+        """
+        self.stop_sampling()
+        fields: Dict[str, object] = {
+            "status": status,
+            "duration": round(self.elapsed(), 6),
+        }
+        if metrics is not None:
+            fields["metrics"] = metrics.snapshot()
+        fields.update(summary)
+        self.emit("run.end", **fields)
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the file; later emissions are dropped."""
+        self.stop_sampling()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed:
+            self.finish(
+                status="ok" if exc is None else
+                f"error: {type(exc).__name__}"
+            )
+
+
+class _NullRunSpan:
+    __slots__ = ()
+
+    span_id = None
+    parent_id = None
+    name = ""
+    status = ""
+
+    def set_status(self, status: str) -> "_NullRunSpan":
+        return self
+
+    def note(self, **attributes: object) -> "_NullRunSpan":
+        return self
+
+    def __enter__(self) -> "_NullRunSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_RUN_SPAN = _NullRunSpan()
+
+
+class NullRunLog:
+    """Accepts the full :class:`RunLog` API and records nothing.
+
+    Instrumented code never checks whether a ledger is configured; the
+    shared :data:`NULL_RUNLOG` keeps the default path allocation-free
+    and byte-identical to an un-instrumented run.
+    """
+
+    __slots__ = ()
+
+    run_id = ""
+    path = None
+    kind = ""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def elapsed(self) -> float:
+        return 0.0
+
+    def worker_stanza(self) -> Dict[str, object]:
+        return {}
+
+    def emit(self, event: str, **fields: object) -> None:
+        return None
+
+    def emit_span_record(self, record: Mapping[str, object]) -> None:
+        return None
+
+    def span(self, name: str, parent=None) -> _NullRunSpan:
+        return _NULL_RUN_SPAN
+
+    def span_context(self, parent=None) -> None:
+        return None
+
+    def sample_resources(self, providers=None, phase: str = "") -> None:
+        return None
+
+    def start_sampling(self, interval_seconds, providers=None) -> None:
+        return None
+
+    def stop_sampling(self) -> None:
+        return None
+
+    def finish(self, status: str = "ok", metrics=None, **summary) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullRunLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_RUNLOG = NullRunLog()
+
+
+class ResourceSampler:
+    """Standalone resource sampling over any emit-shaped sink.
+
+    :class:`RunLog` embeds the same logic; this class exists for code
+    that wants samples without a ledger (tests, the future serving
+    layer's status endpoint).
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self._cpu_origin = time.process_time()
+
+    def sample(self) -> Dict[str, object]:
+        """One point-in-time resource sample (never raises)."""
+        out: Dict[str, object] = dict(read_rss_kb())
+        out["cpu_seconds"] = time.process_time() - self._cpu_origin
+        out["wall_seconds"] = time.perf_counter() - self._origin
+        return out
+
+
+def read_ledger(path: str) -> List[Dict[str, object]]:
+    """Parse an NDJSON ledger into its event dicts, in file order.
+
+    Blank lines are skipped; a torn final line (crashed run) is
+    dropped rather than raising, so a partial ledger still reports.
+    """
+    events: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # torn tail of a crashed run
+    return events

@@ -59,12 +59,20 @@ class ClassificationTrace:
             normal path).  Set via :meth:`TraceBuilder.fail` by the
             drivers' error handling, so an aborted AS still leaves a
             finished, inspectable trace.
+        tags: Provenance stamped on every trace of a pass — e.g. the
+            maintenance sweep window and run id that caused the
+            reclassification.  Excluded from equality, like wall times:
+            the same classification swept on a different day is still
+            the same classification.
     """
 
     asn: int
     spans: Tuple[Span, ...]
     total_seconds: float
     error: Optional[str] = None
+    tags: Dict[str, object] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def span(self, name: str) -> Optional[Span]:
         """The first span with a given stage name, or None."""
@@ -98,6 +106,8 @@ class ClassificationTrace:
         }
         if self.error is not None:
             document["error"] = self.error
+        if self.tags:
+            document["tags"] = dict(self.tags)
         return document
 
 
@@ -140,15 +150,23 @@ class _SpanRecorder:
 class TraceBuilder:
     """Collects spans for one AS classification."""
 
-    def __init__(self, asn: int) -> None:
+    def __init__(
+        self, asn: int, tags: Optional[Dict[str, object]] = None
+    ) -> None:
         self.asn = asn
         self._origin = time.perf_counter()
         self._spans: List[Span] = []
         self._error: Optional[str] = None
+        self._tags: Dict[str, object] = dict(tags) if tags else {}
 
     def span(self, name: str) -> _SpanRecorder:
         """``with builder.span("ml") as span: ...`` records one stage."""
         return _SpanRecorder(self, name)
+
+    def tag(self, **tags: object) -> "TraceBuilder":
+        """Stamp provenance tags onto the finished trace."""
+        self._tags.update(tags)
+        return self
 
     def fail(self, message: str) -> None:
         """Mark the classification as aborted; the first error sticks."""
@@ -165,6 +183,7 @@ class TraceBuilder:
             spans=tuple(self._spans),
             total_seconds=time.perf_counter() - self._origin,
             error=self._error,
+            tags=self._tags,
         )
 
 
@@ -200,6 +219,9 @@ class NullTraceBuilder:
     def span(self, name: str) -> _NullSpanRecorder:
         return _NULL_SPAN
 
+    def tag(self, **tags: object) -> "NullTraceBuilder":
+        return self
+
     def fail(self, message: str) -> None:
         return None
 
@@ -210,6 +232,8 @@ class NullTraceBuilder:
 _NULL_BUILDER = NullTraceBuilder()
 
 
-def trace_builder(asn: int, enabled: bool):
+def trace_builder(
+    asn: int, enabled: bool, tags: Optional[Dict[str, object]] = None
+):
     """A real :class:`TraceBuilder` when enabled, else the shared no-op."""
-    return TraceBuilder(asn) if enabled else _NULL_BUILDER
+    return TraceBuilder(asn, tags=tags) if enabled else _NULL_BUILDER

@@ -70,6 +70,11 @@ class SystemConfig:
             :class:`~repro.core.maintenance.MaintenanceDaemon` wired to
             it (each sweep stores a dataset version); None leaves both
             handles unset with zero behavior change.
+        runlog: A :class:`~repro.obs.runlog.RunLog` event ledger.  When
+            set, the pipeline, batch engine, resilience layer, and
+            maintenance daemon emit structured events (spans, as.trace,
+            breaker transitions, sweep reports) into it; None keeps the
+            inert null ledger and byte-identical default output.
     """
 
     seed: int = 0
@@ -85,6 +90,7 @@ class SystemConfig:
     faults: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
     snapshot_dir: Optional[str] = None
+    runlog: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,10 @@ class BuiltSystem:
     frequency_index: DomainFrequencyIndex
     snapshots: Optional[SnapshotStore] = None
     daemon: Optional[MaintenanceDaemon] = None
+    #: Every ResilientSource wrapped around the live sources, in wiring
+    #: order — the run ledger's end-of-run summary reads breaker states
+    #: and degradation tallies from these handles.
+    resilient: Tuple[ResilientSource, ...] = ()
 
 
 def build_sources(world: World, seed: int = 0):
@@ -115,14 +125,20 @@ def build_sources(world: World, seed: int = 0):
     )
 
 
-def _harden_source(source, config: SystemConfig):
+def _harden_source(
+    source,
+    config: SystemConfig,
+    resilient_sink: Optional[List[ResilientSource]] = None,
+):
     """Apply the configured observability + resilience wrapping.
 
     Innermost to outermost: metering -> fault injection -> retry/breaker,
     so injected faults are retried exactly like real ones.  With neither
     ``faults`` nor ``retry`` configured this reduces to the plain
     instrumented source and the pipeline behaves byte-identically to an
-    unwrapped build.
+    unwrapped build.  Every :class:`ResilientSource` created is appended
+    to ``resilient_sink`` so the run ledger's end-of-run summary can
+    read breaker states.
     """
     wrapped = instrument_source(source, config.metrics)
     if config.faults is not None:
@@ -133,7 +149,11 @@ def _harden_source(source, config: SystemConfig):
             config.retry if config.retry is not None
             else RetryPolicy(seed=config.seed)
         )
-        wrapped = ResilientSource(wrapped, policy, metrics=config.metrics)
+        wrapped = ResilientSource(
+            wrapped, policy, metrics=config.metrics, runlog=config.runlog
+        )
+        if resilient_sink is not None:
+            resilient_sink.append(wrapped)
     return wrapped
 
 
@@ -148,13 +168,14 @@ def build_asdb(
         world.registry.contact(asn).candidate_domains
         for asn in world.asns()
     )
+    resilient_sink: List[ResilientSource] = []
     resolver = EntityResolver(
         world.web,
         frequency_index,
         # _harden_source is a no-op without a registry/faults/retry, so
         # the default wiring is byte-identical to before.
         sources=[
-            _harden_source(source, config)
+            _harden_source(source, config, resilient_sink)
             for source in (dnb, crunchbase, zvelo)
         ],
         dnb_confidence_threshold=config.dnb_confidence_threshold,
@@ -178,8 +199,8 @@ def build_asdb(
     asdb = ASdb(
         registry=world.registry,
         resolver=resolver,
-        peeringdb=_harden_source(peeringdb, config),
-        ipinfo=_harden_source(ipinfo, config),
+        peeringdb=_harden_source(peeringdb, config, resilient_sink),
+        ipinfo=_harden_source(ipinfo, config, resilient_sink),
         ml_pipeline=ml_pipeline,
         consensus_strategy=resolve_consensus,
         use_cache=config.use_cache,
@@ -187,6 +208,7 @@ def build_asdb(
         trace=config.trace,
         workers=config.workers,
         executor=config.executor,
+        runlog=config.runlog,
     )
     snapshots = daemon = None
     if config.snapshot_dir is not None:
@@ -206,4 +228,5 @@ def build_asdb(
         frequency_index=frequency_index,
         snapshots=snapshots,
         daemon=daemon,
+        resilient=tuple(resilient_sink),
     )

@@ -282,3 +282,50 @@ class TestReleaseCommands:
             ["refresh", "--store", store, "--days", "0"]
         ) == 0
         assert "reclassified 0 ASes" in capsys.readouterr().out
+
+
+class TestProfileRouting:
+    """Satellite: --profile narration must never interleave with the
+    dataset on stdout."""
+
+    BASE = ["classify", "--n-orgs", "40", "--seed", "5", "--no-ml"]
+
+    def test_profile_goes_to_stderr(self, capsys):
+        assert main(self.BASE + ["--profile", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "slowest pipeline stages" in captured.err
+        assert "slowest pipeline stages" not in captured.out
+        assert "classified" in captured.out
+
+    def test_profile_out_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "profile.txt"
+        assert main(
+            self.BASE + ["--profile", "--profile-out", str(target)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "slowest pipeline stages" in target.read_text()
+        assert "slowest pipeline stages" not in captured.err
+        assert f"wrote profile narration to {target}" in captured.out
+
+
+class TestStatsCacheLayers:
+    """Satellite: stats reports kernel and feature-cache counters, not
+    just the org cache."""
+
+    def test_all_layers_with_ml(self, capsys):
+        assert main(["stats", "--n-orgs", "30", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Cache & pruning layers" in out
+        assert "org cache" in out
+        assert "string kernels" in out
+        assert "candidates pruned before scoring" in out
+        assert "feature cache" in out
+
+    def test_feature_cache_row_absent_without_ml(self, capsys):
+        assert main(
+            ["stats", "--n-orgs", "30", "--seed", "5", "--no-ml"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Cache & pruning layers" in out
+        assert "org cache" in out
+        assert "feature cache" not in out

@@ -1,0 +1,255 @@
+"""Tests for repro.obs.health: ledger loading, SLO evaluation, and
+the `repro report` / `repro health` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    LedgerError,
+    MetricsRegistry,
+    RunLog,
+    SloError,
+    evaluate_slos,
+    load_events,
+    load_slos,
+    render_compare,
+    render_health,
+    render_report,
+)
+from repro.obs.health import percentile, stage_durations
+
+
+def _make_ledger(tmp_path, name="run.ndjson", hit_rate=0.25,
+                 degraded=(2, 100), sweeps=()):
+    """A small, fully synthetic but schema-correct ledger."""
+    path = tmp_path / name
+    registry = MetricsRegistry()
+    registry.gauge("asdb_cache_hit_rate").set(hit_rate)
+    log = RunLog(str(path), kind="classify", config={"seed": 1},
+                 world={"n_orgs": 10})
+    log.emit("as.trace", asn=64512, total_seconds=0.011, spans=[
+        {"name": "cache", "start_offset": 0.0, "duration": 0.001,
+         "status": "miss", "attributes": {}},
+        {"name": "ml", "start_offset": 0.001, "duration": 0.01,
+         "status": "isp", "attributes": {}},
+    ])
+    log.emit("as.trace", asn=64513, total_seconds=0.004, spans=[
+        {"name": "ml", "start_offset": 0.0, "duration": 0.004,
+         "status": "other", "attributes": {}},
+    ])
+    for reclassified in sweeps:
+        log.emit("sweep.report", since_day=0, through_day=30,
+                 new=0, updated=reclassified, reclassified=reclassified,
+                 snapshot_version=2)
+    log.finish(
+        status="ok", metrics=registry,
+        degraded={"records": degraded[0], "total": degraded[1]},
+    )
+    return path
+
+
+def _slo_file(tmp_path, slos, name="slo.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps({"slos": slos}))
+    return path
+
+
+class TestLedgerLoading:
+    def test_missing_run_start_rejected(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"event": "span", "run": "x", "seq": 0}\n')
+        with pytest.raises(LedgerError):
+            load_events(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("")
+        with pytest.raises(LedgerError):
+            load_events(str(path))
+
+    def test_stage_durations_and_percentile(self, tmp_path):
+        events = load_events(str(_make_ledger(tmp_path)))
+        durations = stage_durations(events)
+        assert durations["ml"] == [0.01, 0.004]
+        assert durations["cache"] == [0.001]
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert percentile([1.0], 0.99) == 1.0
+        assert percentile([], 0.99) == 0.0
+
+
+class TestSloLoading:
+    def test_rules_parse_flat_params(self, tmp_path):
+        path = _slo_file(tmp_path, [
+            {"id": "ml", "kind": "max_stage_p99_seconds",
+             "stage": "ml", "max": 0.5},
+        ])
+        (rule,) = load_slos(str(path))
+        assert rule.id == "ml"
+        assert rule.params == {"stage": "ml", "max": 0.5}
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = _slo_file(tmp_path, [{"kind": "max_vibes"}])
+        with pytest.raises(SloError):
+            load_slos(str(path))
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        path = _slo_file(tmp_path, [
+            {"id": "a", "kind": "max_run_seconds", "max": 1},
+            {"id": "a", "kind": "max_run_seconds", "max": 2},
+        ])
+        with pytest.raises(SloError):
+            load_slos(str(path))
+
+    def test_empty_slos_rejected(self, tmp_path):
+        path = _slo_file(tmp_path, [])
+        with pytest.raises(SloError):
+            load_slos(str(path))
+
+
+class TestEvaluation:
+    @pytest.fixture()
+    def events(self, tmp_path):
+        return load_events(str(_make_ledger(
+            tmp_path, hit_rate=0.25, degraded=(2, 100), sweeps=(7,)
+        )))
+
+    def _eval_one(self, events, slo, tmp_path):
+        rules = load_slos(str(_slo_file(tmp_path, [slo], "one.json")))
+        (result,) = evaluate_slos(events, rules)
+        return result
+
+    def test_stage_p99_pass_and_fail(self, events, tmp_path):
+        ok = self._eval_one(events, {
+            "kind": "max_stage_p99_seconds", "stage": "ml", "max": 0.5,
+        }, tmp_path)
+        assert ok.ok and ok.observed == pytest.approx(0.01)
+        bad = self._eval_one(events, {
+            "kind": "max_stage_p99_seconds", "stage": "ml",
+            "max": 0.001,
+        }, tmp_path)
+        assert not bad.ok
+
+    def test_unknown_stage_is_skipped(self, events, tmp_path):
+        result = self._eval_one(events, {
+            "kind": "max_stage_p99_seconds", "stage": "nope", "max": 1,
+        }, tmp_path)
+        assert result.ok and result.skipped
+
+    def test_degraded_fraction(self, events, tmp_path):
+        result = self._eval_one(events, {
+            "kind": "max_degraded_fraction", "max": 0.01,
+        }, tmp_path)
+        assert not result.ok
+        assert result.observed == pytest.approx(0.02)
+
+    def test_cache_hit_rate(self, events, tmp_path):
+        result = self._eval_one(events, {
+            "kind": "min_cache_hit_rate", "min": 0.2,
+        }, tmp_path)
+        assert result.ok and result.observed == pytest.approx(0.25)
+
+    def test_reclassified_budget(self, events, tmp_path):
+        result = self._eval_one(events, {
+            "kind": "max_reclassified", "max": 5,
+        }, tmp_path)
+        assert not result.ok and result.observed == 7
+
+    def test_reclassified_skipped_without_sweeps(self, tmp_path):
+        events = load_events(str(_make_ledger(tmp_path, sweeps=())))
+        result = self._eval_one(events, {
+            "kind": "max_reclassified", "max": 5,
+        }, tmp_path)
+        assert result.ok and result.skipped
+
+    def test_missing_param_fails_loudly(self, events, tmp_path):
+        result = self._eval_one(events, {
+            "kind": "max_run_seconds",
+        }, tmp_path)
+        assert not result.ok and not result.skipped
+
+    def test_render_health_verdict_lines(self, events, tmp_path):
+        rules = load_slos(str(_slo_file(tmp_path, [
+            {"id": "ok", "kind": "max_run_seconds", "max": 300},
+            {"id": "bad", "kind": "min_cache_hit_rate", "min": 0.9},
+            {"id": "skip", "kind": "max_stage_p99_seconds",
+             "stage": "nope", "max": 1},
+        ], "three.json")))
+        text = render_health(evaluate_slos(events, rules))
+        assert "1 breach(es)" in text
+        assert "PASS" in text and "FAIL" in text and "SKIP" in text
+
+
+class TestRendering:
+    def test_report_renders_from_ledger_alone(self, tmp_path):
+        path = _make_ledger(tmp_path, sweeps=(3,))
+        text = render_report(load_events(str(path)), str(path))
+        assert "run " in text and "(classify)" in text
+        assert "per-stage rollup" in text
+        assert "ml" in text
+        assert "sweep days 0..30" in text
+
+    def test_compare_tracks_relative_deltas(self, tmp_path):
+        a = _make_ledger(tmp_path, "a.ndjson", hit_rate=0.2)
+        b = _make_ledger(tmp_path, "b.ndjson", hit_rate=0.4)
+        text = render_compare(
+            load_events(str(a)), load_events(str(b)), str(a), str(b)
+        )
+        assert "run comparison" in text
+        assert "cache_hit_rate" in text
+        assert "stage_p99_seconds/ml" in text
+
+
+class TestHealthCli:
+    def test_breach_exits_one(self, tmp_path, capsys):
+        ledger = _make_ledger(tmp_path)
+        slo = _slo_file(tmp_path, [
+            {"id": "wall", "kind": "max_run_seconds", "max": 0.0},
+        ])
+        assert main(["health", "--slo", str(slo), str(ledger)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "wall" in out
+
+    def test_all_pass_exits_zero(self, tmp_path, capsys):
+        ledger = _make_ledger(tmp_path)
+        slo = _slo_file(tmp_path, [
+            {"id": "wall", "kind": "max_run_seconds", "max": 300},
+            {"id": "cache", "kind": "min_cache_hit_rate", "min": 0.1},
+        ])
+        assert main(["health", "--slo", str(slo), str(ledger)]) == 0
+        assert "0 breach(es)" in capsys.readouterr().out
+
+    def test_bad_slo_file_exits_two(self, tmp_path, capsys):
+        ledger = _make_ledger(tmp_path)
+        slo = _slo_file(tmp_path, [{"kind": "max_vibes"}])
+        assert main(["health", "--slo", str(slo), str(ledger)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_ledger_exits_two(self, tmp_path, capsys):
+        slo = _slo_file(tmp_path, [
+            {"id": "wall", "kind": "max_run_seconds", "max": 1},
+        ])
+        assert main([
+            "health", "--slo", str(slo), str(tmp_path / "nope.ndjson")
+        ]) == 2
+
+
+class TestReportCli:
+    def test_report_single_ledger(self, tmp_path, capsys):
+        ledger = _make_ledger(tmp_path)
+        assert main(["report", str(ledger)]) == 0
+        assert "per-stage rollup" in capsys.readouterr().out
+
+    def test_report_compare(self, tmp_path, capsys):
+        a = _make_ledger(tmp_path, "a.ndjson")
+        b = _make_ledger(tmp_path, "b.ndjson")
+        assert main(["report", "--compare", str(a), str(b)]) == 0
+        assert "run comparison" in capsys.readouterr().out
+
+    def test_report_without_args_exits_two(self, capsys):
+        assert main(["report"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.ndjson")]) == 2

@@ -235,3 +235,58 @@ class TestPipelineMetrics:
         assert registry.get("asdb_scrape_seconds").count() > 0
         verdicts = registry.get("asdb_ml_verdicts_total")
         assert verdicts.total() > 0
+
+
+class TestProfileAggregationEdgeCases:
+    """Satellite: aggregate_spans / narrate_profile on degenerate
+    inputs — empty runs, single-span runs, and stage-duration ties."""
+
+    def _trace(self, asn, *spans):
+        offset = 0.0
+        built = []
+        for name, duration in spans:
+            built.append(Span(name, offset, duration, "", {}))
+            offset += duration
+        return ClassificationTrace(
+            asn=asn, spans=tuple(built), total_seconds=offset
+        )
+
+    def test_empty_trace_list(self):
+        from repro.obs import aggregate_spans, narrate_profile
+
+        assert aggregate_spans([]) == []
+        assert narrate_profile([]) == "no trace spans recorded"
+
+    def test_traces_without_spans_produce_no_rows(self):
+        from repro.obs import aggregate_spans, narrate_profile
+
+        trace = self._trace(1)
+        assert aggregate_spans([trace]) == []
+        assert narrate_profile([trace]) == "no trace spans recorded"
+
+    def test_single_span_run_owns_all_time(self):
+        from repro.obs import aggregate_spans, narrate_profile
+
+        trace = self._trace(1, ("ml", 0.5))
+        assert aggregate_spans([trace]) == [("ml", 1, 0.5)]
+        text = narrate_profile([trace])
+        assert "top 1 of 1" in text
+        assert "100.0%" in text
+
+    def test_duration_ties_keep_first_seen_order(self):
+        from repro.obs import aggregate_spans, narrate_profile
+
+        traces = [self._trace(1, ("cache", 0.25), ("ml", 0.25))]
+        rows = aggregate_spans(traces)
+        assert rows == [("cache", 1, 0.25), ("ml", 1, 0.25)]
+        text = narrate_profile(traces, top=1)
+        assert "top 1 of 2" in text
+        assert "cache" in text and "\n  ml" not in text
+
+    def test_top_is_clamped_to_at_least_one_row(self):
+        from repro.obs import narrate_profile
+
+        traces = [self._trace(1, ("cache", 0.1), ("ml", 0.3))]
+        text = narrate_profile(traces, top=0)
+        assert "top 1 of 2" in text
+        assert "ml" in text  # the slower stage wins the single slot

@@ -343,3 +343,68 @@ class TestBoundedChangedSince:
         assert registry.changed_since(0) == [10, 20]
         assert registry.changed_since(8, through=9) == [20]
         assert registry.changed_since(9, through=9) == []
+
+
+class TestSweepTraceTags:
+    """Satellite: per-AS traces carry the sweep window (and run id)
+    that produced them, so a ledger can attribute any trace to its
+    sweep."""
+
+    def _built(self, tmp_path, runlog=None):
+        world = generate_world(WorldConfig(n_orgs=40, seed=77))
+        return world, build_asdb(
+            world,
+            SystemConfig(
+                seed=1, train_ml=False, trace=True,
+                snapshot_dir=str(tmp_path / "releases"), runlog=runlog,
+            ),
+        )
+
+    def test_baseline_sweep_tags_every_trace(self, tmp_path):
+        world, system = self._built(tmp_path)
+        system.daemon.sweep(current_day=0)
+        traces = [
+            record.trace for record in system.asdb.dataset
+            if record.trace is not None
+        ]
+        assert len(traces) == len(world.asns())
+        for trace in traces:
+            assert trace.tags["sweep_since"] == -1
+            assert trace.tags["sweep_through"] == 0
+            assert "run" not in trace.tags  # no ledger attached
+
+    def test_incremental_sweep_retags_only_churned(self, tmp_path):
+        world, system = self._built(tmp_path)
+        system.daemon.sweep(current_day=0)
+        stats = simulate_churn(world, days=60, seed=5, start_day=1)
+        assert stats.changed_asns
+        system.daemon.sweep(current_day=60)
+        for record in system.asdb.dataset:
+            if record.trace is None:
+                continue
+            expected = (
+                (0, 60) if record.asn in stats.changed_asns else (-1, 0)
+            )
+            assert (
+                record.trace.tags["sweep_since"],
+                record.trace.tags["sweep_through"],
+            ) == expected
+
+    def test_run_id_tag_with_ledger(self, tmp_path):
+        from repro.obs import RunLog, read_ledger
+
+        runlog = RunLog(str(tmp_path / "sweep.ndjson"), kind="sweep")
+        _, system = self._built(tmp_path, runlog=runlog)
+        system.daemon.sweep(current_day=0)
+        runlog.finish()
+        for record in system.asdb.dataset:
+            assert record.trace.tags["run"] == runlog.run_id
+        # The ledger's as.trace events carry the same tags.
+        traced = [
+            event for event in read_ledger(str(tmp_path / "sweep.ndjson"))
+            if event["event"] == "as.trace"
+        ]
+        assert traced
+        assert all(
+            event["tags"]["run"] == runlog.run_id for event in traced
+        )
