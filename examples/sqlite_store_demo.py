@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The indexed sqlite dataset store: byte-identical exports at
+O(batch) memory.
+
+Classifies the same world into the default in-memory dataset and into
+a sqlite-backed one, proves the exports are byte-for-byte identical,
+then runs a churn sweep in streaming windows and snapshots the result
+— all while the store never buffers more than its write batch.
+
+Run:
+    python examples/sqlite_store_demo.py
+"""
+
+import io
+import tempfile
+from pathlib import Path
+
+from repro import SystemConfig, WorldConfig, build_asdb, generate_world
+from repro.core import (
+    MaintenanceDaemon,
+    SnapshotStore,
+    SqliteDatasetStore,
+    dataset_to_json,
+    diff_stores,
+    open_store,
+)
+from repro.world import simulate_churn
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="asdb-store-"))
+    world = generate_world(WorldConfig(n_orgs=300, seed=11))
+
+    print("Classifying into the default in-memory dataset...")
+    memory = build_asdb(world, SystemConfig(seed=1, train_ml=False)).asdb
+    memory.classify_all()
+
+    print("Classifying the same world into sqlite...")
+    db_path = workdir / "asdb.sqlite"
+    sqlite_system = build_asdb(
+        world,
+        SystemConfig(
+            seed=1,
+            train_ml=False,
+            dataset_store=f"sqlite:{db_path}",
+        ),
+    ).asdb
+    store = sqlite_system.dataset
+    store._batch_size = 64  # small batch so the demo flushes often
+    sqlite_system.classify_all()
+
+    buffer = io.StringIO()
+    store.write_json(buffer)
+    identical = buffer.getvalue() == dataset_to_json(memory.dataset)
+    print(f"  records stored:        {len(store)}")
+    print(f"  JSON export identical: {identical}")
+    print(f"  CSV export identical:  "
+          f"{store.to_csv() == memory.dataset.to_csv()}")
+    print(f"  peak buffered records: {store.resident_high_water} "
+          f"(batch size {store.batch_size})")
+
+    print("\nIndexed aggregates (SQL, no materialization):")
+    for layer1, count in sorted(
+        store.category_histogram().items(), key=lambda kv: -kv[1]
+    )[:5]:
+        print(f"  {layer1:32s} {count:4d} ASes")
+
+    print("\nChurn + streaming windowed sweep (50-AS windows):")
+    snapshots = SnapshotStore(str(workdir / "releases"))
+    daemon = MaintenanceDaemon(
+        sqlite_system, snapshots=snapshots, batch_size=50
+    )
+    daemon.sweep(current_day=0)
+    simulate_churn(world, days=120, seed=2, start_day=1)
+    report = daemon.sweep(current_day=120)
+    print(f"  reclassified {report.reclassified} churned ASes in "
+          f"windows of 50")
+    print(f"  snapshot versions: "
+          f"{[info.version for info in snapshots.versions()]}")
+
+    print("\nLoading the latest snapshot into a fresh sqlite store...")
+    target = SqliteDatasetStore(workdir / "restored.sqlite",
+                                batch_size=64)
+    snapshots.load(into=target)
+    print(f"  restored {len(target)} records, "
+          f"peak buffered {target.resident_high_water}")
+    print(f"  diff vs live store empty: "
+          f"{diff_stores(target, store).empty}")
+
+    print("\nopen_store picks a backend by URL:")
+    for url in (f"sqlite:{db_path}", f"json:{workdir / 'd.json'}",
+                "memory:"):
+        backend = open_store(url)
+        print(f"  {url:40s} -> {type(backend).__name__}")
+        backend_close = getattr(backend, "close", None)
+        if backend_close and url.startswith("sqlite:"):
+            backend_close()
+
+    target.close()
+    store.close()
+    print(f"\nArtifacts under {workdir}")
+
+
+if __name__ == "__main__":
+    main()

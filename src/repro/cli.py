@@ -54,6 +54,25 @@ Observability flags (``classify`` and ``lookup``):
     report --compare A B``, and gate on budgets with ``repro health
     --slo slo.json LEDGER`` (exit 1 on SLO breach).
 
+Storage flags:
+
+``--store URL`` (``classify``, ``stats``)
+    Back the run's dataset with a pluggable store: ``sqlite:PATH``
+    (indexed, disk-backed, O(batch) memory), ``json:PATH``, or
+    ``memory:``.  Exports and summary output are byte-identical across
+    backends.  ``snapshot``/``refresh``/``diff`` spell the same flag
+    ``--dataset-store URL`` (their ``--store`` is the snapshot-store
+    directory); ``refresh`` reuses a populated sqlite store when its
+    digest matches the latest version, and ``diff --dataset-store``
+    streams both versions through scratch stores instead of holding
+    them in memory.
+
+``--sweep-batch N`` (``snapshot``, ``refresh``)
+    Stream the maintenance sweep's classify phase in windows of N
+    ASNs: the dataset store is flushed after each window, so a
+    store-backed sweep holds O(batch) records resident with
+    byte-identical results.
+
 Performance flags (``classify``):
 
 ``--executor {thread,process}``
@@ -82,9 +101,10 @@ from typing import List, Optional, Tuple
 
 from . import SystemConfig, WorldConfig, build_asdb, generate_world
 from .core.maintenance import MaintenanceDaemon
-from .core.persistence import dataset_to_json
+from .core.persistence import write_csv, write_json
 from .core.resilience import RetryPolicy
-from .core.snapshots import SnapshotError, SnapshotStore
+from .core.snapshots import SnapshotError, SnapshotStore, dataset_digest
+from .core.store import StoreError, diff_stores, open_store
 from .datasources.faults import FaultPlan
 from .evaluation import build_gold_standard, evaluate_stages
 from .obs import (
@@ -146,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "instead of stderr")
     classify.add_argument("--out", default=None,
                           help="write the dataset to a .csv or .json file")
+    classify.add_argument("--store", default=None, metavar="URL",
+                          help="dataset store backend (sqlite:PATH, "
+                          "json:PATH, or memory:); exports are "
+                          "byte-identical to the in-memory default")
     classify.add_argument("--inject-faults", nargs="?", const=0.15,
                           type=float, default=None, metavar="RATE",
                           help="inject deterministic source faults "
@@ -177,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="metrics output format (default: summary table)")
     stats.add_argument("--workers", type=int, default=1,
                        help="worker threads for the classification pass")
+    stats.add_argument("--store", default=None, metavar="URL",
+                       help="dataset store backend (sqlite:PATH, "
+                       "json:PATH, or memory:); summary aggregates are "
+                       "pushed down to the backend's indexes")
 
     evaluate = sub.add_parser(
         "evaluate", help="gold-standard evaluation of the full system"
@@ -210,6 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--runlog", default=None, metavar="FILE",
                           help="persist an NDJSON event ledger for the "
                           "run (implies --trace)")
+    snapshot.add_argument("--dataset-store", default=None, metavar="URL",
+                          help="dataset store backend for the sweep "
+                          "(sqlite:PATH, json:PATH, or memory:)")
+    snapshot.add_argument("--sweep-batch", type=int, default=None,
+                          metavar="N",
+                          help="stream the sweep's classify phase in "
+                          "windows of N ASNs (byte-identical results, "
+                          "O(batch) memory)")
 
     refresh = sub.add_parser(
         "refresh",
@@ -231,11 +267,26 @@ def build_parser() -> argparse.ArgumentParser:
     refresh.add_argument("--runlog", default=None, metavar="FILE",
                          help="persist an NDJSON event ledger for the "
                          "run (implies --trace)")
+    refresh.add_argument("--dataset-store", default=None, metavar="URL",
+                         help="dataset store backend for the sweep "
+                         "(sqlite:PATH, json:PATH, or memory:); a "
+                         "non-empty sqlite store matching the latest "
+                         "version's digest is reused without reloading")
+    refresh.add_argument("--sweep-batch", type=int, default=None,
+                         metavar="N",
+                         help="stream the sweep's classify phase in "
+                         "windows of N ASNs (byte-identical results, "
+                         "O(batch) memory)")
 
     diff = sub.add_parser(
         "diff", help="diff two stored dataset versions"
     )
     diff.add_argument("--store", required=True, metavar="DIR")
+    diff.add_argument("--dataset-store", default=None, metavar="URL",
+                      help="materialize both versions into scratch "
+                      "dataset stores derived from URL (e.g. "
+                      "sqlite:PATH) and diff them by streaming "
+                      "cursors instead of in memory")
     diff.add_argument("--from", dest="from_version", type=int,
                       default=None, metavar="V",
                       help="older version (default: latest - 1)")
@@ -415,26 +466,33 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     # --profile aggregates trace spans and the ledger embeds per-AS
     # traces, so either implies recording them.
     trace = args.trace or args.profile is not None or runlog.enabled
-    built = build_asdb(
-        world,
-        SystemConfig(
-            seed=args.seed,
-            train_ml=not args.no_ml,
-            metrics=registry,
-            trace=trace,
-            workers=args.workers,
-            executor=args.executor,
-            faults=faults,
-            retry=retry,
-            runlog=runlog if runlog.enabled else None,
-        ),
-    )
+    try:
+        built = build_asdb(
+            world,
+            SystemConfig(
+                seed=args.seed,
+                train_ml=not args.no_ml,
+                metrics=registry,
+                trace=trace,
+                workers=args.workers,
+                executor=args.executor,
+                faults=faults,
+                retry=retry,
+                runlog=runlog if runlog.enabled else None,
+                dataset_store=args.store,
+            ),
+        )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     providers = _resource_providers(built, registry)
     runlog.sample_resources(providers, phase="built")
     dataset = built.asdb.classify_all()
     runlog.sample_resources(providers, phase="classified")
     print(f"classified {len(dataset)} ASes "
           f"(coverage {dataset.coverage():.1%})")
+    if args.store is not None:
+        print(f"dataset store: {args.store}")
     if faults is not None:
         degraded = sum(
             1 for record in dataset if record.degraded_sources
@@ -468,17 +526,20 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
     if args.out:
-        if args.out.endswith(".json"):
-            payload = dataset_to_json(dataset)
-        else:
-            payload = dataset.to_csv()
+        # Streamed record by record: an export from a store-backed
+        # dataset never materializes the document (and the bytes are
+        # identical to the old whole-string write).
         with open(args.out, "w") as handle:
-            handle.write(payload)
+            if args.out.endswith(".json"):
+                write_json(dataset, handle)
+            else:
+                write_csv(dataset, handle)
         print(f"wrote {args.out}")
     _finish_runlog(
         runlog, registry, built, dataset,
         asns=len(dataset), coverage=round(dataset.coverage(), 4),
     )
+    dataset.close()
     return 0
 
 
@@ -560,13 +621,17 @@ def _render_cache_layers(built, registry: MetricsRegistry) -> str:
 def _cmd_stats(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
-    built = build_asdb(
-        world,
-        SystemConfig(
-            seed=args.seed, train_ml=not args.no_ml, metrics=registry,
-            workers=args.workers,
-        ),
-    )
+    try:
+        built = build_asdb(
+            world,
+            SystemConfig(
+                seed=args.seed, train_ml=not args.no_ml, metrics=registry,
+                workers=args.workers, dataset_store=args.store,
+            ),
+        )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     dataset = built.asdb.classify_all()
     if args.format == "prometheus":
         print(registry.to_prometheus(), end="")
@@ -575,8 +640,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(f"classified {len(dataset)} ASes "
               f"(coverage {dataset.coverage():.1%})")
+        if args.store is not None:
+            print(f"dataset store: {args.store}")
         print(render_metrics_summary(registry))
         print(_render_cache_layers(built, registry))
+    dataset.close()
     return 0
 
 
@@ -632,18 +700,24 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     world = generate_world(WorldConfig(n_orgs=args.n_orgs, seed=args.seed))
     runlog = _open_runlog(args, "snapshot",
                           {"n_orgs": args.n_orgs, "seed": args.seed})
-    built = build_asdb(
-        world,
-        SystemConfig(
-            seed=args.seed,
-            train_ml=not args.no_ml,
-            metrics=registry,
-            trace=args.trace or runlog.enabled,
-            workers=args.workers,
-            snapshot_dir=args.store,
-            runlog=runlog if runlog.enabled else None,
-        ),
-    )
+    try:
+        built = build_asdb(
+            world,
+            SystemConfig(
+                seed=args.seed,
+                train_ml=not args.no_ml,
+                metrics=registry,
+                trace=args.trace or runlog.enabled,
+                workers=args.workers,
+                snapshot_dir=args.store,
+                runlog=runlog if runlog.enabled else None,
+                dataset_store=args.dataset_store,
+                sweep_batch_size=args.sweep_batch,
+            ),
+        )
+    except (StoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     providers = _resource_providers(built, registry)
     runlog.sample_resources(providers, phase="built")
     report = built.daemon.sweep(current_day=0)
@@ -659,12 +733,15 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     info = built.snapshots.latest()
     print(f"store {args.store}: v{info.version} ({info.kind}, "
           f"{info.record_count} records)")
+    if args.dataset_store is not None:
+        print(f"dataset store: {args.dataset_store}")
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
     _finish_runlog(
         runlog, registry, built, built.asdb.dataset,
         reclassified=report.reclassified, snapshot_version=info.version,
     )
+    built.asdb.dataset.close()
     return 0
 
 
@@ -712,7 +789,32 @@ def _cmd_refresh(args: argparse.Namespace) -> int:
         ),
     )
     store = built.snapshots
-    built.asdb.dataset = store.load()
+    if args.dataset_store is not None:
+        try:
+            dataset = open_store(
+                args.dataset_store,
+                metrics=registry,
+                runlog=runlog if runlog.enabled else None,
+            )
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        latest = store.latest()
+        if len(dataset):
+            # A populated store left by a previous refresh is reused
+            # only when it provably holds the latest version — its
+            # streamed document digest must match the manifest's.
+            if dataset_digest(dataset) != latest.digest:
+                print(f"error: {args.dataset_store} does not match "
+                      f"v{latest.version}'s digest; point "
+                      f"--dataset-store at an empty or current store",
+                      file=sys.stderr)
+                return 2
+            built.asdb.dataset = dataset
+        else:
+            built.asdb.dataset = store.load(into=dataset)
+    else:
+        built.asdb.dataset = store.load()
 
     last_day = int(meta.get("last_day", 0))
     epoch_seed = (
@@ -722,7 +824,7 @@ def _cmd_refresh(args: argparse.Namespace) -> int:
                            start_day=last_day + 1)
     daemon = MaintenanceDaemon(
         built.asdb, workers=args.workers, snapshots=store,
-        last_day=last_day,
+        last_day=last_day, batch_size=args.sweep_batch,
     )
     providers = _resource_providers(built, registry)
     runlog.sample_resources(providers, phase="churned")
@@ -746,6 +848,7 @@ def _cmd_refresh(args: argparse.Namespace) -> int:
         runlog, registry, built, built.asdb.dataset,
         reclassified=report.reclassified, exact=exact,
     )
+    built.asdb.dataset.close()
     return 0 if exact else 1
 
 
@@ -753,6 +856,17 @@ def _format_asns(asns: Tuple[int, ...], limit: int = 12) -> str:
     shown = ", ".join(f"AS{asn}" for asn in asns[:limit])
     extra = len(asns) - limit
     return shown + (f", (+{extra} more)" if extra > 0 else "")
+
+
+def _store_scratch_url(url: str, tag: str) -> str:
+    """Derive a per-version scratch store URL (``sqlite:PATH`` ->
+    ``sqlite:PATH.TAG``); ``memory:`` stays as-is."""
+    scheme, _, rest = url.partition(":")
+    if scheme == "memory" or (scheme and not rest and url == "memory"):
+        return "memory:"
+    if rest:
+        return f"{scheme}:{rest}.{tag}"
+    return f"{url}.{tag}"
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -764,8 +878,24 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     if old is None:
         old = new - 1
     try:
-        diff = store.diff(old, new)
-    except SnapshotError as exc:
+        if args.dataset_store is not None:
+            # Materialize each side into a scratch store, then diff by
+            # streaming both cursors through the ordered merge — the
+            # versions never sit in memory together.
+            old_ds = open_store(
+                _store_scratch_url(args.dataset_store, f"v{old}")
+            )
+            new_ds = open_store(
+                _store_scratch_url(args.dataset_store, f"v{new}")
+            )
+            store.load(old, into=old_ds)
+            store.load(new, into=new_ds)
+            diff = diff_stores(new_ds, old_ds)
+            old_ds.close()
+            new_ds.close()
+        else:
+            diff = store.diff(old, new)
+    except (SnapshotError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:

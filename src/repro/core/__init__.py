@@ -34,6 +34,13 @@ from .snapshots import (
     SnapshotStore,
 )
 from .pipeline import ASdb
+from .store import (
+    JsonDatasetStore,
+    SqliteDatasetStore,
+    StoreError,
+    diff_stores,
+    open_store,
+)
 from .resilience import (
     CircuitBreaker,
     LookupOutcome,
@@ -80,4 +87,9 @@ __all__ = [
     "SnapshotCorruption",
     "record_to_item",
     "record_from_item",
+    "SqliteDatasetStore",
+    "JsonDatasetStore",
+    "StoreError",
+    "open_store",
+    "diff_stores",
 ]

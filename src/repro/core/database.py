@@ -17,7 +17,13 @@ from ..obs.trace import ClassificationTrace
 from ..taxonomy import LabelSet, naicslite
 from .stages import Stage
 
-__all__ = ["ASdbRecord", "ASdbDataset", "DatasetDiff"]
+__all__ = [
+    "ASdbRecord",
+    "ASdbDataset",
+    "DatasetDiff",
+    "iter_csv_rows",
+    "diff_record_streams",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,77 @@ class DatasetDiff:
                 | set(self.stage_changed)
             )
         )
+
+
+def iter_csv_rows(records: Iterator["ASdbRecord"]) -> Iterator[List[str]]:
+    """Header + one CSV row per label, streamed record by record.
+
+    The single source of the released CSV shape: both the in-memory
+    :meth:`ASdbDataset.to_csv` and the sqlite store's streaming export
+    render through this iterator, so the two backends cannot drift.
+    """
+    yield ["ASN", "Layer1", "Layer2", "Sources", "Stage"]
+    for record in records:
+        if not record.labels:
+            yield [f"AS{record.asn}", "", "", "", record.stage.value]
+            continue
+        for label in record.labels:
+            layer1 = naicslite.layer1_by_slug(label.layer1).name
+            layer2 = (
+                naicslite.layer2_by_name(label.layer2).name
+                if label.layer2
+                else ""
+            )
+            yield [
+                f"AS{record.asn}",
+                layer1,
+                layer2,
+                "|".join(record.sources),
+                record.stage.value,
+            ]
+
+
+def diff_record_streams(
+    new_records: Iterator["ASdbRecord"],
+    old_records: Iterator["ASdbRecord"],
+) -> "DatasetDiff":
+    """Diff two ascending-ASN record streams in O(diff) memory.
+
+    The ordered-merge core of both :meth:`ASdbDataset.diff` and the
+    sqlite store's streaming diff: neither side is materialized, only
+    the changed-ASN buckets accumulate.  Both iterators must yield
+    records in strictly ascending ASN order (every backend does).
+    """
+    added: List[int] = []
+    removed: List[int] = []
+    relabeled: List[int] = []
+    stage_changed: List[int] = []
+    sentinel = object()
+    new_iter, old_iter = iter(new_records), iter(old_records)
+    new = next(new_iter, sentinel)
+    old = next(old_iter, sentinel)
+    while new is not sentinel or old is not sentinel:
+        if old is sentinel or (
+            new is not sentinel and new.asn < old.asn
+        ):
+            added.append(new.asn)
+            new = next(new_iter, sentinel)
+        elif new is sentinel or old.asn < new.asn:
+            removed.append(old.asn)
+            old = next(old_iter, sentinel)
+        else:
+            if new.labels != old.labels:
+                relabeled.append(new.asn)
+            elif new.stage is not old.stage:
+                stage_changed.append(new.asn)
+            new = next(new_iter, sentinel)
+            old = next(old_iter, sentinel)
+    return DatasetDiff(
+        added=tuple(added),
+        removed=tuple(removed),
+        relabeled=tuple(relabeled),
+        stage_changed=tuple(stage_changed),
+    )
 
 
 @dataclass(frozen=True)
@@ -141,6 +218,29 @@ class ASdbDataset:
         for asn in sorted(self._records):
             yield self._records[asn]
 
+    def iter_range(
+        self,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> Iterator[ASdbRecord]:
+        """Records with ``start <= asn <= stop``, ascending.
+
+        The cursor surface of the :class:`~repro.core.store.DatasetStore`
+        protocol; the in-memory backend filters its sorted key list.
+        """
+        for asn in sorted(self._records):
+            if start is not None and asn < start:
+                continue
+            if stop is not None and asn > stop:
+                break
+            yield self._records[asn]
+
+    def flush(self) -> None:
+        """No-op: the in-memory dataset has no write buffer."""
+
+    def close(self) -> None:
+        """No-op: the in-memory dataset holds no external resources."""
+
     def coverage(self) -> float:
         """Fraction of stored ASes with at least one category."""
         if not self._records:
@@ -180,58 +280,11 @@ class ASdbDataset:
         want to see which ASes appeared, disappeared, or changed
         classification.
         """
-        added = sorted(
-            asn for asn in self._records if asn not in other._records
-        )
-        removed = sorted(
-            asn for asn in other._records if asn not in self._records
-        )
-        relabeled = sorted(
-            asn
-            for asn, record in self._records.items()
-            if asn in other._records
-            and record.labels != other._records[asn].labels
-        )
-        stage_changed = sorted(
-            asn
-            for asn, record in self._records.items()
-            if asn in other._records
-            and record.labels == other._records[asn].labels
-            and record.stage is not other._records[asn].stage
-        )
-        return DatasetDiff(
-            added=tuple(added),
-            removed=tuple(removed),
-            relabeled=tuple(relabeled),
-            stage_changed=tuple(stage_changed),
-        )
+        return diff_record_streams(iter(self), iter(other))
 
     def to_csv(self) -> str:
         """Export in the released dataset's CSV shape:
         ``ASN,Layer1,Layer2,Source,Stage``, one row per label."""
         buffer = io.StringIO()
-        writer = csv.writer(buffer)
-        writer.writerow(["ASN", "Layer1", "Layer2", "Sources", "Stage"])
-        for record in self:
-            if not record.labels:
-                writer.writerow(
-                    [f"AS{record.asn}", "", "", "", record.stage.value]
-                )
-                continue
-            for label in record.labels:
-                layer1 = naicslite.layer1_by_slug(label.layer1).name
-                layer2 = (
-                    naicslite.layer2_by_name(label.layer2).name
-                    if label.layer2
-                    else ""
-                )
-                writer.writerow(
-                    [
-                        f"AS{record.asn}",
-                        layer1,
-                        layer2,
-                        "|".join(record.sources),
-                        record.stage.value,
-                    ]
-                )
+        csv.writer(buffer).writerows(iter_csv_rows(iter(self)))
         return buffer.getvalue()

@@ -126,6 +126,12 @@ class MaintenanceDaemon:
         last_day: Day the previous sweep ran (-1 before the first);
             pass a stored value to resume a release history across
             processes.
+        batch_size: Default ASN-window size for the classify phase.
+            ``None`` (the default) classifies each sweep's changed set
+            in one batch, exactly as before; a bound makes the sweep
+            *streaming* — changed ASNs are classified in consecutive
+            ascending windows with the dataset flushed after each, so
+            a store-backed sweep holds O(batch) records resident.
     """
 
     def __init__(
@@ -134,11 +140,17 @@ class MaintenanceDaemon:
         workers: int = 1,
         snapshots: Optional[SnapshotStore] = None,
         last_day: int = -1,
+        batch_size: Optional[int] = None,
     ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1 or None, got {batch_size}"
+            )
         self._asdb = asdb
         self._workers = max(1, workers)
         self._snapshots = snapshots
         self._last_day = last_day
+        self._batch_size = batch_size
 
         metrics = asdb.metrics
         self._m_sweeps = metrics.counter(
@@ -161,6 +173,10 @@ class MaintenanceDaemon:
         self._m_seconds = metrics.histogram(
             "asdb_sweep_seconds", "Wall time per maintenance sweep."
         )
+        self._m_windows = metrics.counter(
+            "asdb_sweep_windows_total",
+            "Classify windows processed by streaming sweeps.",
+        )
         self._m_snapshot_version = metrics.gauge(
             "asdb_snapshot_version",
             "Latest dataset version stored by a sweep.",
@@ -177,7 +193,10 @@ class MaintenanceDaemon:
         return self._snapshots
 
     def sweep(
-        self, current_day: int, workers: Optional[int] = None
+        self,
+        current_day: int,
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> SweepReport:
         """Reclassify everything that changed in ``(last_day,
         current_day]``.
@@ -186,7 +205,18 @@ class MaintenanceDaemon:
         ``current_day`` is not swept early (and then again), it simply
         belongs to the next sweep.  Changed ASNs are purged from the
         dataset and the organization cache first — stale sibling
-        aliases included — then classified in one batch pass.
+        aliases included — then classified.
+
+        With a ``batch_size`` (here or on the daemon), the classify
+        phase streams: the ascending changed-ASN list is split into
+        consecutive windows, each classified with
+        :meth:`~repro.core.pipeline.ASdb.classify_batch` and flushed to
+        the dataset store before the next begins, and each window emits
+        a ``sweep.window`` ledger event.  Because the batch engine is
+        byte-identical to sequential ascending classification and the
+        organization cache persists across windows, the swept dataset
+        is byte-identical to the single-batch sweep — only peak
+        residency changes.
         """
         if current_day < self._last_day:
             raise ValueError(
@@ -240,13 +270,38 @@ class MaintenanceDaemon:
                 span.set_status(f"{purged} purged")
 
             with tb.span("classify") as span:
+                step = (
+                    batch_size
+                    if batch_size is not None
+                    else self._batch_size
+                )
+                if step is not None and step < 1:
+                    raise ValueError(
+                        f"batch_size must be >= 1 or None, got {step}"
+                    )
+                windows = 0
                 if changed:
+                    stride = step if step is not None else len(changed)
                     with self._asdb.tag_traces(**sweep_tags):
-                        self._asdb.classify_batch(
-                            asns=changed, workers=effective
-                        )
+                        for offset in range(0, len(changed), stride):
+                            window_asns = changed[offset:offset + stride]
+                            self._asdb.classify_batch(
+                                asns=window_asns, workers=effective
+                            )
+                            self._asdb.dataset.flush()
+                            windows += 1
+                            runlog.emit(
+                                "sweep.window",
+                                since_day=self._last_day,
+                                through_day=current_day,
+                                window=windows,
+                                start_asn=window_asns[0],
+                                stop_asn=window_asns[-1],
+                                size=len(window_asns),
+                            )
                 span.set_status(f"{len(changed)} reclassified")
-                span.note(workers=effective)
+                span.note(workers=effective, windows=windows)
+            self._m_windows.inc(windows)
 
             version: Optional[int] = None
             if self._snapshots is not None:

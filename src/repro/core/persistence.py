@@ -13,10 +13,10 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Tuple
 
 from ..taxonomy import Label, LabelSet, naicslite
-from .database import ASdbDataset, ASdbRecord
+from .database import ASdbDataset, ASdbRecord, iter_csv_rows
 from .stages import Stage
 
 __all__ = [
@@ -25,7 +25,14 @@ __all__ = [
     "dataset_from_json",
     "record_to_item",
     "record_from_item",
+    "iter_json_chunks",
+    "write_json",
+    "write_csv",
+    "CSV_HEADER",
 ]
+
+#: The released CSV shape's exact header (one row per label).
+CSV_HEADER = ("ASN", "Layer1", "Layer2", "Sources", "Stage")
 
 _LAYER1_BY_NAME = {
     category.name: category for category in naicslite.ALL_LAYER1
@@ -39,22 +46,38 @@ def dataset_from_csv(text: str) -> ASdbDataset:
     """Parse a dataset from the :meth:`ASdbDataset.to_csv` shape.
 
     Rows for the same ASN merge into one record (multi-label).  Raises
-    ValueError on malformed rows or unknown category names.
+    ValueError on malformed rows or unknown category names; every
+    row-level error names the offending CSV row number.
     """
     reader = csv.reader(io.StringIO(text))
     header = next(reader, None)
-    if header is None or header[0] != "ASN":
-        raise ValueError("missing or malformed CSV header")
+    if header is None:
+        raise ValueError("missing CSV header")
+    if tuple(header) != CSV_HEADER:
+        raise ValueError(
+            f"malformed CSV header: expected {list(CSV_HEADER)!r}, "
+            f"got {header!r}"
+        )
     accumulated: Dict[int, Dict[str, object]] = {}
     for row in reader:
         if not row:
             continue
+        line = reader.line_num
         if len(row) != 5:
-            raise ValueError(f"expected 5 columns, got {len(row)}: {row!r}")
+            raise ValueError(
+                f"row {line}: expected 5 columns, got {len(row)}: {row!r}"
+            )
         asn_text, layer1_name, layer2_name, sources_text, stage_text = row
-        if not asn_text.startswith("AS"):
-            raise ValueError(f"bad ASN field {asn_text!r}")
+        if not asn_text.startswith("AS") or not asn_text[2:].isdigit():
+            raise ValueError(f"row {line}: bad ASN field {asn_text!r}")
         asn = int(asn_text[2:])
+        if asn not in accumulated:
+            try:
+                Stage(stage_text)
+            except ValueError:
+                raise ValueError(
+                    f"row {line}: unknown stage {stage_text!r}"
+                ) from None
         sources = tuple(sources_text.split("|")) if sources_text else ()
         slot = accumulated.setdefault(
             asn,
@@ -65,24 +88,26 @@ def dataset_from_csv(text: str) -> ASdbDataset:
         # fabricate a record no exporter ever wrote.
         if slot["stage"] != stage_text:
             raise ValueError(
-                f"conflicting stages for AS{asn}: "
+                f"row {line}: conflicting stages for AS{asn}: "
                 f"{slot['stage']!r} vs {stage_text!r}"
             )
         if slot["sources"] != sources:
             raise ValueError(
-                f"conflicting sources for AS{asn}: "
+                f"row {line}: conflicting sources for AS{asn}: "
                 f"{slot['sources']!r} vs {sources!r}"
             )
         if layer1_name:
             layer1 = _LAYER1_BY_NAME.get(layer1_name)
             if layer1 is None:
-                raise ValueError(f"unknown layer 1 name {layer1_name!r}")
+                raise ValueError(
+                    f"row {line}: unknown layer 1 name {layer1_name!r}"
+                )
             if layer2_name:
                 slug = _LAYER2_BY_NAME.get((layer1.code, layer2_name))
                 if slug is None:
                     raise ValueError(
-                        f"unknown layer 2 name {layer2_name!r} under "
-                        f"{layer1_name!r}"
+                        f"row {line}: unknown layer 2 name "
+                        f"{layer2_name!r} under {layer1_name!r}"
                     )
                 slot["labels"].add(Label.from_layer2(slug))
             else:
@@ -143,11 +168,57 @@ def record_from_item(item: Dict[str, object]) -> ASdbRecord:
     )
 
 
+def iter_json_chunks(records: Iterable[ASdbRecord]) -> Iterator[str]:
+    """The lossless JSON document as a chunk stream, one record resident
+    at a time.
+
+    Concatenating the chunks yields *exactly* the bytes of
+    ``json.dumps({"format": "asdb-repro/1", "records": [...]},
+    indent=2)`` — :func:`dataset_to_json` is defined as that
+    concatenation, so every backend that streams through here is
+    byte-identical to the in-memory export by construction.  The
+    snapshot store hashes and writes these chunks without ever
+    materializing the document.
+    """
+    yield '{\n  "format": "asdb-repro/1",\n  "records": ['
+    first = True
+    for record in records:
+        body = json.dumps(record_to_item(record), indent=2)
+        # Records sit two levels deep in the document; json escapes
+        # newlines inside values, so prefixing each line re-nests the
+        # standalone dump exactly.
+        indented = "\n".join(
+            "    " + bodyline for bodyline in body.splitlines()
+        )
+        yield ("\n" if first else ",\n") + indented
+        first = False
+    yield "]\n}" if first else "\n  ]\n}"
+
+
+def write_json(records: Iterable[ASdbRecord], handle: IO[str]) -> int:
+    """Stream the lossless JSON document to ``handle``; returns the
+    number of records written."""
+    written = 0
+
+    def counted() -> Iterator[ASdbRecord]:
+        nonlocal written
+        for record in records:
+            written += 1
+            yield record
+
+    for chunk in iter_json_chunks(counted()):
+        handle.write(chunk)
+    return written
+
+
+def write_csv(records: Iterable[ASdbRecord], handle: IO[str]) -> None:
+    """Stream the released CSV shape to ``handle``, row by row."""
+    csv.writer(handle).writerows(iter_csv_rows(iter(records)))
+
+
 def dataset_to_json(dataset: ASdbDataset) -> str:
     """Serialize a dataset to a JSON document (lossless)."""
-    records = [record_to_item(record) for record in dataset]
-    return json.dumps({"format": "asdb-repro/1", "records": records},
-                      indent=2)
+    return "".join(iter_json_chunks(dataset))
 
 
 def dataset_from_json(text: str) -> ASdbDataset:

@@ -178,6 +178,7 @@ class ASdb:
             return self.classify_batch(workers=effective)
         for asn in self._registry.asns():
             self.classify(asn)
+        self.dataset.flush()
         return self.dataset
 
     def classify_batch(
@@ -201,6 +202,9 @@ class ASdb:
             self.dataset.add(record)
             if record.trace is not None:
                 self.runlog.emit("as.trace", **record.trace.to_dict())
+        # Store-backed datasets buffer writes; completing a batch is a
+        # durability point either way.
+        self.dataset.flush()
         self._m_cache_hit_rate.set(self.cache.stats().hit_rate)
         return self.dataset
 

@@ -40,6 +40,7 @@ from .database import ASdbDataset, DatasetDiff
 from .persistence import (
     dataset_from_json,
     dataset_to_json,
+    iter_json_chunks,
     record_from_item,
     record_to_item,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "SnapshotCorruption",
     "SnapshotInfo",
     "SnapshotStore",
+    "dataset_digest",
 ]
 
 MANIFEST_FORMAT = "asdb-repro/snapshots/1"
@@ -67,6 +69,63 @@ class SnapshotCorruption(SnapshotError):
 def _digest(document: str) -> str:
     return hashlib.blake2b(document.encode("utf-8"),
                            digest_size=16).hexdigest()
+
+
+def dataset_digest(records) -> str:
+    """Digest of a dataset's full JSON document, computed over the
+    chunk stream without materializing the document (O(1) memory for
+    any backend).
+
+    The same blake2b-128 recorded in every :class:`SnapshotInfo`, so a
+    caller holding a store-backed dataset can check it against a
+    version's manifest digest without loading anything.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for chunk in iter_json_chunks(records):
+        hasher.update(chunk.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _delta_by_merge(new_records, old_records):
+    """Changed items + removed ASNs via ordered merge over two
+    ascending-ASN record streams.
+
+    Replaces the dict-of-every-item comparison: only the delta itself
+    accumulates, so a sweep snapshot over a store-backed dataset keeps
+    O(delta) memory on the new side (the parent side is materialized by
+    the caller's delta-chain replay).  Items compare by their
+    :func:`record_to_item` shape, exactly as the dict version did.
+    """
+    changed: List[Dict[str, object]] = []
+    removed: List[int] = []
+    sentinel = object()
+    new_iter, old_iter = iter(new_records), iter(old_records)
+    new = next(new_iter, sentinel)
+    old = next(old_iter, sentinel)
+    while new is not sentinel or old is not sentinel:
+        if old is sentinel or (new is not sentinel and new.asn < old.asn):
+            changed.append(record_to_item(new))
+            new = next(new_iter, sentinel)
+        elif new is sentinel or old.asn < new.asn:
+            removed.append(old.asn)
+            old = next(old_iter, sentinel)
+        else:
+            new_item = record_to_item(new)
+            if new_item != record_to_item(old):
+                changed.append(new_item)
+            new = next(new_iter, sentinel)
+            old = next(old_iter, sentinel)
+    return changed, removed
+
+
+def _write_atomic(path: str, chunks) -> None:
+    """Write a document from its chunk stream via tmp file + rename, so
+    a crash mid-write never leaves a truncated version on disk."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        for chunk in chunks:
+            handle.write(chunk)
+    os.replace(tmp, path)
 
 
 @dataclass(frozen=True)
@@ -236,32 +295,38 @@ class SnapshotStore:
         through_day]`` sweep window that produced the release.  With a
         run ledger passed, the save emits one ``snapshot.saved`` event
         carrying the new version's manifest facts.
+
+        ``dataset`` may be any :class:`~repro.core.store.DatasetStore`
+        backend.  Full documents stream chunk by chunk to a tmp file
+        (digested incrementally, then renamed into place); delta saves
+        stream the new side through an ordered merge against the
+        materialized parent, so a store-backed sweep snapshot never
+        holds the new dataset resident.  Both document kinds land
+        atomically (tmp file + rename).
         """
-        document = dataset_to_json(dataset)
         version = len(self._versions) + 1
         since_day, through_day = window if window is not None else (None,
                                                                     None)
         if version == 1 or full:
             filename = f"v{version:04d}.full.json"
-            payload = document
             kind, parent = "full", None
             changed = len(dataset)
             removed: List[int] = []
+            hasher = hashlib.blake2b(digest_size=16)
+
+            def hashed_chunks():
+                for chunk in iter_json_chunks(dataset):
+                    hasher.update(chunk.encode("utf-8"))
+                    yield chunk
+
+            _write_atomic(
+                os.path.join(self._root, filename), hashed_chunks()
+            )
+            digest = hasher.hexdigest()
         else:
             parent = version - 1
             previous = self.load(parent)
-            old_items = {
-                record.asn: record_to_item(record) for record in previous
-            }
-            new_items = {
-                record.asn: record_to_item(record) for record in dataset
-            }
-            changed_items = [
-                item
-                for asn, item in sorted(new_items.items())
-                if old_items.get(asn) != item
-            ]
-            removed = sorted(set(old_items) - set(new_items))
+            changed_items, removed = _delta_by_merge(dataset, previous)
             filename = f"v{version:04d}.delta.json"
             payload = json.dumps(
                 {
@@ -272,9 +337,9 @@ class SnapshotStore:
                 },
                 indent=2,
             )
+            _write_atomic(os.path.join(self._root, filename), (payload,))
             kind, changed = "delta", len(changed_items)
-        with open(os.path.join(self._root, filename), "w") as handle:
-            handle.write(payload)
+            digest = dataset_digest(dataset)
         info = SnapshotInfo(
             version=version,
             kind=kind,
@@ -285,7 +350,7 @@ class SnapshotStore:
             record_count=len(dataset),
             changed=changed,
             removed=len(removed),
-            digest=_digest(document),
+            digest=digest,
             note=note,
             provenance=dict(provenance or {}),
         )
@@ -317,12 +382,23 @@ class SnapshotStore:
                 f"cannot read v{info.version} document {path}: {exc}"
             ) from exc
 
-    def load(self, version: Optional[int] = None) -> ASdbDataset:
+    def load(
+        self,
+        version: Optional[int] = None,
+        into=None,
+    ) -> ASdbDataset:
         """Materialize one version (default: the latest).
 
         Walks back to the nearest full snapshot and replays the delta
         chain forward; the result is verified against the version's
         recorded digest before it is returned.
+
+        With ``into`` (an empty :class:`~repro.core.store.DatasetStore`
+        backend, e.g. a :class:`SqliteDatasetStore`), records land in
+        that store instead of a fresh in-memory dataset — a sqlite
+        target keeps only its write batch resident while the chain
+        replays.  The digest check streams the result's chunk stream,
+        so it never materializes the document either way.
         """
         if version is None:
             latest = self.latest()
@@ -340,7 +416,23 @@ class SnapshotStore:
                     f"delta v{info.version} has no parent"
                 )
             info = self.info(info.parent)
-        dataset = dataset_from_json(self._read_file(info))
+        if into is None:
+            dataset = dataset_from_json(self._read_file(info))
+        else:
+            if len(into):
+                raise SnapshotError(
+                    "load target store is not empty: refusing to merge "
+                    f"v{target.version} into {len(into)} existing records"
+                )
+            dataset = into
+            base = json.loads(self._read_file(info))
+            if base.get("format") != "asdb-repro/1":
+                raise SnapshotCorruption(
+                    f"v{info.version}: unsupported document format "
+                    f"{base.get('format')!r}"
+                )
+            for item in base["records"]:
+                dataset.add(record_from_item(item))
         for delta_info in reversed(chain):
             delta = json.loads(self._read_file(delta_info))
             if delta.get("format") != DELTA_FORMAT:
@@ -352,9 +444,8 @@ class SnapshotStore:
                 dataset.remove(int(asn))
             for item in delta.get("changed", ()):
                 dataset.add(record_from_item(item))
-        if target.digest and _digest(dataset_to_json(dataset)) != (
-            target.digest
-        ):
+        dataset.flush()
+        if target.digest and dataset_digest(dataset) != target.digest:
             raise SnapshotCorruption(
                 f"v{target.version}: materialized document does not "
                 f"match its recorded digest"

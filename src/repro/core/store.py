@@ -1,0 +1,516 @@
+"""Dataset storage backends: the ``DatasetStore`` protocol.
+
+The released dataset historically lived in memory (:class:`ASdbDataset`)
+and shipped as whole-document JSON/CSV.  At millions of ASes every
+load, diff, snapshot, and maintenance sweep then materializes the
+world.  This module defines the storage contract both backends speak
+and adds an indexed sqlite implementation whose hot paths are
+streaming:
+
+* :class:`DatasetStore` — the protocol: the :class:`ASdbDataset`
+  record surface (``add``/``get``/``remove``/iteration/aggregates)
+  plus ``iter_range`` (cursor iteration over an ASN range), ``flush``
+  (persist buffered writes in one transaction), and ``close``.
+  :class:`ASdbDataset` itself implements it, so existing JSON/CSV
+  persistence *is* a backend.
+* :class:`SqliteDatasetStore` — stdlib ``sqlite3`` with an explicit
+  schema indexed on ASN (primary key), layer-1 slug, and stage.
+  Writes buffer up to ``batch_size`` records and land as batched
+  upserts inside one transaction per flush; reads stream through
+  cursors, so a full export or diff holds O(batch) records resident.
+  JSON/CSV exports go through the same
+  :func:`~repro.core.persistence.iter_json_chunks` /
+  :func:`~repro.core.database.iter_csv_rows` streams as the in-memory
+  dataset and are byte-identical to ``dataset_to_json`` / ``to_csv``.
+* :class:`JsonDatasetStore` — the existing JSON persistence behind the
+  same protocol: an in-memory dataset bound to a file, loaded on open
+  and atomically rewritten on ``flush``.
+* :func:`open_store` — ``sqlite:PATH`` / ``json:PATH`` / ``memory:``
+  URL parsing for the CLI's ``--store`` / ``--dataset-store`` flags.
+* :func:`diff_stores` — ordered-merge streaming diff between any two
+  backends in O(diff) memory.
+
+Observability: pass a :class:`~repro.obs.MetricsRegistry` and every
+flush meters upserts/deletes/latency (``asdb_store_*``); pass a
+:class:`~repro.obs.runlog.RunLog` and each flush emits a
+``store.flush`` ledger event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+import sqlite3
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Union
+
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.runlog import NULL_RUNLOG
+from .database import (
+    ASdbDataset,
+    ASdbRecord,
+    DatasetDiff,
+    diff_record_streams,
+)
+from .persistence import (
+    dataset_from_json,
+    iter_json_chunks,
+    record_from_item,
+    record_to_item,
+    write_csv,
+    write_json,
+)
+from .stages import Stage
+
+__all__ = [
+    "DatasetStore",
+    "SqliteDatasetStore",
+    "JsonDatasetStore",
+    "StoreError",
+    "open_store",
+    "diff_stores",
+]
+
+#: Schema version marker recorded in the sqlite ``meta`` table.
+SQLITE_FORMAT = "asdb-repro/sqlite/1"
+
+#: Alias documenting what the protocol admits: the in-memory dataset is
+#: itself a conforming backend.
+DatasetStore = Union[ASdbDataset, "SqliteDatasetStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS records (
+    asn        INTEGER PRIMARY KEY,
+    stage      TEXT NOT NULL,
+    classified INTEGER NOT NULL,
+    item       TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS labels (
+    asn    INTEGER NOT NULL,
+    layer1 TEXT NOT NULL,
+    layer2 TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_records_stage ON records (stage);
+CREATE INDEX IF NOT EXISTS idx_labels_layer1 ON labels (layer1, asn);
+CREATE INDEX IF NOT EXISTS idx_labels_asn ON labels (asn);
+"""
+
+_MISSING = object()
+
+
+class StoreError(ValueError):
+    """A dataset-store operation could not proceed."""
+
+
+def _encode_record(record: ASdbRecord) -> str:
+    """The stored row payload: the release item, plus the cache keys.
+
+    ``cache_keys`` never appear in exports (``record_to_item`` does not
+    emit them), but :meth:`~repro.core.pipeline.ASdb.forget` needs them
+    to invalidate every cache alias of a purged record — dropping them
+    on the roundtrip would leave stale cache entries serving
+    pre-update answers during maintenance sweeps.
+    """
+    item = record_to_item(record)
+    if record.cache_keys:
+        item["cache_keys"] = list(record.cache_keys)
+    return json.dumps(item, separators=(",", ":"))
+
+
+def _decode_record(payload: str) -> ASdbRecord:
+    """Rebuild a record from its stored row payload."""
+    item = json.loads(payload)
+    cache_keys = tuple(item.pop("cache_keys", ()))
+    record = record_from_item(item)
+    if cache_keys:
+        record = dataclasses.replace(record, cache_keys=cache_keys)
+    return record
+
+
+class SqliteDatasetStore:
+    """Indexed, disk-backed dataset store over stdlib ``sqlite3``.
+
+    Implements the full :class:`ASdbDataset` surface, so the pipeline,
+    persistence helpers, :class:`~repro.core.snapshots.SnapshotStore`,
+    and :class:`~repro.core.maintenance.MaintenanceDaemon` can use it
+    as a drop-in ``dataset``.  Writes buffer up to ``batch_size``
+    records and flush as batched upserts inside one transaction;
+    every read path flushes first (read-your-writes).
+
+    Args:
+        path: Database file (created if missing), or ``":memory:"``.
+        batch_size: Buffered records per flush transaction.
+        metrics: Optional registry for ``asdb_store_*`` instruments.
+        runlog: Optional run ledger; each flush emits ``store.flush``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        batch_size: int = 1000,
+        metrics: Optional[MetricsRegistry] = None,
+        runlog=None,
+    ) -> None:
+        if batch_size < 1:
+            raise StoreError(f"batch_size must be >= 1, got {batch_size}")
+        self._path = str(path)
+        self._batch_size = batch_size
+        self._conn = sqlite3.connect(self._path)
+        # One transaction per flush is the durability unit; WAL keeps
+        # readers unblocked and NORMAL sync is safe under WAL.  Pragmas
+        # must run before the first write opens a transaction.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("format", SQLITE_FORMAT),
+        )
+        marker = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'format'"
+        ).fetchone()[0]
+        if marker != SQLITE_FORMAT:
+            raise StoreError(
+                f"unsupported sqlite store format {marker!r} in "
+                f"{self._path}"
+            )
+        self._conn.commit()
+        #: asn -> buffered record, or None for a pending delete.
+        self._pending: Dict[int, Optional[ASdbRecord]] = {}
+        self._resident_high_water = 0
+
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self.runlog = runlog if runlog is not None else NULL_RUNLOG
+        self._m_flushes = registry.counter(
+            "asdb_store_flush_total", "Store flush transactions."
+        )
+        self._m_writes = registry.counter(
+            "asdb_store_writes_total",
+            "Records written by store flushes, by kind.",
+            ("kind",),
+        )
+        for kind in ("upsert", "delete"):
+            self._m_writes.inc(0, kind=kind)
+        self._m_flush_seconds = registry.histogram(
+            "asdb_store_flush_seconds", "Wall time per store flush."
+        )
+        self._m_records = registry.gauge(
+            "asdb_store_records", "Records persisted in the store."
+        )
+
+    # -- protocol: writes ---------------------------------------------------
+
+    def add(self, record: ASdbRecord) -> None:
+        """Buffer an insert-or-replace; flushes at ``batch_size``."""
+        self._pending[record.asn] = record
+        self._note_resident()
+        if len(self._pending) >= self._batch_size:
+            self.flush()
+
+    def remove(self, asn: int) -> Optional[ASdbRecord]:
+        """Drop and return one AS's record (None if absent)."""
+        buffered = self._pending.get(asn, _MISSING)
+        if buffered is not _MISSING:
+            if buffered is None:
+                return None
+            self._pending[asn] = None
+            return buffered
+        old = self._fetch(asn)
+        if old is None:
+            return None
+        self._pending[asn] = None
+        self._note_resident()
+        if len(self._pending) >= self._batch_size:
+            self.flush()
+        return old
+
+    def flush(self) -> None:
+        """Persist every buffered write in one transaction."""
+        if not self._pending:
+            return
+        upserts: List[tuple] = []
+        label_rows: List[tuple] = []
+        deletes: List[tuple] = []
+        touched: List[tuple] = []
+        for asn, record in self._pending.items():
+            touched.append((asn,))
+            if record is None:
+                deletes.append((asn,))
+                continue
+            upserts.append((
+                asn,
+                record.stage.value,
+                1 if record.labels else 0,
+                _encode_record(record),
+            ))
+            for label in record.labels:
+                label_rows.append((asn, label.layer1, label.layer2))
+        with self._m_flush_seconds.time():
+            cursor = self._conn.cursor()
+            cursor.executemany("DELETE FROM labels WHERE asn = ?", touched)
+            cursor.executemany("DELETE FROM records WHERE asn = ?", deletes)
+            cursor.executemany(
+                "INSERT OR REPLACE INTO records "
+                "(asn, stage, classified, item) VALUES (?, ?, ?, ?)",
+                upserts,
+            )
+            cursor.executemany(
+                "INSERT INTO labels (asn, layer1, layer2) "
+                "VALUES (?, ?, ?)",
+                label_rows,
+            )
+            self._conn.commit()
+        self._pending.clear()
+        self._m_flushes.inc(1)
+        self._m_writes.inc(len(upserts), kind="upsert")
+        self._m_writes.inc(len(deletes), kind="delete")
+        self._m_records.set(self._count())
+        self.runlog.emit(
+            "store.flush",
+            path=self._path,
+            upserts=len(upserts),
+            deletes=len(deletes),
+            resident_high_water=self._resident_high_water,
+        )
+
+    def close(self) -> None:
+        """Flush buffered writes and release the connection."""
+        self.flush()
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteDatasetStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- protocol: reads ----------------------------------------------------
+
+    def get(self, asn: int) -> Optional[ASdbRecord]:
+        """The record for an ASN, or None (sees buffered writes)."""
+        buffered = self._pending.get(asn, _MISSING)
+        if buffered is not _MISSING:
+            return buffered
+        return self._fetch(asn)
+
+    def __len__(self) -> int:
+        self.flush()
+        return self._count()
+
+    def __contains__(self, asn: int) -> bool:
+        return self.get(asn) is not None
+
+    def __iter__(self) -> Iterator[ASdbRecord]:
+        return self.iter_range()
+
+    def iter_range(
+        self,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> Iterator[ASdbRecord]:
+        """Stream records with ``start <= asn <= stop``, ascending, via
+        a dedicated cursor — O(1) store-side memory."""
+        self.flush()
+        clauses, params = [], []
+        if start is not None:
+            clauses.append("asn >= ?")
+            params.append(start)
+        if stop is not None:
+            clauses.append("asn <= ?")
+            params.append(stop)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        cursor = self._conn.execute(
+            f"SELECT item FROM records{where} ORDER BY asn", params
+        )
+        for (item,) in cursor:
+            yield _decode_record(item)
+
+    def asns(self) -> Iterator[int]:
+        """Every stored ASN, ascending (streamed)."""
+        self.flush()
+        for (asn,) in self._conn.execute(
+            "SELECT asn FROM records ORDER BY asn"
+        ):
+            yield asn
+
+    # -- protocol: aggregates (pushed down to SQL) --------------------------
+
+    def coverage(self) -> float:
+        """Fraction of stored ASes with at least one category."""
+        self.flush()
+        total, classified = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(classified), 0) FROM records"
+        ).fetchone()
+        return classified / total if total else 0.0
+
+    def stage_counts(self) -> Dict[Stage, int]:
+        """Number of records per pipeline stage (index-only scan)."""
+        self.flush()
+        return {
+            Stage(stage): count
+            for stage, count in self._conn.execute(
+                "SELECT stage, COUNT(*) FROM records GROUP BY stage"
+            )
+        }
+
+    def category_histogram(self) -> Dict[str, int]:
+        """AS count per layer 1 slug (an AS can count in several)."""
+        self.flush()
+        return {
+            layer1: count
+            for layer1, count in self._conn.execute(
+                "SELECT layer1, COUNT(DISTINCT asn) FROM labels "
+                "GROUP BY layer1"
+            )
+        }
+
+    def asns_in_layer1(self, layer1_slug: str) -> List[int]:
+        """ASNs classified under a layer 1 category (uses the layer-1
+        index)."""
+        self.flush()
+        return [
+            asn
+            for (asn,) in self._conn.execute(
+                "SELECT DISTINCT asn FROM labels WHERE layer1 = ? "
+                "ORDER BY asn",
+                (layer1_slug,),
+            )
+        ]
+
+    def diff(self, other) -> DatasetDiff:
+        """What changed from ``other`` (older) to ``self`` (newer),
+        via the streaming ordered merge — O(diff) memory."""
+        return diff_record_streams(iter(self), iter(other))
+
+    # -- exports ------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """The released CSV shape, byte-identical to
+        :meth:`ASdbDataset.to_csv` over the same records."""
+        buffer = io.StringIO()
+        write_csv(self, buffer)
+        return buffer.getvalue()
+
+    def write_csv(self, handle: IO[str]) -> None:
+        """Stream the CSV export to ``handle`` (O(batch) memory)."""
+        write_csv(self, handle)
+
+    def write_json(self, handle: IO[str]) -> int:
+        """Stream the lossless JSON export to ``handle``; returns the
+        record count.  Byte-identical to :func:`dataset_to_json`."""
+        return write_json(self, handle)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """The database file path."""
+        return self._path
+
+    @property
+    def batch_size(self) -> int:
+        """Buffered records per flush transaction."""
+        return self._batch_size
+
+    @property
+    def resident_high_water(self) -> int:
+        """Most records ever buffered at once — the O(batch) witness
+        asserted by the streaming-sweep tests and benchmarks."""
+        return self._resident_high_water
+
+    # -- internals ----------------------------------------------------------
+
+    def _note_resident(self) -> None:
+        if len(self._pending) > self._resident_high_water:
+            self._resident_high_water = len(self._pending)
+
+    def _fetch(self, asn: int) -> Optional[ASdbRecord]:
+        row = self._conn.execute(
+            "SELECT item FROM records WHERE asn = ?", (asn,)
+        ).fetchone()
+        if row is None:
+            return None
+        return _decode_record(row[0])
+
+    def _count(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM records"
+        ).fetchone()[0]
+
+
+class JsonDatasetStore(ASdbDataset):
+    """The existing JSON persistence behind the store protocol.
+
+    An in-memory dataset bound to a file: the document is parsed on
+    open (when present) and atomically rewritten on :meth:`flush` /
+    :meth:`close`.  Same O(N) memory as before — this backend exists
+    so callers can pick a backend by URL without special-casing.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self._path = str(path)
+        if os.path.exists(self._path):
+            with open(self._path) as handle:
+                text = handle.read()
+            if text.strip():
+                self._records = dataset_from_json(text)._records
+
+    @property
+    def path(self) -> str:
+        """The JSON document path."""
+        return self._path
+
+    def flush(self) -> None:
+        """Atomically rewrite the JSON document (tmp file + rename)."""
+        tmp = self._path + ".tmp"
+        with open(tmp, "w") as handle:
+            write_json(self, handle)
+        os.replace(tmp, self._path)
+
+    def close(self) -> None:
+        self.flush()
+
+
+def open_store(url: str, **kwargs) -> DatasetStore:
+    """Open a dataset store from a backend URL.
+
+    * ``sqlite:PATH`` — :class:`SqliteDatasetStore` at PATH;
+    * ``json:PATH`` — :class:`JsonDatasetStore` at PATH;
+    * ``memory:`` — a fresh in-memory :class:`ASdbDataset`;
+    * a bare path ending in ``.sqlite``/``.sqlite3``/``.db`` or
+      ``.json`` selects the matching backend.
+
+    ``kwargs`` (e.g. ``batch_size``, ``metrics``, ``runlog``) are
+    forwarded to the sqlite backend and ignored by the others.
+    """
+    scheme, _, rest = url.partition(":")
+    if scheme == "sqlite" and rest:
+        return SqliteDatasetStore(rest, **kwargs)
+    if scheme == "json" and rest:
+        return JsonDatasetStore(rest)
+    if scheme == "memory":
+        return ASdbDataset()
+    if url.endswith((".sqlite", ".sqlite3", ".db")):
+        return SqliteDatasetStore(url, **kwargs)
+    if url.endswith(".json"):
+        return JsonDatasetStore(url)
+    raise StoreError(
+        f"unrecognized store URL {url!r}: use sqlite:PATH, json:PATH, "
+        f"or memory:"
+    )
+
+
+def diff_stores(new: DatasetStore, old: DatasetStore) -> DatasetDiff:
+    """What changed from ``old`` to ``new``, across any two backends.
+
+    Streams both sides through their ascending-ASN cursors and merges;
+    memory stays O(diff) even when both stores hold millions of
+    records.
+    """
+    return diff_record_streams(iter(new), iter(old))

@@ -20,6 +20,7 @@ from .core.pipeline import ASdb
 from .core.consensus import resolve_consensus
 from .core.resilience import ResilientSource, RetryPolicy
 from .core.snapshots import SnapshotStore
+from .core.store import open_store
 from .datasources import Crunchbase, DunBradstreet, IPinfo, PeeringDB, Zvelo
 from .datasources.faults import FaultPlan, FaultySource
 from .matching.domains import DomainFrequencyIndex
@@ -75,6 +76,17 @@ class SystemConfig:
             maintenance daemon emit structured events (spans, as.trace,
             breaker transitions, sweep reports) into it; None keeps the
             inert null ledger and byte-identical default output.
+        dataset_store: Backend URL for the pipeline's dataset
+            (``sqlite:PATH`` / ``json:PATH`` / ``memory:``, see
+            :func:`repro.core.store.open_store`).  None keeps the
+            default in-memory :class:`~repro.core.database.ASdbDataset`
+            with zero behavior change; exports from any backend are
+            byte-identical.
+        sweep_batch_size: Default classify-window size for maintenance
+            sweeps (see
+            :class:`~repro.core.maintenance.MaintenanceDaemon`).  None
+            keeps single-batch sweeps; a bound makes sweeps streaming —
+            O(batch) records resident with byte-identical results.
     """
 
     seed: int = 0
@@ -91,6 +103,8 @@ class SystemConfig:
     retry: Optional[RetryPolicy] = None
     snapshot_dir: Optional[str] = None
     runlog: Optional[object] = None
+    dataset_store: Optional[str] = None
+    sweep_batch_size: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -210,11 +224,20 @@ def build_asdb(
         executor=config.executor,
         runlog=config.runlog,
     )
+    if config.dataset_store is not None:
+        asdb.dataset = open_store(
+            config.dataset_store,
+            metrics=config.metrics,
+            runlog=config.runlog,
+        )
     snapshots = daemon = None
     if config.snapshot_dir is not None:
         snapshots = SnapshotStore(config.snapshot_dir)
         daemon = MaintenanceDaemon(
-            asdb, workers=config.workers, snapshots=snapshots
+            asdb,
+            workers=config.workers,
+            snapshots=snapshots,
+            batch_size=config.sweep_batch_size,
         )
     return BuiltSystem(
         asdb=asdb,

@@ -22,7 +22,12 @@ from ..whois.render import WhoisFacts, render
 from . import calibration, distributions, names
 from .organization import ASInfo, Organization, World
 
-__all__ = ["WorldConfig", "generate_world"]
+__all__ = [
+    "WorldConfig",
+    "generate_world",
+    "iter_world_shards",
+    "iter_record_shards",
+]
 
 _NON_ENGLISH = [lang for lang in LANGUAGES if not lang.is_english]
 
@@ -47,6 +52,10 @@ class WorldConfig:
         multi_as_probability: P(an org owns more than one AS).
         big_provider_count: Number of early ISPs whose domains leak into
             other orgs' WHOIS records (exercises common-domain filtering).
+        first_org_index: Index of the first generated organization
+            (org ids are ``org-{index:05d}``).  Sharded generation
+            offsets this per shard so ids stay globally unique; the
+            default 0 leaves single-world generation byte-identical.
     """
 
     n_orgs: int = 500
@@ -54,6 +63,7 @@ class WorldConfig:
     first_asn: int = 64512
     multi_as_probability: float = 0.10
     big_provider_count: int = 5
+    first_org_index: int = 0
 
 
 def _sample_truth(rng: random.Random) -> LabelSet:
@@ -152,7 +162,7 @@ def generate_world(config: WorldConfig = WorldConfig()) -> World:
     used_domains: set = set()
 
     for index in range(config.n_orgs):
-        org_id = f"org-{index:05d}"
+        org_id = f"org-{config.first_org_index + index:05d}"
         truth = _sample_truth(rng)
         primary = sorted(truth.layer2_slugs())[0]
         name = namegen.org_name(primary)
@@ -256,3 +266,113 @@ def generate_world(config: WorldConfig = WorldConfig()) -> World:
             )
 
     return world
+
+
+#: Worst-case ASN consumption per organization: up to 6 ASes, each
+#: advancing the allocator by up to 3, rounded up — sized so sharded
+#: ASN bands can never overlap.
+_ASN_STRIDE_PER_ORG = 20
+
+
+def _shard_seed(seed: int, shard_index: int) -> int:
+    """Derived per-shard seed: deterministic, hash-randomization-free."""
+    return (seed * 1_000_003 + shard_index * 2_654_435_761) % (2 ** 63)
+
+
+def iter_world_shards(
+    config: WorldConfig = WorldConfig(),
+    shard_orgs: int = 200,
+):
+    """Generate ``config.n_orgs`` organizations as a stream of
+    independent :class:`World` shards of ``shard_orgs`` orgs each.
+
+    Tests and benchmarks that need 1M+ synthetic ASes iterate the
+    shards, classify (or load) each, and drop it — only one shard is
+    ever resident.  Each shard is a complete world drawn from a seed
+    derived from ``(config.seed, shard_index)``, with disjoint ASN
+    bands (stride ``shard_orgs * 20`` covers the worst-case per-org
+    allocation) and globally unique org ids via ``first_org_index``.
+
+    Shards are *not* a partition of ``generate_world(config)`` — each
+    has its own RNG stream — but the whole sequence is deterministic
+    in ``(config, shard_orgs)``.
+    """
+    if shard_orgs < 1:
+        raise ValueError(f"shard_orgs must be >= 1, got {shard_orgs}")
+    produced = 0
+    shard_index = 0
+    while produced < config.n_orgs:
+        count = min(shard_orgs, config.n_orgs - produced)
+        yield generate_world(
+            WorldConfig(
+                n_orgs=count,
+                seed=_shard_seed(config.seed, shard_index),
+                first_asn=(
+                    config.first_asn
+                    + shard_index * shard_orgs * _ASN_STRIDE_PER_ORG
+                ),
+                multi_as_probability=config.multi_as_probability,
+                big_provider_count=config.big_provider_count,
+                first_org_index=config.first_org_index + produced,
+            )
+        )
+        produced += count
+        shard_index += 1
+
+
+def iter_record_shards(
+    n_records: int,
+    seed: int = 20211102,
+    shard_size: int = 10_000,
+    first_asn: int = 64512,
+):
+    """Synthetic *dataset records* in ASN-ascending shards, fast.
+
+    The store-level counterpart of :func:`iter_world_shards`: where
+    that streams full worlds to classify, this streams ready-made
+    :class:`~repro.core.database.ASdbRecord` lists cheap enough to
+    exercise a dataset store at millions of records — the 1M-AS
+    streaming-sweep benchmark feeds on these.  Deterministic in
+    ``(n_records, seed, shard_size, first_asn)``; ASNs strictly
+    ascend across shards and label/stage/source mixes rotate through
+    the taxonomy so exports and index queries see realistic variety.
+    """
+    if n_records < 0:
+        raise ValueError(f"n_records must be >= 0, got {n_records}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    # Imported here: the world package is imported by core.cache, so a
+    # module-level core import would be cyclic.
+    from ..core.database import ASdbRecord
+    from ..core.stages import Stage
+
+    slugs = tuple(distributions.LAYER2_WEIGHTS)
+    stages = tuple(Stage)
+    rotation = random.Random(seed).randrange(1_000_000)
+    source_mixes = (("whois",), ("whois", "website"), ("website",))
+    produced = 0
+    asn = first_asn
+    while produced < n_records:
+        count = min(shard_size, n_records - produced)
+        shard = []
+        for offset in range(count):
+            index = produced + offset
+            turn = index + rotation
+            labels = [Label.from_layer2(slugs[turn % len(slugs)])]
+            if turn % 7 == 0:
+                labels.append(
+                    Label.from_layer2(slugs[(turn // 7) % len(slugs)])
+                )
+            shard.append(
+                ASdbRecord(
+                    asn=asn,
+                    labels=LabelSet(labels),
+                    stage=stages[turn % len(stages)],
+                    domain=f"org-{index}.example",
+                    sources=source_mixes[turn % len(source_mixes)],
+                    org_key=f"org::synthetic-{index}",
+                )
+            )
+            asn += 1 + (turn % 2)
+        produced += count
+        yield shard

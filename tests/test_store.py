@@ -1,0 +1,505 @@
+"""Tests for the dataset storage backends (the sqlite tentpole).
+
+The contract under test: the indexed sqlite store is a drop-in
+``dataset`` for the pipeline, the snapshot store, and the maintenance
+daemon, and every export, diff, and sweep over it is byte-identical to
+the in-memory :class:`ASdbDataset` — only peak memory changes.
+"""
+
+import io
+import json
+import os
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SystemConfig, build_asdb
+from repro.core import (
+    ASdbDataset,
+    ASdbRecord,
+    JsonDatasetStore,
+    SnapshotError,
+    SnapshotStore,
+    SqliteDatasetStore,
+    Stage,
+    StoreError,
+    dataset_to_json,
+    diff_stores,
+    open_store,
+    record_to_item,
+)
+from repro.core.snapshots import dataset_digest
+from repro.core.store import _decode_record, _encode_record
+from repro.datasources.faults import FaultPlan
+from repro.obs import MetricsRegistry, RunLog, read_ledger
+from repro.taxonomy import LabelSet, naicslite
+from repro.world import WorldConfig, generate_world, simulate_churn
+from repro.world.generator import iter_record_shards, iter_world_shards
+
+LAYER2_SLUGS = [sub.slug for sub in naicslite.ALL_LAYER2]
+
+
+def _record(asn, slugs=("isp",), stage=Stage.ONE_SOURCE, **kwargs):
+    return ASdbRecord(
+        asn=asn,
+        labels=LabelSet.from_layer2_slugs(list(slugs)),
+        stage=stage,
+        **kwargs,
+    )
+
+
+def _items(records):
+    """Release-format view of a record stream (what exports see)."""
+    return [record_to_item(record) for record in records]
+
+
+@pytest.fixture(scope="module")
+def classified_pair(tmp_path_factory):
+    """The same small world classified into memory and into sqlite."""
+    world = generate_world(WorldConfig(n_orgs=80, seed=19))
+    memory = build_asdb(
+        world, SystemConfig(seed=1, train_ml=False)
+    ).asdb
+    memory.classify_all()
+
+    path = tmp_path_factory.mktemp("store") / "dataset.sqlite"
+    sqlite_system = build_asdb(
+        world,
+        SystemConfig(
+            seed=1, train_ml=False,
+            dataset_store=f"sqlite:{path}",
+        ),
+    ).asdb
+    assert isinstance(sqlite_system.dataset, SqliteDatasetStore)
+    sqlite_system.dataset._batch_size = 17  # force many mid-run flushes
+    sqlite_system.classify_all()
+    return world, memory.dataset, sqlite_system.dataset
+
+
+class TestSqliteParity:
+    def test_record_streams_identical(self, classified_pair):
+        _, memory, store = classified_pair
+        assert _items(store) == _items(memory)
+        assert list(store.asns()) == [r.asn for r in memory]
+
+    def test_exports_byte_identical(self, classified_pair):
+        _, memory, store = classified_pair
+        buffer = io.StringIO()
+        store.write_json(buffer)
+        assert buffer.getvalue() == dataset_to_json(memory)
+        assert store.to_csv() == memory.to_csv()
+
+    def test_aggregates_match(self, classified_pair):
+        _, memory, store = classified_pair
+        assert store.stage_counts() == memory.stage_counts()
+        assert store.coverage() == memory.coverage()
+        assert store.category_histogram() == memory.category_histogram()
+        for layer1 in memory.category_histogram():
+            assert store.asns_in_layer1(layer1) == \
+                memory.asns_in_layer1(layer1)
+
+    def test_len_contains_get(self, classified_pair):
+        world, memory, store = classified_pair
+        assert len(store) == len(memory)
+        sample = world.asns()[0]
+        assert sample in store
+        assert record_to_item(store.get(sample)) == \
+            record_to_item(memory.get(sample))
+        assert store.get(4_200_000_000) is None
+        assert 4_200_000_000 not in store
+
+    def test_iter_range_window(self, classified_pair):
+        world, _, store = classified_pair
+        asns = world.asns()
+        start, stop = asns[3], asns[12]
+        window = [r.asn for r in store.iter_range(start, stop)]
+        assert window == [a for a in asns if start <= a <= stop]
+        assert [r.asn for r in store.iter_range(stop=asns[2])] == \
+            asns[:3]
+
+    def test_digest_matches_in_memory(self, classified_pair):
+        _, memory, store = classified_pair
+        assert dataset_digest(store) == dataset_digest(memory)
+
+    def test_diff_between_backends_is_empty(self, classified_pair):
+        _, memory, store = classified_pair
+        assert diff_stores(store, memory).empty
+        assert store.diff(memory).empty
+
+
+class TestSqliteParityHardPaths:
+    def test_parallel_workers_parity(self, tmp_path):
+        world = generate_world(WorldConfig(n_orgs=60, seed=4))
+        memory = build_asdb(
+            world, SystemConfig(seed=2, train_ml=False)
+        ).asdb
+        memory.classify_all()
+
+        store_system = build_asdb(
+            world,
+            SystemConfig(
+                seed=2, train_ml=False, workers=4,
+                dataset_store=f"sqlite:{tmp_path / 'par.sqlite'}",
+            ),
+        ).asdb
+        store_system.classify_batch(workers=4)
+        assert store_system.dataset.to_csv() == memory.dataset.to_csv()
+        store_system.dataset.close()
+
+    def test_fault_injection_parity(self, tmp_path):
+        """Degraded classification (faults + retries) lands the same
+        records in sqlite as in memory."""
+        world = generate_world(WorldConfig(n_orgs=50, seed=9))
+        faults = FaultPlan.uniform(0.2, seed=13)
+        memory = build_asdb(
+            world,
+            SystemConfig(seed=3, train_ml=False, faults=faults),
+        ).asdb
+        memory.classify_all()
+
+        store_system = build_asdb(
+            world,
+            SystemConfig(
+                seed=3, train_ml=False, faults=faults,
+                dataset_store=f"sqlite:{tmp_path / 'faulty.sqlite'}",
+            ),
+        ).asdb
+        store_system.classify_all()
+        buffer = io.StringIO()
+        store_system.dataset.write_json(buffer)
+        assert buffer.getvalue() == dataset_to_json(memory.dataset)
+        store_system.dataset.close()
+
+
+class TestWindowedSweeps:
+    def test_windowed_sqlite_sweep_matches_single_batch(self, tmp_path):
+        """Churn + streaming windowed sweep over sqlite produces the
+        exact snapshot documents of an in-memory single-batch sweep,
+        while the store never buffers more than its batch."""
+
+        def run(dataset_store, sweep_batch, snapdir, store_batch=None):
+            world = generate_world(WorldConfig(n_orgs=120, seed=31))
+            built = build_asdb(
+                world,
+                SystemConfig(
+                    seed=5, train_ml=False,
+                    dataset_store=dataset_store,
+                    sweep_batch_size=sweep_batch,
+                    snapshot_dir=str(tmp_path / snapdir),
+                ),
+            )
+            if store_batch is not None:
+                built.asdb.dataset._batch_size = store_batch
+            built.daemon.sweep(current_day=0)
+            stats = simulate_churn(world, days=200, seed=6, start_day=1)
+            assert stats.changed_asns, "churn produced no changes"
+            built.daemon.sweep(current_day=200)
+            return built
+
+        sqlite_url = f"sqlite:{tmp_path / 'sweep.sqlite'}"
+        windowed = run(sqlite_url, 13, "snap-sqlite", store_batch=7)
+        baseline = run(None, None, "snap-memory")
+
+        assert windowed.asdb.dataset.resident_high_water <= 7
+        assert diff_stores(
+            windowed.asdb.dataset, baseline.asdb.dataset
+        ).empty
+        assert windowed.asdb.dataset.to_csv() == \
+            baseline.asdb.dataset.to_csv()
+        # The snapshot documents (full v1 + delta v2) are byte-identical
+        # across backends and sweep modes.
+        for version in (1, 2):
+            (a,) = list((tmp_path / "snap-sqlite").glob(f"*{version}*"))
+            (b,) = list((tmp_path / "snap-memory").glob(f"*{version}*"))
+            assert a.read_bytes() == b.read_bytes()
+        windowed.asdb.dataset.close()
+
+    def test_sweep_batch_bounds_residency(self, tmp_path):
+        world = generate_world(WorldConfig(n_orgs=60, seed=12))
+        built = build_asdb(
+            world,
+            SystemConfig(
+                seed=7, train_ml=False,
+                dataset_store=f"sqlite:{tmp_path / 'resident.sqlite'}",
+                sweep_batch_size=11,
+                snapshot_dir=str(tmp_path / "snap"),
+            ),
+        )
+        built.asdb.dataset._batch_size = 11
+        built.daemon.sweep(current_day=0)
+        assert len(built.asdb.dataset) == len(world.asns())
+        assert built.asdb.dataset.resident_high_water <= 11
+        built.asdb.dataset.close()
+
+
+class TestSnapshotIntegration:
+    def test_load_into_sqlite_roundtrip(self, classified_pair, tmp_path):
+        _, memory, _ = classified_pair
+        snapshots = SnapshotStore(str(tmp_path / "snap"))
+        saved = snapshots.save(memory)
+        target = SqliteDatasetStore(
+            tmp_path / "loaded.sqlite", batch_size=9
+        )
+        loaded = snapshots.load(saved.version, into=target)
+        assert loaded is target
+        assert target.resident_high_water <= 9
+        assert diff_stores(target, memory).empty
+        assert dataset_digest(target) == saved.digest
+        target.close()
+
+    def test_saves_leave_no_tmp_files(self, classified_pair, tmp_path):
+        """Full and delta writes go through tmp+rename: a finished
+        store directory never contains partial documents."""
+        _, memory, _ = classified_pair
+        snapshots = SnapshotStore(str(tmp_path / "snap"))
+        snapshots.save(memory)
+        mutated = ASdbDataset()
+        for record in memory:
+            mutated.add(record)
+        mutated.add(_record(4_000_000))
+        snapshots.save(mutated)  # delta
+        leftovers = [
+            name for name in os.listdir(tmp_path / "snap")
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+        assert len(snapshots.versions()) == 2
+
+    def test_load_into_nonempty_store_rejected(
+        self, classified_pair, tmp_path
+    ):
+        _, memory, _ = classified_pair
+        snapshots = SnapshotStore(str(tmp_path / "snap"))
+        saved = snapshots.save(memory)
+        occupied = ASdbDataset()
+        occupied.add(_record(65000))
+        with pytest.raises(SnapshotError, match="not empty"):
+            snapshots.load(saved.version, into=occupied)
+
+
+class TestWriteBufferSemantics:
+    def test_read_your_writes_without_flush(self, tmp_path):
+        store = SqliteDatasetStore(tmp_path / "rw.sqlite", batch_size=100)
+        record = _record(65010, slugs=("isp", "hosting"))
+        store.add(record)
+        # Visible before any flush transaction ran.
+        assert store.get(65010) is record
+        assert 65010 in store
+        assert store._pending
+        store.close()
+
+    def test_remove_tombstone_and_return_value(self, tmp_path):
+        store = SqliteDatasetStore(tmp_path / "rm.sqlite", batch_size=100)
+        record = _record(65020)
+        store.add(record)
+        assert store.remove(65020) is record  # buffered removal
+        assert store.remove(65020) is None    # already tombstoned
+        store.add(_record(65021))
+        store.flush()
+        removed = store.remove(65021)         # persisted removal
+        assert removed is not None and removed.asn == 65021
+        store.flush()
+        assert len(store) == 0
+        assert store.remove(65999) is None
+        store.close()
+
+    def test_auto_flush_at_batch_size_and_metrics(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = SqliteDatasetStore(
+            tmp_path / "auto.sqlite", batch_size=3, metrics=metrics
+        )
+        for asn in range(65100, 65110):
+            store.add(_record(asn))
+        assert store.resident_high_water <= 3
+        store.close()
+        assert metrics.counter("asdb_store_flush_total").value() >= 3
+        writes = metrics.counter(
+            "asdb_store_writes_total", labelnames=("kind",)
+        )
+        assert writes.value(kind="upsert") == 10
+        assert writes.value(kind="delete") == 0
+        assert metrics.gauge("asdb_store_records").value() == 10
+
+    def test_flush_emits_runlog_event(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        runlog = RunLog(str(path))
+        store = SqliteDatasetStore(
+            tmp_path / "log.sqlite", batch_size=100, runlog=runlog
+        )
+        store.add(_record(65200))
+        store.flush()
+        store.close()
+        runlog.finish()
+        events = [
+            event for event in read_ledger(str(path))
+            if event["event"] == "store.flush"
+        ]
+        assert events and events[0]["upserts"] == 1
+        assert events[0]["deletes"] == 0
+
+    def test_reopen_persists_records(self, tmp_path):
+        path = tmp_path / "persist.sqlite"
+        with SqliteDatasetStore(path) as store:
+            store.add(_record(65300, slugs=("isp",)))
+            store.add(_record(65301, slugs=("hosting",),
+                              stage=Stage.MULTI_AGREE))
+        reopened = SqliteDatasetStore(path)
+        assert [r.asn for r in reopened] == [65300, 65301]
+        assert reopened.get(65301).stage is Stage.MULTI_AGREE
+        reopened.close()
+
+    def test_format_marker_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "alien.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            "CREATE TABLE meta (key TEXT PRIMARY KEY, "
+            "value TEXT NOT NULL);"
+        )
+        conn.execute(
+            "INSERT INTO meta VALUES ('format', 'somebody/else/9')"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="unsupported sqlite store"):
+            SqliteDatasetStore(path)
+
+    def test_bad_batch_size_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="batch_size"):
+            SqliteDatasetStore(tmp_path / "bad.sqlite", batch_size=0)
+
+
+class TestRecordRoundtripProperties:
+    @given(
+        asn=st.integers(min_value=1, max_value=2**32 - 1),
+        slugs=st.lists(
+            st.sampled_from(LAYER2_SLUGS), max_size=4, unique=True
+        ),
+        stage=st.sampled_from(list(Stage)),
+        sources=st.lists(
+            st.sampled_from(
+                ["dnb", "crunchbase", "zvelo", "peeringdb", "ipinfo"]
+            ),
+            max_size=3,
+            unique=True,
+        ),
+        domain=st.one_of(st.none(), st.just("org.example")),
+        cache_keys=st.lists(st.text(max_size=20), max_size=3),
+    )
+    @settings(max_examples=150)
+    def test_encode_decode_identity(
+        self, asn, slugs, stage, sources, domain, cache_keys
+    ):
+        record = ASdbRecord(
+            asn=asn,
+            labels=LabelSet.from_layer2_slugs(slugs),
+            stage=stage,
+            sources=tuple(sources),
+            domain=domain,
+            cache_keys=tuple(cache_keys),
+        )
+        roundtripped = _decode_record(_encode_record(record))
+        assert record_to_item(roundtripped) == record_to_item(record)
+        # The sqlite roundtrip must preserve cache aliases: forget()
+        # depends on them to invalidate every cached sibling.
+        assert roundtripped.cache_keys == record.cache_keys
+
+    @given(
+        asns=st.lists(
+            st.integers(min_value=1, max_value=100_000),
+            min_size=1, max_size=40, unique=True,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_store_vs_memory_property(self, tmp_path_factory, asns, data):
+        """Arbitrary add/remove sequences leave sqlite and the
+        in-memory dataset observationally identical."""
+        path = tmp_path_factory.mktemp("prop") / "prop.sqlite"
+        store = SqliteDatasetStore(path, batch_size=5)
+        memory = ASdbDataset()
+        for asn in asns:
+            slugs = data.draw(
+                st.lists(
+                    st.sampled_from(LAYER2_SLUGS),
+                    max_size=3, unique=True,
+                )
+            )
+            record = _record(asn, slugs=slugs)
+            store.add(record)
+            memory.add(record)
+        for asn in asns:
+            if data.draw(st.booleans()):
+                store.remove(asn)
+                memory.remove(asn)
+        assert _items(store) == _items(memory)
+        assert store.to_csv() == memory.to_csv()
+        assert store.stage_counts() == memory.stage_counts()
+        assert store.resident_high_water <= 5
+        store.close()
+
+
+class TestJsonStoreAndUrls:
+    def test_json_store_flush_is_atomic_and_reloadable(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        store = JsonDatasetStore(path)
+        store.add(_record(65400, slugs=("isp",)))
+        store.flush()
+        assert not os.path.exists(str(path) + ".tmp")
+        assert json.loads(path.read_text())["format"] == "asdb-repro/1"
+        reopened = JsonDatasetStore(path)
+        assert _items(reopened) == _items(store)
+
+    def test_open_store_dispatch(self, tmp_path):
+        sqlite_store = open_store(f"sqlite:{tmp_path / 'a.sqlite'}")
+        assert isinstance(sqlite_store, SqliteDatasetStore)
+        sqlite_store.close()
+        bare = open_store(str(tmp_path / "b.db"))
+        assert isinstance(bare, SqliteDatasetStore)
+        bare.close()
+        assert isinstance(
+            open_store(f"json:{tmp_path / 'c.json'}"), JsonDatasetStore
+        )
+        assert isinstance(
+            open_store(str(tmp_path / "d.json")), JsonDatasetStore
+        )
+        assert isinstance(open_store("memory:"), ASdbDataset)
+
+    def test_open_store_rejects_unknown(self):
+        with pytest.raises(StoreError, match="unrecognized store URL"):
+            open_store("cassandra:nope")
+        with pytest.raises(StoreError):
+            open_store("plainpath")
+
+
+class TestShardedGeneration:
+    def test_world_shards_are_deterministic_and_disjoint(self):
+        config = WorldConfig(n_orgs=450, seed=77)
+        shards_a = list(iter_world_shards(config, shard_orgs=200))
+        shards_b = list(iter_world_shards(config, shard_orgs=200))
+        assert len(shards_a) == 3
+        seen_asns = set()
+        org_ids = set()
+        total_orgs = 0
+        for shard, twin in zip(shards_a, shards_b):
+            assert shard.asns() == twin.asns()
+            shard_asns = set(shard.asns())
+            assert not (shard_asns & seen_asns), "shards share ASNs"
+            seen_asns |= shard_asns
+            for org in shard.iter_organizations():
+                org_ids.add(org.org_id)
+                total_orgs += 1
+        assert total_orgs == 450
+        assert len(org_ids) == 450, "org ids collide across shards"
+
+    def test_record_shards_stream_ascending_and_sized(self):
+        shards = list(
+            iter_record_shards(25_000, seed=3, shard_size=10_000)
+        )
+        assert [len(s) for s in shards] == [10_000, 10_000, 5_000]
+        last = 0
+        for shard in shards:
+            for record in shard:
+                assert record.asn > last
+                last = record.asn
+                assert record.labels
