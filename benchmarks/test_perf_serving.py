@@ -1,0 +1,257 @@
+"""Performance: the async serving layer under concurrent load.
+
+Gates the tentpole's two promises: sustained request throughput with a
+pool of keep-alive HTTP clients (>= 8 concurrent connections), and a
+p99 latency that stays flat while the index is being atomically swapped
+under that same load.  Numbers land in ``BENCH_serving.json`` at the
+repo root (CI uploads it as an artifact); ``REPRO_BENCH_ROUNDS``
+shrinks the measurement window for smoke runs like every other bench.
+
+The fixtures here are deliberately independent of the session-scoped
+paper world: serving latency is about the read path and the event loop,
+not classifier quality, so a small no-ML world keeps the bench fast and
+isolated.
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro import SystemConfig, build_asdb
+from repro.obs import percentile
+from repro.reporting import render_table
+from repro.serving import ReadIndex, ServingApp, index_from_store
+from repro.world import WorldConfig, generate_world
+
+BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
+
+#: Concurrent keep-alive client connections (acceptance floor: >= 8).
+CLIENTS = 8
+
+#: Measurement window per round, scaled down for smoke runs.
+WINDOW_SECONDS = 2.0 if BENCH_ROUNDS > 1 else 0.8
+
+#: Conservative floors — a laptop-core asyncio loop with stdlib
+#: clients comfortably clears hundreds of req/s; these only catch
+#: order-of-magnitude regressions (accidental lock on the read path,
+#: per-request index rebuild, lost keep-alive).
+MIN_SUSTAINED_RPS = 50.0
+MAX_P99_SECONDS = 0.5
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _record(key, payload):
+    """Merge one benchmark's numbers into ``BENCH_serving.json``."""
+    document = {}
+    if BENCH_PATH.exists():
+        document = json.loads(BENCH_PATH.read_text())
+    document[key] = payload
+    BENCH_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+
+class _Service:
+    """ServingApp on its own event-loop thread, like tests use."""
+
+    def __init__(self, app):
+        self.app = app
+        self._ready = threading.Event()
+        self._loop = None
+        self.address = None
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self):
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self.address = await self.app.start("127.0.0.1", 0)
+            self._ready.set()
+            try:
+                await self.app.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.app.stop()
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "server did not start"
+        return self
+
+    def __exit__(self, *exc_info):
+        for task in asyncio.all_tasks(self._loop):
+            self._loop.call_soon_threadsafe(task.cancel)
+        self._thread.join(10)
+
+
+def _client_loop(host, port, paths, stop, latencies, errors):
+    """One keep-alive connection issuing requests until ``stop``."""
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        i = 0
+        while not stop.is_set():
+            path = paths[i % len(paths)]
+            i += 1
+            t0 = time.perf_counter()
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                body = response.read()
+            except Exception as exc:  # noqa: BLE001 - recorded, asserted
+                errors.append(repr(exc))
+                return
+            latencies.append(time.perf_counter() - t0)
+            if response.status != 200 or not body:
+                errors.append(f"{path} -> {response.status}")
+    finally:
+        conn.close()
+
+
+def _drive(service, paths, seconds):
+    """Hammer the service with CLIENTS keep-alive threads; returns
+    (request_count, elapsed, per-request latencies, errors)."""
+    host, port = service.address
+    stop = threading.Event()
+    latencies, errors = [], []
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(host, port, paths, stop, latencies, errors),
+        )
+        for _ in range(CLIENTS)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(seconds)
+    stop.set()
+    for thread in threads:
+        thread.join(30)
+    elapsed = time.perf_counter() - t0
+    return len(latencies), elapsed, latencies, errors
+
+
+def _build_index():
+    world = generate_world(WorldConfig(n_orgs=120, seed=9))
+    built = build_asdb(world, SystemConfig(seed=9, train_ml=False))
+    dataset = built.asdb.classify_all()
+    return dataset, index_from_store(dataset, source="bench")
+
+
+def test_perf_serving_sustained_load(report):
+    dataset, index = _build_index()
+    asns = [record.asn for record in dataset][:32]
+    paths = (
+        [f"/asn/{asn}" for asn in asns]
+        + ["/categories", "/version", "/healthz"]
+    )
+
+    best_rps, all_latencies = 0.0, []
+    with _Service(ServingApp(index)) as service:
+        # Warm the connections and code paths before measuring.
+        _drive(service, paths, 0.2)
+        for _ in range(BENCH_ROUNDS):
+            count, elapsed, latencies, errors = _drive(
+                service, paths, WINDOW_SECONDS
+            )
+            assert not errors, errors[:5]
+            best_rps = max(best_rps, count / elapsed)
+            all_latencies.extend(latencies)
+
+    p50 = percentile(all_latencies, 0.50)
+    p99 = percentile(all_latencies, 0.99)
+    assert best_rps >= MIN_SUSTAINED_RPS, (
+        f"sustained throughput {best_rps:.0f} req/s under "
+        f"{CLIENTS} clients is below the {MIN_SUSTAINED_RPS} floor"
+    )
+    assert p99 <= MAX_P99_SECONDS, f"p99 {p99:.3f}s above floor"
+
+    _record("serving_sustained_load", {
+        "clients": CLIENTS,
+        "rounds": BENCH_ROUNDS,
+        "window_seconds": WINDOW_SECONDS,
+        "requests": len(all_latencies),
+        "sustained_rps": round(best_rps, 1),
+        "p50_ms": round(p50 * 1e3, 3),
+        "p99_ms": round(p99 * 1e3, 3),
+        "index_records": len(index),
+    })
+    report(
+        "perf_serving_sustained_load",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["concurrent clients", CLIENTS],
+                ["requests served", len(all_latencies)],
+                ["sustained req/s", f"{best_rps:.0f}"],
+                ["p50 latency", f"{p50 * 1e3:.2f}ms"],
+                ["p99 latency", f"{p99 * 1e3:.2f}ms"],
+            ],
+        ),
+    )
+
+
+def test_perf_serving_swap_under_load(report):
+    """Atomic swaps must not dent latency or leak mixed state."""
+    dataset, index = _build_index()
+    records = list(dataset)
+    alt = ReadIndex.build(records, generation=2, source="bench-alt")
+    app = ServingApp(index)
+    paths = [f"/asn/{record.asn}" for record in records[:16]] + ["/version"]
+
+    swaps = 0
+    stop_swapping = threading.Event()
+
+    def swapper():
+        nonlocal swaps
+        flip = 0
+        while not stop_swapping.is_set():
+            flip += 1
+            app.swap(alt if flip % 2 else index)
+            swaps += 1
+            time.sleep(0.001)
+
+    with _Service(app) as service:
+        _drive(service, paths, 0.2)
+        thread = threading.Thread(target=swapper)
+        thread.start()
+        try:
+            count, elapsed, latencies, errors = _drive(
+                service, paths, WINDOW_SECONDS
+            )
+        finally:
+            stop_swapping.set()
+            thread.join(10)
+
+    assert not errors, errors[:5]
+    assert swaps > 0
+    p99 = percentile(latencies, 0.99)
+    rps = count / elapsed
+    assert rps >= MIN_SUSTAINED_RPS
+    assert p99 <= MAX_P99_SECONDS
+
+    _record("serving_swap_under_load", {
+        "clients": CLIENTS,
+        "swaps_during_window": swaps,
+        "requests": count,
+        "sustained_rps": round(rps, 1),
+        "p99_ms": round(p99 * 1e3, 3),
+    })
+    report(
+        "perf_serving_swap_under_load",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["index swaps during window", swaps],
+                ["sustained req/s", f"{rps:.0f}"],
+                ["p99 latency", f"{p99 * 1e3:.2f}ms"],
+            ],
+        ),
+    )

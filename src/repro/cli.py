@@ -10,6 +10,7 @@ Subcommands::
     python -m repro snapshot  --store releases --n-orgs 200 --seed 42
     python -m repro refresh   --store releases --days 90
     python -m repro diff      --store releases --from 1 --to 2
+    python -m repro serve     --snapshots releases --port 8311
 
 ``classify`` builds a world, runs the full pipeline, and writes the
 dataset (CSV or JSON by extension); ``--workers N`` runs the pass
@@ -27,6 +28,20 @@ runs one *incremental* sweep — only the changed ASNs are reclassified
 (through the batch engine) and stored as a delta-encoded version.
 ``diff`` reports added/removed/relabeled/stage-changed ASNs between
 any two stored versions.
+
+Serving: ``serve`` exposes the dataset as an async HTTP query API
+(``/asn/{asn}``, ``/org/{query}``, ``/categories``, ``/version``,
+``/healthz``, ``/metrics``) over an immutable in-memory index that is
+atomically swapped on refresh — from a snapshot store
+(``--snapshots DIR``), a dataset store (``--store URL``), or a fresh
+classification pass (optionally ``--lazy``: start empty and classify
+on demand through the bounded background queue; unknown ASNs answer
+202 with a Retry-After hint, queue overflow answers 503).
+
+Exit semantics: output piped into ``head``/``less`` may close stdout
+early; the CLI treats the resulting broken pipe as deliberate
+truncation and exits 0 quietly (no traceback) where a SIGPIPE-killed
+process would report exit 141.
 
 Observability flags (``classify`` and ``lookup``):
 
@@ -95,7 +110,10 @@ Resilience flags (``classify``):
 from __future__ import annotations
 
 import argparse
+import asyncio
+import io
 import json
+import os
 import sys
 from typing import List, Optional, Tuple
 
@@ -129,7 +147,7 @@ from .reporting import render_metrics_summary, render_table
 from .taxonomy import naicslite
 from .world import simulate_churn
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "run", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -316,6 +334,61 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--slo", required=True, metavar="FILE",
                         help="JSON SLO file (see docs/ARCHITECTURE.md "
                         "section 12)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the dataset over an async HTTP query API",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks an ephemeral port; "
+                       "the bound port is printed and written to "
+                       "--ready-file)")
+    serve.add_argument("--snapshots", default=None, metavar="DIR",
+                       help="serve the latest version of a snapshot "
+                       "store; POST /refresh re-materializes so new "
+                       "versions appear without a restart")
+    serve.add_argument("--version", type=int, default=None,
+                       help="pin a snapshot version (default: latest "
+                       "at each rebuild)")
+    serve.add_argument("--store", default=None, metavar="URL",
+                       help="serve an existing dataset store "
+                       "(sqlite:PATH / json:PATH); reopened on each "
+                       "refresh swap")
+    serve.add_argument("--n-orgs", type=int, default=200,
+                       help="world size when serving a fresh "
+                       "classification pass (no --snapshots/--store)")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--no-ml", action="store_true",
+                       help="skip the ML pipeline stage (fresh-world "
+                       "serving only)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker threads for classification passes")
+    serve.add_argument("--lazy", action="store_true",
+                       help="start with an empty index and classify "
+                       "on demand through the background queue "
+                       "(fresh-world serving only)")
+    serve.add_argument("--queue-size", type=int, default=256,
+                       help="bound on the on-demand classification "
+                       "queue; overflow answers 503 (default 256)")
+    serve.add_argument("--queue-batch", type=int, default=16,
+                       help="ASNs classified per background drain "
+                       "window (default 16)")
+    serve.add_argument("--retry-after", type=int, default=1,
+                       help="Retry-After seconds on 202/503 responses")
+    serve.add_argument("--ready-file", default=None, metavar="FILE",
+                       help="write 'HOST PORT' to FILE once listening "
+                       "(for scripts and smoke tests)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       metavar="S",
+                       help="serve for S seconds then exit cleanly "
+                       "(smoke tests; default: until interrupted)")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the final metrics snapshot to FILE "
+                       "on shutdown")
+    serve.add_argument("--runlog", default=None, metavar="FILE",
+                       help="persist serve.* events (start, swaps, "
+                       "queue drains, stop) to an NDJSON ledger")
 
     dump = sub.add_parser(
         "dump",
@@ -954,6 +1027,149 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 1 if any(not result.ok for result in results) else 0
 
 
+def _build_serving_app(args: argparse.Namespace, registry, runlog):
+    """Wire a ServingApp from the chosen source (snapshots, store, or
+    a fresh classification pass).  Returns the app, or an exit code on
+    a usage/source error."""
+    from .serving import (
+        ClassificationQueue,
+        QueueWorker,
+        ServingApp,
+        index_from_snapshots,
+        index_from_store,
+    )
+
+    sources = sum(
+        1 for flag in (args.snapshots, args.store) if flag is not None
+    )
+    if sources > 1:
+        print("error: choose one of --snapshots or --store",
+              file=sys.stderr)
+        return 2
+    if args.lazy and sources:
+        print("error: --lazy only applies to fresh-world serving",
+              file=sys.stderr)
+        return 2
+
+    if args.snapshots is not None:
+        def rebuild(generation: int):
+            return index_from_snapshots(
+                args.snapshots, version=args.version,
+                generation=generation,
+            )
+
+        try:
+            index = rebuild(1)
+        except (SnapshotError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return ServingApp(index, rebuild=rebuild, metrics=registry,
+                          runlog=runlog, retry_after=args.retry_after)
+
+    if args.store is not None:
+        def rebuild(generation: int):
+            # Reopen per rebuild: a sqlite store picks up rows written
+            # by another process since the last swap, and the handle
+            # never crosses threads.
+            store = open_store(args.store)
+            try:
+                return index_from_store(
+                    store, generation=generation, source=args.store
+                )
+            finally:
+                store.close()
+
+        try:
+            index = rebuild(1)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return ServingApp(index, rebuild=rebuild, metrics=registry,
+                          runlog=runlog, retry_after=args.retry_after)
+
+    # Fresh world: classify (unless --lazy), then serve with on-demand
+    # classification through the bounded background queue.
+    world = generate_world(WorldConfig(n_orgs=args.n_orgs,
+                                       seed=args.seed))
+    built = build_asdb(
+        world,
+        SystemConfig(
+            seed=args.seed,
+            train_ml=not args.no_ml,
+            metrics=registry,
+            workers=args.workers,
+            runlog=runlog if runlog.enabled else None,
+        ),
+    )
+    if not args.lazy:
+        built.asdb.classify_all()
+
+    def rebuild(generation: int):
+        return index_from_store(
+            built.asdb.dataset, generation=generation, source="pipeline"
+        )
+
+    queue = ClassificationQueue(args.queue_size, metrics=registry)
+    app = ServingApp(rebuild(1), rebuild=rebuild, queue=queue,
+                     metrics=registry, runlog=runlog,
+                     retry_after=args.retry_after)
+    app.worker = QueueWorker(
+        queue,
+        classify=lambda asns: built.asdb.classify_batch(
+            asns, workers=args.workers
+        ),
+        classify_one=built.asdb.classify,
+        after=app.on_drained,
+        batch_size=args.queue_batch,
+    )
+    return app
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    runlog = _open_runlog(args, "serve", {
+        "snapshots": args.snapshots, "store": args.store,
+        "n_orgs": args.n_orgs, "seed": args.seed,
+    })
+    app = _build_serving_app(args, registry, runlog)
+    if isinstance(app, int):
+        runlog.finish(status="error: bad serving source")
+        return app
+
+    async def _run() -> None:
+        host, port = await app.start(args.host, args.port)
+        print(f"serving on http://{host}:{port}", flush=True)
+        print(f"index: {len(app.index)} records "
+              f"(generation {app.index.version.generation})",
+              flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w") as handle:
+                handle.write(f"{host} {port}\n")
+        try:
+            if args.max_seconds is not None:
+                await asyncio.sleep(args.max_seconds)
+            else:
+                await app.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+    requests = registry.counter(
+        "asdb_serve_requests_total",
+        labelnames=("endpoint", "status"),
+    ).total()
+    runlog.finish(status="ok", metrics=registry,
+                  requests=int(requests))
+    return 0
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     from .whois import read_dump, write_dump
 
@@ -996,5 +1212,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "report": _cmd_report,
         "health": _cmd_health,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    """Process entry point: :func:`main` plus pipe-friendly exits.
+
+    Piping CLI output to ``head``/``less`` closes stdout early; Python
+    turns the ignored SIGPIPE into :class:`BrokenPipeError` on the next
+    write.  A traceback there is noise — the reader got everything it
+    asked for.  This boundary flushes what it can, points the stdout
+    file descriptor at ``/dev/null`` (so interpreter shutdown cannot
+    trip over the dead pipe again), and exits 0: where a SIGPIPE-killed
+    process would report 141, the truncation is deliberate here, so the
+    quiet success exit is too.  Ctrl-C exits 130 like a signal-killed
+    process.
+    """
+    try:
+        code = main(argv)
+        sys.stdout.flush()
+        return code
+    except BrokenPipeError:
+        try:
+            sys.stderr.flush()
+        except (OSError, ValueError):
+            pass
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError, AttributeError,
+                io.UnsupportedOperation):
+            pass
+        return 0
+    except KeyboardInterrupt:
+        return 130

@@ -452,6 +452,27 @@ class SnapshotStore:
             )
         return dataset
 
+    def materialize(
+        self,
+        version: Optional[int] = None,
+        into=None,
+    ) -> Tuple[ASdbDataset, SnapshotInfo]:
+        """Materialize one version *with* its manifest identity.
+
+        The serving layer's hook: :meth:`load` answers "give me the
+        records", but an index built for query traffic also needs the
+        release facts — version number, digest, record count — to stamp
+        on every response.  Returns ``(dataset, info)`` where
+        ``dataset`` is exactly what :meth:`load` would produce (same
+        ``into`` semantics, same digest verification).
+        """
+        if version is None:
+            latest = self.latest()
+            if latest is None:
+                raise SnapshotError("snapshot store is empty")
+            version = latest.version
+        return self.load(version, into=into), self.info(version)
+
     def read_json(self, version: Optional[int] = None) -> str:
         """The lossless JSON document for one version.
 

@@ -448,14 +448,21 @@ class JsonDatasetStore(ASdbDataset):
 
     An in-memory dataset bound to a file: the document is parsed on
     open (when present) and atomically rewritten on :meth:`flush` /
-    :meth:`close`.  Same O(N) memory as before — this backend exists
-    so callers can pick a backend by URL without special-casing.
+    :meth:`close` — but only when a record actually changed since
+    load.  Read-only opens (stats, diff, serving) never rewrite the
+    file, so they cannot bump its mtime or clobber a concurrent
+    writer's document with a stale copy.  Same O(N) memory as before —
+    this backend exists so callers can pick a backend by URL without
+    special-casing.
     """
 
     def __init__(self, path: str) -> None:
         super().__init__()
         self._path = str(path)
-        if os.path.exists(self._path):
+        # A missing file is "dirty" so open+close still creates an
+        # empty document, exactly as before dirty tracking existed.
+        self._dirty = not os.path.exists(self._path)
+        if not self._dirty:
             with open(self._path) as handle:
                 text = handle.read()
             if text.strip():
@@ -466,12 +473,31 @@ class JsonDatasetStore(ASdbDataset):
         """The JSON document path."""
         return self._path
 
+    @property
+    def dirty(self) -> bool:
+        """Whether any record changed since load (or the file is new)."""
+        return self._dirty
+
+    def add(self, record: ASdbRecord) -> None:
+        self._dirty = True
+        super().add(record)
+
+    def remove(self, asn: int) -> Optional[ASdbRecord]:
+        removed = super().remove(asn)
+        if removed is not None:
+            self._dirty = True
+        return removed
+
     def flush(self) -> None:
-        """Atomically rewrite the JSON document (tmp file + rename)."""
+        """Atomically rewrite the JSON document (tmp file + rename);
+        a no-op when nothing changed since load."""
+        if not self._dirty:
+            return
         tmp = self._path + ".tmp"
         with open(tmp, "w") as handle:
             write_json(self, handle)
         os.replace(tmp, self._path)
+        self._dirty = False
 
     def close(self) -> None:
         self.flush()
@@ -482,27 +508,43 @@ def open_store(url: str, **kwargs) -> DatasetStore:
 
     * ``sqlite:PATH`` — :class:`SqliteDatasetStore` at PATH;
     * ``json:PATH`` — :class:`JsonDatasetStore` at PATH;
-    * ``memory:`` — a fresh in-memory :class:`ASdbDataset`;
+    * ``memory:`` (or bare ``memory``) — a fresh in-memory
+      :class:`ASdbDataset`;
     * a bare path ending in ``.sqlite``/``.sqlite3``/``.db`` or
-      ``.json`` selects the matching backend.
+      ``.json`` selects the matching backend.  Only the three known
+      scheme prefixes are treated as schemes, so paths that merely
+      *contain* colons (``./runs/2026-08-08T12:00/asdb.db``) dispatch
+      on their suffix like any other path.
 
     ``kwargs`` (e.g. ``batch_size``, ``metrics``, ``runlog``) are
     forwarded to the sqlite backend and ignored by the others.
     """
-    scheme, _, rest = url.partition(":")
-    if scheme == "sqlite" and rest:
-        return SqliteDatasetStore(rest, **kwargs)
-    if scheme == "json" and rest:
+    scheme, sep, rest = url.partition(":")
+    if sep and scheme in ("sqlite", "json", "memory"):
+        if scheme == "memory":
+            if rest:
+                raise StoreError(
+                    f"memory: takes no path, got {url!r}"
+                )
+            return ASdbDataset()
+        if not rest:
+            raise StoreError(
+                f"{scheme}: store URL needs a path, got {url!r} "
+                f"(expected {scheme}:PATH)"
+            )
+        if scheme == "sqlite":
+            return SqliteDatasetStore(rest, **kwargs)
         return JsonDatasetStore(rest)
-    if scheme == "memory":
+    if url == "memory":
         return ASdbDataset()
     if url.endswith((".sqlite", ".sqlite3", ".db")):
         return SqliteDatasetStore(url, **kwargs)
     if url.endswith(".json"):
         return JsonDatasetStore(url)
     raise StoreError(
-        f"unrecognized store URL {url!r}: use sqlite:PATH, json:PATH, "
-        f"or memory:"
+        f"unrecognized store URL {url!r}: tried schemes sqlite:/json:/"
+        f"memory: and path suffixes .sqlite/.sqlite3/.db/.json — use "
+        f"sqlite:PATH, json:PATH, memory:, or a suffixed path"
     )
 
 

@@ -62,6 +62,7 @@ from .health import (
     evaluate_slos,
     load_events,
     load_slos,
+    percentile,
     render_compare,
     render_health,
     render_report,
@@ -102,6 +103,7 @@ __all__ = [
     "SloResult",
     "load_events",
     "load_slos",
+    "percentile",
     "evaluate_slos",
     "render_health",
     "render_report",

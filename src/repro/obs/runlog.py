@@ -37,6 +37,13 @@ seconds since the run started.  Core event types:
     Status, duration, the full metrics-registry JSON snapshot, degraded
     source tallies, and circuit-breaker states.
 
+The serving layer (:mod:`repro.serving`) adds its own family:
+``serve.start`` (bound host/port, initial generation), ``serve.swap``
+(one per atomic index swap: generation, record count, snapshot
+version), ``serve.queue`` (each background drain of the on-demand
+classification queue), ``serve.rebuild`` spans around index
+materialization, and ``serve.stop``.
+
 Span identity crosses executors as a plain picklable mapping
 (:meth:`RunLog.span_context`); process-pool workers time their chunk
 against it and the parent emits the returned record verbatim

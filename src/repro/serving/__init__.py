@@ -1,0 +1,85 @@
+"""Async serving layer: query API over hot, atomically swapped indexes.
+
+The read side of the system (ROADMAP item 1): a dependency-free
+``asyncio`` HTTP service exposing the released dataset for query
+traffic, backed by an immutable :class:`ReadIndex` materialized from
+any storage backend and swapped atomically on refresh.
+
+Quickstart::
+
+    from repro.serving import ReadIndex, ServingApp
+
+    index = ReadIndex.build(dataset, source="memory")
+    app = ServingApp(index)
+    status, body, _ = app.handle_request("GET", "/healthz")
+
+or over HTTP, via the CLI::
+
+    python -m repro serve --snapshots releases --port 8311
+    curl -s localhost:8311/asn/64512
+"""
+
+from typing import Optional
+
+from ..core.snapshots import SnapshotStore
+from .app import ServingApp
+from .index import IndexVersion, ReadIndex, record_view
+from .queue import (
+    OFFER_FULL,
+    OFFER_PENDING,
+    OFFER_QUEUED,
+    ClassificationQueue,
+    QueueWorker,
+)
+
+__all__ = [
+    "ServingApp",
+    "ReadIndex",
+    "IndexVersion",
+    "record_view",
+    "ClassificationQueue",
+    "QueueWorker",
+    "OFFER_QUEUED",
+    "OFFER_PENDING",
+    "OFFER_FULL",
+    "index_from_store",
+    "index_from_snapshots",
+]
+
+
+def index_from_store(
+    store, generation: int = 1, source: str = ""
+) -> ReadIndex:
+    """Build a :class:`ReadIndex` from any dataset-store backend.
+
+    ``store`` is anything iterable over records — an
+    :class:`~repro.core.database.ASdbDataset`, a
+    :class:`~repro.core.store.SqliteDatasetStore`, or a
+    :class:`~repro.core.store.JsonDatasetStore`.
+    """
+    label = source or getattr(store, "path", "") or type(store).__name__
+    return ReadIndex.build(iter(store), generation=generation,
+                           source=str(label))
+
+
+def index_from_snapshots(
+    root: str,
+    version: Optional[int] = None,
+    generation: int = 1,
+) -> ReadIndex:
+    """Materialize a snapshot-store version into a fresh index.
+
+    Reopens the store from ``root`` on every call, so a rebuild after
+    ``repro refresh`` picks up versions appended since the last build —
+    that is what makes ``POST /refresh`` serve new releases without a
+    restart.
+    """
+    store = SnapshotStore(root)
+    dataset, info = store.materialize(version)
+    return ReadIndex.build(
+        dataset,
+        generation=generation,
+        source=f"snapshots:{root}",
+        snapshot_version=info.version,
+        digest=info.digest,
+    )

@@ -1,0 +1,450 @@
+"""Dependency-free asyncio HTTP service over hot dataset snapshots.
+
+The query API the paper's "continuously refreshed product" story
+implies, built on two invariants:
+
+* **Immutable index, atomic swap.**  Every request reads
+  ``self._index`` exactly once into a local; all of its answers come
+  from that one :class:`~repro.serving.index.ReadIndex`.  A refresh
+  builds a complete new index off the read path and publishes it with
+  a single attribute assignment — readers mid-request keep the old
+  index, new requests see the new one, nobody locks anything.
+* **Work off the read path.**  Unknown-ASN lookups enqueue onto the
+  bounded :class:`~repro.serving.queue.ClassificationQueue` and answer
+  ``202`` with a retry hint; a worker thread classifies in the
+  background and the results arrive via the next swap.
+
+Endpoints (JSON unless noted)::
+
+    GET  /healthz        liveness + generation + queue depth
+    GET  /version        IndexVersion facts for the served build
+    GET  /categories     layer-1 histogram + stage counts
+    GET  /asn/{asn}      one record (404 unknown, 202 queued, 503 full)
+    GET  /org/{query}    token-match organizations (?limit=N)
+    GET  /metrics        Prometheus text exposition (text/plain)
+    POST /refresh        admin: rebuild from the source and swap
+
+The HTTP layer is a minimal HTTP/1.1 implementation over
+``asyncio.start_server`` — GET/POST only, keep-alive, Content-Length
+framing — because the serving contract (stdlib only) rules out real
+web frameworks.  All routing and response logic lives in the
+synchronous, thread-safe :meth:`ServingApp.handle_request`, so tests
+and benchmarks can drive the service without sockets.
+
+Observability: requests meter ``asdb_serve_requests_total`` /
+``asdb_serve_seconds`` per endpoint, swaps meter
+``asdb_serve_swaps_total``; with a run ledger attached the service
+emits ``serve.start`` / ``serve.swap`` / ``serve.queue`` /
+``serve.stop`` events (see :mod:`repro.obs.runlog`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote
+
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.runlog import NULL_RUNLOG
+from .index import ReadIndex, record_view
+from .queue import (
+    OFFER_FULL,
+    OFFER_QUEUED,
+    ClassificationQueue,
+    QueueWorker,
+)
+
+__all__ = ["ServingApp", "Response"]
+
+#: (status, JSON-able body or raw text, extra headers)
+Response = Tuple[int, object, Dict[str, str]]
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+#: Endpoint slugs used as the metrics label — bounded cardinality, no
+#: raw paths.
+_ENDPOINTS = (
+    "healthz", "version", "categories", "asn", "org", "metrics",
+    "refresh", "other",
+)
+
+
+class ServingApp:
+    """The ASdb query service over an immutable, swappable read index.
+
+    Args:
+        index: The initial :class:`ReadIndex` to serve.
+        rebuild: ``rebuild(generation) -> ReadIndex`` — builds a fresh
+            index from the backing source stamped with the given
+            generation; :meth:`refresh` publishes its result.  None
+            disables ``POST /refresh`` (405) and queue-driven swaps.
+        queue: Bounded on-demand queue; None answers unknown ASNs with
+            a plain 404 (read-only serving).
+        worker: The queue's drain thread, when one exists; owned and
+            stopped by :meth:`close`.
+        metrics: Registry for the ``asdb_serve_*`` families; also the
+            body of ``GET /metrics``.
+        runlog: Run ledger for ``serve.*`` events; None stays silent.
+        retry_after: Seconds clients should wait before retrying a 202
+            or 503 (the ``Retry-After`` header).
+    """
+
+    def __init__(
+        self,
+        index: ReadIndex,
+        rebuild: Optional[Callable[[int], ReadIndex]] = None,
+        queue: Optional[ClassificationQueue] = None,
+        worker: Optional[QueueWorker] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        runlog=None,
+        retry_after: int = 1,
+    ) -> None:
+        self._index = index
+        self._rebuild = rebuild
+        self.queue = queue
+        self.worker = worker
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.runlog = runlog if runlog is not None else NULL_RUNLOG
+        self._retry_after = max(0, int(retry_after))
+        self._server: Optional[asyncio.AbstractServer] = None
+
+        self._m_requests = self.metrics.counter(
+            "asdb_serve_requests_total",
+            "Serving requests by endpoint and status.",
+            ("endpoint", "status"),
+        )
+        self._m_seconds = self.metrics.histogram(
+            "asdb_serve_seconds",
+            "Request handling latency by endpoint.",
+            ("endpoint",),
+        )
+        self._m_swaps = self.metrics.counter(
+            "asdb_serve_swaps_total", "Index swaps published."
+        )
+        self._m_records = self.metrics.gauge(
+            "asdb_serve_index_records", "Records in the served index."
+        )
+        self._m_records.set(len(index))
+
+    # -- index lifecycle -----------------------------------------------------
+
+    @property
+    def index(self) -> ReadIndex:
+        """The currently served index (a point-in-time handle)."""
+        return self._index
+
+    def swap(self, index: ReadIndex) -> None:
+        """Atomically publish a new index.
+
+        A single reference assignment: requests already holding the old
+        index finish against it; everything after sees the new one.
+        """
+        self._index = index
+        self._m_swaps.inc(1)
+        self._m_records.set(len(index))
+        self.runlog.emit(
+            "serve.swap",
+            generation=index.version.generation,
+            records=index.version.records,
+            snapshot_version=index.version.snapshot_version,
+        )
+
+    def refresh(self) -> ReadIndex:
+        """Rebuild from the backing source and swap the result in."""
+        if self._rebuild is None:
+            raise RuntimeError("service has no rebuild source")
+        with self.runlog.span("serve.rebuild") as span:
+            index = self._rebuild(self._index.version.generation + 1)
+            span.note(
+                generation=index.version.generation,
+                records=index.version.records,
+            )
+        self.swap(index)
+        return index
+
+    def on_drained(self, asns: List[int]) -> None:
+        """Queue-worker hook: surface freshly classified ASNs.
+
+        Emits the ledger event and, when a rebuild source exists,
+        publishes the swap that makes the results visible.
+        """
+        self.runlog.emit("serve.queue", drained=len(asns), asns=asns[:32])
+        if self._rebuild is not None:
+            self.refresh()
+
+    # -- request handling (sync, thread-safe) --------------------------------
+
+    def handle_request(self, method: str, target: str) -> Response:
+        """Route one request; returns ``(status, body, headers)``.
+
+        Reads ``self._index`` once and answers entirely from that
+        snapshot — the swap-consistency contract lives here.  Bodies
+        are JSON-able dicts except ``/metrics`` (Prometheus text).
+        """
+        path, _, query_string = target.partition("?")
+        endpoint = self._endpoint_of(path)
+        start = time.perf_counter()
+        try:
+            status, body, headers = self._route(
+                method, path, query_string
+            )
+        finally:
+            elapsed = time.perf_counter() - start
+            self._m_seconds.observe(elapsed, endpoint=endpoint)
+        self._m_requests.inc(1, endpoint=endpoint, status=str(status))
+        return status, body, headers
+
+    @staticmethod
+    def _endpoint_of(path: str) -> str:
+        head = path.strip("/").split("/", 1)[0] or "other"
+        return head if head in _ENDPOINTS else "other"
+
+    def _route(
+        self, method: str, path: str, query_string: str
+    ) -> Response:
+        index = self._index  # the one read; everything below uses it
+        parts = [part for part in path.split("/") if part]
+        if method == "POST":
+            if parts == ["refresh"]:
+                if self._rebuild is None:
+                    return self._error(
+                        405, "refresh is disabled: no rebuild source"
+                    )
+                new = self.refresh()
+                return 200, {"swapped": True,
+                             "version": new.version.to_dict()}, {}
+            return self._error(405, f"cannot POST {path}")
+        if method != "GET":
+            return self._error(405, f"unsupported method {method}")
+
+        if parts == ["healthz"]:
+            return 200, {
+                "status": "ok",
+                "generation": index.version.generation,
+                "records": len(index),
+                "queue_depth": (
+                    self.queue.depth() if self.queue is not None else None
+                ),
+            }, {}
+        if parts == ["version"]:
+            return 200, index.version.to_dict(), {}
+        if parts == ["categories"]:
+            return 200, {
+                "generation": index.version.generation,
+                "categories": index.categories(),
+                "stages": index.stage_counts(),
+            }, {}
+        if parts == ["metrics"]:
+            return 200, self.metrics.to_prometheus(), {
+                "Content-Type": "text/plain; version=0.0.4",
+            }
+        if len(parts) == 2 and parts[0] == "asn":
+            return self._get_asn(index, parts[1])
+        if len(parts) == 2 and parts[0] == "org":
+            return self._get_org(index, parts[1], query_string)
+        return self._error(404, f"no route for {path}")
+
+    def _get_asn(self, index: ReadIndex, raw: str) -> Response:
+        try:
+            asn = int(unquote(raw))
+        except ValueError:
+            return self._error(400, f"not an ASN: {raw!r}")
+        record = index.get(asn)
+        if record is not None:
+            return 200, {
+                "generation": index.version.generation,
+                "record": record_view(record),
+            }, {}
+        if self.queue is None:
+            return self._error(404, f"AS{asn} is not in the dataset")
+        failure = self.queue.failure(asn)
+        if failure is not None:
+            return self._error(
+                404, f"AS{asn} could not be classified: {failure}"
+            )
+        outcome = self.queue.offer(asn)
+        retry = {"Retry-After": str(self._retry_after)}
+        if outcome == OFFER_FULL:
+            return 503, {
+                "error": "classification queue is full",
+                "asn": asn,
+                "retry_after": self._retry_after,
+            }, retry
+        return 202, {
+            "status": outcome,
+            "asn": asn,
+            "retry_after": self._retry_after,
+            "detail": (
+                "classification queued; retry for the next index "
+                "generation"
+                if outcome == OFFER_QUEUED
+                else "classification already pending"
+            ),
+        }, retry
+
+    def _get_org(
+        self, index: ReadIndex, raw: str, query_string: str
+    ) -> Response:
+        query = unquote(raw)
+        limit = 20
+        params = parse_qs(query_string)
+        if "limit" in params:
+            try:
+                limit = max(1, min(200, int(params["limit"][0])))
+            except ValueError:
+                return self._error(
+                    400, f"bad limit {params['limit'][0]!r}"
+                )
+        matches = index.search_org(query, limit=limit)
+        return 200, {
+            "generation": index.version.generation,
+            "query": query,
+            "count": len(matches),
+            "matches": [record_view(record) for record in matches],
+        }, {}
+
+    @staticmethod
+    def _error(status: int, message: str) -> Response:
+        return status, {"error": message}, {}
+
+    # -- asyncio HTTP layer --------------------------------------------------
+
+    @staticmethod
+    def _encode(status: int, body: object,
+                headers: Dict[str, str]) -> bytes:
+        if isinstance(body, str):
+            payload = body.encode("utf-8")
+            content_type = headers.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            payload = (json.dumps(body) + "\n").encode("utf-8")
+            content_type = headers.pop("Content-Type", "application/json")
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+        ]
+        lines.extend(f"{key}: {value}" for key, value in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + payload
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    raw = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    ConnectionResetError,
+                ):
+                    break
+                request_line, _, header_block = raw.partition(b"\r\n")
+                try:
+                    method, target, http_version = (
+                        request_line.decode("latin-1").split(" ", 2)
+                    )
+                except ValueError:
+                    writer.write(self._encode(
+                        400, {"error": "malformed request line"}, {}
+                    ))
+                    await writer.drain()
+                    break
+                header_lines = header_block.decode("latin-1").split("\r\n")
+                header_map = {}
+                for line in header_lines:
+                    name, sep, value = line.partition(":")
+                    if sep:
+                        header_map[name.strip().lower()] = value.strip()
+                # Discard any request body so the next request in the
+                # pipeline frames correctly.
+                length = int(header_map.get("content-length", 0) or 0)
+                if length:
+                    await reader.readexactly(length)
+                connection = header_map.get("connection", "").lower()
+                keep_alive = (
+                    connection != "close"
+                    and http_version.strip() != "HTTP/1.0"
+                )
+                status, body, extra = self.handle_request(
+                    method.upper(), target
+                )
+                headers = dict(extra)
+                headers["Connection"] = (
+                    "keep-alive" if keep_alive else "close"
+                )
+                writer.write(self._encode(status, body, headers))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels in-flight handlers; absorbing the
+            # cancellation here keeps task.exception() retrieval in
+            # asyncio.streams from spamming the loop's error handler.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port
+        )
+        bound_host, bound_port = (
+            self._server.sockets[0].getsockname()[:2]
+        )
+        if self.worker is not None and not self.worker.is_alive():
+            self.worker.start()
+        self.runlog.emit(
+            "serve.start",
+            host=bound_host,
+            port=bound_port,
+            records=len(self._index),
+            generation=self._index.version.generation,
+        )
+        return bound_host, bound_port
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled."""
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and shut the worker down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.close()
+
+    def close(self) -> None:
+        """Synchronous teardown: stop the queue worker, log the stop."""
+        if self.worker is not None:
+            self.worker.stop()
+        self.runlog.emit(
+            "serve.stop", generation=self._index.version.generation
+        )

@@ -1,0 +1,217 @@
+"""The immutable in-memory read index behind the serving layer.
+
+The ASdb paper frames the dataset as a continuously refreshed *product*
+that downstream users query; serving that product at high request rates
+wants a different shape than the write-side stores.  A
+:class:`ReadIndex` is that shape: every lookup the API exposes —
+by-ASN, by-organization, category histogram, version facts — is
+precomputed at build time into plain dicts, and the finished index is
+never mutated.  The service swaps a freshly built index in with one
+attribute assignment (see :mod:`repro.serving.app`), so the read path
+takes no lock and a request that grabbed the old index keeps serving a
+fully consistent view while the new one takes over.
+
+Build an index from any record iterable — an in-memory
+:class:`~repro.core.database.ASdbDataset`, an indexed
+:class:`~repro.core.store.SqliteDatasetStore`, or a materialized
+:class:`~repro.core.snapshots.SnapshotStore` version via
+:meth:`SnapshotStore.materialize` — the index neither knows nor cares
+which backend fed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.database import ASdbRecord
+from ..core.persistence import record_to_item
+from ..core.stages import Stage
+from ..world.names import token_set
+
+__all__ = ["IndexVersion", "ReadIndex", "record_view"]
+
+
+def record_view(record: ASdbRecord) -> Dict[str, object]:
+    """The JSON-able API view of one record.
+
+    The release-item shape (:func:`record_to_item`) plus the derived
+    fields a query client wants inline: ``classified`` and the stage's
+    prior-accuracy ``confidence``.
+    """
+    view = record_to_item(record)
+    view["classified"] = record.classified
+    view["confidence"] = record.confidence
+    return view
+
+
+def _org_tokens(record: ASdbRecord) -> Tuple[str, ...]:
+    """Search tokens identifying the record's owning organization.
+
+    The org key carries either the normalized name token set
+    (``name:acme corp``) or the chosen domain (``domain:acme.com``);
+    both forms tokenize, and the record's own domain contributes its
+    dot-split labels so ``/org/acme.com`` and ``/org/acme`` both hit.
+    """
+    tokens: List[str] = []
+    for key in (record.org_key or "",):
+        _, _, value = key.partition(":")
+        tokens.extend(token_set(value.replace(".", " ")))
+    if record.domain:
+        tokens.extend(token_set(record.domain.replace(".", " ")))
+        tokens.append(record.domain.lower())
+    return tuple(dict.fromkeys(tokens))
+
+
+@dataclass(frozen=True)
+class IndexVersion:
+    """Identity of one served index build.
+
+    Attributes:
+        generation: Monotone swap counter, bumped on every rebuild —
+            the number clients see change when a refresh lands.
+        records: Records in the index.
+        coverage: Fraction of records with at least one category.
+        source: Human-readable description of the backing source.
+        snapshot_version: Snapshot-store version materialized into this
+            build, when the index serves a versioned release.
+        digest: The release document digest, when known.
+    """
+
+    generation: int
+    records: int
+    coverage: float
+    source: str = ""
+    snapshot_version: Optional[int] = None
+    digest: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "generation": self.generation,
+            "records": self.records,
+            "coverage": round(self.coverage, 4),
+            "source": self.source,
+            "snapshot_version": self.snapshot_version,
+            "digest": self.digest,
+        }
+
+
+class ReadIndex:
+    """Immutable precomputed lookup structures over one dataset build.
+
+    Construct via :meth:`build`; instances are never mutated after
+    construction (the service swaps whole indexes instead), which is
+    what makes the lock-free read path safe.
+    """
+
+    def __init__(
+        self,
+        records: Dict[int, ASdbRecord],
+        postings: Dict[str, Tuple[int, ...]],
+        categories: Dict[str, int],
+        stage_counts: Dict[str, int],
+        version: IndexVersion,
+    ) -> None:
+        self._records = records
+        self._postings = postings
+        self._categories = categories
+        self._stage_counts = stage_counts
+        self.version = version
+
+    @classmethod
+    def build(
+        cls,
+        records: Iterable[ASdbRecord],
+        generation: int = 1,
+        source: str = "",
+        snapshot_version: Optional[int] = None,
+        digest: Optional[str] = None,
+    ) -> "ReadIndex":
+        """Materialize an index from any record iterable.
+
+        One streaming pass: by-ASN map, organization-token postings,
+        category histogram, and stage counts are all built together, so
+        a store-backed build reads each record exactly once.
+        """
+        by_asn: Dict[int, ASdbRecord] = {}
+        posting_sets: Dict[str, List[int]] = {}
+        categories: Dict[str, int] = {}
+        stage_counts: Dict[str, int] = {}
+        classified = 0
+        for record in records:
+            by_asn[record.asn] = record
+            if record.classified:
+                classified += 1
+            stage_counts[record.stage.value] = (
+                stage_counts.get(record.stage.value, 0) + 1
+            )
+            for slug in record.labels.layer1_slugs():
+                categories[slug] = categories.get(slug, 0) + 1
+            for token in _org_tokens(record):
+                posting_sets.setdefault(token, []).append(record.asn)
+        postings = {
+            token: tuple(sorted(asns))
+            for token, asns in posting_sets.items()
+        }
+        version = IndexVersion(
+            generation=generation,
+            records=len(by_asn),
+            coverage=classified / len(by_asn) if by_asn else 0.0,
+            source=source,
+            snapshot_version=snapshot_version,
+            digest=digest,
+        )
+        return cls(by_asn, postings, categories, stage_counts, version)
+
+    # -- lookups -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def get(self, asn: int) -> Optional[ASdbRecord]:
+        """The record for an ASN, or None."""
+        return self._records.get(asn)
+
+    def search_org(
+        self, query: str, limit: int = 20
+    ) -> List[ASdbRecord]:
+        """Records whose organization matches every query token.
+
+        Tokenizes the query the same way index postings were built
+        (name normalization; dots split), intersects the posting lists,
+        and returns up to ``limit`` records in ascending ASN order.
+        """
+        tokens = list(token_set(query.replace(".", " ")))
+        if query.strip():
+            tokens.append(query.strip().lower())
+        candidates: Optional[set] = None
+        for token in tokens:
+            posting = self._postings.get(token)
+            if posting is None:
+                continue
+            hits = set(posting)
+            candidates = hits if candidates is None else candidates & hits
+        if not candidates:
+            return []
+        return [
+            self._records[asn]
+            for asn in sorted(candidates)[: max(0, limit)]
+        ]
+
+    def categories(self) -> Dict[str, int]:
+        """AS count per layer 1 slug (a copy; the index stays frozen)."""
+        return dict(self._categories)
+
+    def stage_counts(self) -> Dict[str, int]:
+        """Record count per producing pipeline stage (a copy)."""
+        return dict(self._stage_counts)
+
+    def stage_counts_typed(self) -> Dict[Stage, int]:
+        """Stage counts keyed by :class:`Stage` (protocol parity)."""
+        return {
+            Stage(slug): count
+            for slug, count in self._stage_counts.items()
+        }

@@ -1,6 +1,9 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -329,3 +332,119 @@ class TestStatsCacheLayers:
         assert "Cache & pruning layers" in out
         assert "org cache" in out
         assert "feature cache" not in out
+
+
+class TestRunWrapper:
+    """Satellite: piping to `head` must not traceback.
+
+    `run()` is the console entry point; it owns process-boundary
+    concerns (broken pipes, Ctrl-C) so `main()` stays a clean
+    in-process API for tests and embedding.
+    """
+
+    def test_broken_pipe_exits_zero_and_quiet(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        class _BrokenOut:
+            def write(self, text):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def flush(self):
+                raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(sys, "stdout", _BrokenOut())
+        assert cli.run(["taxonomy"]) == 0
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_run_delegates_to_main(self, capsys):
+        from repro.cli import run
+
+        assert run(["taxonomy"]) == 0
+        assert "computer_and_it" in capsys.readouterr().out
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch):
+        import repro.cli as cli
+
+        def _interrupt(argv=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "main", _interrupt)
+        assert cli.run(["taxonomy"]) == 130
+
+    def test_pipe_to_head_subprocess(self, tmp_path):
+        """End-to-end: `repro taxonomy | head -n 1` exits 0, no noise."""
+        script = (
+            "python -m repro taxonomy | head -n 1; exit ${PIPESTATUS[0]}"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        result = subprocess.run(
+            ["bash", "-c", script],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Traceback" not in result.stderr
+        assert "BrokenPipeError" not in result.stderr
+
+
+class TestServeCommand:
+    """Satellite of the tentpole: `repro serve` over a snapshot dir."""
+
+    def _snapshot(self, tmp_path):
+        from repro.core import SnapshotStore
+
+        assert main([
+            "snapshot", "--n-orgs", "30", "--seed", "5", "--no-ml",
+            "--store", str(tmp_path / "releases"),
+        ]) == 0
+        return str(tmp_path / "releases")
+
+    def test_serve_snapshots_end_to_end(self, tmp_path, capsys):
+        import http.client
+        import threading
+        import time
+
+        root = self._snapshot(tmp_path)
+        capsys.readouterr()
+        ready = tmp_path / "ready"
+        exit_codes = []
+        thread = threading.Thread(
+            target=lambda: exit_codes.append(main([
+                "serve", "--snapshots", root, "--port", "0",
+                "--ready-file", str(ready), "--max-seconds", "15",
+            ])),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 10
+        while not ready.exists() and time.time() < deadline:
+            time.sleep(0.05)
+        assert ready.exists(), "server never wrote the ready file"
+        host, port = ready.read_text().split()
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            body = json.loads(response.read())
+            assert body["status"] == "ok"
+            conn.request("GET", "/version")
+            version = json.loads(conn.getresponse().read())
+            assert version["snapshot_version"] == 1
+            assert version["records"] > 0
+        finally:
+            conn.close()
+        # thread keeps serving until --max-seconds; don't join it here.
+
+    def test_serve_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main([
+            "serve", "--snapshots", str(tmp_path), "--store",
+            "memory:",
+        ]) == 2
+        assert "choose one of" in capsys.readouterr().err
+
+    def test_serve_lazy_requires_fresh_world(self, tmp_path, capsys):
+        root = self._snapshot(tmp_path)
+        capsys.readouterr()
+        assert main(["serve", "--snapshots", root, "--lazy"]) == 2
+        assert "--lazy" in capsys.readouterr().err

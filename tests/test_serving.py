@@ -1,0 +1,596 @@
+"""Tests for the async serving layer (`repro.serving`).
+
+The contracts under test:
+
+* the read index is immutable and answers by-ASN / by-org / category
+  queries exactly like the dataset it was built from;
+* a swap is atomic from a reader's point of view: a request observes
+  one generation in full, never a blend of two, with no lock taken;
+* unknown ASNs flow through the bounded background queue — 202 with a
+  retry hint, 503 on overflow, a definitive 404 once classification
+  provably failed — and results surface via the next swap;
+* the asyncio HTTP layer speaks enough HTTP/1.1 (keep-alive,
+  Content-Length framing) for stdlib clients and curl.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import SystemConfig, WorldConfig, build_asdb, generate_world
+from repro.core import ASdbRecord, SnapshotStore, Stage
+from repro.core.database import ASdbDataset
+from repro.obs import MetricsRegistry, RunLog, read_ledger
+from repro.serving import (
+    OFFER_FULL,
+    OFFER_PENDING,
+    OFFER_QUEUED,
+    ClassificationQueue,
+    QueueWorker,
+    ReadIndex,
+    ServingApp,
+    index_from_snapshots,
+    index_from_store,
+    record_view,
+)
+from repro.taxonomy import LabelSet
+
+
+def _record(asn, slugs=("isp",), stage=Stage.ONE_SOURCE, org=None,
+            domain=None):
+    return ASdbRecord(
+        asn=asn,
+        labels=LabelSet.from_layer2_slugs(list(slugs)),
+        stage=stage,
+        domain=domain,
+        org_key=f"name:{org}" if org else (
+            f"domain:{domain}" if domain else None
+        ),
+    )
+
+
+def _dataset(records):
+    dataset = ASdbDataset()
+    for record in records:
+        dataset.add(record)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def classified():
+    """A small classified world (no ML) shared by the API tests."""
+    world = generate_world(WorldConfig(n_orgs=40, seed=7))
+    built = build_asdb(world, SystemConfig(seed=7, train_ml=False))
+    dataset = built.asdb.classify_all()
+    return world, built, dataset
+
+
+class TestReadIndex:
+    def test_build_matches_dataset(self, classified):
+        _, _, dataset = classified
+        index = ReadIndex.build(dataset, source="test")
+        assert len(index) == len(dataset)
+        assert index.version.records == len(dataset)
+        assert index.version.coverage == pytest.approx(
+            dataset.coverage()
+        )
+        for record in dataset:
+            assert index.get(record.asn) == record
+            assert record.asn in index
+        assert index.categories() == dataset.category_histogram()
+        assert index.stage_counts_typed() == dataset.stage_counts()
+
+    def test_get_unknown(self):
+        index = ReadIndex.build([_record(1)])
+        assert index.get(2) is None
+        assert 2 not in index
+
+    def test_search_org_by_name_tokens(self):
+        index = ReadIndex.build([
+            _record(1, org="Acme Holdings"),
+            _record(2, org="Acme Networks"),
+            _record(3, org="Globex"),
+        ])
+        hits = index.search_org("acme")
+        assert [record.asn for record in hits] == [1, 2]
+        assert [r.asn for r in index.search_org("acme networks")] == [2]
+        assert index.search_org("initech") == []
+
+    def test_search_org_by_domain(self):
+        index = ReadIndex.build([
+            _record(9, domain="acme-networks.example"),
+        ])
+        assert [r.asn for r in index.search_org("acme-networks.example")] \
+            == [9]
+
+    def test_search_limit_ascending(self):
+        index = ReadIndex.build(
+            [_record(asn, org="Acme") for asn in range(50, 0, -1)]
+        )
+        hits = index.search_org("acme", limit=5)
+        assert [record.asn for record in hits] == [1, 2, 3, 4, 5]
+
+    def test_record_view_shape(self):
+        record = _record(7, domain="x.example")
+        view = record_view(record)
+        assert view["asn"] == 7
+        assert view["classified"] is True
+        assert view["confidence"] == record.stage.prior_accuracy
+        assert json.dumps(view)  # JSON-able
+
+    def test_index_is_immutable_surface(self):
+        index = ReadIndex.build([_record(1, slugs=("isp",))])
+        index.categories()["isp-zzz"] = 99
+        index.stage_counts()["fake"] = 1
+        assert "isp-zzz" not in index.categories()
+        assert "fake" not in index.stage_counts()
+
+
+class TestRouting:
+    def _app(self, records=None, **kwargs):
+        index = ReadIndex.build(records or [_record(1)], source="unit")
+        return ServingApp(index, **kwargs)
+
+    def test_healthz(self):
+        status, body, _ = self._app().handle_request("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["generation"] == 1
+        assert body["queue_depth"] is None
+
+    def test_version(self):
+        status, body, _ = self._app().handle_request("GET", "/version")
+        assert status == 200
+        assert body == {
+            "generation": 1, "records": 1, "coverage": 1.0,
+            "source": "unit", "snapshot_version": None, "digest": None,
+        }
+
+    def test_categories(self):
+        app = self._app([_record(1), _record(2, slugs=("hosting",))])
+        status, body, _ = app.handle_request("GET", "/categories")
+        assert status == 200
+        assert body["categories"] == {"computer_and_it": 2}
+        assert body["stages"] == {Stage.ONE_SOURCE.value: 2}
+
+    def test_asn_found(self):
+        status, body, _ = self._app().handle_request("GET", "/asn/1")
+        assert status == 200
+        assert body["record"]["asn"] == 1
+
+    def test_asn_not_an_int(self):
+        status, body, _ = self._app().handle_request("GET", "/asn/xyz")
+        assert status == 400
+        assert "not an ASN" in body["error"]
+
+    def test_asn_unknown_without_queue_is_404(self):
+        status, body, _ = self._app().handle_request("GET", "/asn/404")
+        assert status == 404
+
+    def test_org_query_with_limit(self):
+        app = self._app(
+            [_record(asn, org="Acme Corp") for asn in (3, 1, 2)]
+        )
+        status, body, _ = app.handle_request("GET", "/org/acme?limit=2")
+        assert status == 200
+        assert body["count"] == 2
+        assert [m["asn"] for m in body["matches"]] == [1, 2]
+
+    def test_org_bad_limit(self):
+        status, body, _ = self._app().handle_request(
+            "GET", "/org/acme?limit=zz"
+        )
+        assert status == 400
+
+    def test_org_percent_decoding(self):
+        app = self._app([_record(5, org="Acme Corp")])
+        status, body, _ = app.handle_request("GET", "/org/acme%20corp")
+        assert status == 200
+        assert body["count"] == 1
+
+    def test_metrics_text(self):
+        registry = MetricsRegistry()
+        app = self._app(metrics=registry)
+        app.handle_request("GET", "/healthz")
+        status, body, headers = app.handle_request("GET", "/metrics")
+        assert status == 200
+        assert isinstance(body, str)
+        assert "asdb_serve_requests_total" in body
+        assert headers["Content-Type"].startswith("text/plain")
+
+    def test_unknown_route(self):
+        status, body, _ = self._app().handle_request("GET", "/nope")
+        assert status == 404
+
+    def test_unsupported_method(self):
+        status, body, _ = self._app().handle_request("PUT", "/healthz")
+        assert status == 405
+
+    def test_post_refresh_without_rebuild_is_405(self):
+        status, body, _ = self._app().handle_request("POST", "/refresh")
+        assert status == 405
+
+    def test_post_refresh_bumps_generation(self):
+        records = [_record(1)]
+        app = ServingApp(
+            ReadIndex.build(records, generation=1),
+            rebuild=lambda generation: ReadIndex.build(
+                records + [_record(2)], generation=generation
+            ),
+        )
+        status, body, _ = app.handle_request("POST", "/refresh")
+        assert status == 200
+        assert body["version"]["generation"] == 2
+        assert body["version"]["records"] == 2
+        status, body, _ = app.handle_request("GET", "/asn/2")
+        assert status == 200
+
+    def test_request_metrics_labelled_by_endpoint(self):
+        registry = MetricsRegistry()
+        app = self._app(metrics=registry)
+        app.handle_request("GET", "/asn/1")
+        app.handle_request("GET", "/asn/zz")
+        counter = registry.get("asdb_serve_requests_total")
+        assert counter.value(endpoint="asn", status="200") == 1
+        assert counter.value(endpoint="asn", status="400") == 1
+        seconds = registry.get("asdb_serve_seconds")
+        assert seconds.count(endpoint="asn") == 2
+
+
+class TestQueue:
+    def test_offer_dedup_and_overflow(self):
+        queue = ClassificationQueue(maxsize=2)
+        assert queue.offer(1) == OFFER_QUEUED
+        assert queue.offer(1) == OFFER_PENDING
+        assert queue.offer(2) == OFFER_QUEUED
+        assert queue.offer(3) == OFFER_FULL
+        assert queue.depth() == 2
+
+    def test_drain_and_settle(self):
+        queue = ClassificationQueue(maxsize=8)
+        for asn in (1, 2, 3):
+            queue.offer(asn)
+        batch = queue.drain(2)
+        assert batch == [1, 2]
+        # drained ASNs are in-flight: still pending, not re-queueable
+        assert queue.offer(1) == OFFER_PENDING
+        queue.settle(batch, failures={2: "boom"})
+        assert queue.failure(2) == "boom"
+        assert queue.failure(1) is None
+        assert queue.drain(8) == [3]
+
+    def test_queue_metrics(self):
+        registry = MetricsRegistry()
+        queue = ClassificationQueue(maxsize=1, metrics=registry)
+        queue.offer(1)
+        queue.offer(2)
+        counter = registry.get("asdb_serve_queue_total")
+        assert counter.value(outcome=OFFER_QUEUED) == 1
+        assert counter.value(outcome=OFFER_FULL) == 1
+        assert registry.get("asdb_serve_queue_depth").value() == 1
+
+    def test_worker_falls_back_per_asn(self):
+        """One bad ASN in a window cannot poison the good ones."""
+        classified = []
+
+        def classify(asns):
+            if 13 in asns and len(asns) > 1:
+                raise RuntimeError("batch poisoned")
+            if asns == [13]:
+                raise KeyError(13)
+            classified.extend(asns)
+
+        queue = ClassificationQueue(maxsize=8)
+        landed_batches = []
+        worker = QueueWorker(
+            queue, classify=classify, after=landed_batches.append
+        )
+        for asn in (11, 13, 17):
+            queue.offer(asn)
+        landed = worker.process(queue.drain(8))
+        assert landed == [11, 17]
+        assert classified == [11, 17]
+        assert "KeyError" in queue.failure(13)
+        assert landed_batches == [[11, 17]]
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            ClassificationQueue(maxsize=0)
+
+
+class TestQueueRoutes:
+    def _app(self, maxsize=2):
+        queue = ClassificationQueue(maxsize=maxsize)
+        index = ReadIndex.build([_record(1)])
+        return ServingApp(index, queue=queue, retry_after=3), queue
+
+    def test_unknown_asn_gets_202_with_retry_hint(self):
+        app, queue = self._app()
+        status, body, headers = app.handle_request("GET", "/asn/99")
+        assert status == 202
+        assert body["status"] == OFFER_QUEUED
+        assert body["retry_after"] == 3
+        assert headers["Retry-After"] == "3"
+        # second lookup: still pending, still 202
+        status, body, _ = app.handle_request("GET", "/asn/99")
+        assert status == 202
+        assert body["status"] == OFFER_PENDING
+        assert queue.depth() == 1
+
+    def test_queue_overflow_gets_503(self):
+        app, _ = self._app(maxsize=1)
+        assert app.handle_request("GET", "/asn/91")[0] == 202
+        status, body, headers = app.handle_request("GET", "/asn/92")
+        assert status == 503
+        assert "full" in body["error"]
+        assert headers["Retry-After"] == "3"
+
+    def test_failed_asn_gets_definitive_404(self):
+        app, queue = self._app()
+        app.handle_request("GET", "/asn/99")
+        worker = QueueWorker(
+            queue,
+            classify=lambda asns: (_ for _ in ()).throw(KeyError(99)),
+        )
+        worker.process(queue.drain(8))
+        status, body, _ = app.handle_request("GET", "/asn/99")
+        assert status == 404
+        assert "could not be classified" in body["error"]
+
+
+class TestAtomicSwap:
+    """Readers racing a swap see one index generation in full."""
+
+    ASNS = tuple(range(1, 41))
+
+    def _indexes(self):
+        v1 = [
+            _record(asn, slugs=("isp",), domain=f"v1-{asn}.example")
+            for asn in self.ASNS
+        ]
+        v2 = [
+            _record(asn, slugs=("hosting",), domain=f"v2-{asn}.example")
+            for asn in self.ASNS
+        ]
+        return (
+            ReadIndex.build(v1, generation=1, source="v1"),
+            ReadIndex.build(v2, generation=2, source="v2"),
+        )
+
+    def test_reads_never_blend_generations(self):
+        idx1, idx2 = self._indexes()
+        app = ServingApp(idx1)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                for asn in (1, 17, 40):
+                    status, body, _ = app.handle_request(
+                        "GET", f"/asn/{asn}"
+                    )
+                    expected = f"v{body['generation']}-{asn}.example"
+                    if status != 200 \
+                            or body["record"]["domain"] != expected:
+                        errors.append((asn, body))
+                status, body, _ = app.handle_request(
+                    "GET", "/categories"
+                )
+                want = (
+                    {"computer_and_it": len(self.ASNS)}
+                )
+                if body["categories"] != want:
+                    errors.append(("categories", body))
+                # the per-generation label split must be all-or-nothing
+                status, body, _ = app.handle_request("GET", "/version")
+                if body["source"] != f"v{body['generation']}":
+                    errors.append(("version", body))
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        for flip in range(400):
+            app.swap(idx2 if flip % 2 == 0 else idx1)
+        stop.set()
+        for thread in readers:
+            thread.join(10)
+        assert not errors, errors[:5]
+
+    def test_swap_updates_metrics_and_ledger(self, tmp_path):
+        idx1, idx2 = self._indexes()
+        registry = MetricsRegistry()
+        ledger = tmp_path / "serve.ndjson"
+        runlog = RunLog(str(ledger), kind="serve", config={}, world={})
+        app = ServingApp(idx1, metrics=registry, runlog=runlog)
+        app.swap(idx2)
+        runlog.close()
+        assert registry.get("asdb_serve_swaps_total").total() == 1
+        assert registry.get("asdb_serve_index_records").value() == \
+            len(self.ASNS)
+        events = [
+            event for event in read_ledger(str(ledger))
+            if event["event"] == "serve.swap"
+        ]
+        assert len(events) == 1
+        assert events[0]["generation"] == 2
+
+
+class _HttpService:
+    """Run a ServingApp's asyncio server in a background thread."""
+
+    def __init__(self, app):
+        self.app = app
+        self._ready = threading.Event()
+        self._loop = None
+        self.address = None
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self):
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self.address = await self.app.start("127.0.0.1", 0)
+            self._ready.set()
+            try:
+                await self.app.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.app.stop()
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "server did not start"
+        return self
+
+    def __exit__(self, *exc_info):
+        for task in asyncio.all_tasks(self._loop):
+            self._loop.call_soon_threadsafe(task.cancel)
+        self._thread.join(10)
+
+    def get(self, path):
+        host, port = self.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            raw = response.read().decode()
+            body = (
+                json.loads(raw)
+                if response.getheader("Content-Type", "").startswith(
+                    "application/json")
+                else raw
+            )
+            return response.status, body, dict(response.getheaders())
+        finally:
+            conn.close()
+
+
+class TestHttpEndToEnd:
+    def test_all_endpoints_over_http(self, classified):
+        _, _, dataset = classified
+        index = index_from_store(dataset, source="memory")
+        app = ServingApp(index)
+        with _HttpService(app) as service:
+            status, body, _ = service.get("/healthz")
+            assert (status, body["status"]) == (200, "ok")
+            status, body, _ = service.get("/version")
+            assert body["records"] == len(dataset)
+            status, body, _ = service.get("/categories")
+            assert body["categories"] == dataset.category_histogram()
+            asn = next(iter(dataset)).asn
+            status, body, _ = service.get(f"/asn/{asn}")
+            assert status == 200
+            assert body["record"]["asn"] == asn
+            domain = next(
+                record.domain for record in dataset if record.domain
+            )
+            status, body, _ = service.get(f"/org/{domain}")
+            assert status == 200
+            assert body["count"] >= 1
+            status, body, _ = service.get("/asn/999999999")
+            assert status == 404
+
+    def test_keep_alive_serves_many_requests_per_connection(
+        self, classified
+    ):
+        _, _, dataset = classified
+        app = ServingApp(index_from_store(dataset))
+        with _HttpService(app) as service:
+            host, port = service.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                for _ in range(20):
+                    conn.request("GET", "/healthz")
+                    response = conn.getresponse()
+                    assert response.status == 200
+                    response.read()
+            finally:
+                conn.close()
+
+    def test_lazy_serving_202_then_200_after_swap(self, classified):
+        world, built, _ = classified
+        registry = MetricsRegistry()
+        queue = ClassificationQueue(maxsize=64, metrics=registry)
+
+        def rebuild(generation):
+            return index_from_store(
+                built.asdb.dataset, generation=generation,
+                source="pipeline",
+            )
+
+        app = ServingApp(rebuild(1), rebuild=rebuild, queue=queue,
+                         metrics=registry)
+        app.worker = QueueWorker(
+            queue,
+            classify=lambda asns: built.asdb.classify_batch(asns),
+            classify_one=built.asdb.classify,
+            after=app.on_drained,
+        )
+        asn = world.asns()[-1]
+        with _HttpService(app) as service:
+            status, body, headers = service.get(f"/asn/{asn}")
+            if status == 202:  # already classified module-wide otherwise
+                assert "Retry-After" in headers
+                deadline = time.time() + 20
+                while time.time() < deadline:
+                    status, body, _ = service.get(f"/asn/{asn}")
+                    if status == 200:
+                        break
+                    time.sleep(0.05)
+            assert status == 200
+            assert body["record"]["asn"] == asn
+
+
+class TestSnapshotServing:
+    def _store(self, tmp_path, records):
+        store = SnapshotStore(str(tmp_path / "releases"))
+        store.save(_dataset(records))
+        return store
+
+    def test_materialize_returns_dataset_and_info(self, tmp_path):
+        records = [_record(asn) for asn in (1, 2, 3)]
+        store = self._store(tmp_path, records)
+        dataset, info = store.materialize()
+        assert sorted(record.asn for record in dataset) == [1, 2, 3]
+        assert info.version == 1
+        assert info.digest
+        with pytest.raises(Exception):
+            SnapshotStore(str(tmp_path / "empty")).materialize()
+
+    def test_index_from_snapshots_carries_release_identity(
+        self, tmp_path
+    ):
+        records = [_record(asn) for asn in (1, 2, 3)]
+        store = self._store(tmp_path, records)
+        index = index_from_snapshots(store.root)
+        assert index.version.snapshot_version == 1
+        assert index.version.digest == store.latest().digest
+        assert len(index) == 3
+
+    def test_refresh_picks_up_new_snapshot_version(self, tmp_path):
+        records = [_record(asn) for asn in (1, 2)]
+        store = self._store(tmp_path, records)
+        root = store.root
+
+        app = ServingApp(
+            index_from_snapshots(root),
+            rebuild=lambda generation: index_from_snapshots(
+                root, generation=generation
+            ),
+        )
+        # a new release lands (e.g. `repro refresh` in another process)
+        SnapshotStore(root).save(
+            _dataset(records + [_record(3, slugs=("hosting",))])
+        )
+        status, body, _ = app.handle_request("POST", "/refresh")
+        assert status == 200
+        assert body["version"]["snapshot_version"] == 2
+        assert body["version"]["generation"] == 2
+        status, body, _ = app.handle_request("GET", "/asn/3")
+        assert status == 200

@@ -472,6 +472,106 @@ class TestJsonStoreAndUrls:
             open_store("plainpath")
 
 
+class TestOpenStoreUrlParsing:
+    """Only known schemes are schemes; colons in paths are just colons."""
+
+    def test_colon_in_plain_path_is_not_a_scheme(self, tmp_path):
+        run_dir = tmp_path / "runs" / "2026-08-08T12:00"
+        run_dir.mkdir(parents=True)
+        path = run_dir / "asdb.db"
+        store = open_store(str(path))
+        assert isinstance(store, SqliteDatasetStore)
+        store.close()
+        json_path = run_dir / "asdb.json"
+        assert isinstance(open_store(str(json_path)), JsonDatasetStore)
+
+    def test_sqlite_scheme_with_colon_in_path(self, tmp_path):
+        run_dir = tmp_path / "12:30"
+        run_dir.mkdir()
+        store = open_store(f"sqlite:{run_dir / 'x.dat'}")
+        assert isinstance(store, SqliteDatasetStore)
+        store.close()
+
+    def test_empty_rest_is_an_error_not_a_fallthrough(self):
+        with pytest.raises(StoreError, match=r"sqlite: store URL needs a path"):
+            open_store("sqlite:")
+        with pytest.raises(StoreError, match=r"json: store URL needs a path"):
+            open_store("json:")
+        # the message shows what was actually tried
+        with pytest.raises(StoreError, match=r"'sqlite:'"):
+            open_store("sqlite:")
+
+    def test_memory_takes_no_path(self):
+        with pytest.raises(StoreError, match="memory: takes no path"):
+            open_store("memory:junk")
+        assert isinstance(open_store("memory"), ASdbDataset)
+        assert isinstance(open_store("memory:"), ASdbDataset)
+
+    def test_unrecognized_error_lists_what_was_tried(self):
+        with pytest.raises(StoreError) as excinfo:
+            open_store("cassandra:nope")
+        message = str(excinfo.value)
+        assert "'cassandra:nope'" in message
+        assert "sqlite:" in message and "json:" in message
+        assert ".sqlite" in message and ".json" in message
+
+
+class TestJsonStoreDirtyTracking:
+    """Read-only opens must never rewrite the file on close."""
+
+    def _seed(self, path):
+        store = JsonDatasetStore(path)
+        store.add(_record(65400, slugs=("isp",)))
+        store.close()
+
+    def test_read_only_close_leaves_file_untouched(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        self._seed(path)
+        before_bytes = path.read_bytes()
+        before_stat = os.stat(path)
+        store = JsonDatasetStore(path)
+        assert not store.dirty
+        assert store.get(65400) is not None
+        store.flush()
+        store.close()
+        assert path.read_bytes() == before_bytes
+        after_stat = os.stat(path)
+        assert after_stat.st_mtime_ns == before_stat.st_mtime_ns
+
+    def test_add_marks_dirty_and_rewrites(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        self._seed(path)
+        store = JsonDatasetStore(path)
+        store.add(_record(65401, slugs=("hosting",)))
+        assert store.dirty
+        store.close()
+        assert not store.dirty
+        reopened = JsonDatasetStore(path)
+        assert len(reopened) == 2
+
+    def test_noop_remove_stays_clean(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        self._seed(path)
+        before = path.read_bytes()
+        store = JsonDatasetStore(path)
+        assert store.remove(999999) is None
+        assert not store.dirty
+        store.close()
+        assert path.read_bytes() == before
+        store = JsonDatasetStore(path)
+        assert store.remove(65400) is not None
+        assert store.dirty
+        store.close()
+        assert path.read_bytes() != before
+
+    def test_missing_file_still_created_on_close(self, tmp_path):
+        path = tmp_path / "fresh.json"
+        store = JsonDatasetStore(path)
+        assert store.dirty
+        store.close()
+        assert json.loads(path.read_text())["format"] == "asdb-repro/1"
+
+
 class TestShardedGeneration:
     def test_world_shards_are_deterministic_and_disjoint(self):
         config = WorldConfig(n_orgs=450, seed=77)
