@@ -1,0 +1,200 @@
+"""Performance: temporal reconstruction over a deep release history.
+
+Gates the checkpointing tentpole's promise: loading a version from a
+delta chain ``>= 50`` releases deep through the nearest checkpoint must
+beat a full replay from v1, with byte-identical output either way.
+Also measures the timeline scan (per-AS trajectory without
+materializing any dataset) and churn analytics over the same store.
+Numbers land in ``BENCH_history.json`` at the repo root (CI uploads it
+as an artifact); ``REPRO_BENCH_ROUNDS`` shrinks the measurement for
+smoke runs like every other bench.
+
+The store here is synthetic — reconstruction speed is about the delta
+chain, not classifier quality — so records are built directly and each
+release churns ~10% of them.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    ASdbDataset,
+    ASdbRecord,
+    ReleaseHistory,
+    SnapshotStore,
+    Stage,
+    dataset_to_json,
+)
+from repro.reporting import render_table
+from repro.taxonomy import LabelSet
+
+BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
+
+#: Depth of the release history (acceptance floor: >= 50 versions).
+#: Chosen so the latest version is NOT itself a checkpoint — the
+#: checkpointed path still replays a few deltas, the honest case.
+VERSIONS = 61
+
+#: Checkpoint cadence: the checkpointed path replays at most
+#: ``CHECKPOINT_EVERY`` deltas where full replay walks the whole chain.
+CHECKPOINT_EVERY = 8
+
+#: ASes in every release; ~10% churn per release.
+N_ASNS = 250
+CHURN_PER_VERSION = 25
+
+#: The checkpointed load must beat full replay by at least this factor
+#: at depth ``VERSIONS`` — conservative: the asymptotic gap is
+#: O(K) vs O(N) deltas, this only catches the optimization being
+#: disconnected.
+MIN_SPEEDUP = 1.2
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_history.json"
+
+_SLUGS = ("isp", "hosting", "streaming", "banks", "insurance")
+
+
+def _record_bench(key, payload):
+    """Merge one benchmark's numbers into ``BENCH_history.json``."""
+    document = {}
+    if BENCH_PATH.exists():
+        document = json.loads(BENCH_PATH.read_text())
+    document[key] = payload
+    BENCH_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _record(asn, revision):
+    slug = _SLUGS[(asn + revision) % len(_SLUGS)]
+    return ASdbRecord(
+        asn=asn,
+        labels=LabelSet.from_layer2_slugs([slug]),
+        stage=Stage.ONE_SOURCE,
+        domain=f"as{asn}-r{revision}.example",
+    )
+
+
+def _dataset(revisions):
+    dataset = ASdbDataset()
+    for asn in range(1, N_ASNS + 1):
+        dataset.add(_record(asn, revisions[asn]))
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def deep_store(tmp_path_factory):
+    """A snapshot store ``VERSIONS`` releases deep with rolling churn."""
+    root = tmp_path_factory.mktemp("history") / "releases"
+    store = SnapshotStore(root, checkpoint_every=CHECKPOINT_EVERY)
+    revisions = {asn: 0 for asn in range(1, N_ASNS + 1)}
+    for version in range(VERSIONS):
+        if version:
+            start = (version * CHURN_PER_VERSION) % N_ASNS
+            for offset in range(CHURN_PER_VERSION):
+                asn = 1 + (start + offset) % N_ASNS
+                revisions[asn] += 1
+        store.save(
+            _dataset(revisions),
+            window=(version * 30 - 30, version * 30),
+        )
+    return store
+
+
+def _best_of(rounds, func):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_perf_checkpointed_reconstruction(deep_store, report):
+    latest = len(deep_store)
+    assert latest >= 50
+
+    t_ckpt, fast = _best_of(
+        BENCH_ROUNDS, lambda: deep_store.load(latest)
+    )
+    t_full, slow = _best_of(
+        BENCH_ROUNDS,
+        lambda: deep_store.load(latest, use_checkpoints=False),
+    )
+    # Acceptance: digest-verified (load raises otherwise) AND
+    # byte-identical whichever path reconstructed the dataset.
+    assert dataset_to_json(fast) == dataset_to_json(slow)
+
+    speedup = t_full / t_ckpt if t_ckpt else float("inf")
+    deltas_ckpt = (latest - 1) % CHECKPOINT_EVERY
+    payload = {
+        "versions": latest,
+        "records": N_ASNS,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "deltas_replayed_checkpointed": deltas_ckpt,
+        "deltas_replayed_full": latest - 1,
+        "load_checkpointed_seconds": round(t_ckpt, 6),
+        "load_full_replay_seconds": round(t_full, 6),
+        "speedup": round(speedup, 2),
+        "rounds": BENCH_ROUNDS,
+    }
+    _record_bench("reconstruction", payload)
+    report("history_reconstruction", render_table(
+        ["Path", "Deltas replayed", "Best-of seconds"],
+        [
+            ["checkpointed", str(deltas_ckpt), f"{t_ckpt:.4f}"],
+            ["full replay", str(latest - 1), f"{t_full:.4f}"],
+            ["speedup", "", f"{speedup:.2f}x"],
+        ],
+        title=f"as-of reconstruction at depth {latest} "
+              f"(K={CHECKPOINT_EVERY})",
+    ))
+    assert t_ckpt * MIN_SPEEDUP <= t_full, (
+        f"checkpointed load ({t_ckpt:.4f}s) must beat full replay "
+        f"({t_full:.4f}s) by >= {MIN_SPEEDUP}x at depth {latest}"
+    )
+
+
+def test_perf_timeline_scan(deep_store, report):
+    history = ReleaseHistory(deep_store)
+
+    t_bulk, timelines = _best_of(BENCH_ROUNDS, history.timelines)
+    assert len(timelines) == N_ASNS
+    events = sum(len(trajectory) for trajectory in timelines.values())
+
+    t_churn, churn = _best_of(
+        BENCH_ROUNDS,
+        lambda: history.churn(len(deep_store) - 1, len(deep_store)),
+    )
+    # Slug rotation keeps some churned records inside their layer-1
+    # category, so the category-level change count is a subset of the
+    # churned set.
+    assert 0 < churn.changed <= CHURN_PER_VERSION
+
+    payload = {
+        "versions": len(deep_store),
+        "asns": N_ASNS,
+        "timeline_events": events,
+        "timelines_seconds": round(t_bulk, 6),
+        "churn_seconds": round(t_churn, 6),
+        "rounds": BENCH_ROUNDS,
+    }
+    _record_bench("timeline", payload)
+    report("history_timeline", render_table(
+        ["Query", "Output", "Best-of seconds"],
+        [
+            ["timelines()", f"{events} events", f"{t_bulk:.4f}"],
+            ["churn(latest-1, latest)",
+             f"{churn.changed} changed", f"{t_churn:.4f}"],
+        ],
+        title=f"temporal analytics over {len(deep_store)} releases",
+    ))
+    # Floor only: the scan walks the delta chain once, so it must stay
+    # well under a per-version materialization (~seconds at this size).
+    assert t_bulk < 10.0
+    assert t_churn < 10.0

@@ -10,6 +10,9 @@ Subcommands::
     python -m repro snapshot  --store releases --n-orgs 200 --seed 42
     python -m repro refresh   --store releases --days 90
     python -m repro diff      --store releases --from 1 --to 2
+    python -m repro asof      --store releases --day 120
+    python -m repro timeline  --store releases --asn 64512
+    python -m repro churn     --store releases --from 1 --to 3
     python -m repro serve     --snapshots releases --port 8311
 
 ``classify`` builds a world, runs the full pipeline, and writes the
@@ -28,6 +31,12 @@ runs one *incremental* sweep — only the changed ASNs are reclassified
 (through the batch engine) and stored as a delta-encoded version.
 ``diff`` reports added/removed/relabeled/stage-changed ASNs between
 any two stored versions.
+
+Temporal queries (ROADMAP item 3): ``asof`` reconstructs the full
+digest-verified dataset in force at a version or day (``snapshot
+--checkpoint-every K`` bounds the replay to K deltas); ``timeline``
+prints one AS's per-release classification trajectory from the delta
+chain alone; ``churn`` counts category flows between two releases.
 
 Serving: ``serve`` exposes the dataset as an async HTTP query API
 (``/asn/{asn}``, ``/org/{query}``, ``/categories``, ``/version``,
@@ -118,6 +127,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from . import SystemConfig, WorldConfig, build_asdb, generate_world
+from .core.history import ReleaseHistory, categorization
 from .core.maintenance import MaintenanceDaemon
 from .core.persistence import write_csv, write_json
 from .core.resilience import RetryPolicy
@@ -264,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream the sweep's classify phase in "
                           "windows of N ASNs (byte-identical results, "
                           "O(batch) memory)")
+    snapshot.add_argument("--checkpoint-every", type=int, default=None,
+                          metavar="K",
+                          help="promote every K-th delta to a "
+                          "checkpoint (recorded in the manifest, so "
+                          "later refreshes keep the cadence); bounds "
+                          "as-of reconstruction to O(K) deltas")
 
     refresh = sub.add_parser(
         "refresh",
@@ -312,6 +328,51 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="V", help="newer version (default: latest)")
     diff.add_argument("--json", action="store_true",
                       help="emit the diff as a JSON document")
+
+    asof = sub.add_parser(
+        "asof",
+        help="reconstruct the dataset as of a version or a day",
+    )
+    asof.add_argument("--store", required=True, metavar="DIR",
+                      help="snapshot store directory")
+    asof.add_argument("--version", type=int, default=None, metavar="V",
+                      help="reconstruct exactly version V")
+    asof.add_argument("--day", type=int, default=None, metavar="D",
+                      help="reconstruct the release in force on day D "
+                      "(the newest version whose sweep window closed "
+                      "at or before D)")
+    asof.add_argument("--out", default=None,
+                      help="write the reconstruction to a .csv or "
+                      ".json file")
+    asof.add_argument("--dataset-store", default=None, metavar="URL",
+                      help="materialize into this backend "
+                      "(sqlite:PATH keeps O(batch) records resident)")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="per-release classification trajectory of one AS",
+    )
+    timeline.add_argument("--store", required=True, metavar="DIR",
+                          help="snapshot store directory")
+    timeline.add_argument("--asn", type=int, required=True,
+                          help="ASN whose history to trace")
+    timeline.add_argument("--json", action="store_true",
+                          help="emit the trajectory as a JSON document")
+
+    churn = sub.add_parser(
+        "churn",
+        help="category-flow analytics between two releases",
+    )
+    churn.add_argument("--store", required=True, metavar="DIR",
+                       help="snapshot store directory")
+    churn.add_argument("--from", dest="from_version", type=int,
+                       default=None, metavar="V",
+                       help="older version (default: latest - 1)")
+    churn.add_argument("--to", dest="to_version", type=int,
+                       default=None, metavar="V",
+                       help="newer version (default: latest)")
+    churn.add_argument("--json", action="store_true",
+                       help="emit the report as a JSON document")
 
     report = sub.add_parser(
         "report",
@@ -786,6 +847,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
                 runlog=runlog if runlog.enabled else None,
                 dataset_store=args.dataset_store,
                 sweep_batch_size=args.sweep_batch,
+                snapshot_checkpoint_every=args.checkpoint_every,
             ),
         )
     except (StoreError, ValueError) as exc:
@@ -806,6 +868,9 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     info = built.snapshots.latest()
     print(f"store {args.store}: v{info.version} ({info.kind}, "
           f"{info.record_count} records)")
+    if built.snapshots.checkpoint_every:
+        print(f"checkpointing every "
+              f"{built.snapshots.checkpoint_every} deltas")
     if args.dataset_store is not None:
         print(f"dataset store: {args.dataset_store}")
     if args.metrics_out:
@@ -997,6 +1062,112 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_asof(args: argparse.Namespace) -> int:
+    if (args.version is None) == (args.day is None):
+        print("error: provide exactly one of --version or --day",
+              file=sys.stderr)
+        return 2
+    if args.out and not (args.out.endswith(".csv")
+                         or args.out.endswith(".json")):
+        print("error: --out must end in .csv or .json", file=sys.stderr)
+        return 2
+    history = ReleaseHistory(SnapshotStore(args.store))
+    into = None
+    try:
+        if args.dataset_store is not None:
+            into = open_store(args.dataset_store)
+        dataset, info = history.asof(
+            version=args.version, day=args.day, into=into
+        )
+    except (SnapshotError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    asked = (f"day {args.day}" if args.day is not None
+             else f"v{args.version}")
+    window = (f"({info.since_day}, {info.through_day}]"
+              if info.through_day is not None else "(no sweep window)")
+    print(f"as of {asked}: v{info.version} ({info.kind}, "
+          f"window {window})")
+    print(f"  records: {info.record_count}  digest: {info.digest} "
+          f"(verified)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            if args.out.endswith(".json"):
+                write_json(dataset, handle)
+            else:
+                write_csv(dataset, handle)
+        print(f"wrote {args.out}")
+    dataset.close()
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.store)
+    try:
+        events = ReleaseHistory(store).timeline(args.asn)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "asn": args.asn,
+            "versions": len(store),
+            "events": [event.to_dict() for event in events],
+        }, indent=2))
+        return 0
+    if not events:
+        print(f"AS{args.asn} never appears in {args.store} "
+              f"({len(store)} versions)")
+        return 0
+    rows = []
+    for event in events:
+        item = event.item or {}
+        window = (f"({event.since_day}, {event.through_day}]"
+                  if event.through_day is not None else "-")
+        rows.append([
+            f"v{event.version}",
+            window,
+            event.change,
+            categorization(event.item) if event.item is not None
+            else "-",
+            str(item.get("stage", "-")),
+        ])
+    print(render_table(
+        ["Version", "Window", "Change", "Categories", "Stage"],
+        rows,
+        title=f"AS{args.asn} classification timeline",
+    ))
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.store)
+    new = args.to_version if args.to_version is not None else len(store)
+    old = args.from_version if args.from_version is not None else new - 1
+    try:
+        report = ReleaseHistory(store).churn(old, new)
+    except (SnapshotError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(f"v{old} -> v{new}: {report.added} added, "
+          f"{report.removed} removed, {report.relabeled} relabeled, "
+          f"{report.unchanged} unchanged "
+          f"({report.old_records} -> {report.new_records} records)")
+    if report.flows:
+        print(render_table(
+            ["From", "To", "ASes"],
+            [[source, target, str(count)]
+             for source, target, count in report.flows],
+            title="Category flow",
+        ))
+    else:
+        print("  (no category movement between these releases)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.compare is None and args.ledger is None:
         print("error: provide a LEDGER path or --compare A B",
@@ -1035,6 +1206,7 @@ def _build_serving_app(args: argparse.Namespace, registry, runlog):
         ClassificationQueue,
         QueueWorker,
         ServingApp,
+        history_from_snapshots,
         index_from_snapshots,
         index_from_store,
     )
@@ -1058,13 +1230,21 @@ def _build_serving_app(args: argparse.Namespace, registry, runlog):
                 generation=generation,
             )
 
+        def rebuild_history(generation: int):
+            return history_from_snapshots(
+                args.snapshots, generation=generation
+            )
+
         try:
             index = rebuild(1)
+            history = rebuild_history(1)
         except (SnapshotError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         return ServingApp(index, rebuild=rebuild, metrics=registry,
-                          runlog=runlog, retry_after=args.retry_after)
+                          runlog=runlog, retry_after=args.retry_after,
+                          history=history,
+                          rebuild_history=rebuild_history)
 
     if args.store is not None:
         def rebuild(generation: int):
@@ -1142,6 +1322,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"index: {len(app.index)} records "
               f"(generation {app.index.version.generation})",
               flush=True)
+        if app.history is not None:
+            print(f"history: {app.history.latest_version} release(s) "
+                  f"over {len(app.history)} ASes", flush=True)
         if args.ready_file:
             with open(args.ready_file, "w") as handle:
                 handle.write(f"{host} {port}\n")
@@ -1210,6 +1393,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "snapshot": _cmd_snapshot,
         "refresh": _cmd_refresh,
         "diff": _cmd_diff,
+        "asof": _cmd_asof,
+        "timeline": _cmd_timeline,
+        "churn": _cmd_churn,
         "report": _cmd_report,
         "health": _cmd_health,
         "serve": _cmd_serve,

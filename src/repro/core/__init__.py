@@ -9,6 +9,12 @@ from .consensus import (
     single_best_source,
 )
 from .database import ASdbDataset, ASdbRecord, DatasetDiff
+from .history import (
+    ChurnReport,
+    ReleaseHistory,
+    TimelineEvent,
+    categorization,
+)
 from .maintenance import (
     Correction,
     CorrectionError,
@@ -85,6 +91,10 @@ __all__ = [
     "SnapshotInfo",
     "SnapshotError",
     "SnapshotCorruption",
+    "ReleaseHistory",
+    "TimelineEvent",
+    "ChurnReport",
+    "categorization",
     "record_to_item",
     "record_from_item",
     "SqliteDatasetStore",

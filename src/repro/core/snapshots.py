@@ -1,10 +1,12 @@
-"""Versioned dataset snapshots with delta encoding (Section 5.3).
+"""Versioned dataset snapshots with delta encoding and periodic
+checkpoints (Section 5.3).
 
 The released ASdb is not one file but a *history*: quarterly releases,
 each produced by sweeping the registry for changes since the previous
 one.  "Back-to-the-Future Whois" makes the case that attribution
 datasets need point-in-time snapshots with diffable history;
-:class:`SnapshotStore` is that substrate for this system.
+:class:`SnapshotStore` is that substrate for this system, and
+:mod:`repro.core.history` builds the temporal query layer on top.
 
 Layout on disk (everything under one root directory)::
 
@@ -12,16 +14,23 @@ Layout on disk (everything under one root directory)::
     v0001.full.json      version 1: dataset_to_json output, verbatim
     v0002.delta.json     version 2: changed records + removed ASNs
     ...
+    v0009.delta.json     every K-th delta also stores ...
+    v0009.ckpt.json      ... a checkpoint: the full document, verbatim
 
 Version 1 (and any version saved with ``full=True``) stores the
 complete lossless JSON document from
 :func:`~repro.core.persistence.dataset_to_json`, byte for byte.  Every
 other version is a *delta* against its parent: the
 :func:`~repro.core.persistence.record_to_item` items of records that
-changed, plus the ASNs that disappeared.  Loading a delta version
-replays the chain forward from the nearest full snapshot; a blake2b
-digest of the materialized document, recorded at save time, guards
-every reconstruction.
+changed, plus the ASNs that disappeared.  With ``checkpoint_every=K``
+(recorded in the manifest, so every handle on the store agrees), each
+K-th consecutive delta is *promoted*: it keeps its delta document — the
+chain stays uniformly scannable for timelines and churn — but also
+stores the full document alongside it.  Loading any version replays the
+chain forward from the nearest full document (checkpoint or full
+snapshot), so reconstruction cost is O(K deltas) regardless of history
+depth; a blake2b digest of the materialized document, recorded at save
+time, guards every reconstruction.
 
 Each version also records the maintenance-sweep window and provenance
 that produced it, so ``repro diff``/``repro refresh`` can answer "what
@@ -33,12 +42,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from .database import ASdbDataset, DatasetDiff
+from .database import ASdbDataset, DatasetDiff, diff_record_streams
 from .persistence import (
-    dataset_from_json,
     dataset_to_json,
     iter_json_chunks,
     record_from_item,
@@ -55,6 +66,7 @@ __all__ = [
 
 MANIFEST_FORMAT = "asdb-repro/snapshots/1"
 DELTA_FORMAT = "asdb-repro/delta/1"
+DATASET_FORMAT = "asdb-repro/1"
 _MANIFEST = "manifest.json"
 
 
@@ -64,11 +76,6 @@ class SnapshotError(ValueError):
 
 class SnapshotCorruption(SnapshotError):
     """A stored document no longer matches its recorded digest."""
-
-
-def _digest(document: str) -> str:
-    return hashlib.blake2b(document.encode("utf-8"),
-                           digest_size=16).hexdigest()
 
 
 def dataset_digest(records) -> str:
@@ -120,8 +127,10 @@ def _delta_by_merge(new_records, old_records):
 
 def _write_atomic(path: str, chunks) -> None:
     """Write a document from its chunk stream via tmp file + rename, so
-    a crash mid-write never leaves a truncated version on disk."""
-    tmp = path + ".tmp"
+    a crash mid-write never leaves a truncated version on disk.  The
+    tmp name carries the pid so two writers racing on the same root
+    never stream into each other's half-written file."""
+    tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w") as handle:
         for chunk in chunks:
             handle.write(chunk)
@@ -145,6 +154,8 @@ class SnapshotInfo:
         digest: blake2b-128 of the materialized full JSON document.
         note: Free-form release note.
         provenance: Sweep provenance (new/updated ASN lists, counts).
+        checkpoint: File name of the checkpoint document stored next to
+            a promoted delta (None for plain deltas and fulls).
     """
 
     version: int
@@ -159,9 +170,16 @@ class SnapshotInfo:
     digest: str
     note: str = ""
     provenance: Dict[str, object] = field(default_factory=dict)
+    checkpoint: Optional[str] = None
+
+    @property
+    def is_base(self) -> bool:
+        """Whether this version stores a full document on disk (a full
+        snapshot or a checkpointed delta) — i.e. replay can start here."""
+        return self.kind == "full" or self.checkpoint is not None
 
     def to_manifest(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "version": self.version,
             "kind": self.kind,
             "parent": self.parent,
@@ -175,6 +193,9 @@ class SnapshotInfo:
             "note": self.note,
             "provenance": self.provenance,
         }
+        if self.checkpoint is not None:
+            document["checkpoint"] = self.checkpoint
+        return document
 
     @classmethod
     def from_manifest(cls, item: Dict[str, object]) -> "SnapshotInfo":
@@ -191,23 +212,43 @@ class SnapshotInfo:
             digest=str(item.get("digest", "")),
             note=str(item.get("note", "")),
             provenance=dict(item.get("provenance", {})),
+            checkpoint=item.get("checkpoint"),
         )
 
 
 class SnapshotStore:
     """An on-disk, append-only history of dataset releases."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(
+        self,
+        root: str,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        """Open (or create) the store at ``root``.
+
+        ``checkpoint_every=K`` promotes every K-th consecutive delta to
+        a checkpoint.  The setting persists in the manifest, so a store
+        opened without the argument keeps checkpointing at the cadence
+        it was created with; passing it on an existing store changes
+        the cadence from the next save on.
+        """
         self._root = str(root)
         self._versions: List[SnapshotInfo] = []
         #: Free-form store metadata (the CLI records world provenance
         #: here so ``refresh`` can rebuild the same world); persisted in
         #: the manifest.  Mutate via :meth:`set_meta`.
         self.meta: Dict[str, object] = {}
+        self._checkpoint_every: Optional[int] = None
         os.makedirs(self._root, exist_ok=True)
         manifest_path = os.path.join(self._root, _MANIFEST)
         if os.path.exists(manifest_path):
             self._load_manifest(manifest_path)
+        if checkpoint_every is not None:
+            if int(checkpoint_every) < 1:
+                raise SnapshotError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            self._checkpoint_every = int(checkpoint_every)
 
     # -- manifest -----------------------------------------------------------
 
@@ -230,15 +271,51 @@ class SnapshotStore:
                     f"v{position}, found v{info.version}"
                 )
         self.meta = dict(document.get("meta", {}))
+        every = document.get("checkpoint_every")
+        self._checkpoint_every = int(every) if every else None
 
-    def _write_manifest(self) -> None:
+    def _count_disk_versions(self) -> int:
+        """How many versions the on-disk manifest holds right now."""
+        path = os.path.join(self._root, _MANIFEST)
+        if not os.path.exists(path):
+            return 0
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"cannot re-read manifest {path}: {exc}"
+            ) from exc
+        return len(document.get("versions", ()))
+
+    def _write_manifest(self, expected_on_disk: Optional[int] = None) -> None:
+        """Persist the manifest atomically.
+
+        ``expected_on_disk`` is the version count the on-disk manifest
+        must still hold; a mismatch means another handle appended since
+        this one last read it, and blindly renaming over their manifest
+        would orphan their documents and mint a colliding version
+        number.  Detection, not locking: the caller gets a
+        :class:`SnapshotError` and must reopen the store.
+        """
+        if expected_on_disk is not None:
+            on_disk = self._count_disk_versions()
+            if on_disk != expected_on_disk:
+                raise SnapshotError(
+                    f"snapshot store {self._root} changed under this "
+                    f"handle: the manifest holds {on_disk} version(s) "
+                    f"on disk but this handle expected "
+                    f"{expected_on_disk}; reopen the store and retry"
+                )
         document = {
             "format": MANIFEST_FORMAT,
             "meta": self.meta,
             "versions": [info.to_manifest() for info in self._versions],
         }
+        if self._checkpoint_every is not None:
+            document["checkpoint_every"] = self._checkpoint_every
         path = os.path.join(self._root, _MANIFEST)
-        tmp = path + ".tmp"
+        tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w") as handle:
             json.dump(document, handle, indent=2)
         os.replace(tmp, path)
@@ -246,7 +323,7 @@ class SnapshotStore:
     def set_meta(self, meta: Dict[str, object]) -> None:
         """Replace the store metadata and persist the manifest."""
         self.meta = dict(meta)
-        self._write_manifest()
+        self._write_manifest(expected_on_disk=len(self._versions))
 
     # -- inspection ---------------------------------------------------------
 
@@ -257,6 +334,11 @@ class SnapshotStore:
     def root(self) -> str:
         """The store's root directory."""
         return self._root
+
+    @property
+    def checkpoint_every(self) -> Optional[int]:
+        """Checkpoint cadence in deltas (None: never promote)."""
+        return self._checkpoint_every
 
     def versions(self) -> Tuple[SnapshotInfo, ...]:
         """Manifest entries, ascending by version."""
@@ -277,6 +359,28 @@ class SnapshotStore:
 
     # -- writing ------------------------------------------------------------
 
+    def _deltas_since_base(self) -> int:
+        """Consecutive trailing deltas with no full document on disk."""
+        count = 0
+        for info in reversed(self._versions):
+            if info.is_base:
+                break
+            count += 1
+        return count
+
+    def _write_full_document(self, filename: str, dataset) -> str:
+        """Stream the full JSON document to ``filename``, returning its
+        digest (hashed chunk by chunk — one pass, O(1) memory)."""
+        hasher = hashlib.blake2b(digest_size=16)
+
+        def hashed_chunks():
+            for chunk in iter_json_chunks(dataset):
+                hasher.update(chunk.encode("utf-8"))
+                yield chunk
+
+        _write_atomic(os.path.join(self._root, filename), hashed_chunks())
+        return hasher.hexdigest()
+
     def save(
         self,
         dataset: ASdbDataset,
@@ -291,10 +395,13 @@ class SnapshotStore:
         The first version (or ``full=True``) stores the complete
         :func:`dataset_to_json` document verbatim; later versions store
         only the items whose serialized form changed since the parent,
-        plus removed ASNs.  ``window`` is the ``(since_day,
+        plus removed ASNs.  Every ``checkpoint_every``-th consecutive
+        delta additionally stores the full document as a checkpoint, so
+        replay depth stays bounded.  ``window`` is the ``(since_day,
         through_day]`` sweep window that produced the release.  With a
         run ledger passed, the save emits one ``snapshot.saved`` event
-        carrying the new version's manifest facts.
+        carrying the new version's manifest facts (plus a
+        ``snapshot.checkpoint`` event when the save was promoted).
 
         ``dataset`` may be any :class:`~repro.core.store.DatasetStore`
         backend.  Full documents stream chunk by chunk to a tmp file
@@ -302,27 +409,27 @@ class SnapshotStore:
         stream the new side through an ordered merge against the
         materialized parent, so a store-backed sweep snapshot never
         holds the new dataset resident.  Both document kinds land
-        atomically (tmp file + rename).
+        atomically (tmp file + rename), and the manifest append detects
+        a concurrent writer before minting a version number.
         """
+        on_disk = self._count_disk_versions()
+        if on_disk != len(self._versions):
+            raise SnapshotError(
+                f"snapshot store {self._root} changed under this "
+                f"handle: the manifest holds {on_disk} version(s) on "
+                f"disk but this handle expected {len(self._versions)}; "
+                f"reopen the store and retry"
+            )
         version = len(self._versions) + 1
         since_day, through_day = window if window is not None else (None,
                                                                     None)
+        checkpoint: Optional[str] = None
         if version == 1 or full:
             filename = f"v{version:04d}.full.json"
             kind, parent = "full", None
             changed = len(dataset)
             removed: List[int] = []
-            hasher = hashlib.blake2b(digest_size=16)
-
-            def hashed_chunks():
-                for chunk in iter_json_chunks(dataset):
-                    hasher.update(chunk.encode("utf-8"))
-                    yield chunk
-
-            _write_atomic(
-                os.path.join(self._root, filename), hashed_chunks()
-            )
-            digest = hasher.hexdigest()
+            digest = self._write_full_document(filename, dataset)
         else:
             parent = version - 1
             previous = self.load(parent)
@@ -339,7 +446,13 @@ class SnapshotStore:
             )
             _write_atomic(os.path.join(self._root, filename), (payload,))
             kind, changed = "delta", len(changed_items)
-            digest = dataset_digest(dataset)
+            if (self._checkpoint_every is not None
+                    and self._deltas_since_base() + 1
+                    >= self._checkpoint_every):
+                checkpoint = f"v{version:04d}.ckpt.json"
+                digest = self._write_full_document(checkpoint, dataset)
+            else:
+                digest = dataset_digest(dataset)
         info = SnapshotInfo(
             version=version,
             kind=kind,
@@ -353,9 +466,14 @@ class SnapshotStore:
             digest=digest,
             note=note,
             provenance=dict(provenance or {}),
+            checkpoint=checkpoint,
         )
         self._versions.append(info)
-        self._write_manifest()
+        try:
+            self._write_manifest(expected_on_disk=version - 1)
+        except SnapshotError:
+            self._versions.pop()
+            raise
         if runlog is not None:
             runlog.emit(
                 "snapshot.saved",
@@ -367,38 +485,119 @@ class SnapshotStore:
                 digest=info.digest,
                 since_day=info.since_day,
                 through_day=info.through_day,
+                checkpoint=checkpoint is not None,
             )
+            if checkpoint is not None:
+                runlog.emit(
+                    "snapshot.checkpoint",
+                    version=info.version,
+                    filename=checkpoint,
+                    records=info.record_count,
+                    every=self._checkpoint_every,
+                )
         return info
 
     # -- reading ------------------------------------------------------------
 
-    def _read_file(self, info: SnapshotInfo) -> str:
-        path = os.path.join(self._root, info.filename)
+    def _read_file(self, filename: str, version: int) -> str:
+        path = os.path.join(self._root, filename)
         try:
             with open(path) as handle:
                 return handle.read()
         except OSError as exc:
             raise SnapshotCorruption(
-                f"cannot read v{info.version} document {path}: {exc}"
+                f"cannot read v{version} document {path}: {exc}"
             ) from exc
+
+    def _full_document_name(
+        self,
+        info: SnapshotInfo,
+        use_checkpoints: bool = True,
+    ) -> Optional[str]:
+        """File holding ``info``'s complete document, if one exists."""
+        if info.kind == "full":
+            return info.filename
+        if use_checkpoints and info.checkpoint is not None:
+            return info.checkpoint
+        return None
+
+    def _full_items(self, name: str, version: int) -> Iterator[dict]:
+        """Record items of a stored full document, in file order."""
+        document = json.loads(self._read_file(name, version))
+        if document.get("format") != DATASET_FORMAT:
+            raise SnapshotCorruption(
+                f"v{version}: unsupported document format "
+                f"{document.get('format')!r}"
+            )
+        return iter(document["records"])
+
+    def changes(self, version: int) -> Tuple[List[dict], List[int]]:
+        """The recorded delta of one version: ``(changed record items,
+        removed ASNs)`` exactly as stored on disk.
+
+        The temporal layer's scan primitive: timelines and churn walk
+        the chain through this without materializing any dataset.  Full
+        versions record no delta (SnapshotError).
+        """
+        info = self.info(version)
+        if info.kind != "delta":
+            raise SnapshotError(
+                f"v{version} is a full snapshot; it records no delta"
+            )
+        delta = json.loads(self._read_file(info.filename, info.version))
+        if delta.get("format") != DELTA_FORMAT:
+            raise SnapshotCorruption(
+                f"v{version}: unsupported delta format "
+                f"{delta.get('format')!r}"
+            )
+        return (
+            list(delta.get("changed", ())),
+            [int(asn) for asn in delta.get("removed", ())],
+        )
+
+    @staticmethod
+    def _rollback(store) -> None:
+        """Best-effort clearing of a partially populated load target, so
+        a failed verification never leaves half a version behind in a
+        persistent backend."""
+        try:
+            if hasattr(store, "asns"):
+                asns = list(store.asns())
+            else:
+                asns = [record.asn for record in store]
+            for asn in asns:
+                store.remove(asn)
+            store.flush()
+        except Exception:  # pragma: no cover - the original error wins
+            pass
 
     def load(
         self,
         version: Optional[int] = None,
         into=None,
+        use_checkpoints: bool = True,
     ) -> ASdbDataset:
         """Materialize one version (default: the latest).
 
-        Walks back to the nearest full snapshot and replays the delta
-        chain forward; the result is verified against the version's
-        recorded digest before it is returned.
+        Walks back to the nearest stored full document — a checkpoint
+        or a full snapshot — and replays the delta chain forward, so
+        reconstruction touches at most ``checkpoint_every`` deltas no
+        matter how deep the history is.  ``use_checkpoints=False``
+        forces the replay all the way back to the nearest ``full``
+        version (the benchmark's baseline, and a recovery path should a
+        checkpoint file ever be lost).  The result is verified against
+        the version's recorded digest before it is returned; a manifest
+        entry with no digest is treated as corruption, never as a
+        silent pass.
 
         With ``into`` (an empty :class:`~repro.core.store.DatasetStore`
         backend, e.g. a :class:`SqliteDatasetStore`), records land in
         that store instead of a fresh in-memory dataset — a sqlite
         target keeps only its write batch resident while the chain
-        replays.  The digest check streams the result's chunk stream,
-        so it never materializes the document either way.
+        replays.  If replay or verification fails, the target store is
+        rolled back to empty before the error propagates.  The digest
+        check streams the result's chunk stream, so it never
+        materializes the document either way.
         """
         if version is None:
             latest = self.latest()
@@ -409,47 +608,52 @@ class SnapshotStore:
 
         chain: List[SnapshotInfo] = []
         info = target
-        while info.kind != "full":
+        base_name = self._full_document_name(info, use_checkpoints)
+        while base_name is None:
             chain.append(info)
             if info.parent is None:
                 raise SnapshotCorruption(
                     f"delta v{info.version} has no parent"
                 )
             info = self.info(info.parent)
-        if into is None:
-            dataset = dataset_from_json(self._read_file(info))
-        else:
-            if len(into):
-                raise SnapshotError(
-                    "load target store is not empty: refusing to merge "
-                    f"v{target.version} into {len(into)} existing records"
-                )
-            dataset = into
-            base = json.loads(self._read_file(info))
-            if base.get("format") != "asdb-repro/1":
-                raise SnapshotCorruption(
-                    f"v{info.version}: unsupported document format "
-                    f"{base.get('format')!r}"
-                )
-            for item in base["records"]:
-                dataset.add(record_from_item(item))
-        for delta_info in reversed(chain):
-            delta = json.loads(self._read_file(delta_info))
-            if delta.get("format") != DELTA_FORMAT:
-                raise SnapshotCorruption(
-                    f"v{delta_info.version}: unsupported delta format "
-                    f"{delta.get('format')!r}"
-                )
-            for asn in delta.get("removed", ()):
-                dataset.remove(int(asn))
-            for item in delta.get("changed", ()):
-                dataset.add(record_from_item(item))
-        dataset.flush()
-        if target.digest and dataset_digest(dataset) != target.digest:
-            raise SnapshotCorruption(
-                f"v{target.version}: materialized document does not "
-                f"match its recorded digest"
+            base_name = self._full_document_name(info, use_checkpoints)
+        if into is not None and len(into):
+            raise SnapshotError(
+                "load target store is not empty: refusing to merge "
+                f"v{target.version} into {len(into)} existing records"
             )
+        dataset = ASdbDataset() if into is None else into
+        try:
+            for item in self._full_items(base_name, info.version):
+                dataset.add(record_from_item(item))
+            for delta_info in reversed(chain):
+                delta = json.loads(
+                    self._read_file(delta_info.filename, delta_info.version)
+                )
+                if delta.get("format") != DELTA_FORMAT:
+                    raise SnapshotCorruption(
+                        f"v{delta_info.version}: unsupported delta format "
+                        f"{delta.get('format')!r}"
+                    )
+                for asn in delta.get("removed", ()):
+                    dataset.remove(int(asn))
+                for item in delta.get("changed", ()):
+                    dataset.add(record_from_item(item))
+            dataset.flush()
+            if not target.digest:
+                raise SnapshotCorruption(
+                    f"v{target.version}: manifest entry records no "
+                    f"digest; refusing to trust an unverifiable document"
+                )
+            if dataset_digest(dataset) != target.digest:
+                raise SnapshotCorruption(
+                    f"v{target.version}: materialized document does not "
+                    f"match its recorded digest"
+                )
+        except BaseException:
+            if into is not None:
+                self._rollback(into)
+            raise
         return dataset
 
     def materialize(
@@ -473,11 +677,44 @@ class SnapshotStore:
             version = latest.version
         return self.load(version, into=into), self.info(version)
 
+    @contextmanager
+    def materialize_pair(self, old_version: int, new_version: int):
+        """Both versions materialized into throwaway sqlite scratch
+        stores, yielded as ``(old_dataset, new_dataset)``.
+
+        The streaming substrate for :meth:`diff` and churn analytics:
+        each side replays into its own on-disk store (O(batch)
+        residency), and the scratch directory is removed when the
+        ``with`` block exits — success or not.
+        """
+        from .store import SqliteDatasetStore
+
+        old_info = self.info(old_version)
+        new_info = self.info(new_version)
+        scratch = tempfile.mkdtemp(prefix="asdb-snapdiff-")
+        old_ds = new_ds = None
+        try:
+            old_ds = SqliteDatasetStore(
+                os.path.join(scratch, f"v{old_info.version}.sqlite")
+            )
+            new_ds = SqliteDatasetStore(
+                os.path.join(scratch, f"v{new_info.version}.sqlite")
+            )
+            self.load(old_info.version, into=old_ds)
+            self.load(new_info.version, into=new_ds)
+            yield old_ds, new_ds
+        finally:
+            for store in (old_ds, new_ds):
+                if store is not None:
+                    store.close()
+            shutil.rmtree(scratch, ignore_errors=True)
+
     def read_json(self, version: Optional[int] = None) -> str:
         """The lossless JSON document for one version.
 
-        For full versions this is the stored file verbatim — byte
-        identical to the :func:`dataset_to_json` output at save time;
+        For versions with a stored full document — full snapshots and
+        checkpointed deltas — this is the file verbatim, byte identical
+        to the :func:`dataset_to_json` output at save time; other
         deltas are materialized first (which re-serializes through the
         same encoder, so the bytes still match).
         """
@@ -487,10 +724,18 @@ class SnapshotStore:
                 raise SnapshotError("snapshot store is empty")
             version = latest.version
         info = self.info(version)
-        if info.kind == "full":
-            return self._read_file(info)
+        name = self._full_document_name(info)
+        if name is not None:
+            return self._read_file(name, info.version)
         return dataset_to_json(self.load(version))
 
     def diff(self, old_version: int, new_version: int) -> DatasetDiff:
-        """What changed from ``old_version`` to ``new_version``."""
-        return self.load(new_version).diff(self.load(old_version))
+        """What changed from ``old_version`` to ``new_version``.
+
+        Both sides stream through scratch sqlite stores and an ordered
+        merge, so diffing a million-AS history holds O(batch) records —
+        the same discipline as ``save``'s delta path.
+        """
+        with self.materialize_pair(old_version, new_version) as pair:
+            old_ds, new_ds = pair
+            return diff_record_streams(iter(new_ds), iter(old_ds))

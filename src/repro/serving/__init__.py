@@ -23,7 +23,7 @@ from typing import Optional
 
 from ..core.snapshots import SnapshotStore
 from .app import ServingApp
-from .index import IndexVersion, ReadIndex, record_view
+from .index import HistoryIndex, IndexVersion, ReadIndex, record_view
 from .queue import (
     OFFER_FULL,
     OFFER_PENDING,
@@ -35,6 +35,7 @@ from .queue import (
 __all__ = [
     "ServingApp",
     "ReadIndex",
+    "HistoryIndex",
     "IndexVersion",
     "record_view",
     "ClassificationQueue",
@@ -44,6 +45,7 @@ __all__ = [
     "OFFER_FULL",
     "index_from_store",
     "index_from_snapshots",
+    "history_from_snapshots",
 ]
 
 
@@ -83,3 +85,16 @@ def index_from_snapshots(
         snapshot_version=info.version,
         digest=info.digest,
     )
+
+
+def history_from_snapshots(
+    root: str, generation: int = 1
+) -> HistoryIndex:
+    """Precompute the temporal :class:`HistoryIndex` from a snapshot
+    store.
+
+    Reopens the store from ``root`` on every call, like
+    :func:`index_from_snapshots`, so a refresh swap extends the served
+    history to releases appended since the last build.
+    """
+    return HistoryIndex.build(SnapshotStore(root), generation=generation)

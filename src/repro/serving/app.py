@@ -24,6 +24,13 @@ Endpoints (JSON unless noted)::
     GET  /metrics        Prometheus text exposition (text/plain)
     POST /refresh        admin: rebuild from the source and swap
 
+and, when the service was built from a snapshot store (a
+:class:`~repro.serving.index.HistoryIndex` is attached), the temporal
+pair from ROADMAP item 3::
+
+    GET  /asn/{asn}/history      per-release classification trajectory
+    GET  /asof/{day}/asn/{asn}   the record in force on a given day
+
 The HTTP layer is a minimal HTTP/1.1 implementation over
 ``asyncio.start_server`` — GET/POST only, keep-alive, Content-Length
 framing — because the serving contract (stdlib only) rules out real
@@ -33,9 +40,11 @@ and benchmarks can drive the service without sockets.
 
 Observability: requests meter ``asdb_serve_requests_total`` /
 ``asdb_serve_seconds`` per endpoint, swaps meter
-``asdb_serve_swaps_total``; with a run ledger attached the service
-emits ``serve.start`` / ``serve.swap`` / ``serve.queue`` /
-``serve.stop`` events (see :mod:`repro.obs.runlog`).
+``asdb_serve_swaps_total``, the history build meters
+``asdb_serve_history_versions`` / ``asdb_serve_history_asns``; with a
+run ledger attached the service emits ``serve.start`` / ``serve.swap``
+/ ``serve.history_swap`` / ``serve.queue`` / ``serve.stop`` events
+(see :mod:`repro.obs.runlog`).
 """
 
 from __future__ import annotations
@@ -48,7 +57,7 @@ from urllib.parse import parse_qs, unquote
 
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..obs.runlog import NULL_RUNLOG
-from .index import ReadIndex, record_view
+from .index import HistoryIndex, ReadIndex, record_view
 from .queue import (
     OFFER_FULL,
     OFFER_QUEUED,
@@ -74,7 +83,7 @@ _REASONS = {
 #: raw paths.
 _ENDPOINTS = (
     "healthz", "version", "categories", "asn", "org", "metrics",
-    "refresh", "other",
+    "refresh", "history", "asof", "other",
 )
 
 
@@ -96,6 +105,13 @@ class ServingApp:
         runlog: Run ledger for ``serve.*`` events; None stays silent.
         retry_after: Seconds clients should wait before retrying a 202
             or 503 (the ``Retry-After`` header).
+        history: The :class:`HistoryIndex` serving the temporal
+            endpoints; None answers them 404 (history needs a snapshot
+            store behind the service).
+        rebuild_history: ``rebuild_history(generation) -> HistoryIndex``
+            — rebuilt and swapped alongside the read index on every
+            :meth:`refresh`, so both views always cover the same
+            release set.
     """
 
     def __init__(
@@ -107,9 +123,13 @@ class ServingApp:
         metrics: Optional[MetricsRegistry] = None,
         runlog=None,
         retry_after: int = 1,
+        history: Optional[HistoryIndex] = None,
+        rebuild_history: Optional[Callable[[int], HistoryIndex]] = None,
     ) -> None:
         self._index = index
         self._rebuild = rebuild
+        self._history = history
+        self._rebuild_history = rebuild_history
         self.queue = queue
         self.worker = worker
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -134,6 +154,17 @@ class ServingApp:
             "asdb_serve_index_records", "Records in the served index."
         )
         self._m_records.set(len(index))
+        self._m_history_versions = self.metrics.gauge(
+            "asdb_serve_history_versions",
+            "Releases covered by the served history index.",
+        )
+        self._m_history_asns = self.metrics.gauge(
+            "asdb_serve_history_asns",
+            "ASes with a timeline in the served history index.",
+        )
+        if history is not None:
+            self._m_history_versions.set(history.latest_version)
+            self._m_history_asns.set(len(history))
 
     # -- index lifecycle -----------------------------------------------------
 
@@ -158,8 +189,35 @@ class ServingApp:
             snapshot_version=index.version.snapshot_version,
         )
 
+    @property
+    def history(self) -> Optional[HistoryIndex]:
+        """The currently served history index, when one is attached."""
+        return self._history
+
+    def swap_history(self, history: HistoryIndex) -> None:
+        """Atomically publish a new history index.
+
+        Same discipline as :meth:`swap`: one reference assignment, so a
+        request mid-flight keeps answering from the history it already
+        read while new requests see the fresh one.
+        """
+        self._history = history
+        self._m_history_versions.set(history.latest_version)
+        self._m_history_asns.set(len(history))
+        self.runlog.emit(
+            "serve.history_swap",
+            generation=history.generation,
+            versions=history.latest_version,
+            asns=len(history),
+        )
+
     def refresh(self) -> ReadIndex:
-        """Rebuild from the backing source and swap the result in."""
+        """Rebuild from the backing source and swap the result in.
+
+        When a history rebuild source is attached, the history index is
+        rebuilt and swapped in the same refresh, stamped with the same
+        generation as the read index it accompanies.
+        """
         if self._rebuild is None:
             raise RuntimeError("service has no rebuild source")
         with self.runlog.span("serve.rebuild") as span:
@@ -169,6 +227,10 @@ class ServingApp:
                 records=index.version.records,
             )
         self.swap(index)
+        if self._rebuild_history is not None:
+            self.swap_history(
+                self._rebuild_history(index.version.generation)
+            )
         return index
 
     def on_drained(self, asns: List[int]) -> None:
@@ -205,13 +267,20 @@ class ServingApp:
 
     @staticmethod
     def _endpoint_of(path: str) -> str:
-        head = path.strip("/").split("/", 1)[0] or "other"
+        parts = [part for part in path.strip("/").split("/") if part]
+        if (len(parts) == 3 and parts[0] == "asn"
+                and parts[2] == "history"):
+            return "history"
+        head = parts[0] if parts else "other"
         return head if head in _ENDPOINTS else "other"
 
     def _route(
         self, method: str, path: str, query_string: str
     ) -> Response:
-        index = self._index  # the one read; everything below uses it
+        # The one read of each served view; everything below uses these
+        # locals, never the attributes — the swap-consistency contract.
+        index = self._index
+        history = self._history
         parts = [part for part in path.split("/") if part]
         if method == "POST":
             if parts == ["refresh"]:
@@ -251,6 +320,12 @@ class ServingApp:
             return self._get_asn(index, parts[1])
         if len(parts) == 2 and parts[0] == "org":
             return self._get_org(index, parts[1], query_string)
+        if (len(parts) == 3 and parts[0] == "asn"
+                and parts[2] == "history"):
+            return self._get_history(history, parts[1])
+        if (len(parts) == 4 and parts[0] == "asof"
+                and parts[2] == "asn"):
+            return self._get_asof(history, parts[1], parts[3])
         return self._error(404, f"no route for {path}")
 
     def _get_asn(self, index: ReadIndex, raw: str) -> Response:
@@ -310,6 +385,76 @@ class ServingApp:
             "query": query,
             "count": len(matches),
             "matches": [record_view(record) for record in matches],
+        }, {}
+
+    _NO_HISTORY = (
+        "history is not served here: start the service from a "
+        "snapshot store (repro serve --snapshots DIR) to enable "
+        "temporal endpoints"
+    )
+
+    def _get_history(
+        self, history: Optional[HistoryIndex], raw: str
+    ) -> Response:
+        if history is None:
+            return self._error(404, self._NO_HISTORY)
+        try:
+            asn = int(unquote(raw))
+        except ValueError:
+            return self._error(400, f"not an ASN: {raw!r}")
+        events = history.timeline(asn)
+        if events is None:
+            return self._error(
+                404, f"AS{asn} never appears in the release history"
+            )
+        return 200, {
+            "asn": asn,
+            "generation": history.generation,
+            "latest_version": history.latest_version,
+            "events": [event.to_dict() for event in events],
+        }, {}
+
+    def _get_asof(
+        self,
+        history: Optional[HistoryIndex],
+        raw_day: str,
+        raw_asn: str,
+    ) -> Response:
+        if history is None:
+            return self._error(404, self._NO_HISTORY)
+        try:
+            day = int(unquote(raw_day))
+        except ValueError:
+            return self._error(400, f"not a day: {raw_day!r}")
+        try:
+            asn = int(unquote(raw_asn))
+        except ValueError:
+            return self._error(400, f"not an ASN: {raw_asn!r}")
+        version = history.version_on(day)
+        if version is None:
+            return self._error(
+                404, f"no release at or before day {day}"
+            )
+        info = history.info(version)
+        item = history.record_asof(asn, version)
+        if item is None:
+            return 404, {
+                "error": (
+                    f"AS{asn} was not in the dataset as of day {day}"
+                ),
+                "day": day,
+                "version": version,
+                "generation": history.generation,
+            }, {}
+        return 200, {
+            "asn": asn,
+            "day": day,
+            "version": version,
+            "since_day": info.since_day,
+            "through_day": info.through_day,
+            "digest": info.digest,
+            "generation": history.generation,
+            "record": item,
         }, {}
 
     @staticmethod

@@ -21,15 +21,18 @@ which backend fed it.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.database import ASdbRecord
+from ..core.history import ReleaseHistory, TimelineEvent
 from ..core.persistence import record_to_item
+from ..core.snapshots import SnapshotInfo, SnapshotStore
 from ..core.stages import Stage
 from ..world.names import token_set
 
-__all__ = ["IndexVersion", "ReadIndex", "record_view"]
+__all__ = ["HistoryIndex", "IndexVersion", "ReadIndex", "record_view"]
 
 
 def record_view(record: ASdbRecord) -> Dict[str, object]:
@@ -215,3 +218,90 @@ class ReadIndex:
             Stage(slug): count
             for slug, count in self._stage_counts.items()
         }
+
+
+class HistoryIndex:
+    """Immutable per-ASN release-history map behind the temporal
+    endpoints.
+
+    The serving-side face of :class:`~repro.core.history.ReleaseHistory`:
+    one pass over the snapshot store's version chain at build time
+    precomputes every AS's timeline plus a day → version resolution
+    table, and the finished index is never mutated.  The service
+    publishes a rebuilt history with the same single-assignment swap
+    discipline as :class:`ReadIndex`, so ``/asn/{asn}/history`` and
+    ``/asof/{day}/asn/{asn}`` answers are always internally consistent
+    — no request ever sees half an old history and half a new one.
+    """
+
+    def __init__(
+        self,
+        timelines: Dict[int, Tuple[TimelineEvent, ...]],
+        infos: Dict[int, SnapshotInfo],
+        generation: int,
+        source: str = "",
+    ) -> None:
+        self._timelines = timelines
+        self._infos = infos
+        #: (through_day, version) ascending — bisect resolves "the
+        #: release in force on day D" without touching the store.
+        self._days: List[Tuple[int, int]] = sorted(
+            (info.through_day, info.version)
+            for info in infos.values()
+            if info.through_day is not None
+        )
+        self._day_keys = [day for day, _ in self._days]
+        self.generation = generation
+        self.source = source
+
+    @classmethod
+    def build(
+        cls,
+        store: SnapshotStore,
+        generation: int = 1,
+        source: str = "",
+    ) -> "HistoryIndex":
+        """Precompute all timelines from a snapshot store."""
+        history = ReleaseHistory(store)
+        return cls(
+            history.timelines(),
+            {info.version: info for info in store.versions()},
+            generation=generation,
+            source=source or f"snapshots:{store.root}",
+        )
+
+    # -- lookups -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._timelines)
+
+    @property
+    def latest_version(self) -> int:
+        """Newest release version covered by this build (0 if empty)."""
+        return max(self._infos) if self._infos else 0
+
+    def info(self, version: int) -> SnapshotInfo:
+        """Manifest facts for one covered version (KeyError if absent)."""
+        return self._infos[version]
+
+    def timeline(self, asn: int) -> Optional[Tuple[TimelineEvent, ...]]:
+        """The AS's event trajectory, or None if it never appears."""
+        return self._timelines.get(asn)
+
+    def version_on(self, day: int) -> Optional[int]:
+        """The release in force on ``day`` (newest version whose sweep
+        window closed at or before it), or None."""
+        position = bisect.bisect_right(self._day_keys, day) - 1
+        return self._days[position][1] if position >= 0 else None
+
+    def record_asof(
+        self, asn: int, version: int
+    ) -> Optional[Dict[str, object]]:
+        """The AS's record item as of ``version``, replayed from its
+        precomputed timeline (None when absent at that point)."""
+        state: Optional[Dict[str, object]] = None
+        for event in self._timelines.get(asn, ()):
+            if event.version > version:
+                break
+            state = event.item
+        return state

@@ -87,6 +87,11 @@ class SystemConfig:
             :class:`~repro.core.maintenance.MaintenanceDaemon`).  None
             keeps single-batch sweeps; a bound makes sweeps streaming —
             O(batch) records resident with byte-identical results.
+        snapshot_checkpoint_every: Promote every K-th consecutive delta
+            in the snapshot store to a checkpoint (full document stored
+            alongside the delta), bounding point-in-time reconstruction
+            to O(K) deltas.  None keeps the cadence already recorded in
+            the store's manifest (or never promotes on a new store).
     """
 
     seed: int = 0
@@ -105,6 +110,7 @@ class SystemConfig:
     runlog: Optional[object] = None
     dataset_store: Optional[str] = None
     sweep_batch_size: Optional[int] = None
+    snapshot_checkpoint_every: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -232,7 +238,10 @@ def build_asdb(
         )
     snapshots = daemon = None
     if config.snapshot_dir is not None:
-        snapshots = SnapshotStore(config.snapshot_dir)
+        snapshots = SnapshotStore(
+            config.snapshot_dir,
+            checkpoint_every=config.snapshot_checkpoint_every,
+        )
         daemon = MaintenanceDaemon(
             asdb,
             workers=config.workers,

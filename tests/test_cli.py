@@ -448,3 +448,110 @@ class TestServeCommand:
         capsys.readouterr()
         assert main(["serve", "--snapshots", root, "--lazy"]) == 2
         assert "--lazy" in capsys.readouterr().err
+
+class TestTemporalCommands:
+    """asof / timeline / churn drive the temporal query layer."""
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        root = str(tmp_path_factory.mktemp("temporal") / "releases")
+        assert main(
+            ["snapshot", "--store", root, "--n-orgs", "60",
+             "--seed", "11", "--no-ml", "--workers", "2",
+             "--checkpoint-every", "2"]
+        ) == 0
+        for _ in range(2):
+            assert main(
+                ["refresh", "--store", root, "--days", "120",
+                 "--workers", "2"]
+            ) == 0
+        return root
+
+    def _an_asn(self, store):
+        with open(os.path.join(store, "v0001.full.json")) as handle:
+            return json.load(handle)["records"][0]["asn"]
+
+    def test_parser_accepts_checkpoint_cadence(self):
+        args = build_parser().parse_args(
+            ["snapshot", "--store", "x", "--checkpoint-every", "4"]
+        )
+        assert args.checkpoint_every == 4
+
+    def test_snapshot_reports_cadence(self, store, capsys):
+        capsys.readouterr()
+        # v3 is the second consecutive delta: promoted at cadence 2.
+        with open(os.path.join(store, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["checkpoint_every"] == 2
+        assert manifest["versions"][2].get("checkpoint")
+
+    def test_asof_by_day(self, store, capsys):
+        assert main(["asof", "--store", store, "--day", "130"]) == 0
+        out = capsys.readouterr().out
+        assert "as of day 130: v" in out
+        assert "(verified)" in out
+
+    def test_asof_writes_dataset(self, store, tmp_path, capsys):
+        out_file = str(tmp_path / "asof.json")
+        assert main(
+            ["asof", "--store", store, "--version", "2",
+             "--out", out_file]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(out_file) as handle:
+            document = json.load(handle)
+        assert document["records"]
+
+    def test_asof_selector_errors(self, store, capsys):
+        assert main(["asof", "--store", store]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(
+            ["asof", "--store", store, "--version", "1", "--day", "9"]
+        ) == 2
+        assert main(
+            ["asof", "--store", store, "--day", "1",
+             "--out", "x.txt"]
+        ) == 2
+        assert main(["asof", "--store", store, "--version", "99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_timeline_table_and_json(self, store, capsys):
+        asn = self._an_asn(store)
+        assert main(["timeline", "--store", store, "--asn",
+                     str(asn)]) == 0
+        out = capsys.readouterr().out
+        assert f"AS{asn} classification timeline" in out
+        assert "added" in out
+        assert main(["timeline", "--store", store, "--asn", str(asn),
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["asn"] == asn
+        assert document["versions"] == 3
+        assert document["events"][0]["change"] == "added"
+
+    def test_timeline_unknown_asn(self, store, capsys):
+        assert main(
+            ["timeline", "--store", store, "--asn", "99999999"]
+        ) == 0
+        assert "never appears" in capsys.readouterr().out
+
+    def test_churn_defaults_to_latest_pair(self, store, capsys):
+        assert main(["churn", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "v2 -> v3:" in out
+        assert "unchanged" in out
+
+    def test_churn_json_document(self, store, capsys):
+        assert main(
+            ["churn", "--store", store, "--from", "1", "--to", "3",
+             "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["old_version"] == 1
+        assert document["new_version"] == 3
+        assert isinstance(document["flows"], list)
+
+    def test_churn_bad_versions(self, store, capsys):
+        assert main(
+            ["churn", "--store", store, "--from", "1", "--to", "9"]
+        ) == 2

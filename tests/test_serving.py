@@ -30,9 +30,11 @@ from repro.serving import (
     OFFER_PENDING,
     OFFER_QUEUED,
     ClassificationQueue,
+    HistoryIndex,
     QueueWorker,
     ReadIndex,
     ServingApp,
+    history_from_snapshots,
     index_from_snapshots,
     index_from_store,
     record_view,
@@ -573,6 +575,36 @@ class TestSnapshotServing:
         assert index.version.digest == store.latest().digest
         assert len(index) == 3
 
+    def test_refresh_rebuilds_history_in_same_generation(
+        self, tmp_path
+    ):
+        store = SnapshotStore(str(tmp_path / "releases"))
+        store.save(_dataset([_record(1), _record(2)]), window=(-1, 0))
+        root = store.root
+        app = ServingApp(
+            index_from_snapshots(root),
+            rebuild=lambda generation: index_from_snapshots(
+                root, generation=generation
+            ),
+            history=history_from_snapshots(root),
+            rebuild_history=lambda generation: history_from_snapshots(
+                root, generation=generation
+            ),
+        )
+        assert app.history.latest_version == 1
+        SnapshotStore(root).save(
+            _dataset([_record(1), _record(2), _record(3)]),
+            window=(0, 90),
+        )
+        status, _, _ = app.handle_request("POST", "/refresh")
+        assert status == 200
+        assert app.history.latest_version == 2
+        assert app.history.generation == \
+            app.index.version.generation == 2
+        status, body, _ = app.handle_request("GET", "/asn/3/history")
+        assert status == 200
+        assert [event["change"] for event in body["events"]] == ["added"]
+
     def test_refresh_picks_up_new_snapshot_version(self, tmp_path):
         records = [_record(asn) for asn in (1, 2)]
         store = self._store(tmp_path, records)
@@ -594,3 +626,153 @@ class TestSnapshotServing:
         assert body["version"]["generation"] == 2
         status, body, _ = app.handle_request("GET", "/asn/3")
         assert status == 200
+
+class TestTemporalServing:
+    """The read-only history endpoints served from a HistoryIndex."""
+
+    def _app(self, tmp_path, **kwargs):
+        store = SnapshotStore(str(tmp_path / "releases"))
+        store.save(
+            _dataset([
+                _record(1, slugs=("isp",)),
+                _record(2, slugs=("streaming",)),
+            ]),
+            window=(-1, 0),
+        )
+        store.save(
+            _dataset([
+                _record(1, slugs=("banks",)),
+                _record(3, slugs=("isp",)),
+            ]),
+            window=(0, 90),
+        )
+        index = index_from_snapshots(store.root)
+        history = history_from_snapshots(store.root)
+        return ServingApp(index, history=history, **kwargs)
+
+    def test_history_endpoint_replays_timeline(self, tmp_path):
+        app = self._app(tmp_path)
+        status, body, _ = app.handle_request("GET", "/asn/1/history")
+        assert status == 200
+        assert body["asn"] == 1
+        assert body["latest_version"] == 2
+        changes = [event["change"] for event in body["events"]]
+        assert changes == ["added", "updated"]
+        cats = [event["categorization"] for event in body["events"]]
+        assert cats == ["computer_and_it", "finance"]
+        status, body, _ = app.handle_request("GET", "/asn/2/history")
+        assert [event["change"] for event in body["events"]] == \
+            ["added", "removed"]
+
+    def test_history_endpoint_errors(self, tmp_path):
+        app = self._app(tmp_path)
+        status, body, _ = app.handle_request("GET", "/asn/x/history")
+        assert status == 400
+        status, body, _ = app.handle_request("GET", "/asn/99/history")
+        assert status == 404
+        assert "never appears" in body["error"]
+
+    def test_asof_endpoint_resolves_day_to_version(self, tmp_path):
+        app = self._app(tmp_path)
+        status, body, _ = app.handle_request("GET", "/asof/0/asn/2")
+        assert status == 200
+        assert body["version"] == 1
+        assert body["record"]["asn"] == 2
+        status, body, _ = app.handle_request("GET", "/asof/90/asn/2")
+        assert status == 404
+        assert "not in the dataset" in body["error"]
+        assert body["version"] == 2
+        status, body, _ = app.handle_request("GET", "/asof/90/asn/3")
+        assert status == 200
+        assert body["digest"]
+        assert (body["since_day"], body["through_day"]) == (0, 90)
+
+    def test_asof_endpoint_errors(self, tmp_path):
+        app = self._app(tmp_path)
+        status, body, _ = app.handle_request("GET", "/asof/x/asn/1")
+        assert status == 400
+        status, body, _ = app.handle_request("GET", "/asof/0/asn/x")
+        assert status == 400
+        status, body, _ = app.handle_request("GET", "/asof/-10/asn/1")
+        assert status == 404
+        assert "no release at or before" in body["error"]
+
+    def test_without_history_endpoints_404(self, classified):
+        _, _, dataset = classified
+        app = ServingApp(index_from_store(dataset))
+        for target in ("/asn/1/history", "/asof/10/asn/1"):
+            status, body, _ = app.handle_request("GET", target)
+            assert status == 404
+            assert "history is not served here" in body["error"]
+
+    def test_history_swap_metrics_and_ledger(self, tmp_path):
+        registry = MetricsRegistry()
+        ledger = tmp_path / "serve.ndjson"
+        runlog = RunLog(str(ledger), kind="serve", config={}, world={})
+        app = self._app(tmp_path, metrics=registry, runlog=runlog)
+        root = str(tmp_path / "releases")
+        SnapshotStore(root).save(
+            _dataset([_record(1), _record(3), _record(4)]),
+            window=(90, 180),
+        )
+        app.swap_history(history_from_snapshots(root, generation=2))
+        runlog.close()
+        assert registry.get("asdb_serve_history_versions").value() == 3
+        assert registry.get("asdb_serve_history_asns").value() == 4
+        events = [
+            event for event in read_ledger(str(ledger))
+            if event["event"] == "serve.history_swap"
+        ]
+        assert len(events) == 1
+        assert events[0]["versions"] == 3
+        assert events[0]["asns"] == 4
+
+    def test_history_reads_race_swaps_lock_free(self, tmp_path):
+        """Readers racing swap_history always see one coherent index.
+
+        Two histories disagree on depth (2 vs 3 releases); a coherent
+        response has an event count matching its own latest_version for
+        an AS updated in every release.
+        """
+        root = str(tmp_path / "releases")
+        store = SnapshotStore(root)
+        slugs = [("isp",), ("banks",), ("streaming",)]
+        for epoch in range(3):
+            store.save(
+                _dataset([_record(1, slugs=slugs[epoch]), _record(2)]),
+                window=(epoch * 90 - 90, epoch * 90),
+            )
+        shallow = HistoryIndex.build(
+            SnapshotStore(root), generation=1
+        )
+        # Rebuild a 2-release view by trimming the store contents.
+        trimmed = SnapshotStore(str(tmp_path / "trimmed"))
+        for epoch in range(2):
+            trimmed.save(
+                _dataset([_record(1, slugs=slugs[epoch]), _record(2)]),
+                window=(epoch * 90 - 90, epoch * 90),
+            )
+        short = HistoryIndex.build(trimmed, generation=2)
+        app = self._app(tmp_path)
+        app.swap_history(shallow)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                status, body, _ = app.handle_request(
+                    "GET", "/asn/1/history"
+                )
+                if status != 200 \
+                        or len(body["events"]) != body["latest_version"]:
+                    errors.append(body)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        for flip in range(400):
+            app.swap_history(short if flip % 2 == 0 else shallow)
+        stop.set()
+        for thread in readers:
+            thread.join(10)
+        assert not errors, errors[:5]
