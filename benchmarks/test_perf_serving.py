@@ -22,9 +22,18 @@ import time
 from pathlib import Path
 
 from repro import SystemConfig, build_asdb
+from repro.core import ASdbRecord, SnapshotStore, Stage
+from repro.core.database import ASdbDataset
 from repro.obs import percentile
 from repro.reporting import render_table
-from repro.serving import ReadIndex, ServingApp, index_from_store
+from repro.serving import (
+    ReadIndex,
+    ServingApp,
+    index_from_snapshots,
+    index_from_store,
+    refresh_index_from_snapshots,
+)
+from repro.taxonomy import LabelSet
 from repro.world import WorldConfig, generate_world
 
 BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
@@ -41,6 +50,23 @@ WINDOW_SECONDS = 2.0 if BENCH_ROUNDS > 1 else 0.8
 #: per-request index rebuild, lost keep-alive).
 MIN_SUSTAINED_RPS = 50.0
 MAX_P99_SECONDS = 0.5
+
+#: Incremental-refresh gate: a 100k-AS world absorbing a <=1% delta
+#: must refresh at least this many times faster than a full rebuild
+#: (measured: ~70x; 5x is the acceptance floor from the issue).
+REFRESH_RECORDS = 100_000
+REFRESH_DELTA = 1_000
+MIN_REFRESH_SPEEDUP = 5.0
+
+#: Cached-response gate.  The committed ``serving_sustained_load``
+#: baseline (uncached read path on the reference machine) is the floor
+#: the cache must clear on full benchmark runs; single-round smoke runs
+#: on shared CI hardware fall back to the order-of-magnitude floor,
+#: like every other absolute number in this file.
+CACHED_RPS_BASELINE = 7525.0
+CACHED_RPS_FLOOR = (
+    CACHED_RPS_BASELINE if BENCH_ROUNDS > 1 else MIN_SUSTAINED_RPS
+)
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
@@ -251,6 +277,151 @@ def test_perf_serving_swap_under_load(report):
             [
                 ["index swaps during window", swaps],
                 ["sustained req/s", f"{rps:.0f}"],
+                ["p99 latency", f"{p99 * 1e3:.2f}ms"],
+            ],
+        ),
+    )
+
+
+def _synthetic_store(root, records, delta):
+    """A two-version snapshot store: ``records`` ASes, then a
+    ``delta``-record update — the refresh scenario under test."""
+    slug_pool = ["isp", "hosting", "banks", "streaming"]
+    labels = {
+        slug: LabelSet.from_layer2_slugs([slug]) for slug in slug_pool
+    }
+
+    def record(asn, generation):
+        return ASdbRecord(
+            asn=asn,
+            labels=labels[slug_pool[(asn + generation) % 4]],
+            stage=Stage.ONE_SOURCE,
+            org_key=f"name:Org {asn % 5000}",
+        )
+
+    dataset = ASdbDataset()
+    for asn in range(1, records + 1):
+        dataset.add(record(asn, 0))
+    store = SnapshotStore(root)
+    store.save(dataset, window=(-1, 0))
+    for asn in range(1, delta + 1):
+        dataset.add(record(asn, 1))
+    store.save(dataset, window=(0, 30))
+    return store
+
+
+def test_perf_incremental_refresh(report, tmp_path):
+    """Delta-apply refresh must beat the full rebuild by >= 5x on a
+    100k-AS world with a <=1% delta — while producing an index whose
+    content fingerprint is identical to the full rebuild's."""
+    root = str(tmp_path / "releases")
+    _synthetic_store(root, REFRESH_RECORDS, REFRESH_DELTA)
+    previous = index_from_snapshots(root, version=1, generation=1)
+
+    best_full = best_incremental = float("inf")
+    incremental = full = None
+    for _ in range(BENCH_ROUNDS):
+        t0 = time.perf_counter()
+        full = index_from_snapshots(root, generation=2)
+        best_full = min(best_full, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        incremental = refresh_index_from_snapshots(root, previous, 2)
+        best_incremental = min(
+            best_incremental, time.perf_counter() - t0
+        )
+    assert incremental is not None, "lineage check unexpectedly failed"
+    equal = incremental.fingerprint() == full.fingerprint()
+    assert equal, "delta-applied index diverged from the full rebuild"
+    assert incremental.etag == full.etag
+
+    speedup = best_full / best_incremental
+    assert speedup >= MIN_REFRESH_SPEEDUP, (
+        f"incremental refresh only {speedup:.1f}x faster than a full "
+        f"rebuild (floor {MIN_REFRESH_SPEEDUP}x) at {REFRESH_RECORDS} "
+        f"records / {REFRESH_DELTA} changed"
+    )
+
+    _record("incremental_refresh", {
+        "records": REFRESH_RECORDS,
+        "delta_records": REFRESH_DELTA,
+        "rounds": BENCH_ROUNDS,
+        "full_rebuild_ms": round(best_full * 1e3, 1),
+        "incremental_ms": round(best_incremental * 1e3, 1),
+        "speedup": round(speedup, 1),
+        "speedup_floor": MIN_REFRESH_SPEEDUP,
+        "equal_fingerprints": equal,
+    })
+    report(
+        "perf_incremental_refresh",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["index records", REFRESH_RECORDS],
+                ["delta records", REFRESH_DELTA],
+                ["full rebuild", f"{best_full * 1e3:.0f}ms"],
+                ["incremental refresh",
+                 f"{best_incremental * 1e3:.1f}ms"],
+                ["speedup", f"{speedup:.1f}x"],
+                ["fingerprints equal", equal],
+            ],
+        ),
+    )
+
+
+def test_perf_cached_response_load(report):
+    """The pre-rendered response cache must push sustained throughput
+    on cacheable paths past the committed uncached baseline."""
+    dataset, index = _build_index()
+    asns = [record.asn for record in dataset][:32]
+    paths = (
+        [f"/asn/{asn}" for asn in asns] + ["/categories", "/version"]
+    )
+
+    best_rps, all_latencies = 0.0, []
+    with _Service(ServingApp(index)) as service:
+        # The warm-up round is what populates the response cache.
+        _drive(service, paths, 0.2)
+        for _ in range(BENCH_ROUNDS):
+            count, elapsed, latencies, errors = _drive(
+                service, paths, WINDOW_SECONDS
+            )
+            assert not errors, errors[:5]
+            best_rps = max(best_rps, count / elapsed)
+            all_latencies.extend(latencies)
+
+    # Every driven path is cacheable, so the cache must hold exactly
+    # the driven set — misses past warm-up would mean cache misses on
+    # the hot path.
+    assert set(index.response_cache) == set(paths)
+    p99 = percentile(all_latencies, 0.99)
+    assert best_rps >= CACHED_RPS_FLOOR, (
+        f"cached-path throughput {best_rps:.0f} req/s is below the "
+        f"{CACHED_RPS_FLOOR:.0f} floor (committed uncached baseline "
+        f"{CACHED_RPS_BASELINE:.0f})"
+    )
+    assert p99 <= MAX_P99_SECONDS
+
+    _record("cached_response_load", {
+        "clients": CLIENTS,
+        "rounds": BENCH_ROUNDS,
+        "window_seconds": WINDOW_SECONDS,
+        "requests": len(all_latencies),
+        "sustained_rps": round(best_rps, 1),
+        "p50_ms": round(percentile(all_latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(p99 * 1e3, 3),
+        "floor_rps": round(CACHED_RPS_FLOOR, 1),
+        "uncached_baseline_rps": CACHED_RPS_BASELINE,
+        "cache_entries": len(index.response_cache),
+    })
+    report(
+        "perf_cached_response_load",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["concurrent clients", CLIENTS],
+                ["requests served", len(all_latencies)],
+                ["sustained req/s", f"{best_rps:.0f}"],
+                ["uncached baseline", f"{CACHED_RPS_BASELINE:.0f}"],
                 ["p99 latency", f"{p99 * 1e3:.2f}ms"],
             ],
         ),

@@ -412,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--version", type=int, default=None,
                        help="pin a snapshot version (default: latest "
                        "at each rebuild)")
+    serve.add_argument("--full-refresh", action="store_true",
+                       help="force POST /refresh to rebuild from "
+                       "scratch instead of delta-applying new "
+                       "releases onto the live index (snapshot "
+                       "serving only)")
     serve.add_argument("--store", default=None, metavar="URL",
                        help="serve an existing dataset store "
                        "(sqlite:PATH / json:PATH); reopened on each "
@@ -1209,6 +1214,8 @@ def _build_serving_app(args: argparse.Namespace, registry, runlog):
         history_from_snapshots,
         index_from_snapshots,
         index_from_store,
+        refresh_history_from_snapshots,
+        refresh_index_from_snapshots,
     )
 
     sources = sum(
@@ -1241,10 +1248,28 @@ def _build_serving_app(args: argparse.Namespace, registry, runlog):
         except (SnapshotError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        return ServingApp(index, rebuild=rebuild, metrics=registry,
-                          runlog=runlog, retry_after=args.retry_after,
-                          history=history,
-                          rebuild_history=rebuild_history)
+        # Delta-apply refresh only makes sense tracking the latest
+        # release: a pinned --version always re-serves that version,
+        # and --full-refresh opts out explicitly.
+        incremental = args.version is None and not args.full_refresh
+        return ServingApp(
+            index, rebuild=rebuild, metrics=registry,
+            runlog=runlog, retry_after=args.retry_after,
+            history=history,
+            rebuild_history=rebuild_history,
+            refresh_incremental=(
+                (lambda generation, previous:
+                 refresh_index_from_snapshots(
+                     args.snapshots, previous, generation))
+                if incremental else None
+            ),
+            refresh_history_incremental=(
+                (lambda generation, previous:
+                 refresh_history_from_snapshots(
+                     args.snapshots, previous, generation))
+                if incremental else None
+            ),
+        )
 
     if args.store is not None:
         def rebuild(generation: int):

@@ -35,6 +35,7 @@ __all__ = [
     "ReleaseHistory",
     "TimelineEvent",
     "categorization",
+    "event_for",
 ]
 
 #: Churn-state label for an AS not present in a release.
@@ -102,13 +103,17 @@ class TimelineEvent:
         }
 
 
-def _event_for(
+def event_for(
     info: SnapshotInfo,
     old: Optional[Dict[str, object]],
     new: Optional[Dict[str, object]],
 ) -> Optional[TimelineEvent]:
     """The timeline event taking an AS from item ``old`` to ``new`` at
-    release ``info``, or None when nothing changed."""
+    release ``info``, or None when nothing changed.
+
+    Shared by the full-history scans below and the serving layer's
+    incremental :meth:`~repro.serving.index.HistoryIndex.extend`, so
+    both paths mint byte-identical events."""
     if old is None and new is None:
         return None
     if old is None:
@@ -269,7 +274,7 @@ class ReleaseHistory:
                 else:
                     if asn in removed:
                         item = None
-            event = _event_for(info, current, item)
+            event = event_for(info, current, item)
             if event is not None:
                 events.append(event)
             current = item
@@ -288,7 +293,7 @@ class ReleaseHistory:
 
         def apply(info: SnapshotInfo, asn: int,
                   item: Optional[dict]) -> None:
-            event = _event_for(info, current.get(asn), item)
+            event = event_for(info, current.get(asn), item)
             if event is not None:
                 events.setdefault(asn, []).append(event)
             if item is None:

@@ -555,6 +555,30 @@ class SnapshotStore:
             [int(asn) for asn in delta.get("removed", ())],
         )
 
+    def deltas_since(
+        self, version: int
+    ) -> Optional[List[Tuple[SnapshotInfo, List[dict], List[int]]]]:
+        """The recorded delta chain from ``version`` (exclusive) to the
+        latest, as ``[(info, changed items, removed ASNs), ...]``.
+
+        The serving layer's incremental-refresh hook: a caller holding
+        an index built at ``version`` can absorb everything newer by
+        applying these deltas in order, never materializing a dataset.
+        Returns ``None`` when the chain is not pure deltas — a ``full``
+        save after ``version`` records no delta against its parent, so
+        an incremental caller must fall back to a full rebuild.
+        Raises :class:`SnapshotError` when ``version`` itself is not in
+        the store.
+        """
+        self.info(version)  # range check, with the usual error
+        chain: List[Tuple[SnapshotInfo, List[dict], List[int]]] = []
+        for info in self._versions[version:]:
+            if info.kind != "delta" or info.parent != info.version - 1:
+                return None
+            changed, removed = self.changes(info.version)
+            chain.append((info, changed, removed))
+        return chain
+
     @staticmethod
     def _rollback(store) -> None:
         """Best-effort clearing of a partially populated load target, so

@@ -19,9 +19,10 @@ or over HTTP, via the CLI::
     curl -s localhost:8311/asn/64512
 """
 
-from typing import Optional
+from typing import Dict, Optional
 
-from ..core.snapshots import SnapshotStore
+from ..core.persistence import record_from_item
+from ..core.snapshots import SnapshotError, SnapshotStore
 from .app import ServingApp
 from .index import HistoryIndex, IndexVersion, ReadIndex, record_view
 from .queue import (
@@ -46,6 +47,8 @@ __all__ = [
     "index_from_store",
     "index_from_snapshots",
     "history_from_snapshots",
+    "refresh_index_from_snapshots",
+    "refresh_history_from_snapshots",
 ]
 
 
@@ -84,6 +87,76 @@ def index_from_snapshots(
         source=f"snapshots:{root}",
         snapshot_version=info.version,
         digest=info.digest,
+    )
+
+
+def refresh_index_from_snapshots(
+    root: str,
+    previous: ReadIndex,
+    generation: int,
+) -> Optional[ReadIndex]:
+    """Delta-apply successor to ``previous`` from the snapshot store,
+    or ``None`` when incremental refresh does not apply.
+
+    The O(changed) counterpart of :func:`index_from_snapshots`:
+    instead of materializing the latest release and rebuilding every
+    lookup structure, the recorded deltas appended since ``previous``
+    was built are merged into one net change set (remove-then-readd
+    collapses correctly) and applied copy-on-write.  Lineage is
+    verified first — the snapshot version ``previous`` serves must
+    still be in the store with the same digest, and every newer version
+    must be a plain delta; any mismatch (store rewritten, an
+    intervening ``full`` save, a digest-less index) returns ``None``
+    and the caller falls back to the full rebuild.
+    """
+    version = previous.version
+    if version.snapshot_version is None or not version.digest:
+        return None
+    store = SnapshotStore(root)
+    try:
+        base_info = store.info(version.snapshot_version)
+    except SnapshotError:
+        return None
+    if base_info.digest != version.digest:
+        return None
+    chain = store.deltas_since(version.snapshot_version)
+    if chain is None:
+        return None
+    latest = store.latest()
+    net_changed: Dict[int, dict] = {}
+    net_removed: Dict[int, None] = {}
+    for _, changed, removed in chain:
+        for asn in removed:
+            net_changed.pop(int(asn), None)
+            net_removed[int(asn)] = None
+        for item in changed:
+            asn = int(item["asn"])
+            net_removed.pop(asn, None)
+            net_changed[asn] = item
+    return previous.apply_delta(
+        (record_from_item(item) for item in net_changed.values()),
+        net_removed,
+        generation=generation,
+        source=f"snapshots:{root}",
+        snapshot_version=latest.version,
+        digest=latest.digest,
+    )
+
+
+def refresh_history_from_snapshots(
+    root: str,
+    previous: HistoryIndex,
+    generation: int,
+) -> Optional[HistoryIndex]:
+    """Incrementally extended successor to ``previous``, or ``None``
+    when the store's lineage no longer matches (see
+    :meth:`HistoryIndex.extend`); the caller falls back to
+    :func:`history_from_snapshots`.
+    """
+    return previous.extend(
+        SnapshotStore(root),
+        generation=generation,
+        source=f"snapshots:{root}",
     )
 
 

@@ -20,9 +20,29 @@ Endpoints (JSON unless noted)::
     GET  /version        IndexVersion facts for the served build
     GET  /categories     layer-1 histogram + stage counts
     GET  /asn/{asn}      one record (404 unknown, 202 queued, 503 full)
-    GET  /org/{query}    token-match organizations (?limit=N)
+    GET  /org/{query}    token-match organizations (?limit=N, capped)
     GET  /metrics        Prometheus text exposition (text/plain)
     POST /refresh        admin: rebuild from the source and swap
+
+Every GET endpoint also answers ``HEAD`` (same headers and
+Content-Length, no body), and a known path hit with the wrong method
+gets a proper ``405`` with an ``Allow`` header.  ``/asn/{asn}``,
+``/categories``, and ``/version`` responses are immutable for the
+lifetime of one index generation, so the service pre-renders their
+exact bytes into a per-generation cache (memoized on first hit, dying
+with the index at swap time) and stamps a strong ``ETag`` (generation
++ release digest); a poller sending ``If-None-Match`` gets a bodyless
+``304 Not Modified`` until a refresh actually lands.
+
+``POST /refresh`` absorbs a new release in O(changed) when it can:
+with an incremental refresh source attached, the snapshot lineage is
+checked against the served ``IndexVersion`` (snapshot version +
+digest) and the recorded deltas are applied copy-on-write onto the
+previous immutable index; any mismatch falls back to the full
+rebuild.  Both the read index and the history index successors are
+built *before* either is published, then swapped pairwise, so a
+rebuild failure leaves the service on the old, mutually consistent
+pair.
 
 and, when the service was built from a snapshot store (a
 :class:`~repro.serving.index.HistoryIndex` is attached), the temporal
@@ -73,6 +93,7 @@ Response = Tuple[int, object, Dict[str, str]]
 _REASONS = {
     200: "OK",
     202: "Accepted",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -85,6 +106,23 @@ _ENDPOINTS = (
     "healthz", "version", "categories", "asn", "org", "metrics",
     "refresh", "history", "asof", "other",
 )
+
+#: Routes whose 200 responses are immutable per index generation and
+#: therefore pre-rendered into the per-generation response cache.
+_CACHEABLE_ROUTES = frozenset({"asn", "categories", "version"})
+
+#: Per-generation response-cache entry ceiling — a backstop against a
+#: scan of a million distinct ASNs pinning a body per ASN; entries past
+#: the cap are computed per-request, never cached.
+_CACHE_MAX_ENTRIES = 65536
+
+#: Methods every read endpoint accepts.
+_READ_METHODS = ("GET", "HEAD")
+
+#: Default and ceiling for the ``/org/{query}`` ``?limit=`` parameter —
+#: a broad token match over a large index stays bounded either way.
+ORG_LIMIT_DEFAULT = 20
+ORG_LIMIT_CAP = 200
 
 
 class ServingApp:
@@ -112,6 +150,15 @@ class ServingApp:
             — rebuilt and swapped alongside the read index on every
             :meth:`refresh`, so both views always cover the same
             release set.
+        refresh_incremental: ``(generation, current_index) ->
+            Optional[ReadIndex]`` — the O(changed) refresh path.
+            Returns the delta-applied successor, or None when the
+            backing lineage no longer matches the served index (then
+            :meth:`refresh` falls back to ``rebuild``).
+        refresh_history_incremental: ``(generation, current_history) ->
+            Optional[HistoryIndex]`` — same contract for the history
+            index; only consulted when the read index itself refreshed
+            incrementally.
     """
 
     def __init__(
@@ -125,11 +172,19 @@ class ServingApp:
         retry_after: int = 1,
         history: Optional[HistoryIndex] = None,
         rebuild_history: Optional[Callable[[int], HistoryIndex]] = None,
+        refresh_incremental: Optional[
+            Callable[[int, ReadIndex], Optional[ReadIndex]]
+        ] = None,
+        refresh_history_incremental: Optional[
+            Callable[[int, HistoryIndex], Optional[HistoryIndex]]
+        ] = None,
     ) -> None:
         self._index = index
         self._rebuild = rebuild
         self._history = history
         self._rebuild_history = rebuild_history
+        self._refresh_incremental = refresh_incremental
+        self._refresh_history_incremental = refresh_history_incremental
         self.queue = queue
         self.worker = worker
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -161,6 +216,22 @@ class ServingApp:
         self._m_history_asns = self.metrics.gauge(
             "asdb_serve_history_asns",
             "ASes with a timeline in the served history index.",
+        )
+        self._m_refresh_incremental = self.metrics.counter(
+            "asdb_serve_refresh_incremental_total",
+            "Refreshes absorbed by delta-applying onto the live index.",
+        )
+        self._m_refresh_full = self.metrics.counter(
+            "asdb_serve_refresh_full_total",
+            "Refreshes that rebuilt the index from scratch.",
+        )
+        self._m_cache_hits = self.metrics.counter(
+            "asdb_serve_cache_hits_total",
+            "Responses served from the per-generation response cache.",
+        )
+        self._m_cache_misses = self.metrics.counter(
+            "asdb_serve_cache_misses_total",
+            "Cacheable responses rendered (and memoized) on demand.",
         )
         if history is not None:
             self._m_history_versions.set(history.latest_version)
@@ -212,25 +283,71 @@ class ServingApp:
         )
 
     def refresh(self) -> ReadIndex:
-        """Rebuild from the backing source and swap the result in.
+        """Absorb the backing source's current state and swap it in.
 
-        When a history rebuild source is attached, the history index is
-        rebuilt and swapped in the same refresh, stamped with the same
-        generation as the read index it accompanies.
+        Prefers the O(changed) incremental path when one is attached
+        and the source lineage still matches the served index (snapshot
+        version + digest); otherwise rebuilds from scratch.  When a
+        history source is attached, the history successor is built
+        *before* either swap — a failure anywhere leaves the service on
+        the old, mutually consistent index/history pair — and both are
+        then published pairwise, stamped with the same generation.  The
+        chosen path lands in the ``serve.refresh_mode`` ledger event
+        and the ``asdb_serve_refresh_incremental_total`` /
+        ``asdb_serve_refresh_full_total`` counters.
         """
         if self._rebuild is None:
             raise RuntimeError("service has no rebuild source")
+        generation = self._index.version.generation + 1
+        mode = "full"
+        index: Optional[ReadIndex] = None
         with self.runlog.span("serve.rebuild") as span:
-            index = self._rebuild(self._index.version.generation + 1)
+            if self._refresh_incremental is not None:
+                try:
+                    index = self._refresh_incremental(
+                        generation, self._index
+                    )
+                except Exception as exc:  # noqa: BLE001 - fall back
+                    self.runlog.emit(
+                        "serve.refresh_fallback", error=repr(exc)
+                    )
+                    index = None
+                if index is not None:
+                    mode = "incremental"
+            if index is None:
+                index = self._rebuild(generation)
             span.note(
                 generation=index.version.generation,
                 records=index.version.records,
+                mode=mode,
             )
-        self.swap(index)
+        history: Optional[HistoryIndex] = None
+        history_mode = None
         if self._rebuild_history is not None:
-            self.swap_history(
-                self._rebuild_history(index.version.generation)
-            )
+            if (mode == "incremental"
+                    and self._history is not None
+                    and self._refresh_history_incremental is not None):
+                history = self._refresh_history_incremental(
+                    generation, self._history
+                )
+            history_mode = "incremental" if history is not None else "full"
+            if history is None:
+                history = self._rebuild_history(generation)
+        if mode == "incremental":
+            self._m_refresh_incremental.inc(1)
+        else:
+            self._m_refresh_full.inc(1)
+        self.runlog.emit(
+            "serve.refresh_mode",
+            mode=mode,
+            history_mode=history_mode,
+            generation=generation,
+            snapshot_version=index.version.snapshot_version,
+            records=index.version.records,
+        )
+        self.swap(index)
+        if history is not None:
+            self.swap_history(history)
         return index
 
     def on_drained(self, asns: List[int]) -> None:
@@ -245,25 +362,115 @@ class ServingApp:
 
     # -- request handling (sync, thread-safe) --------------------------------
 
-    def handle_request(self, method: str, target: str) -> Response:
+    def handle_request(
+        self,
+        method: str,
+        target: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
         """Route one request; returns ``(status, body, headers)``.
 
         Reads ``self._index`` once and answers entirely from that
         snapshot — the swap-consistency contract lives here.  Bodies
         are JSON-able dicts except ``/metrics`` (Prometheus text).
+        ``headers`` carries request headers (lower-cased names);
+        ``If-None-Match`` against the served ETag short-circuits the
+        cacheable endpoints to a bodyless 304.
         """
+        status, body, response_headers, _ = self._respond(
+            method, target, headers
+        )
+        return status, body, response_headers
+
+    def _respond(
+        self,
+        method: str,
+        target: str,
+        request_headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, object, Dict[str, str], Optional[bytes]]:
+        """Route one request, consulting the per-generation response
+        cache; returns ``(status, body, headers, payload)`` where
+        ``payload`` is the pre-rendered body bytes when the response
+        came from (or just entered) the cache, else None.
+        """
+        method = method.upper()
         path, _, query_string = target.partition("?")
         endpoint = self._endpoint_of(path)
         start = time.perf_counter()
         try:
-            status, body, headers = self._route(
-                method, path, query_string
+            result = self._routed(
+                method, target, path, query_string,
+                request_headers or {},
             )
         finally:
             elapsed = time.perf_counter() - start
             self._m_seconds.observe(elapsed, endpoint=endpoint)
-        self._m_requests.inc(1, endpoint=endpoint, status=str(status))
-        return status, body, headers
+        self._m_requests.inc(1, endpoint=endpoint, status=str(result[0]))
+        return result
+
+    def _routed(
+        self,
+        method: str,
+        target: str,
+        path: str,
+        query_string: str,
+        request_headers: Dict[str, str],
+    ) -> Tuple[int, object, Dict[str, str], Optional[bytes]]:
+        # The one read of each served view; everything below — routing,
+        # cache lookups, cache *stores* — uses these locals, never the
+        # attributes.  Storing into ``index.response_cache`` (the very
+        # index that produced the body) is what keeps a swap racing a
+        # miss from poisoning the new generation's cache.
+        index = self._index
+        history = self._history
+        lookup = "GET" if method == "HEAD" else method
+        parts = [part for part in path.split("/") if part]
+        route, allowed = self._resolve(parts)
+        cacheable = lookup == "GET" and route in _CACHEABLE_ROUTES
+        if cacheable:
+            etag = index.etag
+            if self._etag_matches(
+                request_headers.get("if-none-match"), etag
+            ):
+                return 304, "", {"ETag": etag}, b""
+            entry = index.response_cache.get(target)
+            if entry is not None:
+                self._m_cache_hits.inc(1)
+                return entry
+            self._m_cache_misses.inc(1)
+        status, body, headers = self._route(
+            lookup, path, parts, route, allowed, query_string,
+            index, history,
+        )
+        if cacheable and status == 200:
+            headers["ETag"] = etag
+            entry = (status, body, headers,
+                     self._render_payload(body))
+            if len(index.response_cache) < _CACHE_MAX_ENTRIES:
+                index.response_cache[target] = entry
+            return entry
+        return status, body, headers, None
+
+    @staticmethod
+    def _etag_matches(header_value: Optional[str], etag: str) -> bool:
+        """RFC 7232 ``If-None-Match``: ``*`` or any listed entity-tag
+        (strong comparison — our tags are strong by construction)."""
+        if not header_value:
+            return False
+        value = header_value.strip()
+        if value == "*":
+            return True
+        return etag in (
+            candidate.strip() for candidate in value.split(",")
+        )
+
+    @staticmethod
+    def _render_payload(body: object) -> bytes:
+        """The exact response body bytes for one routed body — the
+        same rendering :meth:`_encode` would perform."""
+        if isinstance(body, str):
+            return body.encode("utf-8")
+        return (json.dumps(body) + "\n").encode("utf-8")
 
     @staticmethod
     def _endpoint_of(path: str) -> str:
@@ -274,26 +481,57 @@ class ServingApp:
         head = parts[0] if parts else "other"
         return head if head in _ENDPOINTS else "other"
 
+    @staticmethod
+    def _resolve(
+        parts: List[str],
+    ) -> Tuple[Optional[str], Tuple[str, ...]]:
+        """``(route, allowed methods)`` for a path, or ``(None, ())``
+        when no route exists — the split that lets wrong-method hits on
+        known paths answer 405 + ``Allow`` instead of a blanket 404."""
+        if len(parts) == 1 and parts[0] in (
+            "healthz", "version", "categories", "metrics",
+        ):
+            return parts[0], _READ_METHODS
+        if parts == ["refresh"]:
+            return "refresh", ("POST",)
+        if len(parts) == 2 and parts[0] == "asn":
+            return "asn", _READ_METHODS
+        if len(parts) == 2 and parts[0] == "org":
+            return "org", _READ_METHODS
+        if (len(parts) == 3 and parts[0] == "asn"
+                and parts[2] == "history"):
+            return "history", _READ_METHODS
+        if (len(parts) == 4 and parts[0] == "asof"
+                and parts[2] == "asn"):
+            return "asof", _READ_METHODS
+        return None, ()
+
     def _route(
-        self, method: str, path: str, query_string: str
+        self,
+        method: str,
+        path: str,
+        parts: List[str],
+        route: Optional[str],
+        allowed: Tuple[str, ...],
+        query_string: str,
+        index: ReadIndex,
+        history: Optional[HistoryIndex],
     ) -> Response:
-        # The one read of each served view; everything below uses these
-        # locals, never the attributes — the swap-consistency contract.
-        index = self._index
-        history = self._history
-        parts = [part for part in path.split("/") if part]
-        if method == "POST":
-            if parts == ["refresh"]:
-                if self._rebuild is None:
-                    return self._error(
-                        405, "refresh is disabled: no rebuild source"
-                    )
-                new = self.refresh()
-                return 200, {"swapped": True,
-                             "version": new.version.to_dict()}, {}
-            return self._error(405, f"cannot POST {path}")
-        if method != "GET":
-            return self._error(405, f"unsupported method {method}")
+        if route is None:
+            return self._error(404, f"no route for {path}")
+        if method not in allowed:
+            return 405, {
+                "error": f"{method} is not allowed for {path}",
+                "allow": list(allowed),
+            }, {"Allow": ", ".join(allowed)}
+        if route == "refresh":
+            if self._rebuild is None:
+                return self._error(
+                    405, "refresh is disabled: no rebuild source"
+                )
+            new = self.refresh()
+            return 200, {"swapped": True,
+                         "version": new.version.to_dict()}, {}
 
         if parts == ["healthz"]:
             return 200, {
@@ -370,20 +608,26 @@ class ServingApp:
         self, index: ReadIndex, raw: str, query_string: str
     ) -> Response:
         query = unquote(raw)
-        limit = 20
+        limit = ORG_LIMIT_DEFAULT
         params = parse_qs(query_string)
         if "limit" in params:
             try:
-                limit = max(1, min(200, int(params["limit"][0])))
+                limit = max(1, min(ORG_LIMIT_CAP,
+                                   int(params["limit"][0])))
             except ValueError:
                 return self._error(
-                    400, f"bad limit {params['limit'][0]!r}"
+                    400, f"bad limit {params['limit'][0]!r} "
+                    f"(want an integer, 1..{ORG_LIMIT_CAP})"
                 )
-        matches = index.search_org(query, limit=limit)
+        asns = index.org_matches(query)
+        matches = [index.get(asn) for asn in asns[:limit]]
         return 200, {
             "generation": index.version.generation,
             "query": query,
             "count": len(matches),
+            "total": len(asns),
+            "limit": limit,
+            "truncated": len(asns) > limit,
             "matches": [record_view(record) for record in matches],
         }, {}
 
@@ -465,14 +709,21 @@ class ServingApp:
 
     @staticmethod
     def _encode(status: int, body: object,
-                headers: Dict[str, str]) -> bytes:
+                headers: Dict[str, str],
+                payload: Optional[bytes] = None,
+                head_only: bool = False) -> bytes:
+        """One wire response.  ``payload`` short-circuits body
+        rendering with pre-cached bytes; ``head_only`` (HEAD requests)
+        sends the real Content-Length but no body."""
         if isinstance(body, str):
-            payload = body.encode("utf-8")
+            if payload is None:
+                payload = body.encode("utf-8")
             content_type = headers.pop(
                 "Content-Type", "text/plain; charset=utf-8"
             )
         else:
-            payload = (json.dumps(body) + "\n").encode("utf-8")
+            if payload is None:
+                payload = (json.dumps(body) + "\n").encode("utf-8")
             content_type = headers.pop("Content-Type", "application/json")
         reason = _REASONS.get(status, "Unknown")
         lines = [
@@ -482,7 +733,7 @@ class ServingApp:
         ]
         lines.extend(f"{key}: {value}" for key, value in headers.items())
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
-        return head + payload
+        return head if head_only else head + payload
 
     async def _handle_client(
         self,
@@ -526,14 +777,18 @@ class ServingApp:
                     connection != "close"
                     and http_version.strip() != "HTTP/1.0"
                 )
-                status, body, extra = self.handle_request(
-                    method.upper(), target
+                status, body, extra, payload = self._respond(
+                    method.upper(), target, header_map
                 )
                 headers = dict(extra)
                 headers["Connection"] = (
                     "keep-alive" if keep_alive else "close"
                 )
-                writer.write(self._encode(status, body, headers))
+                writer.write(self._encode(
+                    status, body, headers, payload=payload,
+                    head_only=(method.upper() == "HEAD"
+                               or status == 304),
+                ))
                 await writer.drain()
                 if not keep_alive:
                     break

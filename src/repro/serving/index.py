@@ -22,13 +22,15 @@ which backend fed it.
 from __future__ import annotations
 
 import bisect
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.database import ASdbRecord
-from ..core.history import ReleaseHistory, TimelineEvent
+from ..core.history import ReleaseHistory, TimelineEvent, event_for
 from ..core.persistence import record_to_item
-from ..core.snapshots import SnapshotInfo, SnapshotStore
+from ..core.snapshots import SnapshotError, SnapshotInfo, SnapshotStore
 from ..core.stages import Stage
 from ..world.names import token_set
 
@@ -114,12 +116,49 @@ class ReadIndex:
         categories: Dict[str, int],
         stage_counts: Dict[str, int],
         version: IndexVersion,
+        classified: Optional[int] = None,
     ) -> None:
         self._records = records
         self._postings = postings
-        self._categories = categories
-        self._stage_counts = stage_counts
+        # Sorted once at construction so every render of the histogram
+        # (and the fingerprint) is deterministic regardless of whether
+        # this index came from a full build or a delta application.
+        self._categories = dict(sorted(categories.items()))
+        self._stage_counts = dict(sorted(stage_counts.items()))
+        self._classified = (
+            classified
+            if classified is not None
+            else sum(1 for r in records.values() if r.classified)
+        )
         self.version = version
+        #: Per-generation pre-rendered responses, keyed by request
+        #: target.  The index is immutable, so an entry never goes
+        #: stale — the whole cache dies with the index at swap time.
+        #: Written by :class:`~repro.serving.app.ServingApp`.
+        self.response_cache: Dict[str, tuple] = {}
+        self.etag = self._make_etag()
+
+    def _make_etag(self) -> str:
+        """Strong ETag for every response derived from this build.
+
+        Snapshot-backed indexes carry the release digest, so the tag is
+        content-strong across restarts; digest-less sources fall back
+        to an aggregate token (record count, coverage, histograms) plus
+        the process-local generation.
+        """
+        if self.version.digest:
+            tail = self.version.digest
+        else:
+            hasher = hashlib.blake2b(digest_size=8)
+            hasher.update(json.dumps([
+                self.version.source,
+                self.version.records,
+                repr(self.version.coverage),
+                self._categories,
+                self._stage_counts,
+            ], sort_keys=True).encode("utf-8"))
+            tail = hasher.hexdigest()
+        return f'"asdb-g{self.version.generation}-{tail}"'
 
     @classmethod
     def build(
@@ -164,7 +203,133 @@ class ReadIndex:
             snapshot_version=snapshot_version,
             digest=digest,
         )
-        return cls(by_asn, postings, categories, stage_counts, version)
+        return cls(by_asn, postings, categories, stage_counts, version,
+                   classified=classified)
+
+    # -- incremental refresh -------------------------------------------------
+
+    def apply_delta(
+        self,
+        changed: Iterable[ASdbRecord],
+        removed: Iterable[int],
+        generation: int,
+        source: Optional[str] = None,
+        snapshot_version: Optional[int] = None,
+        digest: Optional[str] = None,
+    ) -> "ReadIndex":
+        """Build the successor index from this one plus a delta.
+
+        Copy-on-write of only the touched state: the by-ASN map and the
+        postings table are shallow-copied dicts (O(world) pointer
+        copies, no re-parsing or re-tokenizing), and only entries for
+        removed/changed records — their org tokens, their category and
+        stage tallies — are recomputed.  ``removed`` applies first,
+        then ``changed`` (each ASN at most once), matching snapshot
+        delta semantics; the result is structurally identical to a full
+        :meth:`build` over the updated record set (see
+        :meth:`fingerprint`).  This index is left untouched.
+        """
+        records = dict(self._records)
+        categories = dict(self._categories)
+        stage_counts = dict(self._stage_counts)
+        classified = self._classified
+        posting_adds: Dict[str, set] = {}
+        posting_drops: Dict[str, set] = {}
+
+        def bump(table: Dict[str, int], key: str, step: int) -> None:
+            total = table.get(key, 0) + step
+            if total:
+                table[key] = total
+            else:
+                table.pop(key, None)
+
+        def retire(record: ASdbRecord) -> None:
+            nonlocal classified
+            if record.classified:
+                classified -= 1
+            bump(stage_counts, record.stage.value, -1)
+            for slug in record.labels.layer1_slugs():
+                bump(categories, slug, -1)
+            for token in _org_tokens(record):
+                posting_drops.setdefault(token, set()).add(record.asn)
+                adds = posting_adds.get(token)
+                if adds is not None:
+                    adds.discard(record.asn)
+
+        def admit(record: ASdbRecord) -> None:
+            nonlocal classified
+            if record.classified:
+                classified += 1
+            bump(stage_counts, record.stage.value, 1)
+            for slug in record.labels.layer1_slugs():
+                bump(categories, slug, 1)
+            for token in _org_tokens(record):
+                posting_adds.setdefault(token, set()).add(record.asn)
+
+        for asn in removed:
+            old = records.pop(int(asn), None)
+            if old is not None:
+                retire(old)
+        for record in changed:
+            old = records.get(record.asn)
+            if old is not None:
+                retire(old)
+            records[record.asn] = record
+            admit(record)
+
+        postings = dict(self._postings)
+        for token in set(posting_drops) | set(posting_adds):
+            members = set(postings.get(token, ()))
+            members -= posting_drops.get(token, set())
+            members |= posting_adds.get(token, set())
+            if members:
+                postings[token] = tuple(sorted(members))
+            else:
+                postings.pop(token, None)
+
+        version = IndexVersion(
+            generation=generation,
+            records=len(records),
+            coverage=classified / len(records) if records else 0.0,
+            source=self.version.source if source is None else source,
+            snapshot_version=snapshot_version,
+            digest=digest,
+        )
+        return ReadIndex(records, postings, categories, stage_counts,
+                         version, classified=classified)
+
+    def fingerprint(self) -> str:
+        """Content digest of everything the index serves.
+
+        Two indexes with equal fingerprints answer every endpoint with
+        the same data: records, postings, histograms, coverage, and the
+        stamped release identity all feed the hash.  Generation and
+        source are deliberately excluded — a delta-applied successor
+        proves itself byte-identical to a full rebuild even though the
+        two carry different build labels.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        for asn in sorted(self._records):
+            item = record_to_item(self._records[asn])
+            hasher.update(
+                json.dumps(item, sort_keys=True).encode("utf-8")
+            )
+            hasher.update(b"\x00")
+        for token in sorted(self._postings):
+            hasher.update(token.encode("utf-8"))
+            hasher.update(repr(self._postings[token]).encode("ascii"))
+            hasher.update(b"\x00")
+        hasher.update(json.dumps(
+            [
+                self._categories,
+                self._stage_counts,
+                self._classified,
+                self.version.snapshot_version,
+                self.version.digest,
+            ],
+            sort_keys=True,
+        ).encode("utf-8"))
+        return hasher.hexdigest()
 
     # -- lookups -------------------------------------------------------------
 
@@ -178,14 +343,11 @@ class ReadIndex:
         """The record for an ASN, or None."""
         return self._records.get(asn)
 
-    def search_org(
-        self, query: str, limit: int = 20
-    ) -> List[ASdbRecord]:
-        """Records whose organization matches every query token.
-
-        Tokenizes the query the same way index postings were built
-        (name normalization; dots split), intersects the posting lists,
-        and returns up to ``limit`` records in ascending ASN order.
+    def org_matches(self, query: str) -> List[int]:
+        """Every ASN whose organization matches all query tokens,
+        ascending — the unbounded candidate set behind
+        :meth:`search_org`, exposed so callers can report the true
+        match count while still capping the records they materialize.
         """
         tokens = list(token_set(query.replace(".", " ")))
         if query.strip():
@@ -197,11 +359,20 @@ class ReadIndex:
                 continue
             hits = set(posting)
             candidates = hits if candidates is None else candidates & hits
-        if not candidates:
-            return []
+        return sorted(candidates) if candidates else []
+
+    def search_org(
+        self, query: str, limit: int = 20
+    ) -> List[ASdbRecord]:
+        """Records whose organization matches every query token.
+
+        Tokenizes the query the same way index postings were built
+        (name normalization; dots split), intersects the posting lists,
+        and returns up to ``limit`` records in ascending ASN order.
+        """
         return [
             self._records[asn]
-            for asn in sorted(candidates)[: max(0, limit)]
+            for asn in self.org_matches(query)[: max(0, limit)]
         ]
 
     def categories(self) -> Dict[str, int]:
@@ -268,6 +439,60 @@ class HistoryIndex:
             {info.version: info for info in store.versions()},
             generation=generation,
             source=source or f"snapshots:{store.root}",
+        )
+
+    def extend(
+        self,
+        store: SnapshotStore,
+        generation: int,
+        source: str = "",
+    ) -> Optional["HistoryIndex"]:
+        """Successor covering releases appended since this build.
+
+        Appends just the new versions' events onto the existing
+        timelines (copy-on-write: untouched ASes share their event
+        tuples with this index) instead of rescanning the whole delta
+        chain.  Applies only when the store's lineage matches — the
+        newest release this index covers must still be present with the
+        same digest, and everything after it must be a plain delta.
+        Returns ``None`` otherwise; the caller falls back to
+        :meth:`build`.  This index is left untouched.
+        """
+        base = self.latest_version
+        if base == 0:
+            return None
+        try:
+            base_info = store.info(base)
+        except SnapshotError:
+            return None
+        if base_info.digest != self._infos[base].digest:
+            return None
+        chain = store.deltas_since(base)
+        if chain is None:
+            return None
+        timelines = dict(self._timelines)
+
+        def apply(info: SnapshotInfo, asn: int,
+                  item: Optional[dict]) -> None:
+            timeline = timelines.get(asn, ())
+            current = timeline[-1].item if timeline else None
+            event = event_for(info, current, item)
+            if event is not None:
+                timelines[asn] = timeline + (event,)
+
+        for info, changed, removed in chain:
+            for asn in removed:
+                apply(info, int(asn), None)
+            for item in changed:
+                apply(info, int(item["asn"]), item)
+        infos = dict(self._infos)
+        for info, _, _ in chain:
+            infos[info.version] = info
+        return HistoryIndex(
+            timelines,
+            infos,
+            generation=generation,
+            source=source or self.source,
         )
 
     # -- lookups -------------------------------------------------------------

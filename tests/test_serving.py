@@ -16,6 +16,7 @@ The contracts under test:
 import asyncio
 import http.client
 import json
+import random
 import threading
 import time
 
@@ -38,6 +39,8 @@ from repro.serving import (
     index_from_snapshots,
     index_from_store,
     record_view,
+    refresh_history_from_snapshots,
+    refresh_index_from_snapshots,
 )
 from repro.taxonomy import LabelSet
 
@@ -456,16 +459,19 @@ class _HttpService:
         self._thread.join(10)
 
     def get(self, path):
+        return self.request("GET", path)
+
+    def request(self, method, path, headers=None):
         host, port = self.address
         conn = http.client.HTTPConnection(host, port, timeout=10)
         try:
-            conn.request("GET", path)
+            conn.request(method, path, headers=headers or {})
             response = conn.getresponse()
             raw = response.read().decode()
             body = (
                 json.loads(raw)
-                if response.getheader("Content-Type", "").startswith(
-                    "application/json")
+                if raw and response.getheader(
+                    "Content-Type", "").startswith("application/json")
                 else raw
             )
             return response.status, body, dict(response.getheaders())
@@ -776,3 +782,545 @@ class TestTemporalServing:
         for thread in readers:
             thread.join(10)
         assert not errors, errors[:5]
+
+
+def _random_world(rng, orgs=("Acme", "Globex", "Initech", "Umbrella")):
+    """A random record population keyed by ASN."""
+    slugs_pool = [("isp",), ("hosting",), ("banks",), ("streaming",),
+                  ("isp", "hosting")]
+    return {
+        asn: _record(
+            asn,
+            slugs=rng.choice(slugs_pool),
+            stage=rng.choice(list(Stage)),
+            org=rng.choice(orgs),
+        )
+        for asn in rng.sample(range(1, 200), rng.randint(10, 30))
+    }
+
+
+def _mutate(rng, world):
+    """Apply a random batch of adds, updates, and removals in place."""
+    slugs_pool = [("isp",), ("hosting",), ("banks",), ("streaming",)]
+    for asn in rng.sample(sorted(world), min(len(world),
+                                             rng.randint(0, 5))):
+        del world[asn]
+    for _ in range(rng.randint(0, 6)):
+        asn = rng.randint(1, 220)
+        world[asn] = _record(
+            asn,
+            slugs=rng.choice(slugs_pool),
+            stage=rng.choice(list(Stage)),
+            org=rng.choice(("Acme", "Globex", "Hooli", None)),
+        )
+
+
+def _assert_index_equal(incremental, full):
+    """Delta-applied and rebuilt indexes must be observably identical."""
+    assert incremental.fingerprint() == full.fingerprint()
+    assert incremental.etag == full.etag
+    assert len(incremental) == len(full)
+    assert incremental.categories() == full.categories()
+    assert incremental.stage_counts() == full.stage_counts()
+    assert incremental.version.to_dict() == full.version.to_dict()
+    for asn in range(1, 221):
+        left, right = incremental.get(asn), full.get(asn)
+        assert (left is None) == (right is None)
+        if left is not None:
+            assert record_view(left) == record_view(right)
+    assert incremental._postings == full._postings
+
+
+class TestIncrementalRefresh:
+    """Delta-applied successors must equal full rebuilds, always."""
+
+    def test_apply_delta_equals_full_rebuild_randomized(self, tmp_path):
+        """Property: across randomized add/update/remove release
+        chains, refresh_index_from_snapshots is indistinguishable from
+        index_from_snapshots (fingerprint, ETag, every record, every
+        posting, aggregates)."""
+        for seed in range(6):
+            rng = random.Random(seed)
+            root = str(tmp_path / f"releases-{seed}")
+            store = SnapshotStore(root)
+            world = _random_world(rng)
+            store.save(_dataset(world.values()), window=(-1, 0))
+            index = index_from_snapshots(root, generation=1)
+            for epoch in range(1, 5):
+                _mutate(rng, world)
+                store.save(_dataset(world.values()),
+                           window=(epoch * 30 - 30, epoch * 30))
+                incremental = refresh_index_from_snapshots(
+                    root, index, generation=epoch + 1
+                )
+                assert incremental is not None
+                full = index_from_snapshots(
+                    root, generation=epoch + 1
+                )
+                _assert_index_equal(incremental, full)
+                index = incremental
+
+    def test_remove_then_readd_across_deltas(self, tmp_path):
+        """An AS removed in one delta and re-added (with new labels) in
+        a later one must land re-added, not removed, after the chain is
+        merged into one net delta."""
+        root = str(tmp_path / "releases")
+        store = SnapshotStore(root)
+        store.save(_dataset([_record(1), _record(2, org="Acme")]))
+        index = index_from_snapshots(root, generation=1)
+        store.save(_dataset([_record(2, org="Acme")]))  # AS1 removed
+        store.save(_dataset([  # AS1 re-added, different category + org
+            _record(1, slugs=("banks",), org="Globex"),
+            _record(2, org="Acme"),
+        ]))
+        incremental = refresh_index_from_snapshots(
+            root, index, generation=2
+        )
+        assert incremental is not None
+        full = index_from_snapshots(root, generation=2)
+        _assert_index_equal(incremental, full)
+        record = incremental.get(1)
+        assert sorted(record.labels.layer2_slugs()) == ["banks"]
+        assert [r.asn for r in incremental.search_org("globex")] == [1]
+        assert incremental.search_org("acme") and all(
+            r.asn == 2 for r in incremental.search_org("acme")
+        )
+
+    def test_incremental_refuses_stale_lineage(self, tmp_path):
+        """Digest mismatch, a full save in the chain, or a digest-less
+        index all return None (forcing the full-rebuild fallback)."""
+        root = str(tmp_path / "releases")
+        store = SnapshotStore(root)
+        store.save(_dataset([_record(1)]))
+        index = index_from_snapshots(root, generation=1)
+
+        # A full (non-delta) save breaks the delta chain.
+        store.save(_dataset([_record(1), _record(2)]), full=True)
+        assert refresh_index_from_snapshots(root, index, 2) is None
+
+        # A digest-less index can't prove lineage.
+        bare = ReadIndex.build([_record(1)], source="unit")
+        assert bare.version.digest is None
+        assert refresh_index_from_snapshots(root, bare, 2) is None
+
+        # A rewritten store (same version number, different digest).
+        other_root = str(tmp_path / "other")
+        SnapshotStore(other_root).save(_dataset([_record(9)]))
+        assert refresh_index_from_snapshots(
+            other_root, index, 2
+        ) is None
+
+        # A version number the store has never seen.
+        tiny_root = str(tmp_path / "tiny")
+        SnapshotStore(tiny_root).save(_dataset([_record(1)]))
+        deep = index_from_snapshots(root, generation=1)
+        assert deep.version.snapshot_version == 2
+        assert refresh_index_from_snapshots(tiny_root, deep, 2) is None
+
+    def test_no_new_versions_is_a_valid_noop_refresh(self, tmp_path):
+        """Refreshing against an unchanged store still succeeds
+        incrementally and produces an equal (next-generation) index."""
+        root = str(tmp_path / "releases")
+        SnapshotStore(root).save(_dataset([_record(1), _record(2)]))
+        index = index_from_snapshots(root, generation=1)
+        incremental = refresh_index_from_snapshots(root, index, 2)
+        assert incremental is not None
+        assert incremental.fingerprint() == index.fingerprint()
+        assert incremental.version.generation == 2
+
+    def test_history_extend_equals_full_rebuild_randomized(
+        self, tmp_path
+    ):
+        """Property: HistoryIndex.extend over randomized delta chains
+        yields the same timelines, infos, and day mapping as a full
+        HistoryIndex.build."""
+        for seed in range(4):
+            rng = random.Random(1000 + seed)
+            root = str(tmp_path / f"releases-{seed}")
+            store = SnapshotStore(root)
+            world = _random_world(rng)
+            store.save(_dataset(world.values()), window=(-1, 0))
+            history = history_from_snapshots(root, generation=1)
+            for epoch in range(1, 5):
+                _mutate(rng, world)
+                store.save(_dataset(world.values()),
+                           window=(epoch * 30 - 30, epoch * 30))
+                extended = refresh_history_from_snapshots(
+                    root, history, generation=epoch + 1
+                )
+                assert extended is not None
+                full = history_from_snapshots(
+                    root, generation=epoch + 1
+                )
+                assert extended._timelines == full._timelines
+                assert extended._infos == full._infos
+                assert extended._days == full._days
+                assert extended.generation == full.generation
+                history = extended
+
+    def test_history_extend_refuses_stale_lineage(self, tmp_path):
+        root = str(tmp_path / "releases")
+        store = SnapshotStore(root)
+        store.save(_dataset([_record(1)]))
+        history = history_from_snapshots(root, generation=1)
+        store.save(_dataset([_record(1), _record(2)]), full=True)
+        assert refresh_history_from_snapshots(root, history, 2) is None
+        other = str(tmp_path / "other")
+        SnapshotStore(other).save(_dataset([_record(9)]))
+        assert refresh_history_from_snapshots(other, history, 2) is None
+
+
+class TestResponseCacheAndConditional:
+    """Per-generation response cache, ETag/304, HEAD, and 405."""
+
+    def _app(self, records=None, **kwargs):
+        index = ReadIndex.build(records or [_record(1)], source="unit")
+        return ServingApp(index, **kwargs)
+
+    def test_etag_present_and_stable_within_generation(self):
+        app = self._app()
+        _, _, first = app.handle_request("GET", "/asn/1")
+        _, _, second = app.handle_request("GET", "/version")
+        assert first["ETag"] == second["ETag"] == app.index.etag
+        assert first["ETag"].startswith('"asdb-g1-')
+
+    def test_if_none_match_returns_bodyless_304(self):
+        app = self._app()
+        _, _, headers = app.handle_request("GET", "/categories")
+        etag = headers["ETag"]
+        status, body, headers, payload = app._respond(
+            "GET", "/categories", {"if-none-match": etag}
+        )
+        assert (status, body, payload) == (304, "", b"")
+        assert headers["ETag"] == etag
+        # Wildcard and multi-tag lists match too (RFC 7232).
+        assert app.handle_request(
+            "GET", "/version", {"if-none-match": "*"}
+        )[0] == 304
+        assert app.handle_request(
+            "GET", "/version",
+            {"if-none-match": f'"stale-tag", {etag}'},
+        )[0] == 304
+        # A stale tag does not.
+        assert app.handle_request(
+            "GET", "/version", {"if-none-match": '"stale-tag"'}
+        )[0] == 200
+
+    def test_etag_and_304_roll_over_at_swap(self):
+        app = self._app()
+        _, _, headers = app.handle_request("GET", "/version")
+        old_etag = headers["ETag"]
+        app.swap(ReadIndex.build(
+            [_record(1), _record(2)], generation=2, source="unit"
+        ))
+        status, _, headers = app.handle_request(
+            "GET", "/version", {"if-none-match": old_etag}
+        )
+        assert status == 200  # old tag no longer matches
+        assert headers["ETag"] != old_etag
+
+    def test_cache_memoizes_exact_payload_bytes(self):
+        registry = MetricsRegistry()
+        app = self._app(metrics=registry)
+        first = app._respond("GET", "/asn/1")
+        again = app._respond("GET", "/asn/1")
+        assert again == first
+        assert again[3] == (
+            json.dumps(first[1]) + "\n"
+        ).encode("utf-8")
+        assert registry.get(
+            "asdb_serve_cache_misses_total").total() == 1
+        assert registry.get("asdb_serve_cache_hits_total").total() == 1
+        # Non-cacheable endpoints never populate the cache.
+        app._respond("GET", "/org/acme")
+        app._respond("GET", "/healthz")
+        assert set(app.index.response_cache) == {"/asn/1"}
+
+    def test_cache_dies_with_the_generation(self):
+        app = self._app()
+        app.handle_request("GET", "/asn/1")
+        assert app.index.response_cache
+        app.swap(ReadIndex.build(
+            [_record(1, slugs=("banks",))], generation=2, source="unit"
+        ))
+        assert app.index.response_cache == {}
+        status, body, _ = app.handle_request("GET", "/asn/1")
+        assert status == 200
+        assert body["record"]["labels"][0]["layer2"] == "banks"
+
+    def test_swap_racing_a_miss_cannot_poison_the_new_cache(self):
+        """A request that routed against generation 1 but finishes
+        after the swap must store its entry into generation 1's cache
+        (which died with the swap), never the new index's."""
+        old = ReadIndex.build([_record(1)], source="unit")
+        new = ReadIndex.build(
+            [_record(1, slugs=("banks",))], generation=2, source="unit"
+        )
+        app = ServingApp(old)
+        barrier = threading.Barrier(2)
+
+        original_route = app._route
+
+        def slow_route(*args, **kwargs):
+            result = original_route(*args, **kwargs)
+            barrier.wait(5)   # request routed against the old index...
+            barrier.wait(5)   # ...swap happens here...
+            return result     # ...then the cache store runs
+        app._route = slow_route
+
+        worker = threading.Thread(
+            target=app._respond, args=("GET", "/asn/1")
+        )
+        worker.start()
+        barrier.wait(5)
+        app.swap(new)
+        barrier.wait(5)
+        worker.join(10)
+        app._route = original_route
+        assert new.response_cache == {}
+        cached = old.response_cache["/asn/1"][1]
+        assert cached["record"]["labels"][0]["layer2"] == "isp"
+        status, body, _ = app.handle_request("GET", "/asn/1")
+        assert status == 200
+        assert body["record"]["labels"][0]["layer2"] == "banks"
+
+    def test_head_mirrors_get_without_a_body(self):
+        app = self._app()
+        with _HttpService(app) as service:
+            get_status, get_body, get_headers = service.get("/asn/1")
+            head_status, head_body, head_headers = service.request(
+                "HEAD", "/asn/1"
+            )
+            assert (get_status, head_status) == (200, 200)
+            assert head_body == ""
+            assert head_headers["Content-Length"] \
+                == get_headers["Content-Length"]
+            assert head_headers["ETag"] == get_headers["ETag"]
+            # HEAD works on every GET endpoint, including uncached.
+            for path in ("/healthz", "/org/acme", "/metrics"):
+                status, body, _ = service.request("HEAD", path)
+                assert (status, body) == (200, "")
+
+    def test_wrong_method_on_known_path_is_405_with_allow(self):
+        app = self._app()
+        status, body, headers = app.handle_request("POST", "/asn/1")
+        assert status == 405
+        assert headers["Allow"] == "GET, HEAD"
+        assert body["allow"] == ["GET", "HEAD"]
+        status, _, headers = app.handle_request("GET", "/refresh")
+        assert (status, headers["Allow"]) == (405, "POST")
+        # Unknown paths stay 404 whatever the method.
+        assert app.handle_request("PUT", "/nope")[0] == 404
+
+    def test_conditional_and_405_over_http(self):
+        app = self._app()
+        with _HttpService(app) as service:
+            _, _, headers = service.get("/version")
+            etag = headers["ETag"]
+            status, body, headers = service.request(
+                "GET", "/version", {"If-None-Match": etag}
+            )
+            assert (status, body) == (304, "")
+            assert headers["ETag"] == etag
+            assert headers["Content-Length"] == "0"  # bodyless
+            status, _, headers = service.request("DELETE", "/version")
+            assert (status, headers["Allow"]) == (405, "GET, HEAD")
+
+
+class TestRefreshModes:
+    """ServingApp.refresh: incremental vs full, fallback, atomicity."""
+
+    def _snapshot_app(self, tmp_path, registry=None, runlog=None,
+                      incremental=True, with_history=True):
+        root = str(tmp_path / "releases")
+        store = SnapshotStore(root)
+        store.save(
+            _dataset([_record(1), _record(2, org="Acme")]),
+            window=(-1, 0),
+        )
+        app = ServingApp(
+            index_from_snapshots(root, generation=1),
+            rebuild=lambda generation: index_from_snapshots(
+                root, generation=generation
+            ),
+            metrics=registry,
+            runlog=runlog,
+            history=(
+                history_from_snapshots(root, generation=1)
+                if with_history else None
+            ),
+            rebuild_history=(
+                (lambda generation: history_from_snapshots(
+                    root, generation=generation
+                )) if with_history else None
+            ),
+            refresh_incremental=(
+                (lambda generation, previous:
+                 refresh_index_from_snapshots(
+                     root, previous, generation))
+                if incremental else None
+            ),
+            refresh_history_incremental=(
+                (lambda generation, previous:
+                 refresh_history_from_snapshots(
+                     root, previous, generation))
+                if incremental and with_history else None
+            ),
+        )
+        return app, store
+
+    def test_refresh_takes_the_incremental_path(self, tmp_path):
+        registry = MetricsRegistry()
+        ledger = tmp_path / "run.ndjson"
+        runlog = RunLog(str(ledger), kind="serve", config={}, world={})
+        app, store = self._snapshot_app(tmp_path, registry, runlog)
+        store.save(
+            _dataset([
+                _record(1, slugs=("banks",)),
+                _record(2, org="Acme"),
+                _record(3),
+            ]),
+            window=(0, 30),
+        )
+        new = app.refresh()
+        runlog.close()
+        assert new.version.snapshot_version == 2
+        assert registry.get(
+            "asdb_serve_refresh_incremental_total").total() == 1
+        assert registry.get(
+            "asdb_serve_refresh_full_total").total() == 0
+        modes = [
+            event for event in read_ledger(str(ledger))
+            if event["event"] == "serve.refresh_mode"
+        ]
+        assert len(modes) == 1
+        assert modes[0]["mode"] == "incremental"
+        assert modes[0]["history_mode"] == "incremental"
+        assert modes[0]["generation"] == 2
+        assert modes[0]["snapshot_version"] == 2
+        # Both views actually swapped, mutually consistent.
+        assert app.index.version.generation == 2
+        assert app.history.latest_version == 2
+        status, body, _ = app.handle_request("GET", "/asn/3")
+        assert status == 200
+        # Incremental result equals what the full rebuild would say.
+        assert new.fingerprint() == index_from_snapshots(
+            str(tmp_path / "releases"), generation=2
+        ).fingerprint()
+
+    def test_refresh_falls_back_to_full_on_broken_lineage(
+        self, tmp_path
+    ):
+        registry = MetricsRegistry()
+        ledger = tmp_path / "run.ndjson"
+        runlog = RunLog(str(ledger), kind="serve", config={}, world={})
+        app, store = self._snapshot_app(tmp_path, registry, runlog)
+        store.save(
+            _dataset([_record(1), _record(2, org="Acme"), _record(4)]),
+            full=True,  # full save breaks the delta chain
+        )
+        app.refresh()
+        runlog.close()
+        assert registry.get(
+            "asdb_serve_refresh_full_total").total() == 1
+        assert registry.get(
+            "asdb_serve_refresh_incremental_total").total() == 0
+        modes = [
+            event for event in read_ledger(str(ledger))
+            if event["event"] == "serve.refresh_mode"
+        ]
+        assert modes[0]["mode"] == "full"
+        assert app.handle_request("GET", "/asn/4")[0] == 200
+
+    def test_refresh_fallback_on_incremental_exception(self, tmp_path):
+        registry = MetricsRegistry()
+        ledger = tmp_path / "run.ndjson"
+        runlog = RunLog(str(ledger), kind="serve", config={}, world={})
+        app, store = self._snapshot_app(
+            tmp_path, registry, runlog, with_history=False
+        )
+        app._refresh_incremental = lambda generation, previous: (
+            (_ for _ in ()).throw(RuntimeError("store exploded"))
+        )
+        store.save(_dataset([_record(1), _record(2, org="Acme"),
+                             _record(5)]))
+        new = app.refresh()
+        runlog.close()
+        assert new.version.generation == 2
+        assert registry.get(
+            "asdb_serve_refresh_full_total").total() == 1
+        fallbacks = [
+            event for event in read_ledger(str(ledger))
+            if event["event"] == "serve.refresh_fallback"
+        ]
+        assert len(fallbacks) == 1
+        assert "store exploded" in fallbacks[0]["error"]
+
+    def test_failing_history_rebuild_leaves_old_pair_served(
+        self, tmp_path
+    ):
+        """Atomicity regression: both successors are built before
+        either swap, so a history rebuild blowing up leaves the service
+        on the old, mutually consistent index/history pair."""
+        registry = MetricsRegistry()
+        app, store = self._snapshot_app(
+            tmp_path, registry, incremental=False
+        )
+        old_index, old_history = app.index, app.history
+        store.save(_dataset([_record(1), _record(2, org="Acme"),
+                             _record(6)]))
+
+        def broken_history(generation):
+            raise RuntimeError("history rebuild exploded")
+        app._rebuild_history = broken_history
+        app._refresh_history_incremental = None
+
+        with pytest.raises(RuntimeError, match="history rebuild"):
+            app.refresh()
+        assert app.index is old_index
+        assert app.history is old_history
+        assert registry.get("asdb_serve_swaps_total").total() == 0
+        # The half-built state never leaked: AS6 (new release) is not
+        # served, and history still answers from the old release set.
+        assert app.handle_request("GET", "/asn/6")[0] == 404
+        status, body, _ = app.handle_request("GET", "/asn/1/history")
+        assert (status, body["latest_version"]) == (200, 1)
+
+
+class TestOrgLimit:
+    def _app(self, count=30):
+        index = ReadIndex.build(
+            [_record(asn, org="Acme Corp") for asn in range(1, count + 1)],
+            source="unit",
+        )
+        return ServingApp(index)
+
+    def test_default_limit_and_truncation_fields(self):
+        app = self._app(count=30)
+        status, body, _ = app.handle_request("GET", "/org/acme")
+        assert status == 200
+        assert body["count"] == 20  # ORG_LIMIT_DEFAULT
+        assert body["total"] == 30
+        assert body["limit"] == 20
+        assert body["truncated"] is True
+        assert [m["asn"] for m in body["matches"]] \
+            == list(range(1, 21))
+
+    def test_explicit_limit_is_capped(self):
+        app = self._app(count=5)
+        _, body, _ = app.handle_request("GET", "/org/acme?limit=2")
+        assert (body["count"], body["total"], body["truncated"]) \
+            == (2, 5, True)
+        _, body, _ = app.handle_request("GET", "/org/acme?limit=999999")
+        assert body["limit"] == 200  # ORG_LIMIT_CAP
+        assert body["truncated"] is False
+        _, body, _ = app.handle_request("GET", "/org/acme?limit=-3")
+        assert body["limit"] == 1  # floor
+
+    def test_bad_limit_is_400(self):
+        app = self._app(count=2)
+        status, body, _ = app.handle_request(
+            "GET", "/org/acme?limit=lots"
+        )
+        assert status == 400
+        assert "limit" in body["error"]
